@@ -1,0 +1,199 @@
+//! Graph500-style reference BFS: distributed CSR, no transactions, no LPG.
+//!
+//! This is the "very competitive target" of §6.5: a tuned traversal kernel
+//! operating on a static simple graph with none of a database's costs —
+//! no translation DHT, no holders, no locks, no properties. GDA's BFS is
+//! expected to land within a small factor of it (the paper reports 2–4×,
+//! sometimes parity).
+
+use rustc_hash::FxHashMap;
+
+use graphgen::GraphSpec;
+use rma::RankCtx;
+
+/// A rank-local CSR shard of the undirected graph. Vertex `v` is owned by
+/// rank `v mod P` and has local index `v div P` (same round-robin
+/// placement as GDA, making runs directly comparable).
+#[derive(Debug, Default)]
+pub struct Csr {
+    pub nranks: usize,
+    pub rank: usize,
+    /// Global ids of local vertices: `local i` ↔ `global i*P + rank`.
+    pub n_local: usize,
+    offsets: Vec<usize>,
+    targets: Vec<u64>,
+}
+
+impl Csr {
+    /// Neighbors of local vertex `i`.
+    pub fn neighbors(&self, i: usize) -> &[u64] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Local index of a global vertex owned by this rank.
+    #[inline]
+    pub fn local_index(&self, v: u64) -> usize {
+        debug_assert_eq!(v as usize % self.nranks, self.rank);
+        v as usize / self.nranks
+    }
+
+    /// Number of local edge endpoints.
+    pub fn n_local_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Collective: build the distributed CSR from the generated edge stream
+/// (each rank samples its slice, half-edges are routed to owners with one
+/// all-to-all, then sorted into CSR — the standard Graph500 construction).
+pub fn build_csr(ctx: &RankCtx, spec: &GraphSpec) -> Csr {
+    let nranks = ctx.nranks();
+    let rank = ctx.rank();
+    let mut rows: Vec<Vec<(u64, u64)>> = (0..nranks).map(|_| Vec::new()).collect();
+    for (u, v) in spec.edges_for_rank(rank, nranks) {
+        rows[u as usize % nranks].push((u, v));
+        rows[v as usize % nranks].push((v, u));
+    }
+    let recv = ctx.alltoallv(rows);
+
+    let n_local = spec.n_vertices() as usize / nranks
+        + usize::from(rank < spec.n_vertices() as usize % nranks);
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n_local];
+    for (src, dst) in recv.into_iter().flatten() {
+        adj[src as usize / nranks].push(dst);
+    }
+    ctx.charge_cpu(adj.iter().map(Vec::len).sum::<usize>() as u64 + 1);
+
+    let mut offsets = Vec::with_capacity(n_local + 1);
+    let mut targets = Vec::new();
+    offsets.push(0);
+    for mut list in adj {
+        list.sort_unstable();
+        targets.extend_from_slice(&list);
+        offsets.push(targets.len());
+    }
+    Csr {
+        nranks,
+        rank,
+        n_local,
+        offsets,
+        targets,
+    }
+}
+
+/// Level-synchronous BFS from `root`. Returns `(visited, levels)` — the
+/// same contract as the GDA BFS, so results can be cross-checked.
+pub fn csr_bfs(ctx: &RankCtx, csr: &Csr, root: u64) -> (u64, u32) {
+    let nranks = ctx.nranks();
+    let mut visited = vec![false; csr.n_local];
+    let mut frontier: Vec<usize> = Vec::new();
+    if root as usize % nranks == csr.rank {
+        let i = csr.local_index(root);
+        visited[i] = true;
+        frontier.push(i);
+    }
+    let mut total = ctx.allreduce_sum_u64(frontier.len() as u64);
+    let mut levels = 0u32;
+    loop {
+        let mut rows: Vec<Vec<u64>> = (0..nranks).map(|_| Vec::new()).collect();
+        for &i in &frontier {
+            for &t in csr.neighbors(i) {
+                rows[t as usize % nranks].push(t);
+            }
+        }
+        ctx.charge_cpu(frontier.len() as u64 + 1);
+        let recv = ctx.alltoallv(rows);
+        let mut next = Vec::new();
+        for t in recv.into_iter().flatten() {
+            let i = csr.local_index(t);
+            if !visited[i] {
+                visited[i] = true;
+                next.push(i);
+            }
+        }
+        let n = ctx.allreduce_sum_u64(next.len() as u64);
+        if n == 0 {
+            break;
+        }
+        total += n;
+        frontier = next;
+        levels += 1;
+    }
+    (total, levels)
+}
+
+/// Degree map (global id → degree) of this rank's shard, for tests.
+pub fn local_degrees(csr: &Csr) -> FxHashMap<u64, usize> {
+    (0..csr.n_local)
+        .map(|i| {
+            (
+                (i * csr.nranks + csr.rank) as u64,
+                csr.neighbors(i).len(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::LpgConfig;
+    use rma::{CostModel, FabricBuilder};
+
+    fn spec() -> GraphSpec {
+        GraphSpec {
+            scale: 7,
+            edge_factor: 5,
+            seed: 13,
+            lpg: LpgConfig::bare(),
+        }
+    }
+
+    #[test]
+    fn csr_has_all_edges() {
+        let spec = spec();
+        let fabric = FabricBuilder::new(4).cost(CostModel::default()).build();
+        fabric.run(|ctx| {
+            let csr = build_csr(ctx, &spec);
+            let local: u64 = csr.n_local_edges() as u64;
+            let total = ctx.allreduce_sum_u64(local);
+            assert_eq!(total, 2 * spec.n_edges());
+            let nv = ctx.allreduce_sum_u64(csr.n_local as u64);
+            assert_eq!(nv, spec.n_vertices());
+        });
+    }
+
+    #[test]
+    fn bfs_identical_across_rank_counts() {
+        let spec = spec();
+        let mut results = Vec::new();
+        for nranks in [1usize, 2, 5] {
+            let fabric = FabricBuilder::new(nranks).cost(CostModel::default()).build();
+            let r = fabric.run(|ctx| {
+                let csr = build_csr(ctx, &spec);
+                csr_bfs(ctx, &csr, 1)
+            });
+            results.push(r[0]);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert!(results[0].0 > 1, "BFS reached nothing");
+    }
+
+    #[test]
+    fn degrees_match_direct_count() {
+        let spec = spec();
+        let mut want: FxHashMap<u64, usize> = FxHashMap::default();
+        for (u, v) in spec.edges_for_rank(0, 1) {
+            *want.entry(u).or_insert(0) += 1;
+            *want.entry(v).or_insert(0) += 1;
+        }
+        let fabric = FabricBuilder::new(3).cost(CostModel::zero()).build();
+        fabric.run(|ctx| {
+            let csr = build_csr(ctx, &spec);
+            for (v, d) in local_degrees(&csr) {
+                assert_eq!(d, want.get(&v).copied().unwrap_or(0), "vertex {v}");
+            }
+        });
+    }
+}

@@ -1,0 +1,33 @@
+//! # `baselines` — the comparison systems of the paper's evaluation (§6.2)
+//!
+//! The paper compares GDI-RMA against Neo4j 5.10, JanusGraph 0.6.2 and the
+//! Graph500 reference BFS. None of those can run here (JVM services, a
+//! Cray supercomputer), so this crate implements **architectural analogs**
+//! whose *mechanisms* produce the paper's performance relationships rather
+//! than hard-coding them (see `DESIGN.md`, substitutions table):
+//!
+//! * [`graph500`] — distributed CSR level-synchronous BFS on the same RMA
+//!   fabric: no transactions, no LPG, bitmap visited sets. The
+//!   non-transactional upper bound GDA is compared against in Fig. 6e/6f.
+//! * [`janus`] — a distributed LPG store accessed through **two-sided**
+//!   request/reply operations (every access consumes server CPU and two
+//!   message latencies — the architectural contrast to one-sided RDMA),
+//!   with eventual consistency and optimistic read-modify-write (conflicts
+//!   surface as failed transactions).
+//! * [`neo4j`] — a **single-server** store behind a global reader-writer
+//!   lock with heavyweight per-operation object materialization and
+//!   client/server RPC, the reason for its millisecond latencies and flat
+//!   scaling curves in Figs. 4–6.
+//!
+//! Per-operation service constants are calibrated to the latency
+//! histograms the paper measured for the real systems (Fig. 5): GDA in the
+//! 1–100 µs range, JanusGraph no faster than 200 µs, Neo4j in
+//! milliseconds.
+
+pub mod graph500;
+pub mod janus;
+pub mod neo4j;
+
+pub use graph500::{build_csr, csr_bfs, Csr};
+pub use janus::JanusStore;
+pub use neo4j::Neo4jStore;

@@ -1,0 +1,250 @@
+//! Criterion micro-benchmarks of GDA's performance-critical building
+//! blocks (§5): block acquire/release, DHT operations, distributed RW
+//! locks, holder serialization, transaction begin/commit, and collective
+//! primitives. These are the wall-clock counterparts of the work–depth
+//! table in `gda::analysis`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use gda::blocks::BlockManager;
+use gda::dht::Dht;
+use gda::holder::{EdgeRecord, Holder};
+use gda::locks::LockManager;
+use gda::{DPtr, GdaConfig, GdaDb};
+use gdi::{AccessMode, AppVertexId, Direction, LabelId, PTypeId, PropertyValue};
+use rma::{CostModel, FabricBuilder};
+
+fn bench_blocks(c: &mut Criterion) {
+    let cfg = GdaConfig {
+        blocks_per_rank: 1 << 15,
+        ..GdaConfig::default()
+    };
+    let fabric = cfg.build_fabric(1, CostModel::zero());
+    c.bench_function("block_acquire_release", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric.run(|ctx| {
+            let bm = BlockManager::new(ctx, cfg);
+            bm.init_collective();
+            b.lock().iter(|| {
+                let dp = bm.acquire(0).unwrap();
+                bm.release(black_box(dp));
+            });
+        });
+    });
+}
+
+fn bench_dht(c: &mut Criterion) {
+    let cfg = GdaConfig {
+        dht_buckets_per_rank: 1 << 14,
+        dht_heap_per_rank: 1 << 16,
+        ..GdaConfig::default()
+    };
+    let fabric = cfg.build_fabric(1, CostModel::zero());
+    c.bench_function("dht_insert_delete", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            let mut k = 0u64;
+            b.lock().iter(|| {
+                k += 1;
+                dht.insert(k, k).unwrap();
+                assert!(dht.delete(black_box(k)));
+            });
+        });
+    });
+    let fabric2 = cfg.build_fabric(1, CostModel::zero());
+    c.bench_function("dht_lookup_hit", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric2.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            for k in 0..10_000u64 {
+                dht.insert(k, k * 2).unwrap();
+            }
+            let mut k = 0u64;
+            b.lock().iter(|| {
+                k = (k + 7) % 10_000;
+                black_box(dht.lookup(black_box(k)))
+            });
+        });
+    });
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let cfg = GdaConfig::default();
+    let fabric = cfg.build_fabric(1, CostModel::zero());
+    c.bench_function("rwlock_read_acquire_release", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric.run(|ctx| {
+            let lm = LockManager::new(ctx, cfg);
+            let dp = DPtr::new(0, cfg.block_size as u64);
+            b.lock().iter(|| {
+                lm.acquire_read(black_box(dp)).unwrap();
+                lm.release_read(dp);
+            });
+        });
+    });
+    let fabric2 = cfg.build_fabric(1, CostModel::zero());
+    c.bench_function("rwlock_write_acquire_release", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric2.run(|ctx| {
+            let lm = LockManager::new(ctx, cfg);
+            let dp = DPtr::new(0, cfg.block_size as u64);
+            b.lock().iter(|| {
+                lm.acquire_write(black_box(dp)).unwrap();
+                lm.release_write(dp);
+            });
+        });
+    });
+}
+
+fn bench_holder_codec(c: &mut Criterion) {
+    let mut h = Holder::new_vertex(42);
+    h.add_label(LabelId(5));
+    for i in 0..16 {
+        h.push_edge(EdgeRecord::lightweight(
+            DPtr::new(0, 512 * (i + 1)),
+            3,
+            Direction::Out,
+        ));
+    }
+    for i in 0..4u32 {
+        h.add_property(PTypeId(3 + i), vec![7u8; 24]);
+    }
+    c.bench_function("holder_encode_16e_4p", |b| {
+        b.iter(|| black_box(black_box(&h).encode()))
+    });
+    let bytes = h.encode();
+    c.bench_function("holder_decode_16e_4p", |b| {
+        b.iter(|| black_box(Holder::decode(black_box(&bytes))))
+    });
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    let cfg = GdaConfig {
+        blocks_per_rank: 1 << 15,
+        dht_heap_per_rank: 1 << 16,
+        dht_buckets_per_rank: 1 << 14,
+        ..GdaConfig::default()
+    };
+    let (db, fabric) = GdaDb::with_fabric("bench", cfg, 1, CostModel::zero());
+    c.bench_function("tx_create_delete_vertex_commit", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let mut id = 0u64;
+            // resource-balanced: each iteration creates AND deletes, so the
+            // block pool and DHT heap never exhaust regardless of the
+            // iteration count criterion chooses
+            b.lock().iter(|| {
+                id += 1;
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(black_box(id))).unwrap();
+                tx.commit().unwrap();
+                let tx = eng.begin(AccessMode::ReadWrite);
+                let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+                tx.delete_vertex(v).unwrap();
+                tx.commit().unwrap();
+            });
+        });
+    });
+    let (db2, fabric2) = GdaDb::with_fabric("bench2", cfg, 1, CostModel::zero());
+    c.bench_function("tx_read_vertex", |b| {
+        let b = parking_lot::Mutex::new(b);
+        fabric2.run(|ctx| {
+            let eng = db2.attach(ctx);
+            eng.init_collective();
+            let age = eng
+                .create_ptype(
+                    "age",
+                    gdi::Datatype::Uint64,
+                    gdi::EntityType::Vertex,
+                    gdi::Multiplicity::Single,
+                    gdi::SizeType::Fixed,
+                    1,
+                )
+                .unwrap_or_else(|_| eng.meta().ptype_from_name("age").unwrap());
+            {
+                // idempotent preload: criterion may invoke this closure
+                // several times against the same database
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in 0..1000u64 {
+                    if let Ok(v) = tx.create_vertex(AppVertexId(i)) {
+                        tx.add_property(v, age, &PropertyValue::U64(i)).unwrap();
+                    }
+                }
+                tx.commit().unwrap();
+            }
+            let mut i = 0u64;
+            b.lock().iter(|| {
+                i = (i + 13) % 1000;
+                let tx = eng.begin(AccessMode::ReadOnly);
+                let v = tx.translate_vertex_id(AppVertexId(black_box(i))).unwrap();
+                black_box(tx.property(v, age).unwrap());
+                tx.commit().unwrap();
+            });
+        });
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    for nranks in [2usize, 4] {
+        let fabric = FabricBuilder::new(nranks).cost(CostModel::zero()).build();
+        c.bench_function(&format!("allreduce_sum_p{nranks}"), |b| {
+            let b = parking_lot::Mutex::new(b);
+            fabric.run(|ctx| {
+                if ctx.rank() == 0 {
+                    b.lock().iter(|| black_box(ctx.allreduce_sum_u64(black_box(1))));
+                } else {
+                    // peers keep answering until rank 0 signals completion
+                    loop {
+                        let v = ctx.allreduce_sum_u64(0);
+                        if v == u64::MAX {
+                            break;
+                        }
+                    }
+                }
+                if ctx.rank() == 0 {
+                    ctx.allreduce_sum_u64(u64::MAX); // release peers
+                }
+            });
+        });
+    }
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let spec = graphgen::GraphSpec::new(14, 99);
+    c.bench_function("kronecker_edge_sample", |b| {
+        let s = graphgen::KroneckerSampler::new(spec.scale, spec.seed);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(s.edge(black_box(i)))
+        })
+    });
+    c.bench_function("lpg_vertex_assignment", |b| {
+        let lpg = graphgen::LpgConfig::default();
+        let mut v = 0u64;
+        b.iter_batched(
+            || {
+                v += 1;
+                v
+            },
+            |v| {
+                black_box(lpg.vertex_label_indices(7, v));
+                black_box(lpg.vertex_props(7, v));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_blocks, bench_dht, bench_locks, bench_holder_codec, bench_transactions, bench_collectives, bench_generator
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Figure 4: OLTP throughput, weak and strong scaling.
+//!
+//! * `weak` — Fig. 4a: Read Mostly & Read Intensive, dataset grows with
+//!   the rank count.
+//! * `strong` — Fig. 4b: same mixes, fixed dataset.
+//! * `weak-write` — Fig. 4c: LinkBench & Write Intensive (+ JanusGraph
+//!   LinkBench baseline), with failed-transaction percentages.
+//! * `strong-write` — Fig. 4d: same, fixed dataset.
+//! * `all` — everything (default).
+
+use gdi_bench::{emit, gda_oltp, janus_oltp, render_series, spec_for, Point, RunParams, Series};
+use graphgen::LpgConfig;
+use workloads::oltp::Mix;
+
+fn sweep(
+    name: &str,
+    params: &RunParams,
+    _mix: &Mix,
+    weak: bool,
+    runner: impl Fn(usize, &graphgen::GraphSpec) -> (f64, f64),
+) -> Series {
+    let mut points = Vec::new();
+    for &nranks in &params.ranks {
+        let scale = if weak {
+            params.weak_scale(nranks)
+        } else {
+            params.base_scale
+        };
+        let spec = spec_for(scale, params.seed, LpgConfig::default());
+        let (mqps, fail) = runner(nranks, &spec);
+        points.push(Point {
+            nranks,
+            scale,
+            value: mqps,
+            fail_frac: fail,
+        });
+        eprintln!("  [{name}] P={nranks} s={scale}: {mqps:.4} MQ/s, {:.2}% failed", fail * 100.0);
+    }
+    Series {
+        name: name.to_string(),
+        points,
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let params = RunParams::from_env();
+    let ops = params.ops_per_rank;
+
+    let read_mixes = [Mix::READ_MOSTLY, Mix::READ_INTENSIVE];
+    let write_mixes = [Mix::LINKBENCH, Mix::WRITE_INTENSIVE];
+
+    if mode == "weak" || mode == "all" {
+        let series: Vec<Series> = read_mixes
+            .iter()
+            .map(|m| {
+                sweep(&format!("{}/GDA", m.name), &params, m, true, |p, s| {
+                    gda_oltp(p, s, m, ops)
+                })
+            })
+            .collect();
+        emit(
+            "fig4a_oltp_weak",
+            &render_series("Fig. 4a — RI/RM weak scaling", "MQ/s", &series),
+        );
+    }
+    if mode == "strong" || mode == "all" {
+        let series: Vec<Series> = read_mixes
+            .iter()
+            .map(|m| {
+                sweep(&format!("{}/GDA", m.name), &params, m, false, |p, s| {
+                    gda_oltp(p, s, m, ops)
+                })
+            })
+            .collect();
+        emit(
+            "fig4b_oltp_strong",
+            &render_series("Fig. 4b — RI/RM strong scaling", "MQ/s", &series),
+        );
+    }
+    if mode == "weak-write" || mode == "all" {
+        let mut series: Vec<Series> = write_mixes
+            .iter()
+            .map(|m| {
+                sweep(&format!("{}/GDA", m.name), &params, m, true, |p, s| {
+                    gda_oltp(p, s, m, ops)
+                })
+            })
+            .collect();
+        series.push(sweep(
+            "LinkBench/JanusGraph",
+            &params,
+            &Mix::LINKBENCH,
+            true,
+            |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
+        ));
+        emit(
+            "fig4c_oltp_weak_write",
+            &render_series("Fig. 4c — LinkBench/WI weak scaling", "MQ/s", &series),
+        );
+    }
+    if mode == "strong-write" || mode == "all" {
+        let mut series: Vec<Series> = write_mixes
+            .iter()
+            .map(|m| {
+                sweep(&format!("{}/GDA", m.name), &params, m, false, |p, s| {
+                    gda_oltp(p, s, m, ops)
+                })
+            })
+            .collect();
+        series.push(sweep(
+            "LinkBench/JanusGraph",
+            &params,
+            &Mix::LINKBENCH,
+            false,
+            |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
+        ));
+        emit(
+            "fig4d_oltp_strong_write",
+            &render_series("Fig. 4d — LinkBench/WI strong scaling", "MQ/s", &series),
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 6a/6b: OLAP/OLSP runtimes — PageRank, CDLP, WCC (weak scaling)
+//! plus LCC and BI2 with the Neo4j baseline (strong scaling).
+
+use gdi_bench::{
+    emit, gda_olap, neo4j_olap, render_series, rich_lpg, spec_for, OlapAlgo, Point,
+    RunParams, Series,
+};
+use graphgen::LpgConfig;
+
+fn sweep(
+    name: &str,
+    params: &RunParams,
+    weak: bool,
+    lpg: LpgConfig,
+    runner: impl Fn(usize, &graphgen::GraphSpec) -> f64,
+) -> Series {
+    let mut points = Vec::new();
+    for &nranks in &params.ranks {
+        let scale = if weak {
+            params.weak_scale(nranks)
+        } else {
+            params.base_scale
+        };
+        let spec = spec_for(scale, params.seed, lpg);
+        let secs = runner(nranks, &spec);
+        points.push(Point {
+            nranks,
+            scale,
+            value: secs,
+            fail_frac: 0.0,
+        });
+        eprintln!("  [{name}] P={nranks} s={scale}: {secs:.4}s");
+    }
+    Series {
+        name: name.into(),
+        points,
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let params = RunParams::from_env();
+
+    if mode == "weak" || mode == "all" {
+        let algos = [OlapAlgo::Wcc, OlapAlgo::Cdlp, OlapAlgo::Pagerank];
+        let series: Vec<Series> = algos
+            .iter()
+            .map(|a| {
+                sweep(
+                    &format!("{}/GDA", a.name()),
+                    &params,
+                    true,
+                    LpgConfig::default(),
+                    |p, s| gda_olap(p, s, *a),
+                )
+            })
+            .collect();
+        emit(
+            "fig6a_olap_weak",
+            &render_series("Fig. 6a — PR/CDLP/WCC weak scaling", "runtime_s", &series),
+        );
+    }
+    if mode == "strong" || mode == "all" {
+        let mut series: Vec<Series> = [
+            OlapAlgo::Wcc,
+            OlapAlgo::Cdlp,
+            OlapAlgo::Pagerank,
+            OlapAlgo::Lcc,
+        ]
+        .iter()
+        .map(|a| {
+            sweep(
+                &format!("{}/GDA", a.name()),
+                &params,
+                false,
+                LpgConfig::default(),
+                |p, s| gda_olap(p, s, *a),
+            )
+        })
+        .collect();
+        // BI2 runs on the rich LPG configuration; Neo4j comparison included
+        series.push(sweep("BI2/GDA", &params, false, rich_lpg(), |p, s| {
+            gda_olap(p, s, OlapAlgo::Bi2)
+        }));
+        series.push(sweep("BI2/Neo4j", &params, false, rich_lpg(), |p, s| {
+            neo4j_olap(p, s, OlapAlgo::Bi2)
+        }));
+        emit(
+            "fig6b_olap_strong",
+            &render_series(
+                "Fig. 6b — PR/CDLP/WCC/LCC/BI2 strong scaling",
+                "runtime_s",
+                &series,
+            ),
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 6e/6f: BFS and k-hop runtimes — GDA vs the Graph500 reference
+//! BFS and the Neo4j baseline.
+//!
+//! The key relationship to reproduce (§6.5): GDA's transactional LPG BFS
+//! lands within a small factor (paper: 2–4×, sometimes parity) of the
+//! bare-metal Graph500 kernel, while Neo4j is orders of magnitude slower.
+
+use gdi_bench::{
+    emit, gda_olap, graph500_bfs, neo4j_olap, render_series, spec_for, OlapAlgo, Point,
+    RunParams, Series,
+};
+use graphgen::LpgConfig;
+
+fn sweep(
+    name: &str,
+    params: &RunParams,
+    weak: bool,
+    runner: impl Fn(usize, &graphgen::GraphSpec) -> f64,
+) -> Series {
+    let mut points = Vec::new();
+    for &nranks in &params.ranks {
+        let scale = if weak {
+            params.weak_scale(nranks)
+        } else {
+            params.base_scale
+        };
+        let spec = spec_for(scale, params.seed, LpgConfig::default());
+        let secs = runner(nranks, &spec);
+        points.push(Point {
+            nranks,
+            scale,
+            value: secs,
+            fail_frac: 0.0,
+        });
+        eprintln!("  [{name}] P={nranks} s={scale}: {secs:.5}s");
+    }
+    Series {
+        name: name.into(),
+        points,
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let params = RunParams::from_env();
+
+    for (weak, label, file) in [
+        (true, "Fig. 6e — BFS & k-hop weak scaling", "fig6e_traversal_weak"),
+        (false, "Fig. 6f — BFS & k-hop strong scaling", "fig6f_traversal_strong"),
+    ] {
+        if mode != "all" && ((weak && mode != "weak") || (!weak && mode != "strong")) {
+            continue;
+        }
+        let mut series = Vec::new();
+        for k in [2u32, 3, 4] {
+            series.push(sweep(&format!("{k}-Hop/GDA"), &params, weak, |p, s| {
+                gda_olap(p, s, OlapAlgo::Khop(k))
+            }));
+        }
+        series.push(sweep("BFS/GDA", &params, weak, |p, s| {
+            gda_olap(p, s, OlapAlgo::Bfs)
+        }));
+        series.push(sweep("BFS/Graph500", &params, weak, graph500_bfs));
+        series.push(sweep("BFS/Neo4j", &params, weak, |p, s| {
+            neo4j_olap(p, s, OlapAlgo::Bfs)
+        }));
+        series.push(sweep("4-Hop/Neo4j", &params, weak, |p, s| {
+            neo4j_olap(p, s, OlapAlgo::Khop(4))
+        }));
+        let mut out = render_series(label, "runtime_s", &series);
+        // headline ratio: GDA BFS vs Graph500 at the largest point
+        let gda = series.iter().find(|s| s.name == "BFS/GDA").unwrap();
+        let g500 = series.iter().find(|s| s.name == "BFS/Graph500").unwrap();
+        if let (Some(a), Some(b)) = (gda.points.last(), g500.points.last()) {
+            out.push_str(&format!(
+                "\nGDA/Graph500 BFS ratio at P={}: {:.2}x (paper: 2-4x, sometimes parity)\n",
+                a.nranks,
+                a.value / b.value
+            ));
+        }
+        emit(file, &out);
+    }
+}

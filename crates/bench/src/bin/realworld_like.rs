@@ -1,0 +1,69 @@
+//! §6.7 — real-world-graph analysis.
+//!
+//! The paper processed Web Data Commons (3.56 B vertices, 128 B edges) and
+//! KONECT/WebGraph datasets and found that "performance patterns and GDA's
+//! advantages are similar to those obtained for Kronecker graphs … because
+//! both have similar sparsities as well as heavy-tail degree
+//! distributions". Real 128 B-edge downloads are not available offline, so
+//! this harness substitutes Kronecker configurations spanning the degree
+//! skew/sparsity space of those datasets and verifies that the BFS
+//! performance pattern is insensitive to the configuration — the paper's
+//! §6.7 claim.
+
+use gdi_bench::{emit, gda_olap, graph500_bfs, OlapAlgo, RunParams};
+use graphgen::{GraphSpec, KroneckerSampler, LpgConfig};
+
+fn degree_stats(spec: &GraphSpec) -> (f64, u64, f64) {
+    let s = KroneckerSampler::new(spec.scale, spec.seed);
+    let deg = s.sample_out_degrees(spec.n_edges());
+    let mean = spec.n_edges() as f64 / spec.n_vertices() as f64;
+    let max = *deg.iter().max().unwrap();
+    let zeros = deg.iter().filter(|&&d| d == 0).count() as f64 / deg.len() as f64;
+    (mean, max, zeros)
+}
+
+fn main() {
+    let params = RunParams::from_env();
+    let nranks = *params.ranks.iter().max().unwrap_or(&4);
+    let mut out = String::from(
+        "### §6.7 — heavy-tail 'real-world-like' configurations (BFS)\n",
+    );
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>9} {:>8} {:>12} {:>14} {:>10}\n",
+        "config (web-like sweep)", "mean deg", "max deg", "zero%", "GDA BFS s", "Graph500 s", "ratio"
+    ));
+    // sparsity/skew sweep bracketing web graphs (WDC: mean deg ~36,
+    // extreme hubs) and social networks (mean deg ~10-70)
+    for (name, ef, seed) in [
+        ("citation-like e=8", 8u32, 101u64),
+        ("social-like e=16", 16, 202),
+        ("web-like e=36", 36, 303),
+    ] {
+        let spec = GraphSpec {
+            scale: params.base_scale,
+            edge_factor: ef,
+            seed,
+            lpg: LpgConfig::default(),
+        };
+        let (mean, max, zeros) = degree_stats(&spec);
+        let gda_s = gda_olap(nranks, &spec, OlapAlgo::Bfs);
+        let g500_s = graph500_bfs(nranks, &spec);
+        out.push_str(&format!(
+            "{:<28} {:>9.1} {:>9} {:>7.1}% {:>12.5} {:>14.5} {:>9.2}x\n",
+            name,
+            mean,
+            max,
+            zeros * 100.0,
+            gda_s,
+            g500_s,
+            gda_s / g500_s
+        ));
+        eprintln!("  {name}: GDA {gda_s:.5}s vs Graph500 {g500_s:.5}s");
+    }
+    out.push_str(
+        "\nExpectation (paper §6.7): the GDA/Graph500 ratio stays in the same\n\
+         small band across configurations because performance is governed by\n\
+         sparsity + heavy-tail skew, which all configurations share.\n",
+    );
+    emit("realworld_like", &out);
+}

@@ -1,0 +1,56 @@
+//! Table 3: the OLTP operation mixes, restated from the implementation's
+//! constants and verified by sampling (the empirical frequency of each
+//! operation must match its declared weight).
+
+use gdi_bench::emit;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workloads::oltp::{Mix, OpKind};
+
+fn main() {
+    let mut out = String::from("### Table 3 — OLTP workload mixes\n");
+    let mixes = Mix::table3();
+    out.push_str(&format!("{:<22}", "operation"));
+    for m in &mixes {
+        out.push_str(&format!(" {:>16}", m.name));
+    }
+    out.push('\n');
+    for (i, kind) in OpKind::ALL.iter().enumerate() {
+        out.push_str(&format!("{:<22}", kind.name()));
+        for m in &mixes {
+            out.push_str(&format!(" {:>15.1}%", m.weights[i] * 100.0));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<22}", "read fraction"));
+    for m in &mixes {
+        out.push_str(&format!(" {:>15.1}%", m.read_fraction() * 100.0));
+    }
+    out.push('\n');
+
+    // empirical verification by sampling
+    out.push_str("\nempirical frequencies over 200k samples (must match declared weights):\n");
+    for m in &mixes {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u64; 7];
+        const N: u64 = 200_000;
+        for _ in 0..N {
+            let k = m.sample(&mut rng);
+            counts[OpKind::ALL.iter().position(|x| *x == k).unwrap()] += 1;
+        }
+        out.push_str(&format!("{:<18}", m.name));
+        let total: f64 = m.weights.iter().sum();
+        for (i, c) in counts.iter().enumerate() {
+            let got = *c as f64 / N as f64;
+            let want = m.weights[i] / total;
+            assert!(
+                (got - want).abs() < 0.01,
+                "{}: op {i} drifted: {got} vs {want}",
+                m.name
+            );
+            out.push_str(&format!(" {:>7.2}%", got * 100.0));
+        }
+        out.push('\n');
+    }
+    emit("tab3_mixes", &out);
+}

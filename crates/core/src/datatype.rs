@@ -1,0 +1,131 @@
+//! Property-type metadata vocabulary (§3.7).
+//!
+//! GDI lets the user give the implementation *optional but
+//! performance-relevant* information about each property type: the datatype
+//! of its values, whether a vertex/edge may carry one or many entries of the
+//! type, which entity kinds it applies to, and whether values have a fixed
+//! or bounded size. GDA uses this to choose fixed-size fast paths in holder
+//! layouts.
+
+use serde::{Deserialize, Serialize};
+
+/// Datatype of the elements of a property value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Datatype {
+    Uint8,
+    Uint16,
+    Uint32,
+    Uint64,
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    Float,
+    Double,
+    Bool,
+    Char,
+    /// Raw bytes with no further interpretation.
+    Byte,
+}
+
+impl Datatype {
+    /// Size in bytes of one element of this datatype.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            Datatype::Uint8 | Datatype::Int8 | Datatype::Bool | Datatype::Char | Datatype::Byte => 1,
+            Datatype::Uint16 | Datatype::Int16 => 2,
+            Datatype::Uint32 | Datatype::Int32 | Datatype::Float => 4,
+            Datatype::Uint64 | Datatype::Int64 | Datatype::Double => 8,
+        }
+    }
+}
+
+/// Which graph entities a property type may be attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityType {
+    Vertex,
+    Edge,
+    /// Both vertices and edges.
+    VertexEdge,
+}
+
+impl EntityType {
+    /// May this entity type be attached to a vertex?
+    pub fn allows_vertex(self) -> bool {
+        matches!(self, EntityType::Vertex | EntityType::VertexEdge)
+    }
+
+    /// May this entity type be attached to an edge?
+    pub fn allows_edge(self) -> bool {
+        matches!(self, EntityType::Edge | EntityType::VertexEdge)
+    }
+}
+
+/// Whether a single vertex/edge may carry one or many entries of a property
+/// type (§3.7: "at most one property entry of a given property type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Multiplicity {
+    /// At most one entry per vertex/edge; `add` behaves like `set`.
+    Single,
+    /// Arbitrarily many entries per vertex/edge.
+    Multi,
+}
+
+/// Size behaviour of property values of a type (§3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeType {
+    /// Every value has exactly `count` elements.
+    Fixed,
+    /// Values have at most `count` elements.
+    Limited,
+    /// No size limitation.
+    NoLimit,
+}
+
+impl SizeType {
+    /// Validate a value of `elems` elements against this size type with the
+    /// declared `count`.
+    pub fn validate(self, elems: usize, count: usize) -> bool {
+        match self {
+            SizeType::Fixed => elems == count,
+            SizeType::Limited => elems <= count,
+            SizeType::NoLimit => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(Datatype::Uint8.elem_bytes(), 1);
+        assert_eq!(Datatype::Bool.elem_bytes(), 1);
+        assert_eq!(Datatype::Int16.elem_bytes(), 2);
+        assert_eq!(Datatype::Float.elem_bytes(), 4);
+        assert_eq!(Datatype::Uint64.elem_bytes(), 8);
+        assert_eq!(Datatype::Double.elem_bytes(), 8);
+    }
+
+    #[test]
+    fn entity_type_permissions() {
+        assert!(EntityType::Vertex.allows_vertex());
+        assert!(!EntityType::Vertex.allows_edge());
+        assert!(EntityType::Edge.allows_edge());
+        assert!(!EntityType::Edge.allows_vertex());
+        assert!(EntityType::VertexEdge.allows_vertex());
+        assert!(EntityType::VertexEdge.allows_edge());
+    }
+
+    #[test]
+    fn size_type_validation() {
+        assert!(SizeType::Fixed.validate(4, 4));
+        assert!(!SizeType::Fixed.validate(3, 4));
+        assert!(!SizeType::Fixed.validate(5, 4));
+        assert!(SizeType::Limited.validate(0, 4));
+        assert!(SizeType::Limited.validate(4, 4));
+        assert!(!SizeType::Limited.validate(5, 4));
+        assert!(SizeType::NoLimit.validate(1_000_000, 0));
+    }
+}

@@ -1,0 +1,150 @@
+//! GDI error classes.
+//!
+//! The specification distinguishes *transaction-critical* errors — after
+//! which the enclosing transaction is guaranteed to fail and must be
+//! restarted by the user (GDI offers no retry/recovery routine, §3.3) — from
+//! non-critical errors that leave the transaction usable.
+
+use std::fmt;
+
+/// Result alias used across all GDI routines.
+pub type GdiResult<T> = Result<T, GdiError>;
+
+/// Errors a GDI routine may return.
+///
+/// Matches the error-class taxonomy of the specification: every error knows
+/// whether it is transaction critical ([`GdiError::is_transaction_critical`])
+/// and exposes a stable name ([`GdiError::name`]), mirroring
+/// `GDI_GetErrorName` / `GDI_GetErrorClass`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GdiError {
+    /// An argument was invalid (wrong handle type, null object, bad size).
+    InvalidArgument(&'static str),
+    /// The referenced object does not exist (vertex, edge, label, p-type,
+    /// index, database).
+    NotFound(&'static str),
+    /// An object with the same identity already exists.
+    AlreadyExists(&'static str),
+    /// A lock could not be obtained within the retry budget: the transaction
+    /// conflicts with a concurrent one. Transaction critical.
+    LockConflict,
+    /// Optimistic validation failed at commit: data read by this transaction
+    /// was modified concurrently. Transaction critical.
+    ValidationFailed,
+    /// Metadata (labels / p-types / indexes) changed concurrently and the
+    /// transaction observed a stale snapshot; eventual consistency (§3.8)
+    /// requires the transaction to abort. Transaction critical.
+    StaleMetadata,
+    /// The target process has no free blocks / memory left.
+    OutOfMemory,
+    /// The operation is not permitted in this transaction kind (e.g. a write
+    /// inside a read-only transaction). Transaction critical.
+    ReadOnlyViolation,
+    /// The transaction was already closed, committed, or aborted.
+    TransactionClosed,
+    /// A collective routine was invoked inconsistently across processes.
+    CollectiveMismatch,
+    /// Property value does not match the declared datatype/size of the
+    /// property type.
+    TypeMismatch,
+    /// Exceeded a size limitation declared on the property type.
+    SizeExceeded,
+    /// A constraint handle is stale (its metadata epoch expired).
+    StaleConstraint,
+}
+
+impl GdiError {
+    /// Stable error name (mirrors `GDI_GetErrorName`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GdiError::InvalidArgument(_) => "GDI_ERROR_ARGUMENT",
+            GdiError::NotFound(_) => "GDI_ERROR_NOT_FOUND",
+            GdiError::AlreadyExists(_) => "GDI_ERROR_ALREADY_EXISTS",
+            GdiError::LockConflict => "GDI_ERROR_LOCK_CONFLICT",
+            GdiError::ValidationFailed => "GDI_ERROR_VALIDATION",
+            GdiError::StaleMetadata => "GDI_ERROR_STALE_METADATA",
+            GdiError::OutOfMemory => "GDI_ERROR_NO_MEMORY",
+            GdiError::ReadOnlyViolation => "GDI_ERROR_READ_ONLY",
+            GdiError::TransactionClosed => "GDI_ERROR_TRANSACTION_CLOSED",
+            GdiError::CollectiveMismatch => "GDI_ERROR_COLLECTIVE_MISMATCH",
+            GdiError::TypeMismatch => "GDI_ERROR_TYPE_MISMATCH",
+            GdiError::SizeExceeded => "GDI_ERROR_SIZE_LIMIT",
+            GdiError::StaleConstraint => "GDI_ERROR_STALE_CONSTRAINT",
+        }
+    }
+
+    /// Does this error guarantee that the enclosing transaction fails?
+    ///
+    /// Mirrors `GDI_GetErrorClass` returning
+    /// `GDI_ERROR_CLASS_TRANSACTION_CRITICAL`.
+    pub fn is_transaction_critical(&self) -> bool {
+        matches!(
+            self,
+            GdiError::LockConflict
+                | GdiError::ValidationFailed
+                | GdiError::StaleMetadata
+                | GdiError::ReadOnlyViolation
+                | GdiError::TransactionClosed
+        )
+    }
+}
+
+impl fmt::Display for GdiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdiError::InvalidArgument(what) => {
+                write!(f, "{}: invalid argument: {what}", self.name())
+            }
+            GdiError::NotFound(what) => write!(f, "{}: not found: {what}", self.name()),
+            GdiError::AlreadyExists(what) => {
+                write!(f, "{}: already exists: {what}", self.name())
+            }
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+impl std::error::Error for GdiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_classification() {
+        assert!(GdiError::LockConflict.is_transaction_critical());
+        assert!(GdiError::ValidationFailed.is_transaction_critical());
+        assert!(GdiError::StaleMetadata.is_transaction_critical());
+        assert!(!GdiError::NotFound("vertex").is_transaction_critical());
+        assert!(!GdiError::TypeMismatch.is_transaction_critical());
+        assert!(!GdiError::OutOfMemory.is_transaction_critical());
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let errs = [
+            GdiError::InvalidArgument("x"),
+            GdiError::NotFound("x"),
+            GdiError::AlreadyExists("x"),
+            GdiError::LockConflict,
+            GdiError::ValidationFailed,
+            GdiError::StaleMetadata,
+            GdiError::OutOfMemory,
+            GdiError::ReadOnlyViolation,
+            GdiError::TransactionClosed,
+            GdiError::CollectiveMismatch,
+            GdiError::TypeMismatch,
+            GdiError::SizeExceeded,
+            GdiError::StaleConstraint,
+        ];
+        let names: std::collections::HashSet<_> = errs.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), errs.len());
+        assert!(names.iter().all(|n| n.starts_with("GDI_ERROR_")));
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = GdiError::NotFound("label 'Person'");
+        assert!(e.to_string().contains("label 'Person'"));
+    }
+}

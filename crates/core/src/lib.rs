@@ -1,0 +1,50 @@
+//! # `gdi` — The Graph Database Interface specification layer
+//!
+//! GDI is the paper's first contribution: a portable, MPI-inspired
+//! *specification* of the performance-critical building blocks of a graph
+//! database storage and transaction engine (§3). Like MPI, the specification
+//! is fully decoupled from any implementation: this crate contains only the
+//! vocabulary of the interface —
+//!
+//! * the **Labeled Property Graph** model (§2): vertices, edges, labels,
+//!   property types and properties, and the distinction between *graph data*
+//!   (`V`, `E`, `l`, `p`) and *graph metadata* (`L`, `K`, `W`);
+//! * **datatypes, entity types and size types** for property types (§3.7),
+//!   giving implementations the optional information they need for
+//!   fixed-size fast paths;
+//! * **constraints**: boolean formulas in disjunctive normal form over label
+//!   and property conditions, used to query explicit indexes (§3.6);
+//! * **transaction kinds** (local vs collective, read vs write, §3.3) and
+//!   **consistency models** (serializability for graph data, eventual
+//!   consistency for metadata and indexes, §3.8);
+//! * the **error classes**, split into transaction-critical and
+//!   non-critical errors (§3.3).
+//!
+//! The high-performance distributed implementation of this interface lives
+//! in the `gda` crate (GDI-RMA).
+
+pub mod constraint;
+pub mod datatype;
+pub mod error;
+pub mod model;
+pub mod routines;
+pub mod tx;
+pub mod value;
+
+pub use constraint::{CmpOp, Constraint, LabelCond, PropCond, Subconstraint};
+pub use datatype::{Datatype, EntityType, Multiplicity, SizeType};
+pub use error::{GdiError, GdiResult};
+pub use model::{AppVertexId, Direction, EdgeOrientation, LabelId, PTypeId};
+pub use tx::{AccessMode, TxKind, TxStatus};
+pub use value::PropertyValue;
+
+/// Reserved integer id marking an *empty / unused* label-or-property entry
+/// in a holder (paper §5.4.3).
+pub const ENTRY_EMPTY: u32 = 0;
+/// Reserved integer id marking the *last* entry in a holder (paper §5.4.3).
+pub const ENTRY_END: u32 = 1;
+/// Reserved integer id tagging a *label* entry (paper §5.4.3: "value 2 for a
+/// label, any other value for a specific p-type").
+pub const ENTRY_LABEL: u32 = 2;
+/// First integer id available for property types.
+pub const FIRST_PTYPE_ID: u32 = 3;

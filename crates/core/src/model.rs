@@ -1,0 +1,153 @@
+//! Core identifiers and directions of the Labeled Property Graph model (§2).
+//!
+//! An LPG graph is a tuple `(V, E, L, l, K, W, p)`. This module defines the
+//! identifier vocabulary GDI uses to talk about these sets:
+//!
+//! * [`AppVertexId`] — the *application-level* vertex id supplied by the
+//!   user. GDI deliberately separates it from any internal id, which keeps
+//!   the interface portable (§3.4): implementations translate it via
+//!   `TranslateVertexID` into their own internal id (in GDA: a `DPtr`).
+//! * [`LabelId`] / [`PTypeId`] — small integer ids that implementations use
+//!   to reference metadata objects on vertices/edges (§5.8).
+//! * [`EdgeOrientation`] / [`Direction`] — edge direction vocabulary used by
+//!   neighborhood routines (`GDI_EDGE_OUTGOING` etc.).
+
+use serde::{Deserialize, Serialize};
+
+/// Application-level vertex identifier (external id, `vID_app` in the
+/// paper's listings).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct AppVertexId(pub u64);
+
+impl From<u64> for AppVertexId {
+    fn from(v: u64) -> Self {
+        AppVertexId(v)
+    }
+}
+
+impl std::fmt::Display for AppVertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Integer id of a label (element of `L`). Ids `0..=2` are reserved entry
+/// markers (see crate-level constants); user labels start above them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct LabelId(pub u32);
+
+/// Integer id of a property type (element of `K`). Always
+/// `>= FIRST_PTYPE_ID` so holders can distinguish label entries, property
+/// entries and markers (§5.4.3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PTypeId(pub u32);
+
+/// Edge orientation selector for neighborhood queries
+/// (`GDI_EDGE_OUTGOING` / `GDI_EDGE_INCOMING` / `GDI_EDGE_UNDIRECTED`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeOrientation {
+    /// Edges whose origin is the queried vertex.
+    Outgoing,
+    /// Edges whose target is the queried vertex.
+    Incoming,
+    /// Undirected edges incident to the queried vertex.
+    Undirected,
+    /// Any incident edge, regardless of direction.
+    Any,
+}
+
+impl EdgeOrientation {
+    /// Does an edge stored with `dir` relative to a vertex match this
+    /// orientation selector?
+    pub fn matches(self, dir: Direction) -> bool {
+        match self {
+            EdgeOrientation::Any => true,
+            EdgeOrientation::Outgoing => dir == Direction::Out,
+            EdgeOrientation::Incoming => dir == Direction::In,
+            EdgeOrientation::Undirected => dir == Direction::Undirected,
+        }
+    }
+}
+
+/// Direction of an edge record relative to the vertex storing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    /// The storing vertex is the edge's origin.
+    Out = 0,
+    /// The storing vertex is the edge's target.
+    In = 1,
+    /// The edge is undirected.
+    Undirected = 2,
+}
+
+impl Direction {
+    /// The direction of the same edge as seen from the opposite endpoint.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+            Direction::Undirected => Direction::Undirected,
+        }
+    }
+
+    /// Decode from the wire representation.
+    pub fn from_u8(v: u8) -> Option<Direction> {
+        match v {
+            0 => Some(Direction::Out),
+            1 => Some(Direction::In),
+            2 => Some(Direction::Undirected),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_matching() {
+        assert!(EdgeOrientation::Outgoing.matches(Direction::Out));
+        assert!(!EdgeOrientation::Outgoing.matches(Direction::In));
+        assert!(!EdgeOrientation::Outgoing.matches(Direction::Undirected));
+        assert!(EdgeOrientation::Incoming.matches(Direction::In));
+        assert!(EdgeOrientation::Undirected.matches(Direction::Undirected));
+        assert!(EdgeOrientation::Any.matches(Direction::Out));
+        assert!(EdgeOrientation::Any.matches(Direction::In));
+        assert!(EdgeOrientation::Any.matches(Direction::Undirected));
+    }
+
+    #[test]
+    fn direction_reverse_is_involutive() {
+        for d in [Direction::Out, Direction::In, Direction::Undirected] {
+            assert_eq!(d.reverse().reverse(), d);
+        }
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::Undirected.reverse(), Direction::Undirected);
+    }
+
+    #[test]
+    fn direction_wire_roundtrip() {
+        for d in [Direction::Out, Direction::In, Direction::Undirected] {
+            assert_eq!(Direction::from_u8(d as u8), Some(d));
+        }
+        assert_eq!(Direction::from_u8(3), None);
+        assert_eq!(Direction::from_u8(255), None);
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(AppVertexId(1) < AppVertexId(2));
+        assert_eq!(AppVertexId::from(7u64), AppVertexId(7));
+        assert_eq!(AppVertexId(7).to_string(), "v7");
+        assert!(LabelId(3) < LabelId(4));
+        assert!(PTypeId(3) < PTypeId(9));
+    }
+}

@@ -1,0 +1,158 @@
+//! Transaction vocabulary (§3.3).
+//!
+//! GDI transactions guarantee ACID (the implementation chooses how), come in
+//! two parallelism flavours — *local* (single process; meant for OLTP-style
+//! operations touching a small part of the graph) and *collective* (all
+//! processes participate; meant for OLAP/OLSP) — and two access modes,
+//! letting implementations optimize read-only transactions (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Who participates in the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxKind {
+    /// Started and executed by a single process
+    /// (`GDI_StartTransaction`). May still *passively* involve remote
+    /// processes through one-sided accesses.
+    Local,
+    /// Started by all processes together
+    /// (`GDI_StartCollectiveTransaction`); used to run large OLAP/OLSP
+    /// queries with collective communication.
+    Collective,
+}
+
+/// Declared access mode, enabling read-only fast paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// The transaction promises not to modify graph data; the
+    /// implementation may skip write-locking entirely.
+    ReadOnly,
+    /// The transaction may modify graph data.
+    ReadWrite,
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// Open and usable.
+    Active,
+    /// Successfully committed; effects are durable and visible.
+    Committed,
+    /// Aborted; no effects are visible. A transaction hit by a
+    /// transaction-critical error transitions here and cannot be retried —
+    /// the user must start a new transaction (§3.3).
+    Aborted,
+}
+
+impl TxStatus {
+    /// May further operations be issued in this state?
+    pub fn is_active(self) -> bool {
+        self == TxStatus::Active
+    }
+}
+
+/// Recommended transaction mechanism per workload class (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Interactive short read-only queries (OLTP).
+    InteractiveShortRead,
+    /// Interactive complex read-only queries (OLTP).
+    InteractiveComplexRead,
+    /// Interactive updates (OLTP).
+    InteractiveUpdate,
+    /// Graph analytics (OLAP).
+    GraphAnalytics,
+    /// Business intelligence (OLSP).
+    BusinessIntelligence,
+    /// Massive data ingestion (BULK).
+    BulkIngestion,
+}
+
+impl WorkloadClass {
+    /// The paper's Table 2 recommendation.
+    pub fn recommended_kind(self) -> TxKind {
+        match self {
+            WorkloadClass::InteractiveShortRead
+            | WorkloadClass::InteractiveComplexRead
+            | WorkloadClass::InteractiveUpdate => TxKind::Local,
+            WorkloadClass::GraphAnalytics | WorkloadClass::BulkIngestion => TxKind::Collective,
+            // "Single-process or collective": we recommend collective for
+            // large scans, which is what our BI workload does.
+            WorkloadClass::BusinessIntelligence => TxKind::Collective,
+        }
+    }
+
+    /// The natural access mode of the class.
+    pub fn access_mode(self) -> AccessMode {
+        match self {
+            WorkloadClass::InteractiveShortRead
+            | WorkloadClass::InteractiveComplexRead
+            | WorkloadClass::GraphAnalytics
+            | WorkloadClass::BusinessIntelligence => AccessMode::ReadOnly,
+            WorkloadClass::InteractiveUpdate | WorkloadClass::BulkIngestion => {
+                AccessMode::ReadWrite
+            }
+        }
+    }
+
+    /// All classes, in Table 2 order.
+    pub fn all() -> [WorkloadClass; 6] {
+        [
+            WorkloadClass::InteractiveShortRead,
+            WorkloadClass::InteractiveComplexRead,
+            WorkloadClass::InteractiveUpdate,
+            WorkloadClass::GraphAnalytics,
+            WorkloadClass::BusinessIntelligence,
+            WorkloadClass::BulkIngestion,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_recommendations() {
+        assert_eq!(
+            WorkloadClass::InteractiveShortRead.recommended_kind(),
+            TxKind::Local
+        );
+        assert_eq!(
+            WorkloadClass::InteractiveUpdate.recommended_kind(),
+            TxKind::Local
+        );
+        assert_eq!(
+            WorkloadClass::GraphAnalytics.recommended_kind(),
+            TxKind::Collective
+        );
+        assert_eq!(
+            WorkloadClass::BulkIngestion.recommended_kind(),
+            TxKind::Collective
+        );
+    }
+
+    #[test]
+    fn access_modes() {
+        assert_eq!(
+            WorkloadClass::GraphAnalytics.access_mode(),
+            AccessMode::ReadOnly
+        );
+        assert_eq!(
+            WorkloadClass::InteractiveUpdate.access_mode(),
+            AccessMode::ReadWrite
+        );
+    }
+
+    #[test]
+    fn status_lifecycle() {
+        assert!(TxStatus::Active.is_active());
+        assert!(!TxStatus::Committed.is_active());
+        assert!(!TxStatus::Aborted.is_active());
+    }
+
+    #[test]
+    fn all_classes_enumerated() {
+        assert_eq!(WorkloadClass::all().len(), 6);
+    }
+}

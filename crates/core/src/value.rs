@@ -1,0 +1,267 @@
+//! Property values and their wire encoding.
+//!
+//! GDA stores label/property entries as `(integer id, size, data)` triples
+//! inside block-backed holders (§5.4.3). [`PropertyValue`] is the typed
+//! user-facing view; [`PropertyValue::encode`] / [`PropertyValue::decode`]
+//! convert to and from the raw bytes stored in holders, according to the
+//! property type's declared [`Datatype`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::Datatype;
+use crate::error::{GdiError, GdiResult};
+
+/// A typed property value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropertyValue {
+    U64(u64),
+    I64(i64),
+    U32(u32),
+    I32(i32),
+    F64(f64),
+    F32(f32),
+    Bool(bool),
+    /// UTF-8 text (stored as `Datatype::Char` element sequences).
+    Text(String),
+    /// Raw bytes (`Datatype::Byte`), also used for fixed-size blobs such as
+    /// GNN feature vectors.
+    Bytes(Vec<u8>),
+    /// A vector of doubles (convenience for feature vectors; stored as
+    /// `Datatype::Double` sequences).
+    F64Vec(Vec<f64>),
+}
+
+impl PropertyValue {
+    /// Number of elements of the value under datatype `dt`.
+    pub fn elems(&self, dt: Datatype) -> usize {
+        self.encoded_len() / dt.elem_bytes().max(1)
+    }
+
+    /// Length of the encoded representation in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            PropertyValue::U64(_) | PropertyValue::I64(_) | PropertyValue::F64(_) => 8,
+            PropertyValue::U32(_) | PropertyValue::I32(_) | PropertyValue::F32(_) => 4,
+            PropertyValue::Bool(_) => 1,
+            PropertyValue::Text(s) => s.len(),
+            PropertyValue::Bytes(b) => b.len(),
+            PropertyValue::F64Vec(v) => v.len() * 8,
+        }
+    }
+
+    /// Encode to the little-endian byte representation stored in holders.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            PropertyValue::U64(v) => v.to_le_bytes().to_vec(),
+            PropertyValue::I64(v) => v.to_le_bytes().to_vec(),
+            PropertyValue::U32(v) => v.to_le_bytes().to_vec(),
+            PropertyValue::I32(v) => v.to_le_bytes().to_vec(),
+            PropertyValue::F64(v) => v.to_le_bytes().to_vec(),
+            PropertyValue::F32(v) => v.to_le_bytes().to_vec(),
+            PropertyValue::Bool(v) => vec![u8::from(*v)],
+            PropertyValue::Text(s) => s.as_bytes().to_vec(),
+            PropertyValue::Bytes(b) => b.clone(),
+            PropertyValue::F64Vec(v) => {
+                let mut out = Vec::with_capacity(v.len() * 8);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Decode bytes read from a holder under the property type's datatype.
+    ///
+    /// Multi-element sequences of numeric datatypes decode to
+    /// [`PropertyValue::F64Vec`] (doubles) or [`PropertyValue::Bytes`]
+    /// (anything else), matching how GDA surfaces them.
+    pub fn decode(dt: Datatype, bytes: &[u8]) -> GdiResult<PropertyValue> {
+        let eb = dt.elem_bytes();
+        if eb > 0 && !bytes.len().is_multiple_of(eb) {
+            return Err(GdiError::TypeMismatch);
+        }
+        let single = bytes.len() == eb;
+        let take8 = |b: &[u8]| -> [u8; 8] { b[..8].try_into().unwrap() };
+        let take4 = |b: &[u8]| -> [u8; 4] { b[..4].try_into().unwrap() };
+        Ok(match (dt, single) {
+            (Datatype::Uint64, true) => PropertyValue::U64(u64::from_le_bytes(take8(bytes))),
+            (Datatype::Int64, true) => PropertyValue::I64(i64::from_le_bytes(take8(bytes))),
+            (Datatype::Uint32, true) => PropertyValue::U32(u32::from_le_bytes(take4(bytes))),
+            (Datatype::Int32, true) => PropertyValue::I32(i32::from_le_bytes(take4(bytes))),
+            (Datatype::Double, true) => PropertyValue::F64(f64::from_le_bytes(take8(bytes))),
+            (Datatype::Float, true) => PropertyValue::F32(f32::from_le_bytes(take4(bytes))),
+            (Datatype::Bool, true) => PropertyValue::Bool(bytes[0] != 0),
+            (Datatype::Double, false) => PropertyValue::F64Vec(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            (Datatype::Char, _) => PropertyValue::Text(
+                String::from_utf8(bytes.to_vec()).map_err(|_| GdiError::TypeMismatch)?,
+            ),
+            _ => PropertyValue::Bytes(bytes.to_vec()),
+        })
+    }
+
+    /// Convenience accessor: the value as `u64` if it is numeric-integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            PropertyValue::U64(v) => Some(*v),
+            PropertyValue::U32(v) => Some(*v as u64),
+            PropertyValue::I64(v) if *v >= 0 => Some(*v as u64),
+            PropertyValue::I32(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the value as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            PropertyValue::F64(v) => Some(*v),
+            PropertyValue::F32(v) => Some(*v as f64),
+            PropertyValue::U64(v) => Some(*v as f64),
+            PropertyValue::I64(v) => Some(*v as f64),
+            PropertyValue::U32(v) => Some(*v as f64),
+            PropertyValue::I32(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the value as text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            PropertyValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order used by comparison conditions in constraints. Values of
+    /// incomparable kinds order by kind tag (documented, deterministic).
+    pub fn cmp_total(&self, other: &PropertyValue) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => return a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+            (Some(_), None) => return Ordering::Less,
+            (None, Some(_)) => return Ordering::Greater,
+            (None, None) => {}
+        }
+        match (self, other) {
+            (PropertyValue::Text(a), PropertyValue::Text(b)) => a.cmp(b),
+            (PropertyValue::Bytes(a), PropertyValue::Bytes(b)) => a.cmp(b),
+            (PropertyValue::Bool(a), PropertyValue::Bool(b)) => a.cmp(b),
+            (PropertyValue::Text(_), _) => Ordering::Less,
+            (_, PropertyValue::Text(_)) => Ordering::Greater,
+            _ => self.encode().cmp(&other.encode()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let cases: Vec<(Datatype, PropertyValue)> = vec![
+            (Datatype::Uint64, PropertyValue::U64(0xDEAD_BEEF_CAFE)),
+            (Datatype::Int64, PropertyValue::I64(-42)),
+            (Datatype::Uint32, PropertyValue::U32(7)),
+            (Datatype::Int32, PropertyValue::I32(-7)),
+            (Datatype::Double, PropertyValue::F64(3.25)),
+            (Datatype::Float, PropertyValue::F32(-1.5)),
+            (Datatype::Bool, PropertyValue::Bool(true)),
+        ];
+        for (dt, v) in cases {
+            let enc = v.encode();
+            let dec = PropertyValue::decode(dt, &enc).unwrap();
+            assert_eq!(dec, v, "{dt:?}");
+        }
+    }
+
+    #[test]
+    fn text_and_bytes_roundtrip() {
+        let t = PropertyValue::Text("héllo wörld".to_string());
+        assert_eq!(
+            PropertyValue::decode(Datatype::Char, &t.encode()).unwrap(),
+            t
+        );
+        let b = PropertyValue::Bytes(vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            PropertyValue::decode(Datatype::Byte, &b.encode()).unwrap(),
+            b
+        );
+    }
+
+    #[test]
+    fn f64vec_roundtrip() {
+        let v = PropertyValue::F64Vec(vec![1.0, -2.5, 3e10]);
+        let dec = PropertyValue::decode(Datatype::Double, &v.encode()).unwrap();
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn misaligned_decode_rejected() {
+        assert_eq!(
+            PropertyValue::decode(Datatype::Uint64, &[1, 2, 3]),
+            Err(GdiError::TypeMismatch)
+        );
+        assert_eq!(
+            PropertyValue::decode(Datatype::Uint32, &[1, 2, 3, 4, 5]),
+            Err(GdiError::TypeMismatch)
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        assert_eq!(
+            PropertyValue::decode(Datatype::Char, &[0xFF, 0xFE]),
+            Err(GdiError::TypeMismatch)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(PropertyValue::U64(9).as_u64(), Some(9));
+        assert_eq!(PropertyValue::I64(-1).as_u64(), None);
+        assert_eq!(PropertyValue::I32(5).as_u64(), Some(5));
+        assert_eq!(PropertyValue::F64(2.0).as_f64(), Some(2.0));
+        assert_eq!(PropertyValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(PropertyValue::Bytes(vec![]).as_f64(), None);
+    }
+
+    #[test]
+    fn total_order_numeric_cross_type() {
+        use std::cmp::Ordering::*;
+        assert_eq!(
+            PropertyValue::U64(3).cmp_total(&PropertyValue::F64(3.5)),
+            Less
+        );
+        assert_eq!(
+            PropertyValue::I32(-1).cmp_total(&PropertyValue::U64(0)),
+            Less
+        );
+        assert_eq!(
+            PropertyValue::Text("abc".into()).cmp_total(&PropertyValue::Text("abd".into())),
+            Less
+        );
+        assert_eq!(
+            PropertyValue::U64(5).cmp_total(&PropertyValue::U64(5)),
+            Equal
+        );
+        // numbers order before text (deterministic cross-kind order)
+        assert_eq!(
+            PropertyValue::U64(5).cmp_total(&PropertyValue::Text("a".into())),
+            Less
+        );
+    }
+
+    #[test]
+    fn elems_counts_elements() {
+        let v = PropertyValue::F64Vec(vec![0.0; 10]);
+        assert_eq!(v.elems(Datatype::Double), 10);
+        let t = PropertyValue::Text("abcd".into());
+        assert_eq!(t.elems(Datatype::Char), 4);
+    }
+}

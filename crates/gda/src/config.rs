@@ -1,0 +1,176 @@
+//! GDA configuration and window layout.
+//!
+//! GDA uses four symmetric windows per rank (§5.5 describes the first
+//! three; the fourth hosts the internal DHT index of §5.7):
+//!
+//! | window | contents |
+//! |---|---|
+//! | **data**   | the BGDL block pool: `blocks_per_rank` fixed-size blocks |
+//! | **usage**  | the free-list links: word *i* = next free block after *i* |
+//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i* |
+//! | **index**  | DHT: word 0 = tagged heap free head; buckets; 3-word heap entries |
+
+use rma::{CostModel, Fabric, FabricBuilder, WinId};
+
+/// Window id of the data window.
+pub const WIN_DATA: WinId = WinId(0);
+/// Window id of the usage (free-list) window.
+pub const WIN_USAGE: WinId = WinId(1);
+/// Window id of the system (head + locks) window.
+pub const WIN_SYSTEM: WinId = WinId(2);
+/// Window id of the internal-index (DHT) window.
+pub const WIN_INDEX: WinId = WinId(3);
+
+/// Tunable GDA parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GdaConfig {
+    /// BGDL block size in bytes (tunable communication/storage tradeoff,
+    /// §5.5). Must be a multiple of 8 and at least 64.
+    pub block_size: usize,
+    /// Number of blocks in each rank's data window (block 0 is reserved so
+    /// that offset 0 can serve as the null `DPtr`).
+    pub blocks_per_rank: usize,
+    /// Buckets of the internal DHT per rank.
+    pub dht_buckets_per_rank: usize,
+    /// Heap entries (3 words each) of the internal DHT per rank.
+    pub dht_heap_per_rank: usize,
+    /// Bounded lock acquisition attempts before a transaction aborts with
+    /// `GDI_ERROR_LOCK_CONFLICT` (the source of the paper's failed-
+    /// transaction percentages).
+    pub max_lock_retries: usize,
+}
+
+impl Default for GdaConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 512,
+            blocks_per_rank: 8192,
+            dht_buckets_per_rank: 4096,
+            dht_heap_per_rank: 8192,
+            max_lock_retries: 48,
+        }
+    }
+}
+
+impl GdaConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            block_size: 128,
+            blocks_per_rank: 256,
+            dht_buckets_per_rank: 64,
+            dht_heap_per_rank: 256,
+            max_lock_retries: 48,
+        }
+    }
+
+    /// Size a configuration to hold roughly `vertices` vertices and `edges`
+    /// edge records per rank with property payload `payload_hint` bytes per
+    /// vertex.
+    pub fn sized_for(vertices: usize, edges: usize, payload_hint: usize) -> Self {
+        let mut cfg = Self::default();
+        let per_vertex = 64 + payload_hint + 8;
+        let edge_bytes = edges * crate::holder::EDGE_RECORD_BYTES * 2;
+        let bytes = vertices * per_vertex + edge_bytes;
+        let blocks = (bytes / (cfg.block_size - 8)).max(64) * 2 + vertices * 2;
+        cfg.blocks_per_rank = blocks.next_power_of_two();
+        cfg.dht_buckets_per_rank = (vertices.max(16)).next_power_of_two();
+        cfg.dht_heap_per_rank = (vertices.max(16) * 2).next_power_of_two();
+        cfg
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(self.block_size >= 64, "block size too small");
+        assert!(
+            self.block_size.is_multiple_of(8),
+            "block size must be word aligned"
+        );
+        assert!(self.blocks_per_rank >= 2, "need at least one usable block");
+        assert!(self.dht_buckets_per_rank >= 1);
+        assert!(self.dht_heap_per_rank >= 1);
+    }
+
+    /// Bytes of the data window.
+    pub fn data_bytes(&self) -> usize {
+        (self.blocks_per_rank + 1) * self.block_size
+    }
+
+    /// Bytes of the usage window.
+    pub fn usage_bytes(&self) -> usize {
+        (self.blocks_per_rank + 1) * 8
+    }
+
+    /// Bytes of the system window (head word + one lock word per block).
+    pub fn system_bytes(&self) -> usize {
+        (self.blocks_per_rank + 1) * 8
+    }
+
+    /// Bytes of the index window (tagged heap head + buckets + heap).
+    pub fn index_bytes(&self) -> usize {
+        (1 + self.dht_buckets_per_rank + 3 * (self.dht_heap_per_rank + 1)) * 8
+    }
+
+    /// Build a fabric with the four GDA windows registered.
+    pub fn build_fabric(&self, nranks: usize, cost: CostModel) -> Fabric {
+        self.validate();
+        FabricBuilder::new(nranks)
+            .cost(cost)
+            .window(self.data_bytes())
+            .window(self.usage_bytes())
+            .window(self.system_bytes())
+            .window(self.index_bytes())
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_valid() {
+        GdaConfig::default().validate();
+        GdaConfig::tiny().validate();
+    }
+
+    #[test]
+    fn window_sizing() {
+        let c = GdaConfig::tiny();
+        assert_eq!(c.data_bytes(), 257 * 128);
+        assert_eq!(c.usage_bytes(), 257 * 8);
+        assert_eq!(c.system_bytes(), 257 * 8);
+        assert_eq!(c.index_bytes(), (1 + 64 + 3 * 257) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "word aligned")]
+    fn misaligned_block_size_rejected() {
+        let c = GdaConfig {
+            block_size: 100,
+            ..GdaConfig::tiny()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn fabric_builds_with_windows() {
+        let c = GdaConfig::tiny();
+        let f = c.build_fabric(2, CostModel::zero());
+        assert_eq!(f.nranks(), 2);
+        f.run(|ctx| {
+            assert_eq!(ctx.win_len_bytes(WIN_DATA), c.data_bytes());
+            assert_eq!(ctx.win_len_bytes(WIN_USAGE), c.usage_bytes());
+            assert_eq!(ctx.win_len_bytes(WIN_SYSTEM), c.system_bytes());
+            assert_eq!(ctx.win_len_bytes(WIN_INDEX), c.index_bytes());
+        });
+    }
+
+    #[test]
+    fn sized_for_scales_with_input() {
+        let small = GdaConfig::sized_for(100, 1000, 32);
+        let big = GdaConfig::sized_for(10_000, 100_000, 32);
+        assert!(big.blocks_per_rank > small.blocks_per_rank);
+        assert!(big.dht_buckets_per_rank > small.dht_buckets_per_rank);
+    }
+}

@@ -1,0 +1,348 @@
+//! Database objects and the per-rank engine handle.
+//!
+//! A [`GdaDb`] is one GDI database: configuration, replicated metadata and
+//! explicit-index state. GDA supports **multiple parallel databases**
+//! (§3.9) through the [`DbRegistry`]; each database's graph data lives in
+//! the fabric windows, disambiguated per database instance (one fabric per
+//! database in this implementation — the registry tracks the objects).
+//!
+//! Inside `fabric.run`, every rank *attaches* to the database
+//! ([`GdaDb::attach`]) to obtain a [`GdaRank`]: the engine handle providing
+//! metadata routines, index routines, and [`GdaRank::begin`] /
+//! [`GdaRank::begin_collective`] to start transactions.
+
+use std::cell::{Ref, RefCell};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+use gdi::{
+    AccessMode, AppVertexId, Datatype, EntityType, GdiError, GdiResult, LabelId,
+    Multiplicity, PTypeId, SizeType, TxKind,
+};
+use rma::{CostModel, Fabric, RankCtx};
+
+use crate::blocks::BlockManager;
+use crate::config::GdaConfig;
+use crate::dht::Dht;
+use crate::index::{IndexId, IndexShared, Posting};
+use crate::locks::LockManager;
+use crate::meta::{MetaSnapshot, MetaStore, SharedMeta};
+use crate::tx::Transaction;
+
+/// One GDI database (shared, rank-independent state).
+#[derive(Debug)]
+pub struct GdaDb {
+    pub name: String,
+    pub cfg: GdaConfig,
+    nranks: usize,
+    pub(crate) meta: SharedMeta,
+    pub(crate) indexes: Arc<IndexShared>,
+}
+
+impl GdaDb {
+    /// Create a database for a fabric of `nranks` ranks.
+    pub fn new(name: &str, cfg: GdaConfig, nranks: usize) -> Arc<GdaDb> {
+        cfg.validate();
+        Arc::new(GdaDb {
+            name: name.to_string(),
+            cfg,
+            nranks,
+            meta: Arc::new(MetaStore::new()),
+            indexes: Arc::new(IndexShared::new(nranks)),
+        })
+    }
+
+    /// Convenience: create the database together with a matching fabric.
+    pub fn with_fabric(
+        name: &str,
+        cfg: GdaConfig,
+        nranks: usize,
+        cost: CostModel,
+    ) -> (Arc<GdaDb>, Fabric) {
+        let db = Self::new(name, cfg, nranks);
+        let fabric = cfg.build_fabric(nranks, cost);
+        (db, fabric)
+    }
+
+    /// Number of ranks the database is laid out for.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Attach the calling rank to the database.
+    pub fn attach<'d, 'c, 'f>(&'d self, ctx: &'c RankCtx<'f>) -> GdaRank<'d, 'c, 'f> {
+        assert_eq!(
+            ctx.nranks(),
+            self.nranks,
+            "fabric size does not match database layout"
+        );
+        GdaRank {
+            db: self,
+            ctx,
+            bm: BlockManager::new(ctx, self.cfg),
+            lm: LockManager::new(ctx, self.cfg),
+            dht: Dht::new(ctx, self.cfg),
+            meta_snap: RefCell::new(self.meta.snapshot()),
+        }
+    }
+}
+
+/// The per-rank engine handle (all GDI routines are invoked through it).
+pub struct GdaRank<'d, 'c, 'f> {
+    pub(crate) db: &'d GdaDb,
+    pub(crate) ctx: &'c RankCtx<'f>,
+    pub(crate) bm: BlockManager<'c, 'f>,
+    pub(crate) lm: LockManager<'c, 'f>,
+    pub(crate) dht: Dht<'c, 'f>,
+    meta_snap: RefCell<MetaSnapshot>,
+}
+
+impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
+    /// Collective: initialize the storage substrate (block free lists and
+    /// DHT heaps). Must be called by all ranks before any transaction.
+    pub fn init_collective(&self) {
+        self.bm.init_collective();
+        self.dht.init_collective();
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.ctx.nranks()
+    }
+
+    /// The underlying fabric context (for collectives in workloads).
+    pub fn ctx(&self) -> &'c RankCtx<'f> {
+        self.ctx
+    }
+
+    /// The database configuration.
+    pub fn cfg(&self) -> &GdaConfig {
+        &self.db.cfg
+    }
+
+    // ---- metadata (eventually consistent, §3.8) -------------------------
+
+    /// Refresh the local metadata replica if the authoritative store moved.
+    /// Models the propagation cost of replication with a broadcast charge.
+    pub fn refresh_meta(&self) {
+        if self.db.meta.epoch() != self.meta_snap.borrow().epoch {
+            let snap = self.db.meta.snapshot();
+            let bytes = 64 * (snap.labels.len() + snap.ptypes.len()) + 64;
+            self.ctx
+                .charge_ns(self.ctx.cost_model().reduce_like(self.nranks(), bytes));
+            *self.meta_snap.borrow_mut() = snap;
+        }
+    }
+
+    /// Read access to the local metadata replica.
+    pub fn meta(&self) -> Ref<'_, MetaSnapshot> {
+        self.meta_snap.borrow()
+    }
+
+    /// Current authoritative metadata epoch.
+    pub fn meta_epoch(&self) -> u64 {
+        self.db.meta.epoch()
+    }
+
+    /// `GDI_CreateLabel` (local call; propagates eventually).
+    pub fn create_label(&self, name: &str) -> GdiResult<LabelId> {
+        let r = self.db.meta.create_label(name);
+        self.refresh_meta();
+        r
+    }
+
+    /// `GDI_UpdateLabel`.
+    pub fn update_label(&self, id: LabelId, name: &str) -> GdiResult<()> {
+        let r = self.db.meta.update_label(id, name);
+        self.refresh_meta();
+        r
+    }
+
+    /// `GDI_DeleteLabel`.
+    pub fn delete_label(&self, id: LabelId) -> GdiResult<()> {
+        let r = self.db.meta.delete_label(id);
+        self.refresh_meta();
+        r
+    }
+
+    /// `GDI_CreatePropertyType`.
+    pub fn create_ptype(
+        &self,
+        name: &str,
+        dtype: Datatype,
+        entity: EntityType,
+        mult: Multiplicity,
+        stype: SizeType,
+        count: usize,
+    ) -> GdiResult<PTypeId> {
+        let r = self
+            .db
+            .meta
+            .create_ptype(name, dtype, entity, mult, stype, count);
+        self.refresh_meta();
+        r
+    }
+
+    /// `GDI_DeletePropertyType`.
+    pub fn delete_ptype(&self, id: PTypeId) -> GdiResult<()> {
+        let r = self.db.meta.delete_ptype(id);
+        self.refresh_meta();
+        r
+    }
+
+    // ---- explicit indexes ------------------------------------------------
+
+    /// `GDI_CreateIndex` (collective in spirit; cheap here).
+    pub fn create_index(
+        &self,
+        name: &str,
+        labels: Vec<LabelId>,
+        ptypes: Vec<PTypeId>,
+    ) -> GdiResult<IndexId> {
+        self.db.indexes.create(name, labels, ptypes)
+    }
+
+    /// `GDI_DeleteIndex`.
+    pub fn delete_index(&self, id: IndexId) -> GdiResult<()> {
+        self.db.indexes.delete(id)
+    }
+
+    /// `GDI_GetAllIndexesOfDatabase`.
+    pub fn all_indexes(&self) -> Vec<crate::index::IndexDef> {
+        self.db.indexes.all()
+    }
+
+    /// `GDI_GetLocalVerticesOfIndex` — this rank's partition, unfiltered.
+    /// Charges the local scan cost.
+    pub fn local_index_vertices(&self, id: IndexId) -> Vec<Posting> {
+        let v = self.db.indexes.local_vertices(self.rank(), id);
+        self.ctx.charge_cpu(v.len() as u64 + 1);
+        v
+    }
+
+    /// Shared index state (used by transactions at commit).
+    pub(crate) fn indexes(&self) -> &IndexShared {
+        &self.db.indexes
+    }
+
+    // ---- transactions ------------------------------------------------------
+
+    /// `GDI_StartTransaction`: a local (single-process) transaction.
+    pub fn begin(&self, mode: AccessMode) -> Transaction<'_, 'd, 'c, 'f> {
+        Transaction::new(self, TxKind::Local, mode)
+    }
+
+    /// `GDI_StartCollectiveTransaction`: all ranks must call this together.
+    pub fn begin_collective(&self, mode: AccessMode) -> Transaction<'_, 'd, 'c, 'f> {
+        self.ctx.barrier();
+        Transaction::new(self, TxKind::Collective, mode)
+    }
+
+    /// Resolve an application vertex id without a transaction (diagnostic).
+    pub fn peek_translate(&self, app: AppVertexId) -> Option<crate::dptr::DPtr> {
+        self.dht.lookup(app.0).map(crate::dptr::DPtr::from_raw)
+    }
+}
+
+/// Registry of concurrently existing databases (§3.9).
+#[derive(Default)]
+pub struct DbRegistry {
+    dbs: Mutex<FxHashMap<String, Arc<GdaDb>>>,
+}
+
+impl DbRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `GDI_CreateDatabase`.
+    pub fn create(&self, name: &str, cfg: GdaConfig, nranks: usize) -> GdiResult<Arc<GdaDb>> {
+        let mut g = self.dbs.lock();
+        if g.contains_key(name) {
+            return Err(GdiError::AlreadyExists("database"));
+        }
+        let db = GdaDb::new(name, cfg, nranks);
+        g.insert(name.to_string(), db.clone());
+        Ok(db)
+    }
+
+    /// Look up an existing database.
+    pub fn get(&self, name: &str) -> Option<Arc<GdaDb>> {
+        self.dbs.lock().get(name).cloned()
+    }
+
+    /// `GDI_DeleteDatabase`.
+    pub fn delete(&self, name: &str) -> GdiResult<()> {
+        self.dbs
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or(GdiError::NotFound("database"))
+    }
+
+    /// Names of all live databases.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.dbs.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lifecycle() {
+        let reg = DbRegistry::new();
+        let cfg = GdaConfig::tiny();
+        let a = reg.create("a", cfg, 2).unwrap();
+        assert_eq!(a.name, "a");
+        assert_eq!(
+            reg.create("a", cfg, 2).unwrap_err(),
+            GdiError::AlreadyExists("database")
+        );
+        reg.create("b", cfg, 4).unwrap();
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        assert!(reg.get("a").is_some());
+        reg.delete("a").unwrap();
+        assert_eq!(reg.delete("a").unwrap_err(), GdiError::NotFound("database"));
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn attach_and_metadata_replication() {
+        let cfg = GdaConfig::tiny();
+        let (db, fabric) = GdaDb::with_fabric("m", cfg, 2, CostModel::zero());
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            if ctx.rank() == 0 {
+                eng.create_label("Person").unwrap();
+            }
+            ctx.barrier();
+            // rank 1's replica is stale until refreshed (eventual consistency)
+            let eng2 = &eng;
+            eng2.refresh_meta();
+            assert!(eng2.meta().label_from_name("Person").is_some());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn attach_wrong_fabric_size_panics() {
+        let cfg = GdaConfig::tiny();
+        let db = GdaDb::new("x", cfg, 4);
+        let fabric = cfg.build_fabric(2, CostModel::zero());
+        fabric.run(|ctx| {
+            let _ = db.attach(ctx);
+        });
+    }
+}

@@ -1,0 +1,510 @@
+//! Lock-free, fully-offloaded distributed hash table (§5.7, Listing 4).
+//!
+//! GDA resolves application vertex ids to internal `DPtr`s through a DHT
+//! whose *every* operation — insert, lookup and delete — is implemented
+//! with one-sided puts/gets/CAS only ("to the best of our knowledge, the
+//! first DHT with all its operations being fully offloaded, including
+//! deletes").
+//!
+//! Layout (per rank, in the index window):
+//!
+//! ```text
+//! word 0                  : tagged free-list head of the entry heap
+//! words 1..=B             : buckets — each holds the heap index of the
+//!                           first chain entry (0 = empty)
+//! words B+1..             : heap of 3-word entries {key, value, next}
+//! ```
+//!
+//! A key `k` hashes to bucket rank `h(k) mod P` and bucket index
+//! `(h(k)/P) mod B`; chains stay on the bucket's rank (distributed
+//! chaining: any rank walks them one-sidedly).
+//!
+//! **Deletion protocol** (Listing 4): the first CAS redirects the victim's
+//! `next` pointer *to the victim itself*, marking it logically deleted;
+//! the second CAS swings the predecessor cell past the victim. Readers that
+//! encounter a self-pointing entry restart, because the chain beyond it is
+//! only recoverable by the deleting process (which remembered the original
+//! successor and retries the unlink until it succeeds).
+
+use gdi::{GdiError, GdiResult};
+use rma::RankCtx;
+
+use crate::config::{GdaConfig, WIN_INDEX};
+use crate::dptr::TaggedIdx;
+
+/// Word index of the heap free-list head.
+const HEAP_HEAD_WORD: usize = 0;
+
+/// Sentinel key stored in freed heap entries so that in-flight traversals
+/// can never match them. Application keys must be `< u64::MAX`.
+const FREE_KEY: u64 = u64::MAX;
+
+/// 64-bit finalizer (splitmix64): good avalanche for sequential app ids.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The distributed hash table, bound to a rank context.
+pub struct Dht<'c, 'f> {
+    ctx: &'c RankCtx<'f>,
+    cfg: GdaConfig,
+}
+
+impl<'c, 'f> Dht<'c, 'f> {
+    pub fn new(ctx: &'c RankCtx<'f>, cfg: GdaConfig) -> Self {
+        Self { ctx, cfg }
+    }
+
+    #[inline]
+    fn nbuckets(&self) -> usize {
+        self.cfg.dht_buckets_per_rank
+    }
+
+    #[inline]
+    fn heap_base(&self) -> usize {
+        1 + self.nbuckets()
+    }
+
+    /// Word of bucket `b`.
+    #[inline]
+    fn bucket_word(&self, b: usize) -> usize {
+        1 + b
+    }
+
+    /// First word of heap entry `idx` (1-based).
+    #[inline]
+    fn entry_word(&self, idx: u64) -> usize {
+        self.heap_base() + 3 * (idx as usize - 1)
+    }
+
+    /// Word of the `next` field of heap entry `idx`.
+    #[inline]
+    fn next_word(&self, idx: u64) -> usize {
+        self.entry_word(idx) + 2
+    }
+
+    /// Bucket placement of a key.
+    #[inline]
+    fn place(&self, key: u64) -> (usize, usize) {
+        let h = hash64(key);
+        let rank = (h % self.ctx.nranks() as u64) as usize;
+        let bucket = ((h / self.ctx.nranks() as u64) % self.nbuckets() as u64) as usize;
+        (rank, self.bucket_word(bucket))
+    }
+
+    /// Collective: initialize this rank's heap free list; ends in a barrier.
+    ///
+    /// The free list is threaded through the **value** word of free entries
+    /// (not the `next` word): freed entries keep their self-pointing `next`
+    /// from the deletion protocol, so a traverser that still holds a pointer
+    /// to a reclaimed entry sees `next == self`, restarts its walk from the
+    /// bucket, and can never follow a free-list link into unrelated memory.
+    /// Their key word holds [`FREE_KEY`], so they can never match a lookup.
+    pub fn init_collective(&self) {
+        let me = self.ctx.rank();
+        // empty every bucket (re-initialization must not leave stale chain
+        // heads pointing into the rebuilt free list)
+        for b in 0..self.nbuckets() {
+            self.ctx.put_u64(WIN_INDEX, me, self.bucket_word(b), 0);
+        }
+        let n = self.cfg.dht_heap_per_rank as u64;
+        for i in 1..=n {
+            let link = if i < n { i + 1 } else { 0 };
+            let ew = self.entry_word(i);
+            self.ctx.put_u64(WIN_INDEX, me, ew, FREE_KEY);
+            self.ctx.put_u64(WIN_INDEX, me, ew + 1, link);
+            self.ctx.put_u64(WIN_INDEX, me, ew + 2, i); // self-pointing
+        }
+        self.ctx
+            .put_u64(WIN_INDEX, me, HEAP_HEAD_WORD, TaggedIdx::new(0, 1).raw());
+        self.ctx.barrier();
+    }
+
+    /// Allocate a heap entry on `target` (tagged-CAS free list, like BGDL
+    /// blocks; the link lives in the entry's value word).
+    fn alloc(&self, target: usize) -> GdiResult<u64> {
+        let mut head =
+            TaggedIdx::from_raw(self.ctx.aget_u64(WIN_INDEX, target, HEAP_HEAD_WORD));
+        loop {
+            let idx = head.idx();
+            if idx == 0 {
+                return Err(GdiError::OutOfMemory);
+            }
+            let link = self.ctx.get_u64(WIN_INDEX, target, self.entry_word(idx) + 1);
+            let prev = self.ctx.cas_u64(
+                WIN_INDEX,
+                target,
+                HEAP_HEAD_WORD,
+                head.raw(),
+                head.bump(link).raw(),
+            );
+            if prev == head.raw() {
+                return Ok(idx);
+            }
+            head = TaggedIdx::from_raw(prev);
+        }
+    }
+
+    /// Return a heap entry to `target`'s free list. The entry must already
+    /// be self-pointing (marked by the deletion protocol).
+    fn dealloc(&self, target: usize, idx: u64) {
+        let ew = self.entry_word(idx);
+        self.ctx.put_u64(WIN_INDEX, target, ew, FREE_KEY);
+        let mut head =
+            TaggedIdx::from_raw(self.ctx.aget_u64(WIN_INDEX, target, HEAP_HEAD_WORD));
+        loop {
+            self.ctx.put_u64(WIN_INDEX, target, ew + 1, head.idx());
+            let prev = self.ctx.cas_u64(
+                WIN_INDEX,
+                target,
+                HEAP_HEAD_WORD,
+                head.raw(),
+                head.bump(idx).raw(),
+            );
+            if prev == head.raw() {
+                return;
+            }
+            head = TaggedIdx::from_raw(prev);
+        }
+    }
+
+    /// Insert a key/value pair (Listing 4 `insert`). Keys are expected to
+    /// be unique; duplicate keys yield multiple entries, with lookups
+    /// returning the most recently inserted.
+    pub fn insert(&self, key: u64, value: u64) -> GdiResult<()> {
+        assert_ne!(key, FREE_KEY, "u64::MAX is a reserved key");
+        let (rank, bucket) = self.place(key);
+        let entry = self.alloc(rank)?;
+        let ew = self.entry_word(entry);
+        self.ctx.put_u64(WIN_INDEX, rank, ew, key);
+        self.ctx.put_u64(WIN_INDEX, rank, ew + 1, value);
+        loop {
+            let head = self.ctx.aget_u64(WIN_INDEX, rank, bucket);
+            self.ctx.put_u64(WIN_INDEX, rank, ew + 2, head);
+            self.ctx.flush(rank);
+            let prev = self.ctx.cas_u64(WIN_INDEX, rank, bucket, head, entry);
+            if prev == head {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Look up a key (Listing 4 `lookup`).
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let (rank, bucket) = self.place(key);
+        'restart: loop {
+            let mut ptr = self.ctx.aget_u64(WIN_INDEX, rank, bucket);
+            if ptr == 0 {
+                return None;
+            }
+            while ptr != 0 {
+                let ew = self.entry_word(ptr);
+                let k = self.ctx.get_u64(WIN_INDEX, rank, ew);
+                let v = self.ctx.get_u64(WIN_INDEX, rank, ew + 1);
+                let next = self.ctx.get_u64(WIN_INDEX, rank, ew + 2);
+                if next == ptr {
+                    // entry is being deleted: chain beyond it is opaque
+                    std::thread::yield_now();
+                    continue 'restart;
+                }
+                if k == key {
+                    return Some(v);
+                }
+                ptr = next;
+            }
+            return None;
+        }
+    }
+
+    /// Delete a key (Listing 4 `delete`). Returns whether it was present.
+    pub fn delete(&self, key: u64) -> bool {
+        let (rank, bucket) = self.place(key);
+        'restart: loop {
+            let mut cur = self.ctx.aget_u64(WIN_INDEX, rank, bucket);
+            while cur != 0 {
+                let ew = self.entry_word(cur);
+                let k = self.ctx.get_u64(WIN_INDEX, rank, ew);
+                let next = self.ctx.get_u64(WIN_INDEX, rank, ew + 2);
+                if next == cur {
+                    // someone is deleting `cur`; restart once it is unlinked
+                    std::thread::yield_now();
+                    continue 'restart;
+                }
+                if k == key {
+                    // CAS 1: mark the entry by pointing its next to itself
+                    let prev = self.ctx.cas_u64(WIN_INDEX, rank, self.next_word(cur), next, cur);
+                    if prev != next {
+                        // lost a race (entry or its successor changed)
+                        continue 'restart;
+                    }
+                    // CAS 2: unlink — we own `cur`; retry until the
+                    // predecessor cell is swung past it
+                    self.unlink(rank, bucket, cur, next);
+                    self.dealloc(rank, cur);
+                    return true;
+                }
+                cur = next;
+            }
+            return false;
+        }
+    }
+
+    /// Swing whichever cell currently points at `victim` to `successor`.
+    /// The caller owns `victim` (marked by CAS 1), so this terminates as
+    /// soon as a consistent predecessor is found — walking restarts while
+    /// neighbouring deletions are in flight.
+    fn unlink(&self, rank: usize, bucket: usize, victim: u64, successor: u64) {
+        loop {
+            let mut cell = bucket;
+            let mut ptr = self.ctx.aget_u64(WIN_INDEX, rank, cell);
+            loop {
+                if ptr == victim {
+                    let prev = self.ctx.cas_u64(WIN_INDEX, rank, cell, victim, successor);
+                    if prev == victim {
+                        return;
+                    }
+                    break; // cell changed under us: rewalk from the bucket
+                }
+                if ptr == 0 {
+                    // victim temporarily unreachable (a neighbouring marked
+                    // entry hides it); wait for that deleter to finish
+                    break;
+                }
+                let nw = self.next_word(ptr);
+                let next = self.ctx.get_u64(WIN_INDEX, rank, nw);
+                if next == ptr {
+                    // marked predecessor: its deleter will restore
+                    // reachability; rewalk
+                    break;
+                }
+                cell = nw;
+                ptr = next;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of live entries in this rank's buckets (diagnostic; walks all
+    /// local chains).
+    pub fn local_len(&self) -> usize {
+        let me = self.ctx.rank();
+        let mut n = 0;
+        for b in 0..self.nbuckets() {
+            let mut ptr = self.ctx.aget_u64(WIN_INDEX, me, self.bucket_word(b));
+            while ptr != 0 {
+                let next = self.ctx.get_u64(WIN_INDEX, me, self.next_word(ptr));
+                if next == ptr {
+                    break;
+                }
+                n += 1;
+                ptr = next;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma::CostModel;
+
+    fn fabric(n: usize) -> (rma::Fabric, GdaConfig) {
+        let cfg = GdaConfig::tiny();
+        (cfg.build_fabric(n, CostModel::zero()), cfg)
+    }
+
+    #[test]
+    fn hash_mixes() {
+        // sequential keys spread over both rank and bucket space
+        let mut ranks = std::collections::HashSet::new();
+        for k in 0..64u64 {
+            ranks.insert(hash64(k) % 8);
+        }
+        assert!(ranks.len() >= 6, "poor rank dispersion: {ranks:?}");
+        assert_ne!(hash64(1), hash64(2));
+    }
+
+    #[test]
+    fn insert_lookup_single_rank() {
+        let (f, cfg) = fabric(1);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            for k in 0..100u64 {
+                dht.insert(k, k * 2 + 1).unwrap();
+            }
+            for k in 0..100u64 {
+                assert_eq!(dht.lookup(k), Some(k * 2 + 1));
+            }
+            assert_eq!(dht.lookup(100), None);
+            assert_eq!(dht.local_len(), 100);
+        });
+    }
+
+    #[test]
+    fn delete_restores_capacity() {
+        let (f, cfg) = fabric(1);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            for round in 0..4 {
+                for k in 0..cfg.dht_heap_per_rank as u64 {
+                    dht.insert(k, round).unwrap();
+                }
+                assert!(dht.insert(999_999, 0).is_err(), "heap should be full");
+                for k in 0..cfg.dht_heap_per_rank as u64 {
+                    assert!(dht.delete(k), "round {round} key {k}");
+                }
+                assert_eq!(dht.local_len(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn delete_missing_is_false() {
+        let (f, cfg) = fabric(1);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            assert!(!dht.delete(7));
+            dht.insert(7, 1).unwrap();
+            assert!(dht.delete(7));
+            assert!(!dht.delete(7));
+            assert_eq!(dht.lookup(7), None);
+        });
+    }
+
+    #[test]
+    fn distributed_insert_lookup() {
+        let (f, cfg) = fabric(4);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            // each rank inserts its own keyspace slice
+            let base = ctx.rank() as u64 * 1000;
+            for k in 0..50 {
+                dht.insert(base + k, base + k + 7).unwrap();
+            }
+            ctx.barrier();
+            // every rank looks up every key
+            for r in 0..ctx.nranks() as u64 {
+                for k in 0..50 {
+                    assert_eq!(dht.lookup(r * 1000 + k), Some(r * 1000 + k + 7));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_all_survive() {
+        let (f, cfg) = fabric(8);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            let me = ctx.rank() as u64;
+            for k in 0..40 {
+                dht.insert(me * 100 + k, me).unwrap();
+            }
+            ctx.barrier();
+            let mine_visible = (0..40).all(|k| dht.lookup(me * 100 + k) == Some(me));
+            assert!(mine_visible);
+            let total: u64 = ctx.allreduce_sum_u64(40);
+            let local_total: u64 = ctx.allreduce_sum_u64(dht.local_len() as u64);
+            assert_eq!(total, local_total);
+        });
+    }
+
+    #[test]
+    fn concurrent_delete_each_key_once() {
+        // all ranks try to delete the same keys; each key must be deleted
+        // exactly once in total
+        let (f, cfg) = fabric(8);
+        let deleted = f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            if ctx.rank() == 0 {
+                for k in 0..64u64 {
+                    dht.insert(k, k).unwrap();
+                }
+            }
+            ctx.barrier();
+            let mut mine = 0u64;
+            for k in 0..64u64 {
+                if dht.delete(k) {
+                    mine += 1;
+                }
+            }
+            ctx.barrier();
+            assert_eq!(dht.lookup(13), None);
+            mine
+        });
+        assert_eq!(deleted.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn concurrent_mixed_churn() {
+        // ranks repeatedly insert and delete disjoint keys that share
+        // buckets with other ranks' keys; exercises marked-entry traversal
+        let (f, cfg) = fabric(6);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            let me = ctx.rank() as u64;
+            for round in 0..30 {
+                for k in 0..8u64 {
+                    dht.insert(me * 31 + k, round).unwrap();
+                }
+                for k in 0..8u64 {
+                    assert_eq!(dht.lookup(me * 31 + k), Some(round), "round {round}");
+                }
+                for k in 0..8u64 {
+                    assert!(dht.delete(me * 31 + k));
+                }
+            }
+            ctx.barrier();
+            let remaining = ctx.allreduce_sum_u64(dht.local_len() as u64);
+            assert_eq!(remaining, 0);
+        });
+    }
+
+    #[test]
+    fn lookup_during_concurrent_deletes() {
+        let (f, cfg) = fabric(4);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            // persistent keys that must stay visible throughout
+            if ctx.rank() == 0 {
+                for k in 1000..1040u64 {
+                    dht.insert(k, 1).unwrap();
+                }
+            }
+            ctx.barrier();
+            if ctx.rank() % 2 == 0 {
+                // churners
+                let me = ctx.rank() as u64;
+                for _ in 0..50 {
+                    for k in 0..8u64 {
+                        dht.insert(me * 31 + k, 2).unwrap();
+                    }
+                    for k in 0..8u64 {
+                        dht.delete(me * 31 + k);
+                    }
+                }
+            } else {
+                // readers
+                for _ in 0..100 {
+                    for k in 1000..1040u64 {
+                        assert_eq!(dht.lookup(k), Some(1), "stable key vanished");
+                    }
+                }
+            }
+            ctx.barrier();
+        });
+    }
+}

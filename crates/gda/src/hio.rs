@@ -1,0 +1,257 @@
+//! Holder ⇄ block translation: the BGDL write-back/fetch paths.
+//!
+//! A serialized holder is stored as a chain of fixed-size blocks. Every
+//! block starts with the 8-byte `DPtr` of the next block (NULL for the
+//! last); the rest is payload. A holder that fits one block therefore costs
+//! **one** remote operation to fetch — the paper's headline property of
+//! BGDL ("one only needs a single remote operation to fetch the data of a
+//! vertex that fits in one block"). Larger holders pay one operation per
+//! extra block.
+//!
+//! The *primary block* is the identity of the object: its `DPtr` is the
+//! internal vertex/edge id, and it never changes across resizes — resizing
+//! acquires/releases only continuation blocks (always on the primary's
+//! rank, keeping a vertex's storage server-local as in the paper's layout).
+
+use gdi::{GdiError, GdiResult};
+use rma::RankCtx;
+
+use crate::blocks::BlockManager;
+use crate::config::{GdaConfig, WIN_DATA};
+use crate::dptr::DPtr;
+use crate::holder::Holder;
+
+/// Payload bytes per block (block minus the chain pointer).
+#[inline]
+pub fn payload_per_block(cfg: &GdaConfig) -> usize {
+    cfg.block_size - 8
+}
+
+/// Number of blocks needed for a serialized holder of `total_len` bytes.
+#[inline]
+pub fn blocks_needed(cfg: &GdaConfig, total_len: usize) -> usize {
+    total_len.div_ceil(payload_per_block(cfg)).max(1)
+}
+
+/// Write `bytes` (a serialized holder) into the block chain `blocks`,
+/// resizing the chain as needed. `blocks[0]` (the primary block) must
+/// already exist and is never replaced; continuation blocks are acquired on
+/// and released to the primary's rank.
+pub fn write_chain(
+    ctx: &RankCtx,
+    bm: &BlockManager,
+    bytes: &[u8],
+    blocks: &mut Vec<DPtr>,
+) -> GdiResult<()> {
+    debug_assert!(!blocks.is_empty(), "write_chain needs a primary block");
+    let cfg_payload = bm.block_size() - 8;
+    let needed = bytes.len().div_ceil(cfg_payload).max(1);
+    let target = blocks[0].rank();
+    while blocks.len() < needed {
+        blocks.push(bm.acquire(target)?);
+    }
+    while blocks.len() > needed {
+        let surplus = blocks.pop().unwrap();
+        bm.release(surplus);
+    }
+    // non-blocking puts: block writes of one holder overlap (§5.1)
+    ctx.begin_nb_batch();
+    let mut buf = vec![0u8; bm.block_size()];
+    for (i, dp) in blocks.iter().enumerate() {
+        let next = blocks.get(i + 1).copied().unwrap_or(DPtr::NULL);
+        buf[..8].copy_from_slice(&next.raw().to_le_bytes());
+        let start = i * cfg_payload;
+        let end = ((i + 1) * cfg_payload).min(bytes.len());
+        let chunk = &bytes[start..end];
+        buf[8..8 + chunk.len()].copy_from_slice(chunk);
+        for b in buf[8 + chunk.len()..].iter_mut() {
+            *b = 0;
+        }
+        ctx.put_bytes(WIN_DATA, dp.rank(), dp.offset() as usize, &buf);
+    }
+    ctx.end_nb_batch();
+    ctx.flush(target);
+    Ok(())
+}
+
+/// Fetch the full serialized holder starting at `primary`, following the
+/// chain. Returns the holder bytes and the chain's block addresses.
+///
+/// Fails with `GDI_ERROR_NOT_FOUND` when the bytes are structurally
+/// implausible — the symptom of a *stale internal id* whose storage was
+/// reclaimed and reused while the caller still held the id (GDI's volatile
+/// ids, §3.4, make this a condition transactions must tolerate).
+pub fn read_chain(
+    ctx: &RankCtx,
+    cfg: &GdaConfig,
+    primary: DPtr,
+) -> GdiResult<(Vec<u8>, Vec<DPtr>)> {
+    debug_assert!(!primary.is_null());
+    let payload = payload_per_block(cfg);
+    let max_total = payload * cfg.blocks_per_rank;
+    let mut block_buf = vec![0u8; cfg.block_size];
+    ctx.get_bytes(WIN_DATA, primary.rank(), primary.offset() as usize, &mut block_buf);
+    let mut next = DPtr::from_raw(u64::from_le_bytes(block_buf[..8].try_into().unwrap()));
+    let total = Holder::peek_total_len(&block_buf[8..]);
+    if total < crate::holder::HEADER_BYTES || total > max_total {
+        return Err(GdiError::NotFound("object (stale internal id)"));
+    }
+    let mut bytes = Vec::with_capacity(total);
+    bytes.extend_from_slice(&block_buf[8..8 + payload.min(total)]);
+    let mut blocks = vec![primary];
+    while bytes.len() < total {
+        if next.is_null() || blocks.len() > cfg.blocks_per_rank {
+            return Err(GdiError::NotFound("object (stale internal id)"));
+        }
+        ctx.get_bytes(WIN_DATA, next.rank(), next.offset() as usize, &mut block_buf);
+        blocks.push(next);
+        let take = payload.min(total - bytes.len());
+        bytes.extend_from_slice(&block_buf[8..8 + take]);
+        next = DPtr::from_raw(u64::from_le_bytes(block_buf[..8].try_into().unwrap()));
+    }
+    Ok((bytes, blocks))
+}
+
+/// Release every block of a chain (object deletion).
+pub fn free_chain(bm: &BlockManager, blocks: &[DPtr]) {
+    for dp in blocks {
+        bm.release(*dp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holder::EdgeRecord;
+    use gdi::{Direction, LabelId, PTypeId};
+    use rma::CostModel;
+
+    fn with_pool(f: impl Fn(&RankCtx, &BlockManager, &GdaConfig) + Sync) {
+        let cfg = GdaConfig::tiny();
+        let fabric = cfg.build_fabric(1, CostModel::zero());
+        fabric.run(|ctx| {
+            let bm = BlockManager::new(ctx, cfg);
+            bm.init_collective();
+            f(ctx, &bm, &cfg);
+        });
+    }
+
+    fn big_holder(edges: usize, props: usize) -> Holder {
+        let mut h = Holder::new_vertex(7);
+        h.add_label(LabelId(3));
+        for i in 0..edges {
+            h.push_edge(EdgeRecord::lightweight(
+                DPtr::new(0, 128 * (i as u64 + 1)),
+                4,
+                Direction::Out,
+            ));
+        }
+        for i in 0..props {
+            h.add_property(PTypeId(3 + i as u32), vec![i as u8; 13]);
+        }
+        h
+    }
+
+    #[test]
+    fn single_block_roundtrip() {
+        with_pool(|ctx, bm, cfg| {
+            let h = big_holder(1, 1);
+            assert_eq!(blocks_needed(cfg, h.encoded_len()), 1);
+            let primary = bm.acquire(0).unwrap();
+            let mut blocks = vec![primary];
+            write_chain(ctx, bm, &h.encode(), &mut blocks).unwrap();
+            assert_eq!(blocks.len(), 1);
+            let (bytes, found) = read_chain(ctx, cfg, primary).unwrap();
+            assert_eq!(found, blocks);
+            assert_eq!(Holder::decode(&bytes), h);
+        });
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        with_pool(|ctx, bm, cfg| {
+            let h = big_holder(40, 10); // well beyond one 128 B block
+            let need = blocks_needed(cfg, h.encoded_len());
+            assert!(need > 3);
+            let primary = bm.acquire(0).unwrap();
+            let mut blocks = vec![primary];
+            write_chain(ctx, bm, &h.encode(), &mut blocks).unwrap();
+            assert_eq!(blocks.len(), need);
+            let (bytes, found) = read_chain(ctx, cfg, primary).unwrap();
+            assert_eq!(found.len(), need);
+            assert_eq!(Holder::decode(&bytes), h);
+        });
+    }
+
+    #[test]
+    fn grow_then_shrink_keeps_primary_and_frees_surplus() {
+        with_pool(|ctx, bm, cfg| {
+            let free0 = bm.count_free(0);
+            let primary = bm.acquire(0).unwrap();
+            let mut blocks = vec![primary];
+
+            let big = big_holder(60, 5);
+            write_chain(ctx, bm, &big.encode(), &mut blocks).unwrap();
+            let grown = blocks.len();
+            assert!(grown > 1);
+            assert_eq!(bm.count_free(0), free0 - grown);
+
+            let small = big_holder(0, 0);
+            write_chain(ctx, bm, &small.encode(), &mut blocks).unwrap();
+            assert_eq!(blocks.len(), 1);
+            assert_eq!(blocks[0], primary, "primary identity must be stable");
+            assert_eq!(bm.count_free(0), free0 - 1);
+
+            let (bytes, _) = read_chain(ctx, cfg, primary).unwrap();
+            assert_eq!(Holder::decode(&bytes), small);
+
+            free_chain(bm, &blocks);
+            assert_eq!(bm.count_free(0), free0);
+        });
+    }
+
+    #[test]
+    fn exact_boundary_sizes() {
+        with_pool(|ctx, bm, cfg| {
+            let payload = payload_per_block(cfg);
+            // craft holders whose encodings straddle block boundaries
+            for extra in [0usize, 1, 7, 8] {
+                let mut h = Holder::new_vertex(1);
+                // entries grow in 8-byte steps; find a property payload that
+                // makes the encoding land near k * payload
+                let base = h.encoded_len();
+                let want = payload * 2 + extra * 8;
+                if want > base + 8 {
+                    h.add_property(PTypeId(3), vec![0xCD; want - base - 8]);
+                }
+                let primary = bm.acquire(0).unwrap();
+                let mut blocks = vec![primary];
+                write_chain(ctx, bm, &h.encode(), &mut blocks).unwrap();
+                let (bytes, _) = read_chain(ctx, cfg, primary).unwrap();
+                assert_eq!(Holder::decode(&bytes), h, "extra={extra}");
+                free_chain(bm, &blocks);
+            }
+        });
+    }
+
+    #[test]
+    fn cross_rank_chain() {
+        let cfg = GdaConfig::tiny();
+        let fabric = cfg.build_fabric(2, CostModel::zero());
+        fabric.run(|ctx| {
+            let bm = BlockManager::new(ctx, cfg);
+            bm.init_collective();
+            if ctx.rank() == 0 {
+                // rank 0 creates a multi-block holder on rank 1
+                let h = big_holder(30, 4);
+                let primary = bm.acquire(1).unwrap();
+                let mut blocks = vec![primary];
+                write_chain(ctx, &bm, &h.encode(), &mut blocks).unwrap();
+                assert!(blocks.iter().all(|b| b.rank() == 1));
+                let (bytes, _) = read_chain(ctx, &cfg, primary).unwrap();
+                assert_eq!(Holder::decode(&bytes), h);
+            }
+            ctx.barrier();
+        });
+    }
+}

@@ -1,0 +1,527 @@
+//! Vertex and edge *holders* — the Logical Layout level (§5.4).
+//!
+//! A holder is the logically contiguous, flexible-size structure describing
+//! one vertex (or one heavyweight edge): management metadata, the list of
+//! lightweight edge records, and the label/property entries. Holders are
+//! assembled and edited in local memory and only translated to fixed-size
+//! BGDL blocks when written back (see [`crate::hio`]), which is exactly the
+//! paper's split between the graph-centric LL API and the block-centric
+//! BGDL level.
+//!
+//! ### Serialized layout
+//!
+//! ```text
+//! header  (32 B): total_len:u32 | num_edges:u32 | entries_bytes:u32 |
+//!                 flags:u32 | app_id:u64 | version:u64
+//! edges   (24 B each): target:u64 | edge_holder:u64 | label:u32 |
+//!                 dir:u8 | eflags:u8 | pad:u16
+//! entries (8 B header + padded data): id:u32 | len:u32 | data…pad8
+//! ```
+//!
+//! Entry ids follow §5.4.3: `ENTRY_LABEL` (2) tags a label entry whose data
+//! is the label integer id; ids `>= FIRST_PTYPE_ID` are property entries of
+//! that p-type.
+
+use gdi::{Direction, LabelId, PTypeId, ENTRY_LABEL, FIRST_PTYPE_ID};
+
+use crate::dptr::DPtr;
+
+/// Bytes of one serialized edge record.
+pub const EDGE_RECORD_BYTES: usize = 24;
+/// Bytes of the serialized holder header.
+pub const HEADER_BYTES: usize = 32;
+/// Holder flag: this holder describes a (heavyweight) edge, not a vertex.
+pub const FLAG_EDGE_HOLDER: u32 = 1;
+
+/// A lightweight edge record stored inside a vertex holder (§5.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// `DPtr` of the other endpoint's vertex holder.
+    pub target: DPtr,
+    /// `DPtr` of a heavyweight edge holder carrying extra labels/properties,
+    /// or NULL for a pure lightweight edge (≤ 1 label, no properties).
+    pub edge_holder: DPtr,
+    /// The single label of a lightweight edge (0 = unlabeled).
+    pub label: u32,
+    /// Direction of the edge relative to the vertex storing this record.
+    pub dir: Direction,
+    /// Record flags (bit 0: tombstone — slot kept to preserve edge-UID
+    /// offsets of later records within a transaction).
+    pub flags: u8,
+}
+
+impl EdgeRecord {
+    pub const TOMBSTONE: u8 = 1;
+
+    pub fn lightweight(target: DPtr, label: u32, dir: Direction) -> Self {
+        Self {
+            target,
+            edge_holder: DPtr::NULL,
+            label,
+            dir,
+            flags: 0,
+        }
+    }
+
+    pub fn is_tombstone(&self) -> bool {
+        self.flags & Self::TOMBSTONE != 0
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.target.raw().to_le_bytes());
+        out.extend_from_slice(&self.edge_holder.raw().to_le_bytes());
+        out.extend_from_slice(&self.label.to_le_bytes());
+        out.push(self.dir as u8);
+        out.push(self.flags);
+        out.extend_from_slice(&[0u8; 2]);
+    }
+
+    fn decode(b: &[u8]) -> Option<Self> {
+        let target = DPtr::from_raw(u64::from_le_bytes(b[0..8].try_into().unwrap()));
+        let edge_holder = DPtr::from_raw(u64::from_le_bytes(b[8..16].try_into().unwrap()));
+        let label = u32::from_le_bytes(b[16..20].try_into().unwrap());
+        let dir = Direction::from_u8(b[20])?;
+        let flags = b[21];
+        Some(Self {
+            target,
+            edge_holder,
+            label,
+            dir,
+            flags,
+        })
+    }
+}
+
+/// One label or property entry (§5.4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// `ENTRY_LABEL` for labels; a p-type integer id (`>= FIRST_PTYPE_ID`)
+    /// for properties.
+    pub id: u32,
+    /// Raw value bytes (for a label: the 4-byte LE label id).
+    pub data: Vec<u8>,
+}
+
+impl Entry {
+    pub fn label(label: LabelId) -> Self {
+        Self {
+            id: ENTRY_LABEL,
+            data: label.0.to_le_bytes().to_vec(),
+        }
+    }
+
+    pub fn property(ptype: PTypeId, data: Vec<u8>) -> Self {
+        debug_assert!(ptype.0 >= FIRST_PTYPE_ID);
+        Self { id: ptype.0, data }
+    }
+
+    pub fn as_label(&self) -> Option<LabelId> {
+        if self.id == ENTRY_LABEL && self.data.len() == 4 {
+            Some(LabelId(u32::from_le_bytes(self.data[..].try_into().unwrap())))
+        } else {
+            None
+        }
+    }
+
+    pub fn is_property_of(&self, ptype: PTypeId) -> bool {
+        self.id == ptype.0
+    }
+
+    /// Serialized size including the 8-byte entry header and padding.
+    pub fn encoded_len(&self) -> usize {
+        8 + self.data.len().div_ceil(8) * 8
+    }
+}
+
+/// A decoded holder: the Logical Layout view of one vertex or heavy edge.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Holder {
+    /// Application-level id (vertices only; 0 for edge holders).
+    pub app_id: u64,
+    /// Is this an edge holder?
+    pub is_edge: bool,
+    /// Version counter, bumped on every write-back (diagnostics).
+    pub version: u64,
+    /// Lightweight edge records (vertices) or the two endpoints (edges).
+    pub edges: Vec<EdgeRecord>,
+    /// Label and property entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Holder {
+    /// A fresh vertex holder.
+    pub fn new_vertex(app_id: u64) -> Self {
+        Self {
+            app_id,
+            ..Default::default()
+        }
+    }
+
+    /// A fresh edge holder for a heavy edge between `origin` and `target`.
+    pub fn new_edge(origin: DPtr, target: DPtr) -> Self {
+        Self {
+            is_edge: true,
+            edges: vec![
+                EdgeRecord::lightweight(origin, 0, Direction::Out),
+                EdgeRecord::lightweight(target, 0, Direction::In),
+            ],
+            ..Default::default()
+        }
+    }
+
+    // ----- labels ---------------------------------------------------------
+
+    /// All labels on the element.
+    pub fn labels(&self) -> Vec<LabelId> {
+        self.entries.iter().filter_map(Entry::as_label).collect()
+    }
+
+    pub fn has_label(&self, label: LabelId) -> bool {
+        self.entries.iter().any(|e| e.as_label() == Some(label))
+    }
+
+    /// Add a label; no-op if already present. Returns whether it was added.
+    pub fn add_label(&mut self, label: LabelId) -> bool {
+        if self.has_label(label) {
+            return false;
+        }
+        self.entries.push(Entry::label(label));
+        true
+    }
+
+    /// Remove a label. Returns whether it was present.
+    pub fn remove_label(&mut self, label: LabelId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.as_label() != Some(label));
+        self.entries.len() != before
+    }
+
+    // ----- properties ------------------------------------------------------
+
+    /// Raw bytes of all property entries of `ptype`, in entry order.
+    pub fn properties_raw(&self, ptype: PTypeId) -> Vec<&[u8]> {
+        self.entries
+            .iter()
+            .filter(|e| e.is_property_of(ptype))
+            .map(|e| e.data.as_slice())
+            .collect()
+    }
+
+    /// Append a property entry.
+    pub fn add_property(&mut self, ptype: PTypeId, data: Vec<u8>) {
+        self.entries.push(Entry::property(ptype, data));
+    }
+
+    /// Replace the first entry of `ptype` (insert if absent) — the `Single`
+    /// multiplicity update path.
+    pub fn set_property(&mut self, ptype: PTypeId, data: Vec<u8>) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.is_property_of(ptype)) {
+            e.data = data;
+        } else {
+            self.add_property(ptype, data);
+        }
+    }
+
+    /// Remove all entries of `ptype`. Returns the number removed.
+    pub fn remove_property(&mut self, ptype: PTypeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !e.is_property_of(ptype));
+        before - self.entries.len()
+    }
+
+    /// Remove every property entry (keeps labels) —
+    /// `GDI_RemoveAllPropertiesFromVertex`.
+    pub fn remove_all_properties(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.id == ENTRY_LABEL);
+        before - self.entries.len()
+    }
+
+    /// All distinct p-type ids present — `GDI_GetAllPropertyTypesOf…`.
+    pub fn ptypes(&self) -> Vec<PTypeId> {
+        let mut v: Vec<PTypeId> = self
+            .entries
+            .iter()
+            .filter(|e| e.id >= FIRST_PTYPE_ID)
+            .map(|e| PTypeId(e.id))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    // ----- edges -----------------------------------------------------------
+
+    /// Live (non-tombstoned) edge records with their slots.
+    pub fn live_edges(&self) -> impl Iterator<Item = (u32, &EdgeRecord)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.is_tombstone())
+            .map(|(i, e)| (i as u32, e))
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.is_tombstone()).count()
+    }
+
+    /// Append an edge record; returns its slot (stable edge-UID offset).
+    pub fn push_edge(&mut self, rec: EdgeRecord) -> u32 {
+        self.edges.push(rec);
+        (self.edges.len() - 1) as u32
+    }
+
+    /// Tombstone the edge record in `slot`. Returns the record if it was
+    /// live.
+    pub fn remove_edge(&mut self, slot: u32) -> Option<EdgeRecord> {
+        let rec = self.edges.get_mut(slot as usize)?;
+        if rec.is_tombstone() {
+            return None;
+        }
+        let out = *rec;
+        rec.flags |= EdgeRecord::TOMBSTONE;
+        Some(out)
+    }
+
+    /// Drop trailing/interior tombstones (compaction at write-back; edge
+    /// UIDs are volatile across transactions, §3.4, so compaction between
+    /// transactions is legal).
+    pub fn compact_edges(&mut self) {
+        self.edges.retain(|e| !e.is_tombstone());
+    }
+
+    // ----- serialization ---------------------------------------------------
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES
+            + self.edges.len() * EDGE_RECORD_BYTES
+            + self
+                .entries
+                .iter()
+                .map(Entry::encoded_len)
+                .sum::<usize>()
+    }
+
+    /// Serialize to the on-block byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let total = self.encoded_len();
+        let mut out = Vec::with_capacity(total);
+        let entries_bytes: usize = self.entries.iter().map(Entry::encoded_len).sum();
+        out.extend_from_slice(&(total as u32).to_le_bytes());
+        out.extend_from_slice(&(self.edges.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(entries_bytes as u32).to_le_bytes());
+        let flags = if self.is_edge { FLAG_EDGE_HOLDER } else { 0 };
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&self.app_id.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        for e in &self.edges {
+            e.encode(&mut out);
+        }
+        for e in &self.entries {
+            out.extend_from_slice(&e.id.to_le_bytes());
+            out.extend_from_slice(&(e.data.len() as u32).to_le_bytes());
+            out.extend_from_slice(&e.data);
+            let pad = e.data.len().div_ceil(8) * 8 - e.data.len();
+            out.extend_from_slice(&[0u8; 8][..pad]);
+        }
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Total length field of a serialized holder (peek at the first bytes).
+    pub fn peek_total_len(bytes: &[u8]) -> usize {
+        u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize
+    }
+
+    /// Decode from the on-block byte layout. Panics on corrupt input; use
+    /// [`Holder::try_decode`] for bytes fetched from shared memory, where a
+    /// stale internal id may point at storage that was reclaimed and
+    /// reused by another object (§3.4: volatile ids).
+    pub fn decode(bytes: &[u8]) -> Self {
+        Self::try_decode(bytes).expect("corrupt holder bytes")
+    }
+
+    /// Defensive decode: structural validation of every field, `None` on
+    /// any inconsistency.
+    pub fn try_decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < HEADER_BYTES {
+            return None;
+        }
+        let total = Self::peek_total_len(bytes);
+        if total < HEADER_BYTES || bytes.len() < total {
+            return None;
+        }
+        let num_edges = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let entries_bytes = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if flags & !FLAG_EDGE_HOLDER != 0 {
+            return None;
+        }
+        if HEADER_BYTES + num_edges * EDGE_RECORD_BYTES + entries_bytes != total {
+            return None;
+        }
+        let app_id = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let version = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let mut edges = Vec::with_capacity(num_edges);
+        let mut off = HEADER_BYTES;
+        for _ in 0..num_edges {
+            edges.push(EdgeRecord::decode(&bytes[off..off + EDGE_RECORD_BYTES])?);
+            off += EDGE_RECORD_BYTES;
+        }
+        let mut entries = Vec::new();
+        let end = off + entries_bytes;
+        while off < end {
+            if off + 8 > end {
+                return None;
+            }
+            let id = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap()) as usize;
+            if off + 8 + len > end {
+                return None;
+            }
+            let data = bytes[off + 8..off + 8 + len].to_vec();
+            entries.push(Entry { id, data });
+            off += 8 + len.div_ceil(8) * 8;
+        }
+        if off != end {
+            return None;
+        }
+        Some(Self {
+            app_id,
+            is_edge: flags & FLAG_EDGE_HOLDER != 0,
+            version,
+            edges,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Holder {
+        let mut h = Holder::new_vertex(42);
+        h.add_label(LabelId(10));
+        h.add_label(LabelId(11));
+        h.add_property(PTypeId(3), vec![1, 2, 3]);
+        h.add_property(PTypeId(4), 77u64.to_le_bytes().to_vec());
+        h.push_edge(EdgeRecord::lightweight(DPtr::new(1, 512), 5, Direction::Out));
+        h.push_edge(EdgeRecord::lightweight(DPtr::new(2, 1024), 6, Direction::In));
+        h
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), h.encoded_len());
+        assert_eq!(Holder::peek_total_len(&bytes), bytes.len());
+        let d = Holder::decode(&bytes);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn empty_holder_roundtrip() {
+        let h = Holder::new_vertex(0);
+        let d = Holder::decode(&h.encode());
+        assert_eq!(d, h);
+        assert_eq!(h.encoded_len(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn edge_holder_roundtrip() {
+        let h = Holder::new_edge(DPtr::new(0, 128), DPtr::new(3, 256));
+        let d = Holder::decode(&h.encode());
+        assert!(d.is_edge);
+        assert_eq!(d.edges.len(), 2);
+        assert_eq!(d.edges[0].dir, Direction::Out);
+        assert_eq!(d.edges[1].dir, Direction::In);
+    }
+
+    #[test]
+    fn label_crud() {
+        let mut h = Holder::new_vertex(1);
+        assert!(h.add_label(LabelId(5)));
+        assert!(!h.add_label(LabelId(5)), "duplicate add is a no-op");
+        assert!(h.has_label(LabelId(5)));
+        assert_eq!(h.labels(), vec![LabelId(5)]);
+        assert!(h.remove_label(LabelId(5)));
+        assert!(!h.remove_label(LabelId(5)));
+        assert!(h.labels().is_empty());
+    }
+
+    #[test]
+    fn property_crud() {
+        let mut h = Holder::new_vertex(1);
+        h.add_property(PTypeId(3), vec![1]);
+        h.add_property(PTypeId(3), vec![2]);
+        assert_eq!(h.properties_raw(PTypeId(3)), vec![&[1][..], &[2][..]]);
+        h.set_property(PTypeId(3), vec![9]);
+        assert_eq!(h.properties_raw(PTypeId(3)), vec![&[9][..], &[2][..]]);
+        assert_eq!(h.remove_property(PTypeId(3)), 2);
+        assert!(h.properties_raw(PTypeId(3)).is_empty());
+    }
+
+    #[test]
+    fn remove_all_properties_keeps_labels() {
+        let mut h = sample();
+        let removed = h.remove_all_properties();
+        assert_eq!(removed, 2);
+        assert_eq!(h.labels().len(), 2);
+        assert!(h.ptypes().is_empty());
+    }
+
+    #[test]
+    fn ptypes_sorted_deduped() {
+        let mut h = Holder::new_vertex(1);
+        h.add_property(PTypeId(9), vec![]);
+        h.add_property(PTypeId(3), vec![]);
+        h.add_property(PTypeId(9), vec![1]);
+        assert_eq!(h.ptypes(), vec![PTypeId(3), PTypeId(9)]);
+    }
+
+    #[test]
+    fn edge_tombstones_preserve_slots() {
+        let mut h = sample();
+        assert_eq!(h.edge_count(), 2);
+        let removed = h.remove_edge(0).unwrap();
+        assert_eq!(removed.label, 5);
+        assert_eq!(h.edge_count(), 1);
+        assert!(h.remove_edge(0).is_none(), "double remove");
+        assert!(h.remove_edge(99).is_none(), "bad slot");
+        // slot 1 still addresses the same record
+        let live: Vec<u32> = h.live_edges().map(|(s, _)| s).collect();
+        assert_eq!(live, vec![1]);
+        h.compact_edges();
+        assert_eq!(h.edges.len(), 1);
+    }
+
+    #[test]
+    fn entry_padding_alignment() {
+        for len in 0..=17 {
+            let e = Entry::property(PTypeId(3), vec![0xAB; len]);
+            assert!(e.encoded_len().is_multiple_of(8));
+            assert!(e.encoded_len() >= 8 + len);
+        }
+    }
+
+    #[test]
+    fn odd_sized_properties_roundtrip() {
+        let mut h = Holder::new_vertex(7);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63] {
+            h.add_property(PTypeId(3 + len as u32), vec![len as u8; len]);
+        }
+        let d = Holder::decode(&h.encode());
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn version_survives_roundtrip() {
+        let mut h = sample();
+        h.version = 9000;
+        assert_eq!(Holder::decode(&h.encode()).version, 9000);
+    }
+}

@@ -1,0 +1,335 @@
+//! Explicit indexes (§3.6) with per-rank partitions.
+//!
+//! GDI exposes user-managed indexes over vertices: an index is associated
+//! with a set of labels (and optionally property types); queries retrieve
+//! the **local** partition of an index (`GDI_GetLocalVerticesOfIndex`) —
+//! the natural building block for collective OLAP/OLSP scans, where every
+//! rank processes its own shard (Listings 2 and 3).
+//!
+//! Postings live on the rank that owns the vertex (its primary block's
+//! rank). Index maintenance happens at transaction commit and is only
+//! *eventually consistent* (§3.8): committed membership changes become
+//! visible to index scans that start afterwards.
+
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashMap;
+
+use gdi::{AppVertexId, Constraint, GdiError, GdiResult, LabelId, PTypeId};
+
+use crate::dptr::DPtr;
+use crate::holder::Holder;
+
+/// Identifier of an explicit index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub u32);
+
+/// Definition of an explicit index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDef {
+    pub id: IndexId,
+    pub name: String,
+    /// Labels whose carriers are indexed. Empty = index **all** vertices.
+    pub labels: Vec<LabelId>,
+    /// Property types associated for acceleration hints
+    /// (`GDI_AddPropertyTypeToIndex`); membership is label-driven.
+    pub ptypes: Vec<PTypeId>,
+}
+
+impl IndexDef {
+    /// Does a vertex with these labels belong to the index?
+    pub fn matches(&self, labels: &[LabelId]) -> bool {
+        self.labels.is_empty() || self.labels.iter().any(|l| labels.contains(l))
+    }
+}
+
+/// A posting: one indexed vertex on its owner rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    pub vertex: DPtr,
+    pub app_id: AppVertexId,
+}
+
+type RankPostings = FxHashMap<IndexId, FxHashMap<u64, AppVertexId>>;
+
+/// Shared index state of one database.
+#[derive(Debug)]
+pub struct IndexShared {
+    defs: RwLock<Vec<IndexDef>>,
+    next_id: Mutex<u32>,
+    /// `postings[rank]`: that rank's partitions of every index.
+    postings: Vec<Mutex<RankPostings>>,
+}
+
+impl IndexShared {
+    pub fn new(nranks: usize) -> Self {
+        Self {
+            defs: RwLock::new(Vec::new()),
+            next_id: Mutex::new(1),
+            postings: (0..nranks).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    /// `GDI_CreateIndex`.
+    pub fn create(&self, name: &str, labels: Vec<LabelId>, ptypes: Vec<PTypeId>) -> GdiResult<IndexId> {
+        let mut defs = self.defs.write();
+        if defs.iter().any(|d| d.name == name) {
+            return Err(GdiError::AlreadyExists("index"));
+        }
+        let mut next = self.next_id.lock();
+        let id = IndexId(*next);
+        *next += 1;
+        defs.push(IndexDef {
+            id,
+            name: name.to_string(),
+            labels,
+            ptypes,
+        });
+        Ok(id)
+    }
+
+    /// `GDI_DeleteIndex`.
+    pub fn delete(&self, id: IndexId) -> GdiResult<()> {
+        let mut defs = self.defs.write();
+        let before = defs.len();
+        defs.retain(|d| d.id != id);
+        if defs.len() == before {
+            return Err(GdiError::NotFound("index"));
+        }
+        for p in &self.postings {
+            p.lock().remove(&id);
+        }
+        Ok(())
+    }
+
+    /// `GDI_GetAllIndexesOfDatabase`.
+    pub fn all(&self) -> Vec<IndexDef> {
+        self.defs.read().clone()
+    }
+
+    /// Definition of one index.
+    pub fn def(&self, id: IndexId) -> GdiResult<IndexDef> {
+        self.defs
+            .read()
+            .iter()
+            .find(|d| d.id == id)
+            .cloned()
+            .ok_or(GdiError::NotFound("index"))
+    }
+
+    /// `GDI_AddLabelToIndex` / `GDI_RemoveLabelFromIndex`.
+    pub fn add_label(&self, id: IndexId, label: LabelId) -> GdiResult<()> {
+        let mut defs = self.defs.write();
+        let d = defs
+            .iter_mut()
+            .find(|d| d.id == id)
+            .ok_or(GdiError::NotFound("index"))?;
+        if !d.labels.contains(&label) {
+            d.labels.push(label);
+        }
+        Ok(())
+    }
+
+    pub fn remove_label(&self, id: IndexId, label: LabelId) -> GdiResult<()> {
+        let mut defs = self.defs.write();
+        let d = defs
+            .iter_mut()
+            .find(|d| d.id == id)
+            .ok_or(GdiError::NotFound("index"))?;
+        d.labels.retain(|l| *l != label);
+        Ok(())
+    }
+
+    /// Recompute the postings of one vertex against every index, given its
+    /// (possibly new) labels. `None` labels = vertex deleted.
+    pub fn reindex_vertex(&self, vertex: DPtr, app_id: AppVertexId, labels: Option<&[LabelId]>) {
+        let defs = self.defs.read();
+        let mut rank = self.postings[vertex.rank()].lock();
+        for d in defs.iter() {
+            let belongs = labels.map(|ls| d.matches(ls)).unwrap_or(false);
+            let part = rank.entry(d.id).or_default();
+            if belongs {
+                part.insert(vertex.raw(), app_id);
+            } else {
+                part.remove(&vertex.raw());
+            }
+        }
+    }
+
+    /// The local partition of an index on `rank`
+    /// (`GDI_GetLocalVerticesOfIndex`), unfiltered.
+    pub fn local_vertices(&self, rank: usize, id: IndexId) -> Vec<Posting> {
+        let guard = self.postings[rank].lock();
+        guard
+            .get(&id)
+            .map(|m| {
+                let mut v: Vec<Posting> = m
+                    .iter()
+                    .map(|(&raw, &app)| Posting {
+                        vertex: DPtr::from_raw(raw),
+                        app_id: app,
+                    })
+                    .collect();
+                v.sort_by_key(|p| p.vertex);
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Look up a vertex by app id within an index partition — the fast path
+    /// behind `GDI_TranslateVertexID` when an index is available.
+    pub fn find_by_app_id(&self, rank: usize, id: IndexId, app: AppVertexId) -> Option<DPtr> {
+        let guard = self.postings[rank].lock();
+        let part = guard.get(&id)?;
+        part.iter()
+            .find(|(_, &a)| a == app)
+            .map(|(&raw, _)| DPtr::from_raw(raw))
+    }
+}
+
+/// Evaluate a constraint against a holder (used when scanning an index
+/// partition with a filter). Property values are compared raw-decoded; the
+/// caller supplies a decode function from p-type to value.
+pub fn holder_matches(
+    holder: &Holder,
+    constraint: &Constraint,
+    decode: impl Fn(PTypeId, &[u8]) -> Option<gdi::PropertyValue>,
+) -> bool {
+    struct View<'a, F> {
+        h: &'a Holder,
+        decode: F,
+    }
+    impl<F: Fn(PTypeId, &[u8]) -> Option<gdi::PropertyValue>> gdi::constraint::ElementView
+        for View<'_, F>
+    {
+        fn has_label(&self, label: LabelId) -> bool {
+            self.h.has_label(label)
+        }
+        fn properties(&self, ptype: PTypeId) -> Vec<gdi::PropertyValue> {
+            self.h
+                .properties_raw(ptype)
+                .into_iter()
+                .filter_map(|raw| (self.decode)(ptype, raw))
+                .collect()
+        }
+    }
+    constraint.eval(&View { h: holder, decode })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdi::{CmpOp, PropertyValue, Subconstraint};
+
+    fn person() -> LabelId {
+        LabelId(10)
+    }
+
+    #[test]
+    fn create_delete_indexes() {
+        let ix = IndexShared::new(2);
+        let a = ix.create("people", vec![person()], vec![]).unwrap();
+        assert_eq!(
+            ix.create("people", vec![], vec![]),
+            Err(GdiError::AlreadyExists("index"))
+        );
+        let b = ix.create("all", vec![], vec![]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(ix.all().len(), 2);
+        ix.delete(a).unwrap();
+        assert_eq!(ix.delete(a), Err(GdiError::NotFound("index")));
+        assert_eq!(ix.all().len(), 1);
+    }
+
+    #[test]
+    fn postings_follow_membership() {
+        let ix = IndexShared::new(2);
+        let people = ix.create("people", vec![person()], vec![]).unwrap();
+        let v0 = DPtr::new(0, 128);
+        let v1 = DPtr::new(1, 128);
+
+        ix.reindex_vertex(v0, AppVertexId(100), Some(&[person()]));
+        ix.reindex_vertex(v1, AppVertexId(101), Some(&[LabelId(99)]));
+        assert_eq!(ix.local_vertices(0, people).len(), 1);
+        assert_eq!(ix.local_vertices(1, people).len(), 0);
+
+        // label removed -> vertex drops out
+        ix.reindex_vertex(v0, AppVertexId(100), Some(&[]));
+        assert!(ix.local_vertices(0, people).is_empty());
+
+        // deletion removes from all indexes
+        ix.reindex_vertex(v1, AppVertexId(101), Some(&[person()]));
+        assert_eq!(ix.local_vertices(1, people).len(), 1);
+        ix.reindex_vertex(v1, AppVertexId(101), None);
+        assert!(ix.local_vertices(1, people).is_empty());
+    }
+
+    #[test]
+    fn empty_label_set_indexes_everything() {
+        let ix = IndexShared::new(1);
+        let all = ix.create("all", vec![], vec![]).unwrap();
+        ix.reindex_vertex(DPtr::new(0, 128), AppVertexId(1), Some(&[]));
+        ix.reindex_vertex(DPtr::new(0, 256), AppVertexId(2), Some(&[person()]));
+        assert_eq!(ix.local_vertices(0, all).len(), 2);
+    }
+
+    #[test]
+    fn find_by_app_id_works() {
+        let ix = IndexShared::new(1);
+        let all = ix.create("all", vec![], vec![]).unwrap();
+        let v = DPtr::new(0, 384);
+        ix.reindex_vertex(v, AppVertexId(42), Some(&[]));
+        assert_eq!(ix.find_by_app_id(0, all, AppVertexId(42)), Some(v));
+        assert_eq!(ix.find_by_app_id(0, all, AppVertexId(43)), None);
+    }
+
+    #[test]
+    fn index_def_matching() {
+        let d = IndexDef {
+            id: IndexId(1),
+            name: "x".into(),
+            labels: vec![LabelId(1), LabelId(2)],
+            ptypes: vec![],
+        };
+        assert!(d.matches(&[LabelId(2)]));
+        assert!(d.matches(&[LabelId(1), LabelId(9)]));
+        assert!(!d.matches(&[LabelId(9)]));
+        assert!(!d.matches(&[]));
+    }
+
+    #[test]
+    fn mutate_index_labels() {
+        let ix = IndexShared::new(1);
+        let id = ix.create("x", vec![LabelId(1)], vec![]).unwrap();
+        ix.add_label(id, LabelId(2)).unwrap();
+        ix.add_label(id, LabelId(2)).unwrap(); // idempotent
+        assert_eq!(ix.def(id).unwrap().labels, vec![LabelId(1), LabelId(2)]);
+        ix.remove_label(id, LabelId(1)).unwrap();
+        assert_eq!(ix.def(id).unwrap().labels, vec![LabelId(2)]);
+        assert_eq!(
+            ix.add_label(IndexId(999), LabelId(1)),
+            Err(GdiError::NotFound("index"))
+        );
+    }
+
+    #[test]
+    fn holder_constraint_matching() {
+        let mut h = Holder::new_vertex(1);
+        h.add_label(person());
+        h.add_property(PTypeId(3), 35u64.to_le_bytes().to_vec());
+        let c = Constraint::from_sub(
+            Subconstraint::new()
+                .with_label(person())
+                .with_prop(PTypeId(3), CmpOp::Gt, PropertyValue::U64(30)),
+        );
+        let decode = |_pt: PTypeId, raw: &[u8]| {
+            Some(PropertyValue::U64(u64::from_le_bytes(raw.try_into().ok()?)))
+        };
+        assert!(holder_matches(&h, &c, decode));
+        let c2 = Constraint::from_sub(Subconstraint::new().with_prop(
+            PTypeId(3),
+            CmpOp::Gt,
+            PropertyValue::U64(40),
+        ));
+        assert!(!holder_matches(&h, &c2, decode));
+    }
+}

@@ -1,0 +1,918 @@
+//! Transactions and the graph-data CRUD routines (§5.6).
+//!
+//! A [`Transaction`] holds all per-transaction state the paper describes:
+//! a hashmap from internal ids to cached *holder* objects (so the same
+//! vertex is never fetched twice), the set of acquired distributed RW
+//! locks, and the dirty-object list written back at commit. All changes
+//! are **visible only locally** until commit; commit writes dirty blocks,
+//! updates the internal DHT and the explicit indexes, and releases locks —
+//! two-phase locking end to end, giving serializability for graph data.
+//!
+//! Conflicts do not block indefinitely: lock acquisition is bounded, and a
+//! failed acquisition aborts the transaction with
+//! `GDI_ERROR_LOCK_CONFLICT` (a transaction-critical error). This is the
+//! mechanism behind the failed-transaction percentages in the paper's
+//! Fig. 4.
+//!
+//! Collective transactions replicate their state per process (each rank
+//! holds its own `Transaction`) and close with collective communication:
+//! an abort-vote allreduce before write-back, then a barrier (§5.6).
+
+use std::cell::{Cell, RefCell};
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use gdi::{
+    AccessMode, AppVertexId, Constraint, Direction, EdgeOrientation, GdiError, GdiResult,
+    LabelId, PTypeId, PropertyValue, TxKind, TxStatus,
+};
+
+use crate::db::GdaRank;
+use crate::dptr::{owner_rank, DPtr, EdgeUid};
+use crate::hio;
+use crate::holder::{EdgeRecord, Holder};
+use crate::index::{holder_matches, IndexId, Posting};
+use crate::locks::LockKind;
+
+/// Cached state of one object (vertex holder or heavy-edge holder) inside a
+/// transaction.
+#[derive(Debug)]
+struct CachedObj {
+    holder: Holder,
+    blocks: Vec<DPtr>,
+    lock: Option<LockKind>,
+    dirty: bool,
+    created: bool,
+    deleted: bool,
+}
+
+/// A GDI transaction executing on one rank.
+pub struct Transaction<'r, 'd, 'c, 'f> {
+    eng: &'r GdaRank<'d, 'c, 'f>,
+    kind: TxKind,
+    mode: AccessMode,
+    status: Cell<TxStatus>,
+    /// Metadata epoch snapshot at start (staleness detection, §3.8).
+    epoch: u64,
+    used_meta: Cell<bool>,
+    cache: RefCell<FxHashMap<u64, CachedObj>>,
+}
+
+impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
+    pub(crate) fn new(eng: &'r GdaRank<'d, 'c, 'f>, kind: TxKind, mode: AccessMode) -> Self {
+        eng.refresh_meta();
+        Self {
+            eng,
+            kind,
+            mode,
+            status: Cell::new(TxStatus::Active),
+            epoch: eng.meta_epoch(),
+            used_meta: Cell::new(false),
+            cache: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// `GDI_GetTypeOfTransaction`.
+    pub fn kind(&self) -> TxKind {
+        self.kind
+    }
+
+    /// Declared access mode.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> TxStatus {
+        self.status.get()
+    }
+
+    // ------------------------------------------------------------------
+    // infrastructure
+    // ------------------------------------------------------------------
+
+    fn check_active(&self) -> GdiResult<()> {
+        if self.status.get().is_active() {
+            Ok(())
+        } else {
+            Err(GdiError::TransactionClosed)
+        }
+    }
+
+    fn check_writable(&self) -> GdiResult<()> {
+        self.check_active()?;
+        if self.mode == AccessMode::ReadOnly {
+            self.abort_inner();
+            return Err(GdiError::ReadOnlyViolation);
+        }
+        Ok(())
+    }
+
+    /// Propagate an error; transaction-critical errors abort the
+    /// transaction on the spot (§3.3).
+    fn fail<T>(&self, e: GdiError) -> GdiResult<T> {
+        if e.is_transaction_critical() && self.status.get().is_active() {
+            self.abort_inner();
+        }
+        Err(e)
+    }
+
+    /// Lock kind needed on first touch.
+    fn entry_lock(&self, write: bool) -> Option<LockKind> {
+        match (self.kind, self.mode) {
+            // Collective read-only transactions skip locking entirely: the
+            // paper's optimized read path ("read-only transactions that can
+            // assume that no participating process modifies the data").
+            (TxKind::Collective, AccessMode::ReadOnly) => None,
+            (_, AccessMode::ReadOnly) => Some(LockKind::Read),
+            _ => Some(if write { LockKind::Write } else { LockKind::Read }),
+        }
+    }
+
+    /// Ensure `id` is cached with at least the requested access. Fetches
+    /// blocks and acquires the distributed lock on first touch; upgrades
+    /// read→write on first mutation.
+    fn ensure_cached(&self, id: DPtr, write: bool) -> GdiResult<()> {
+        self.check_active()?;
+        if id.is_null() {
+            return Err(GdiError::InvalidArgument("null internal id"));
+        }
+        let mut cache = self.cache.borrow_mut();
+        if let Some(obj) = cache.get_mut(&id.raw()) {
+            if obj.deleted {
+                return Err(GdiError::NotFound("object deleted in this transaction"));
+            }
+            if write && obj.lock == Some(LockKind::Read) {
+                match self.eng.lm.upgrade(id) {
+                    Ok(()) => obj.lock = Some(LockKind::Write),
+                    Err(e) => {
+                        drop(cache);
+                        return self.fail(e);
+                    }
+                }
+            }
+            return Ok(());
+        }
+        drop(cache);
+        let lock = self.entry_lock(write);
+        if let Some(kind) = lock {
+            let res = match kind {
+                LockKind::Read => self.eng.lm.acquire_read(id),
+                LockKind::Write => self.eng.lm.acquire_write(id),
+            };
+            if let Err(e) = res {
+                return self.fail(e);
+            }
+        }
+        let fetched = hio::read_chain(self.eng.ctx, self.eng.cfg(), id)
+            .and_then(|(bytes, blocks)| {
+                Holder::try_decode(&bytes)
+                    .map(|h| (h, blocks))
+                    .ok_or(GdiError::NotFound("object (stale internal id)"))
+            });
+        let (holder, blocks) = match fetched {
+            Ok(x) => x,
+            Err(e) => {
+                if let Some(kind) = lock {
+                    self.eng.lm.release(id, kind);
+                }
+                return Err(e);
+            }
+        };
+        self.cache.borrow_mut().insert(
+            id.raw(),
+            CachedObj {
+                holder,
+                blocks,
+                lock,
+                dirty: false,
+                created: false,
+                deleted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Read access to a cached holder.
+    fn with_holder<R>(&self, id: DPtr, f: impl FnOnce(&Holder) -> R) -> GdiResult<R> {
+        self.ensure_cached(id, false)?;
+        let cache = self.cache.borrow();
+        Ok(f(&cache.get(&id.raw()).unwrap().holder))
+    }
+
+    /// Write access to a cached holder (marks it dirty).
+    fn with_holder_mut<R>(&self, id: DPtr, f: impl FnOnce(&mut Holder) -> R) -> GdiResult<R> {
+        self.check_writable()?;
+        self.ensure_cached(id, true)?;
+        let mut cache = self.cache.borrow_mut();
+        let obj = cache.get_mut(&id.raw()).unwrap();
+        obj.dirty = true;
+        Ok(f(&mut obj.holder))
+    }
+
+    // ------------------------------------------------------------------
+    // vertex id translation & creation
+    // ------------------------------------------------------------------
+
+    /// `GDI_TranslateVertexID`: application id → internal id via the
+    /// offloaded DHT (§5.7).
+    pub fn translate_vertex_id(&self, app: AppVertexId) -> GdiResult<DPtr> {
+        self.check_active()?;
+        match self.eng.dht.lookup(app.0) {
+            Some(raw) => Ok(DPtr::from_raw(raw)),
+            None => Err(GdiError::NotFound("vertex (application id)")),
+        }
+    }
+
+    /// `GDI_AssociateVertex`: make the vertex accessible through this
+    /// transaction (fetches and caches its holder).
+    pub fn associate_vertex(&self, id: DPtr) -> GdiResult<()> {
+        self.ensure_cached(id, false)
+    }
+
+    /// `GDI_CreateVertex`. The vertex's primary block (and hence its
+    /// internal id) is allocated immediately on its round-robin owner rank;
+    /// visibility (DHT entry, index postings) happens at commit.
+    pub fn create_vertex(&self, app: AppVertexId) -> GdiResult<DPtr> {
+        self.check_writable()?;
+        if self.eng.dht.lookup(app.0).is_some() {
+            return Err(GdiError::AlreadyExists("vertex (application id)"));
+        }
+        let target = owner_rank(app, self.eng.nranks());
+        let primary = match self.eng.bm.acquire(target) {
+            Ok(p) => p,
+            Err(e) => return self.fail(e),
+        };
+        if let Err(e) = self.eng.lm.acquire_write(primary) {
+            self.eng.bm.release(primary);
+            return self.fail(e);
+        }
+        self.cache.borrow_mut().insert(
+            primary.raw(),
+            CachedObj {
+                holder: Holder::new_vertex(app.0),
+                blocks: vec![primary],
+                lock: Some(LockKind::Write),
+                dirty: true,
+                created: true,
+                deleted: false,
+            },
+        );
+        Ok(primary)
+    }
+
+    /// `GDI_GetVertexApplicationID` (reverse of translation).
+    pub fn vertex_app_id(&self, id: DPtr) -> GdiResult<AppVertexId> {
+        self.with_holder(id, |h| AppVertexId(h.app_id))
+    }
+
+    /// `GDI_DeleteVertex`: removes the vertex, its lightweight edges, the
+    /// mirror records at all neighbours, and any heavy-edge holders.
+    pub fn delete_vertex(&self, id: DPtr) -> GdiResult<()> {
+        self.check_writable()?;
+        self.ensure_cached(id, true)?;
+        let edges: Vec<EdgeRecord> = {
+            let cache = self.cache.borrow();
+            cache
+                .get(&id.raw())
+                .unwrap()
+                .holder
+                .live_edges()
+                .map(|(_, r)| *r)
+                .collect()
+        };
+        for rec in edges {
+            if !rec.edge_holder.is_null() {
+                self.delete_object(rec.edge_holder)?;
+            }
+            if rec.target == id {
+                continue; // self-loop: both records die with the holder
+            }
+            self.ensure_cached(rec.target, true)?;
+            let mut cache = self.cache.borrow_mut();
+            let nbr = cache.get_mut(&rec.target.raw()).unwrap();
+            if let Some(slot) = find_mirror_slot(&nbr.holder, id, &rec) {
+                nbr.holder.remove_edge(slot);
+                nbr.dirty = true;
+            }
+        }
+        self.delete_object(id)
+    }
+
+    /// Mark a cached object deleted.
+    fn delete_object(&self, id: DPtr) -> GdiResult<()> {
+        self.ensure_cached(id, true)?;
+        let mut cache = self.cache.borrow_mut();
+        let obj = cache.get_mut(&id.raw()).unwrap();
+        obj.deleted = true;
+        obj.dirty = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // labels
+    // ------------------------------------------------------------------
+
+    /// `GDI_AddLabelToVertex`.
+    pub fn add_label(&self, id: DPtr, label: LabelId) -> GdiResult<()> {
+        self.used_meta.set(true);
+        if self.eng.meta().label_name(label).is_none() {
+            return Err(GdiError::NotFound("label"));
+        }
+        self.with_holder_mut(id, |h| h.add_label(label)).map(|_| ())
+    }
+
+    /// `GDI_RemoveLabelFromVertex`.
+    pub fn remove_label(&self, id: DPtr, label: LabelId) -> GdiResult<()> {
+        self.with_holder_mut(id, |h| {
+            if h.remove_label(label) {
+                Ok(())
+            } else {
+                Err(GdiError::NotFound("label on vertex"))
+            }
+        })?
+    }
+
+    /// `GDI_GetAllLabelsOfVertex`.
+    pub fn labels(&self, id: DPtr) -> GdiResult<Vec<LabelId>> {
+        self.with_holder(id, |h| h.labels())
+    }
+
+    /// Does the element carry the label?
+    pub fn has_label(&self, id: DPtr, label: LabelId) -> GdiResult<bool> {
+        self.with_holder(id, |h| h.has_label(label))
+    }
+
+    // ------------------------------------------------------------------
+    // properties
+    // ------------------------------------------------------------------
+
+    fn validate_property(
+        &self,
+        ptype: PTypeId,
+        value: &PropertyValue,
+        on_edge: bool,
+    ) -> GdiResult<Vec<u8>> {
+        self.used_meta.set(true);
+        let meta = self.eng.meta();
+        let def = meta.ptype(ptype).ok_or(GdiError::NotFound("property type"))?;
+        if (on_edge && !def.entity.allows_edge()) || (!on_edge && !def.entity.allows_vertex()) {
+            return Err(GdiError::TypeMismatch);
+        }
+        let bytes = value.encode();
+        let eb = def.dtype.elem_bytes();
+        if !bytes.len().is_multiple_of(eb) {
+            return Err(GdiError::TypeMismatch);
+        }
+        if !def.stype.validate(bytes.len() / eb, def.count) {
+            return Err(GdiError::SizeExceeded);
+        }
+        Ok(bytes)
+    }
+
+    fn decode_property(&self, ptype: PTypeId, raw: &[u8]) -> Option<PropertyValue> {
+        let meta = self.eng.meta();
+        let def = meta.ptype(ptype)?;
+        PropertyValue::decode(def.dtype, raw).ok()
+    }
+
+    /// `GDI_AddPropertyToVertex`. For `Single`-multiplicity types, adding a
+    /// second entry is an error (use [`Transaction::update_property`]).
+    pub fn add_property(&self, id: DPtr, ptype: PTypeId, value: &PropertyValue) -> GdiResult<()> {
+        let bytes = self.validate_property(ptype, value, false)?;
+        let single = {
+            let meta = self.eng.meta();
+            meta.ptype(ptype).unwrap().mult == gdi::Multiplicity::Single
+        };
+        self.with_holder_mut(id, |h| {
+            if single && !h.properties_raw(ptype).is_empty() {
+                Err(GdiError::AlreadyExists("single-valued property"))
+            } else {
+                h.add_property(ptype, bytes);
+                Ok(())
+            }
+        })?
+    }
+
+    /// `GDI_UpdatePropertyOfVertex`: set/replace the (first) entry.
+    pub fn update_property(&self, id: DPtr, ptype: PTypeId, value: &PropertyValue) -> GdiResult<()> {
+        let bytes = self.validate_property(ptype, value, false)?;
+        self.with_holder_mut(id, |h| h.set_property(ptype, bytes))
+    }
+
+    /// `GDI_RemovePropertyFromVertex` (all entries of the type). Returns
+    /// the number removed.
+    pub fn remove_properties(&self, id: DPtr, ptype: PTypeId) -> GdiResult<usize> {
+        self.with_holder_mut(id, |h| h.remove_property(ptype))
+    }
+
+    /// `GDI_RemoveAllPropertiesFromVertex`.
+    pub fn remove_all_properties(&self, id: DPtr) -> GdiResult<usize> {
+        self.with_holder_mut(id, |h| h.remove_all_properties())
+    }
+
+    /// `GDI_GetPropertiesOfVertex`: first entry of the type, decoded.
+    pub fn property(&self, id: DPtr, ptype: PTypeId) -> GdiResult<Option<PropertyValue>> {
+        self.with_holder(id, |h| {
+            h.properties_raw(ptype)
+                .first()
+                .and_then(|raw| self.decode_property(ptype, raw))
+        })
+    }
+
+    /// All entries of the type, decoded.
+    pub fn properties(&self, id: DPtr, ptype: PTypeId) -> GdiResult<Vec<PropertyValue>> {
+        self.with_holder(id, |h| {
+            h.properties_raw(ptype)
+                .into_iter()
+                .filter_map(|raw| self.decode_property(ptype, raw))
+                .collect()
+        })
+    }
+
+    /// `GDI_GetAllPropertyTypesOfVertex`.
+    pub fn ptypes(&self, id: DPtr) -> GdiResult<Vec<PTypeId>> {
+        self.with_holder(id, |h| h.ptypes())
+    }
+
+    // ------------------------------------------------------------------
+    // edges
+    // ------------------------------------------------------------------
+
+    /// `GDI_CreateEdge`: adds a lightweight edge (≤1 label, no properties)
+    /// between two vertices. Directed edges store an `Out` record at the
+    /// origin and an `In` record at the target; undirected edges store an
+    /// `Undirected` record at both endpoints. Returns the edge UID based at
+    /// the origin.
+    pub fn add_edge(
+        &self,
+        origin: DPtr,
+        target: DPtr,
+        label: Option<LabelId>,
+        directed: bool,
+    ) -> GdiResult<EdgeUid> {
+        self.check_writable()?;
+        let lbl = label.map(|l| l.0).unwrap_or(0);
+        if let Some(l) = label {
+            self.used_meta.set(true);
+            if self.eng.meta().label_name(l).is_none() {
+                return Err(GdiError::NotFound("edge label"));
+            }
+        }
+        let (od, td) = if directed {
+            (Direction::Out, Direction::In)
+        } else {
+            (Direction::Undirected, Direction::Undirected)
+        };
+        let slot = self.with_holder_mut(origin, |h| {
+            h.push_edge(EdgeRecord::lightweight(target, lbl, od))
+        })?;
+        if origin != target {
+            self.with_holder_mut(target, |h| {
+                h.push_edge(EdgeRecord::lightweight(origin, lbl, td));
+            })?;
+        } else if directed {
+            // self-loop on a directed edge: record both directions
+            self.with_holder_mut(origin, |h| {
+                h.push_edge(EdgeRecord::lightweight(origin, lbl, td));
+            })?;
+        }
+        Ok(EdgeUid::new(origin, slot))
+    }
+
+    /// Read the record behind an edge UID.
+    fn edge_record(&self, e: EdgeUid) -> GdiResult<EdgeRecord> {
+        self.with_holder(e.vertex, |h| {
+            h.edges
+                .get(e.slot as usize)
+                .copied()
+                .filter(|r| !r.is_tombstone())
+        })?
+        .ok_or(GdiError::NotFound("edge"))
+    }
+
+    /// `GDI_DeleteEdge`: tombstones both endpoint records and deletes any
+    /// heavy-edge holder.
+    pub fn delete_edge(&self, e: EdgeUid) -> GdiResult<()> {
+        self.check_writable()?;
+        let rec = self.edge_record(e)?;
+        self.with_holder_mut(e.vertex, |h| h.remove_edge(e.slot))?;
+        if rec.target != e.vertex {
+            self.ensure_cached(rec.target, true)?;
+            let mut cache = self.cache.borrow_mut();
+            let nbr = cache.get_mut(&rec.target.raw()).unwrap();
+            if let Some(slot) = find_mirror_slot(&nbr.holder, e.vertex, &rec) {
+                nbr.holder.remove_edge(slot);
+                nbr.dirty = true;
+            }
+        } else {
+            // self-loop: remove the sibling record in the same holder
+            self.with_holder_mut(e.vertex, |h| {
+                let sib = h
+                    .live_edges()
+                    .find(|(s, r)| *s != e.slot && r.target == e.vertex && r.edge_holder == rec.edge_holder)
+                    .map(|(s, _)| s);
+                if let Some(s) = sib {
+                    h.remove_edge(s);
+                }
+            })?;
+        }
+        if !rec.edge_holder.is_null() {
+            self.delete_object(rec.edge_holder)?;
+        }
+        Ok(())
+    }
+
+    /// `GDI_GetEdgesOfVertex`: edge UIDs incident to `id` matching the
+    /// orientation selector.
+    pub fn edges(&self, id: DPtr, orient: EdgeOrientation) -> GdiResult<Vec<EdgeUid>> {
+        self.with_holder(id, |h| {
+            h.live_edges()
+                .filter(|(_, r)| orient.matches(r.dir))
+                .map(|(s, _)| EdgeUid::new(id, s))
+                .collect()
+        })
+    }
+
+    /// Count edges without materializing UIDs.
+    pub fn edge_count(&self, id: DPtr, orient: EdgeOrientation) -> GdiResult<usize> {
+        self.with_holder(id, |h| {
+            h.live_edges().filter(|(_, r)| orient.matches(r.dir)).count()
+        })
+    }
+
+    /// `GDI_GetNeighborVerticesOfVertex`, optionally filtered by edge
+    /// label.
+    pub fn neighbors(
+        &self,
+        id: DPtr,
+        orient: EdgeOrientation,
+        label: Option<LabelId>,
+    ) -> GdiResult<Vec<DPtr>> {
+        self.with_holder(id, |h| {
+            h.live_edges()
+                .filter(|(_, r)| orient.matches(r.dir))
+                .filter(|(_, r)| label.map(|l| r.label == l.0).unwrap_or(true))
+                .map(|(_, r)| r.target)
+                .collect()
+        })
+    }
+
+    /// `GDI_GetNeighborVerticesOfVertex` with a *constraint object*
+    /// (Listing 3, lines 9–10): expand over edges matching `edge_label`,
+    /// keep only neighbors whose holders satisfy the DNF `constraint`.
+    /// Fetches each candidate neighbor through the transaction cache (the
+    /// "let the storage handle the filtering" path of §3.1).
+    pub fn neighbors_matching(
+        &self,
+        id: DPtr,
+        orient: EdgeOrientation,
+        edge_label: Option<LabelId>,
+        constraint: &Constraint,
+    ) -> GdiResult<Vec<DPtr>> {
+        let candidates = self.neighbors(id, orient, edge_label)?;
+        let mut out = Vec::new();
+        for nbr in candidates {
+            let keep = self.with_holder(nbr, |h| {
+                holder_matches(h, constraint, |pt, raw| self.decode_property(pt, raw))
+            })?;
+            if keep {
+                out.push(nbr);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `GDI_GetVerticesOfEdge`: (origin, target) internal ids.
+    pub fn edge_endpoints(&self, e: EdgeUid) -> GdiResult<(DPtr, DPtr)> {
+        let rec = self.edge_record(e)?;
+        Ok(match rec.dir {
+            Direction::Out | Direction::Undirected => (e.vertex, rec.target),
+            Direction::In => (rec.target, e.vertex),
+        })
+    }
+
+    /// `GDI_GetDirectionOfEdge` relative to the base vertex.
+    pub fn edge_direction(&self, e: EdgeUid) -> GdiResult<Direction> {
+        Ok(self.edge_record(e)?.dir)
+    }
+
+    /// `GDI_GetAllLabelsOfEdge`: the lightweight label plus any labels on a
+    /// heavy-edge holder.
+    pub fn edge_labels(&self, e: EdgeUid) -> GdiResult<Vec<LabelId>> {
+        let rec = self.edge_record(e)?;
+        let mut out = Vec::new();
+        if rec.label != 0 {
+            out.push(LabelId(rec.label));
+        }
+        if !rec.edge_holder.is_null() {
+            out.extend(self.with_holder(rec.edge_holder, |h| h.labels())?);
+        }
+        Ok(out)
+    }
+
+    /// `GDI_AddLabelToEdge`. The first label is stored inline in the
+    /// lightweight record (both mirrors); further labels promote the edge
+    /// to a heavy-edge holder.
+    pub fn add_edge_label(&self, e: EdgeUid, label: LabelId) -> GdiResult<()> {
+        self.check_writable()?;
+        self.used_meta.set(true);
+        if self.eng.meta().label_name(label).is_none() {
+            return Err(GdiError::NotFound("label"));
+        }
+        let rec = self.edge_record(e)?;
+        if rec.label == 0 {
+            self.update_edge_records(e, &rec, |r| r.label = label.0)
+        } else {
+            let holder = self.ensure_edge_holder(e, &rec)?;
+            self.with_holder_mut(holder, |h| h.add_label(label)).map(|_| ())
+        }
+    }
+
+    /// `GDI_AddPropertyToEdge` / update: stores the property on the edge's
+    /// heavy holder, creating it on demand.
+    pub fn set_edge_property(
+        &self,
+        e: EdgeUid,
+        ptype: PTypeId,
+        value: &PropertyValue,
+    ) -> GdiResult<()> {
+        let bytes = self.validate_property(ptype, value, true)?;
+        let rec = self.edge_record(e)?;
+        let holder = self.ensure_edge_holder(e, &rec)?;
+        self.with_holder_mut(holder, |h| h.set_property(ptype, bytes))
+    }
+
+    /// `GDI_GetPropertiesOfEdge`: first entry of the type.
+    pub fn edge_property(&self, e: EdgeUid, ptype: PTypeId) -> GdiResult<Option<PropertyValue>> {
+        let rec = self.edge_record(e)?;
+        if rec.edge_holder.is_null() {
+            return Ok(None);
+        }
+        self.with_holder(rec.edge_holder, |h| {
+            h.properties_raw(ptype)
+                .first()
+                .and_then(|raw| self.decode_property(ptype, raw))
+        })
+    }
+
+    /// `GDI_RemovePropertyFromEdge`: remove all entries of `ptype` from the
+    /// edge's heavy holder. Returns the number removed (0 if the edge never
+    /// had a heavy holder).
+    pub fn remove_edge_properties(&self, e: EdgeUid, ptype: PTypeId) -> GdiResult<usize> {
+        self.check_writable()?;
+        let rec = self.edge_record(e)?;
+        if rec.edge_holder.is_null() {
+            return Ok(0);
+        }
+        self.with_holder_mut(rec.edge_holder, |h| h.remove_property(ptype))
+    }
+
+    /// `GDI_GetAllPropertyTypesOfEdge`.
+    pub fn edge_ptypes(&self, e: EdgeUid) -> GdiResult<Vec<PTypeId>> {
+        let rec = self.edge_record(e)?;
+        if rec.edge_holder.is_null() {
+            return Ok(Vec::new());
+        }
+        self.with_holder(rec.edge_holder, |h| h.ptypes())
+    }
+
+    /// `GDI_SetOriginVertexOfEdge` / `GDI_SetTargetVertexOfEdge` analog:
+    /// flip the direction of a directed edge (swap origin/target). The
+    /// paper exposes endpoint mutation; flipping covers its use case while
+    /// keeping mirror records consistent.
+    pub fn flip_edge(&self, e: EdgeUid) -> GdiResult<()> {
+        self.check_writable()?;
+        let rec = self.edge_record(e)?;
+        if rec.dir == Direction::Undirected {
+            return Err(GdiError::InvalidArgument("cannot flip an undirected edge"));
+        }
+        self.update_edge_records(e, &rec, |r| r.dir = r.dir.reverse())
+    }
+
+    /// Create (if needed) the heavy holder of an edge and link it from both
+    /// endpoint records.
+    fn ensure_edge_holder(&self, e: EdgeUid, rec: &EdgeRecord) -> GdiResult<DPtr> {
+        if !rec.edge_holder.is_null() {
+            return Ok(rec.edge_holder);
+        }
+        let target_rank = e.vertex.rank();
+        let primary = match self.eng.bm.acquire(target_rank) {
+            Ok(p) => p,
+            Err(err) => return self.fail(err),
+        };
+        if let Err(err) = self.eng.lm.acquire_write(primary) {
+            self.eng.bm.release(primary);
+            return self.fail(err);
+        }
+        let (origin, target) = match rec.dir {
+            Direction::Out | Direction::Undirected => (e.vertex, rec.target),
+            Direction::In => (rec.target, e.vertex),
+        };
+        self.cache.borrow_mut().insert(
+            primary.raw(),
+            CachedObj {
+                holder: Holder::new_edge(origin, target),
+                blocks: vec![primary],
+                lock: Some(LockKind::Write),
+                dirty: true,
+                created: true,
+                deleted: false,
+            },
+        );
+        self.update_edge_records(e, rec, |r| r.edge_holder = primary)?;
+        Ok(primary)
+    }
+
+    /// Apply a mutation to an edge's record at the base vertex *and* its
+    /// mirror at the other endpoint.
+    fn update_edge_records(
+        &self,
+        e: EdgeUid,
+        rec: &EdgeRecord,
+        f: impl Fn(&mut EdgeRecord),
+    ) -> GdiResult<()> {
+        self.with_holder_mut(e.vertex, |h| f(&mut h.edges[e.slot as usize]))?;
+        if rec.target != e.vertex {
+            self.ensure_cached(rec.target, true)?;
+            let mut cache = self.cache.borrow_mut();
+            let nbr = cache.get_mut(&rec.target.raw()).unwrap();
+            if let Some(slot) = find_mirror_slot(&nbr.holder, e.vertex, rec) {
+                f(&mut nbr.holder.edges[slot as usize]);
+                nbr.dirty = true;
+            }
+        } else {
+            self.with_holder_mut(e.vertex, |h| {
+                let sib = h
+                    .live_edges()
+                    .find(|(s, r)| {
+                        *s != e.slot && r.target == e.vertex && r.edge_holder == rec.edge_holder
+                    })
+                    .map(|(s, _)| s);
+                if let Some(s) = sib {
+                    f(&mut h.edges[s as usize]);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // index scans
+    // ------------------------------------------------------------------
+
+    /// Scan this rank's partition of an explicit index, filtered by a DNF
+    /// constraint (fetches candidate holders through the transaction
+    /// cache). The workhorse of Listings 2 and 3.
+    pub fn local_index_scan(
+        &self,
+        index: IndexId,
+        constraint: &Constraint,
+    ) -> GdiResult<Vec<Posting>> {
+        self.check_active()?;
+        if constraint.is_stale(self.eng.meta_epoch()) && constraint.epoch != 0 {
+            return self.fail(GdiError::StaleMetadata);
+        }
+        let postings = self.eng.local_index_vertices(index);
+        let mut out = Vec::new();
+        for p in postings {
+            let keep = self.with_holder(p.vertex, |h| {
+                holder_matches(h, constraint, |pt, raw| self.decode_property(pt, raw))
+            })?;
+            if keep {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // commit / abort (§5.6)
+    // ------------------------------------------------------------------
+
+    /// `GDI_CloseTransaction` / `GDI_CloseCollectiveTransaction` with
+    /// commit semantics.
+    pub fn commit(self) -> GdiResult<()> {
+        self.check_active()?;
+        // metadata staleness check (§3.8): eventual consistency requires
+        // transactions that relied on metadata to detect concurrent changes
+        if self.used_meta.get() && self.eng.meta_epoch() != self.epoch {
+            self.abort_inner();
+            if self.kind == TxKind::Collective {
+                let _ = self.eng.ctx().allreduce_any(true);
+            }
+            return Err(GdiError::StaleMetadata);
+        }
+        if self.kind == TxKind::Collective {
+            // abort vote before any write-back: either all commit or none
+            let anyone_aborted = self.eng.ctx().allreduce_any(false);
+            if anyone_aborted {
+                self.abort_inner();
+                return Err(GdiError::ValidationFailed);
+            }
+        }
+        let mut cache = self.cache.borrow_mut();
+        let mut touched: FxHashSet<usize> = FxHashSet::default();
+        let mut result = Ok(());
+        for (&raw, obj) in cache.iter_mut() {
+            let id = DPtr::from_raw(raw);
+            if obj.deleted {
+                if !obj.created {
+                    // remove from DHT and indexes, then free storage
+                    if !obj.holder.is_edge {
+                        self.eng.dht.delete(obj.holder.app_id);
+                        self.eng
+                            .indexes()
+                            .reindex_vertex(id, AppVertexId(obj.holder.app_id), None);
+                    }
+                }
+                hio::free_chain(&self.eng.bm, &obj.blocks);
+                touched.insert(id.rank());
+            } else if obj.dirty || obj.created {
+                obj.holder.version += 1;
+                obj.holder.compact_edges();
+                let bytes = obj.holder.encode();
+                if let Err(e) = hio::write_chain(self.eng.ctx, &self.eng.bm, &bytes, &mut obj.blocks)
+                {
+                    result = Err(e);
+                    break;
+                }
+                if obj.created && !obj.holder.is_edge {
+                    if let Err(e) = self.eng.dht.insert(obj.holder.app_id, raw) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                if !obj.holder.is_edge {
+                    self.eng.indexes().reindex_vertex(
+                        id,
+                        AppVertexId(obj.holder.app_id),
+                        Some(&obj.holder.labels()),
+                    );
+                }
+                touched.insert(id.rank());
+            }
+        }
+        for r in touched {
+            self.eng.ctx().flush(r);
+        }
+        // release all locks (end of phase two)
+        for (&raw, obj) in cache.iter() {
+            if let Some(kind) = obj.lock {
+                self.eng.lm.release(DPtr::from_raw(raw), kind);
+            }
+        }
+        cache.clear();
+        drop(cache);
+        self.status.set(TxStatus::Committed);
+        if self.kind == TxKind::Collective {
+            self.eng.ctx().barrier();
+        }
+        result
+    }
+
+    /// `GDI_CloseTransaction` with abort semantics: no effects are visible.
+    pub fn abort(self) {
+        if self.status.get().is_active() {
+            self.abort_inner();
+        }
+    }
+
+    fn abort_inner(&self) {
+        let mut cache = self.cache.borrow_mut();
+        for (&raw, obj) in cache.iter() {
+            if obj.created {
+                // blocks were acquired eagerly; give them back
+                hio::free_chain(&self.eng.bm, &obj.blocks);
+            }
+            if let Some(kind) = obj.lock {
+                self.eng.lm.release(DPtr::from_raw(raw), kind);
+            }
+        }
+        cache.clear();
+        drop(cache);
+        self.status.set(TxStatus::Aborted);
+    }
+}
+
+impl Drop for Transaction<'_, '_, '_, '_> {
+    fn drop(&mut self) {
+        if self.status.get().is_active() {
+            self.abort_inner();
+        }
+    }
+}
+
+/// Locate the mirror record of an edge at the opposite endpoint: same
+/// remote vertex, reversed direction, same label and heavy-holder link.
+fn find_mirror_slot(holder: &Holder, remote: DPtr, rec: &EdgeRecord) -> Option<u32> {
+    holder
+        .live_edges()
+        .find(|(_, r)| {
+            r.target == remote
+                && r.dir == rec.dir.reverse()
+                && r.label == rec.label
+                && r.edge_holder == rec.edge_holder
+        })
+        .map(|(s, _)| s)
+}

@@ -1,0 +1,185 @@
+//! Index maintenance across the transaction lifecycle: postings must track
+//! committed label changes (and only committed ones), respecting the
+//! eventual-consistency contract of §3.8.
+
+use gda::{GdaConfig, GdaDb};
+use gdi::{AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EntityType, Multiplicity,
+    PropertyValue, SizeType, Subconstraint};
+use rma::CostModel;
+
+#[test]
+fn postings_follow_commits_not_aborts() {
+    let cfg = GdaConfig::tiny();
+    let (db, fabric) = GdaDb::with_fabric("ix", cfg, 1, CostModel::zero());
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let person = eng.create_label("Person").unwrap();
+        let ix = eng.create_index("people", vec![person], vec![]).unwrap();
+
+        // committed labeled vertex appears in the index
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let v = tx.create_vertex(AppVertexId(1)).unwrap();
+        tx.add_label(v, person).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(eng.local_index_vertices(ix).len(), 1);
+
+        // aborted label addition leaves the index untouched
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let w = tx.create_vertex(AppVertexId(2)).unwrap();
+        tx.add_label(w, person).unwrap();
+        tx.abort();
+        assert_eq!(eng.local_index_vertices(ix).len(), 1);
+
+        // removing the label at commit drops the posting
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+        tx.remove_label(v, person).unwrap();
+        tx.commit().unwrap();
+        assert!(eng.local_index_vertices(ix).is_empty());
+
+        // re-adding restores it; deleting the vertex drops it for good
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+        tx.add_label(v, person).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(eng.local_index_vertices(ix).len(), 1);
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+        tx.delete_vertex(v).unwrap();
+        tx.commit().unwrap();
+        assert!(eng.local_index_vertices(ix).is_empty());
+        ctx.barrier();
+    });
+}
+
+#[test]
+fn postings_live_on_owner_ranks() {
+    let cfg = GdaConfig::tiny();
+    let nranks = 4;
+    let (db, fabric) = GdaDb::with_fabric("ixd", cfg, nranks, CostModel::zero());
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let person = if ctx.rank() == 0 {
+            Some(eng.create_label("Person").unwrap())
+        } else {
+            None
+        };
+        let ix = if ctx.rank() == 0 {
+            Some(eng.create_index("people", vec![person.unwrap()], vec![]).unwrap().0)
+        } else {
+            None
+        };
+        let ix = gda::IndexId(ctx.bcast(0, ix));
+        ctx.barrier();
+        eng.refresh_meta();
+        let person = person.unwrap_or_else(|| eng.meta().label_from_name("Person").unwrap());
+
+        // rank 0 creates 40 labeled vertices, spread round-robin
+        if ctx.rank() == 0 {
+            let tx = eng.begin(AccessMode::ReadWrite);
+            for i in 0..40u64 {
+                let v = tx.create_vertex(AppVertexId(i)).unwrap();
+                tx.add_label(v, person).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        ctx.barrier();
+
+        // each rank's partition holds exactly its owned vertices
+        let mine = eng.local_index_vertices(ix);
+        assert_eq!(mine.len(), 10, "rank {}", ctx.rank());
+        for p in &mine {
+            assert_eq!(p.vertex.rank(), ctx.rank());
+            assert_eq!(p.app_id.0 % nranks as u64, ctx.rank() as u64);
+        }
+        let total = ctx.allreduce_sum_u64(mine.len() as u64);
+        assert_eq!(total, 40);
+    });
+}
+
+#[test]
+fn constrained_scan_inside_transaction() {
+    let cfg = GdaConfig::tiny();
+    let (db, fabric) = GdaDb::with_fabric("ixc", cfg, 2, CostModel::zero());
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let (person, age) = if ctx.rank() == 0 {
+            let p = eng.create_label("Person").unwrap();
+            let a = eng
+                .create_ptype("age", Datatype::Uint64, EntityType::Vertex,
+                    Multiplicity::Single, SizeType::Fixed, 1)
+                .unwrap();
+            (Some(p), Some(a))
+        } else {
+            (None, None)
+        };
+        let ix = if ctx.rank() == 0 {
+            Some(eng.create_index("people", vec![person.unwrap()], vec![]).unwrap().0)
+        } else {
+            None
+        };
+        let ix = gda::IndexId(ctx.bcast(0, ix));
+        ctx.barrier();
+        eng.refresh_meta();
+        let person = person.unwrap_or_else(|| eng.meta().label_from_name("Person").unwrap());
+        let age = age.unwrap_or_else(|| eng.meta().ptype_from_name("age").unwrap());
+
+        if ctx.rank() == 0 {
+            let tx = eng.begin(AccessMode::ReadWrite);
+            for i in 0..30u64 {
+                let v = tx.create_vertex(AppVertexId(i)).unwrap();
+                tx.add_label(v, person).unwrap();
+                tx.add_property(v, age, &PropertyValue::U64(i)).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        ctx.barrier();
+
+        // constrained scan: Person AND age >= 20, evaluated per rank
+        let tx = eng.begin_collective(AccessMode::ReadOnly);
+        let c = Constraint::from_sub(
+            Subconstraint::new()
+                .with_label(person)
+                .with_prop(age, CmpOp::Ge, PropertyValue::U64(20)),
+        );
+        let local = tx.local_index_scan(ix, &c).unwrap();
+        for p in &local {
+            assert!(p.app_id.0 >= 20);
+        }
+        tx.commit().unwrap();
+        let total = ctx.allreduce_sum_u64(local.len() as u64);
+        assert_eq!(total, 10, "ages 20..=29");
+    });
+}
+
+#[test]
+fn index_created_after_data_starts_empty() {
+    // eventual consistency: a new index does not retroactively contain
+    // pre-existing vertices until they are touched by a committing write
+    let cfg = GdaConfig::tiny();
+    let (db, fabric) = GdaDb::with_fabric("ixl", cfg, 1, CostModel::zero());
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let l = eng.create_label("L").unwrap();
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let v = tx.create_vertex(AppVertexId(1)).unwrap();
+        tx.add_label(v, l).unwrap();
+        tx.commit().unwrap();
+
+        let late = eng.create_index("late", vec![l], vec![]).unwrap();
+        assert!(eng.local_index_vertices(late).is_empty(), "not yet converged");
+
+        // the next committed write of the vertex converges the index
+        let l2 = eng.create_label("L2").unwrap();
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+        tx.add_label(v, l2).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(eng.local_index_vertices(late).len(), 1, "converged");
+        ctx.barrier();
+    });
+}

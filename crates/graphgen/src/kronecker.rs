@@ -1,0 +1,175 @@
+//! Graph500-style Kronecker (R-MAT) edge sampling.
+//!
+//! The Kronecker model (Leskovec et al.) recursively subdivides the
+//! adjacency matrix into four quadrants chosen with probabilities
+//! `A=0.57, B=0.19, C=0.19, D=0.05` (the Graph500 parameters), producing
+//! the heavy-tail skewed degree distribution that the paper identifies as
+//! the key performance-determining property of real graphs (§6.7).
+//!
+//! Sampling is **counter-based**: edge `i` of a graph is a pure function of
+//! `(seed, i)`, so any rank can generate any slice of the edge stream
+//! without coordination — this is what makes the generator "distributed and
+//! in-memory": no file I/O, no shuffles, perfect determinism.
+
+/// R-MAT quadrant probabilities (Graph500).
+pub const A: f64 = 0.57;
+pub const B: f64 = 0.19;
+pub const C: f64 = 0.19;
+
+/// A counter-based Kronecker edge sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct KroneckerSampler {
+    scale: u32,
+    seed: u64,
+    /// Odd multiplier for the bijective vertex scramble.
+    scramble_mul: u64,
+    scramble_xor: u64,
+}
+
+/// Stateless counter-based RNG: one u64 of high-quality bits per
+/// `(seed, stream, counter)` triple (splitmix-style chain).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn rng(seed: u64, stream: u64, counter: u64) -> u64 {
+    mix(mix(seed ^ mix(stream)).wrapping_add(counter))
+}
+
+/// Public counter-based hash of a `(seed, a, b)` triple — the building
+/// block of all deterministic assignment in this crate.
+#[inline]
+pub fn hash3(seed: u64, a: u64, b: u64) -> u64 {
+    rng(seed, a, b)
+}
+
+impl KroneckerSampler {
+    pub fn new(scale: u32, seed: u64) -> Self {
+        assert!((1..=48).contains(&scale), "scale out of supported range");
+        Self {
+            scale,
+            seed,
+            scramble_mul: mix(seed ^ 0xABCD) | 1, // odd => bijective mod 2^s
+            scramble_xor: mix(seed ^ 0x1234),
+        }
+    }
+
+    /// Bijective vertex-id scramble within `[0, 2^scale)` (the Graph500
+    /// permutation step, preventing low ids from all being hubs).
+    #[inline]
+    pub fn scramble(&self, v: u64) -> u64 {
+        let mask = (1u64 << self.scale) - 1;
+        (v.wrapping_mul(self.scramble_mul) ^ self.scramble_xor) & mask
+    }
+
+    /// Sample edge number `i` of the stream: a pure function of
+    /// `(seed, i)`.
+    pub fn edge(&self, i: u64) -> (u64, u64) {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for level in 0..self.scale {
+            let r = rng(self.seed, i, level as u64);
+            // use 52 bits for a uniform double in [0,1)
+            let p = (r >> 12) as f64 / (1u64 << 52) as f64;
+            let (du, dv) = if p < A {
+                (0, 0)
+            } else if p < A + B {
+                (0, 1)
+            } else if p < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        (self.scramble(u), self.scramble(v))
+    }
+
+    /// Degree histogram over a sample of `take` edges (diagnostics/tests).
+    pub fn sample_out_degrees(&self, take: u64) -> Vec<u64> {
+        let n = 1u64 << self.scale;
+        let mut deg = vec![0u64; n as usize];
+        for i in 0..take {
+            let (u, _) = self.edge(i);
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let s = KroneckerSampler::new(10, 7);
+        assert_eq!(s.edge(123), s.edge(123));
+        let s2 = KroneckerSampler::new(10, 8);
+        let same = (0..100).filter(|&i| s.edge(i) == s2.edge(i)).count();
+        assert!(same < 5, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let s = KroneckerSampler::new(10, 3);
+        let mut seen = vec![false; 1024];
+        for v in 0..1024u64 {
+            let x = s.scramble(v) as usize;
+            assert!(!seen[x], "collision at {v}");
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn heavy_tail_degree_distribution() {
+        // Kronecker graphs are skewed: the max degree should far exceed the
+        // mean, and many vertices should have degree 0.
+        let s = KroneckerSampler::new(12, 42);
+        let m = 16u64 << 12;
+        let deg = s.sample_out_degrees(m);
+        let mean = m as f64 / deg.len() as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        let zeros = deg.iter().filter(|&&d| d == 0).count();
+        assert!(max > 10.0 * mean, "max {max} vs mean {mean}");
+        assert!(zeros > deg.len() / 10, "zeros {zeros}");
+    }
+
+    #[test]
+    fn quadrant_probabilities_roughly_respected() {
+        // top-left quadrant (both first bits 0) should appear with
+        // probability ≈ A at the first level; measure via edge bit tops
+        let scale = 8;
+        let s = KroneckerSampler::new(scale, 99);
+        let n = 1u64 << scale;
+        let trials = 40_000u64;
+        let mut tl = 0u64;
+        for i in 0..trials {
+            let (u, v) = s.edge(i);
+            // undo the scramble by counting in scrambled space: instead,
+            // check the unscrambled generation by resampling quadrants via
+            // the same rng path
+            let _ = (u, v);
+            let r = rng(99, i, 0);
+            let p = (r >> 12) as f64 / (1u64 << 52) as f64;
+            if p < A {
+                tl += 1;
+            }
+        }
+        let frac = tl as f64 / trials as f64;
+        assert!((frac - A).abs() < 0.02, "frac {frac}");
+        let _ = n;
+    }
+
+    #[test]
+    #[should_panic(expected = "scale out of supported range")]
+    fn zero_scale_rejected() {
+        let _ = KroneckerSampler::new(0, 1);
+    }
+}

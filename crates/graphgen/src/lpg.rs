@@ -1,0 +1,199 @@
+//! Deterministic label & property assignment.
+//!
+//! The paper extends the Kronecker model "by adding support for a
+//! user-specified selection (i.e., counts and sizes) of labels and
+//! properties, and how they are assigned to vertices and edges"; the
+//! defaults used in the evaluation are **20 labels and 13 property types**
+//! (§6.3). Assignment here is hash-driven and therefore a pure function of
+//! `(seed, vertex id)` — any rank can recompute any vertex's rich data
+//! without communication, and tests can predict exact selectivities.
+
+use crate::kronecker;
+
+/// Configuration of the rich (label/property) part of the generated graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpgConfig {
+    /// Number of distinct labels in the database (paper default: 20).
+    pub num_labels: usize,
+    /// Number of distinct property types (paper default: 13).
+    pub num_ptypes: usize,
+    /// Labels per vertex.
+    pub labels_per_vertex: usize,
+    /// Property entries per vertex.
+    pub props_per_vertex: usize,
+    /// Size of one property value in bytes (8 = u64 values).
+    pub prop_bytes: usize,
+    /// Fraction of edges carrying a (lightweight) label.
+    pub edge_label_fraction: f64,
+}
+
+impl Default for LpgConfig {
+    fn default() -> Self {
+        Self {
+            num_labels: 20,
+            num_ptypes: 13,
+            labels_per_vertex: 1,
+            props_per_vertex: 3,
+            prop_bytes: 8,
+            edge_label_fraction: 0.5,
+        }
+    }
+}
+
+impl LpgConfig {
+    /// A configuration with no rich data (Graph500-like plain graph).
+    pub fn bare() -> Self {
+        Self {
+            num_labels: 0,
+            num_ptypes: 0,
+            labels_per_vertex: 0,
+            props_per_vertex: 0,
+            prop_bytes: 0,
+            edge_label_fraction: 0.0,
+        }
+    }
+
+    /// Indices (into the database's generated label list) of the labels on
+    /// vertex `app`.
+    pub fn vertex_label_indices(&self, seed: u64, app: u64) -> Vec<usize> {
+        if self.num_labels == 0 || self.labels_per_vertex == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.labels_per_vertex);
+        for j in 0..self.labels_per_vertex {
+            let h = kronecker::hash3(seed, app, 0x1a0 + j as u64);
+            let idx = (h % self.num_labels as u64) as usize;
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+        }
+        out
+    }
+
+    /// `(ptype index, value)` pairs of the properties on vertex `app`.
+    pub fn vertex_props(&self, seed: u64, app: u64) -> Vec<(usize, u64)> {
+        if self.num_ptypes == 0 || self.props_per_vertex == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(usize, u64)> = Vec::with_capacity(self.props_per_vertex);
+        for j in 0..self.props_per_vertex {
+            let idx = (kronecker::hash3(seed, app, 0x9e0 + j as u64)
+                % self.num_ptypes as u64) as usize;
+            if out.iter().any(|(i, _)| *i == idx) {
+                continue;
+            }
+            let val = kronecker::hash3(seed, app, 0x7700 + idx as u64);
+            out.push((idx, val));
+        }
+        out
+    }
+
+    /// The deterministic value of property type `idx` on vertex `app`
+    /// (same function the generator uses — lets tests and workloads predict
+    /// stored values).
+    pub fn prop_value(&self, seed: u64, app: u64, idx: usize) -> u64 {
+        kronecker::hash3(seed, app, 0x7700 + idx as u64)
+    }
+
+    /// Label index of edge `(u, v)`; `None` for unlabeled edges.
+    pub fn edge_label_index(&self, seed: u64, u: u64, v: u64) -> Option<usize> {
+        if self.num_labels == 0 || self.edge_label_fraction <= 0.0 {
+            return None;
+        }
+        let h = kronecker::hash3(seed, u.rotate_left(32) ^ v, 0xED6E);
+        let p = (h >> 12) as f64 / (1u64 << 52) as f64;
+        if p < self.edge_label_fraction {
+            Some((h % self.num_labels as u64) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Approximate bytes of rich data per vertex (sizing heuristics).
+    pub fn bytes_per_vertex(&self) -> usize {
+        self.labels_per_vertex * 12 + self.props_per_vertex * (8 + self.prop_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LpgConfig::default();
+        assert_eq!(c.num_labels, 20);
+        assert_eq!(c.num_ptypes, 13);
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let c = LpgConfig::default();
+        assert_eq!(c.vertex_label_indices(1, 42), c.vertex_label_indices(1, 42));
+        assert_eq!(c.vertex_props(1, 42), c.vertex_props(1, 42));
+        assert_ne!(c.vertex_props(1, 42), c.vertex_props(2, 42));
+    }
+
+    #[test]
+    fn indices_in_range_and_unique() {
+        let c = LpgConfig {
+            labels_per_vertex: 3,
+            props_per_vertex: 5,
+            ..Default::default()
+        };
+        for app in 0..200u64 {
+            let ls = c.vertex_label_indices(7, app);
+            assert!(!ls.is_empty());
+            let uniq: std::collections::HashSet<_> = ls.iter().collect();
+            assert_eq!(uniq.len(), ls.len());
+            assert!(ls.iter().all(|&i| i < c.num_labels));
+            let ps = c.vertex_props(7, app);
+            let puniq: std::collections::HashSet<_> = ps.iter().map(|(i, _)| i).collect();
+            assert_eq!(puniq.len(), ps.len());
+            assert!(ps.iter().all(|(i, _)| *i < c.num_ptypes));
+        }
+    }
+
+    #[test]
+    fn prop_value_matches_vertex_props() {
+        let c = LpgConfig::default();
+        for app in 0..100u64 {
+            for (idx, val) in c.vertex_props(3, app) {
+                assert_eq!(c.prop_value(3, app, idx), val);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_label_fraction_respected() {
+        let c = LpgConfig {
+            edge_label_fraction: 0.5,
+            ..Default::default()
+        };
+        let labeled = (0..10_000u64)
+            .filter(|&i| c.edge_label_index(9, i, i * 3 + 1).is_some())
+            .count();
+        let frac = labeled as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn bare_config_produces_nothing() {
+        let c = LpgConfig::bare();
+        assert!(c.vertex_label_indices(1, 5).is_empty());
+        assert!(c.vertex_props(1, 5).is_empty());
+        assert!(c.edge_label_index(1, 2, 3).is_none());
+    }
+
+    #[test]
+    fn label_distribution_covers_all_labels() {
+        let c = LpgConfig::default();
+        let mut seen = vec![false; c.num_labels];
+        for app in 0..2000u64 {
+            for i in c.vertex_label_indices(11, app) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some labels never assigned");
+    }
+}

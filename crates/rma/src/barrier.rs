@@ -1,0 +1,140 @@
+//! A poisonable barrier.
+//!
+//! `std::sync::Barrier` deadlocks the whole fabric if one rank panics while
+//! the others wait (the panicking thread never arrives). This barrier adds
+//! MPI-abort-like semantics: a panicking rank *poisons* the barrier, which
+//! wakes every waiter with a panic of its own, so the failure propagates to
+//! the test/benchmark harness instead of hanging it.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[derive(Debug)]
+struct State {
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable N-party barrier that can be poisoned.
+#[derive(Debug)]
+pub struct PoisonBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl PoisonBarrier {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Self {
+            n,
+            state: Mutex::new(State {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Wait for all parties. Panics if the barrier is (or becomes)
+    /// poisoned.
+    pub fn wait(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("fabric barrier poisoned: a peer rank panicked");
+        }
+        let mut g = self.state.lock();
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let my_gen = g.generation;
+        while g.generation == my_gen && !self.poisoned.load(Ordering::Acquire) {
+            self.cv.wait(&mut g);
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("fabric barrier poisoned: a peer rank panicked");
+        }
+    }
+
+    /// Poison the barrier, waking all current and future waiters with a
+    /// panic.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _g = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// Has the barrier been poisoned?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_synchronization() {
+        let b = Arc::new(PoisonBarrier::new(4));
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                let c = counter.clone();
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    // all increments must be visible after the barrier
+                    assert_eq!(c.load(Ordering::SeqCst), 4);
+                    b.wait();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        let waiter = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()));
+                r.is_err()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        b.poison();
+        assert!(waiter.join().unwrap(), "waiter must observe the poison");
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn wait_after_poison_panics() {
+        let b = PoisonBarrier::new(1);
+        b.poison();
+        b.wait();
+    }
+}

@@ -1,0 +1,236 @@
+//! LogGP-style network cost model and per-rank simulated clocks.
+//!
+//! The paper evaluates GDI-RMA on Piz Daint (Cray Aries). We cannot run on
+//! such a machine, so every fabric operation accrues *simulated time* on the
+//! issuing rank following a LogGP-like model:
+//!
+//! * a local (same-rank) memory operation costs `local_word_ns` per word;
+//! * a remote one-sided operation costs `o + L + n·G` where `o` is the CPU
+//!   injection overhead, `L` the network latency and `G` the per-byte
+//!   bandwidth term;
+//! * remote atomics add `atomic_ns` (NIC-side processing);
+//! * collectives cost `⌈log2 P⌉` latency rounds plus bandwidth terms —
+//!   matching the provably (near-)optimal tree/dissemination algorithms the
+//!   paper cites for MPI collectives.
+//!
+//! The *shape* of every scaling curve is therefore driven by measured message
+//! counts, sizes, synchronization rounds and retry loops of the real
+//! concurrent execution; only the constants come from the model. Defaults are
+//! calibrated to published Aries numbers (≈1.4 µs put latency, ≈10 GB/s
+//! per-core effective bandwidth).
+
+use std::cell::Cell;
+
+/// Parameters of the network/compute cost model (all in nanoseconds, or
+/// nanoseconds per byte for [`CostModel::g_ns_per_byte`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one local memory word access (load or store).
+    pub local_word_ns: f64,
+    /// Generic local compute cost unit (hash, compare, branch bundle).
+    pub cpu_op_ns: f64,
+    /// Per-message CPU injection overhead `o`.
+    pub o_ns: f64,
+    /// Network latency `L` for a one-sided operation.
+    pub l_ns: f64,
+    /// Bandwidth term `G`: ns per transferred byte.
+    pub g_ns_per_byte: f64,
+    /// Additional NIC processing cost of a remote atomic.
+    pub atomic_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            local_word_ns: 1.5,
+            cpu_op_ns: 1.0,
+            o_ns: 150.0,
+            l_ns: 1_400.0,
+            g_ns_per_byte: 0.1,
+            atomic_ns: 350.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model: useful for pure-correctness tests where the
+    /// simulated clock is irrelevant.
+    pub fn zero() -> Self {
+        Self {
+            local_word_ns: 0.0,
+            cpu_op_ns: 0.0,
+            o_ns: 0.0,
+            l_ns: 0.0,
+            g_ns_per_byte: 0.0,
+            atomic_ns: 0.0,
+        }
+    }
+
+    /// Cost of a one-sided data transfer of `bytes` to/from rank `target`,
+    /// issued by `origin`.
+    #[inline]
+    pub fn transfer(&self, origin: usize, target: usize, bytes: usize) -> f64 {
+        if origin == target {
+            self.local_word_ns * bytes.div_ceil(crate::WORD_BYTES) as f64
+        } else {
+            self.o_ns + self.l_ns + self.g_ns_per_byte * bytes as f64
+        }
+    }
+
+    /// Cost of a remote atomic (CAS / FADD / AGET / APUT of one word).
+    #[inline]
+    pub fn atomic(&self, origin: usize, target: usize) -> f64 {
+        if origin == target {
+            // local atomics still pay a cache-coherency premium
+            4.0 * self.local_word_ns
+        } else {
+            self.o_ns + self.l_ns + self.atomic_ns
+        }
+    }
+
+    /// Cost of a flush towards one target (completion of outstanding ops).
+    #[inline]
+    pub fn flush(&self, origin: usize, target: usize) -> f64 {
+        if origin == target {
+            self.local_word_ns
+        } else {
+            self.o_ns + self.l_ns
+        }
+    }
+
+    /// Latency rounds of a `P`-process barrier (dissemination algorithm).
+    #[inline]
+    pub fn barrier(&self, nranks: usize) -> f64 {
+        log2_ceil(nranks) as f64 * (self.l_ns + 2.0 * self.o_ns)
+    }
+
+    /// Cost of a reduction-style collective moving `bytes` per process.
+    #[inline]
+    pub fn reduce_like(&self, nranks: usize, bytes: usize) -> f64 {
+        log2_ceil(nranks) as f64 * (self.l_ns + 2.0 * self.o_ns)
+            + 2.0 * self.g_ns_per_byte * bytes as f64
+            + self.cpu_op_ns * bytes.div_ceil(crate::WORD_BYTES) as f64
+    }
+
+    /// Cost of an all-gather of `bytes` contributed per process.
+    #[inline]
+    pub fn allgather(&self, nranks: usize, bytes: usize) -> f64 {
+        log2_ceil(nranks) as f64 * (self.l_ns + 2.0 * self.o_ns)
+            + self.g_ns_per_byte * (bytes * nranks.saturating_sub(1)) as f64
+    }
+
+    /// Cost of a personalized all-to-all where this rank sends `sent` bytes
+    /// total and receives `recvd` bytes total, with `peers` distinct non-self
+    /// destinations.
+    #[inline]
+    pub fn alltoallv(&self, peers: usize, sent: usize, recvd: usize) -> f64 {
+        peers as f64 * (self.l_ns / 2.0 + self.o_ns)
+            + self.g_ns_per_byte * (sent + recvd) as f64
+    }
+}
+
+/// `⌈log2 n⌉` with `log2_ceil(0|1) == 0`.
+#[inline]
+pub fn log2_ceil(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// A per-rank simulated clock, in nanoseconds.
+///
+/// Not `Sync`: each rank advances only its own clock; collectives reconcile
+/// clocks (max + collective cost) through the fabric's shared clock board.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    ns: Cell<f64>,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        Self { ns: Cell::new(0.0) }
+    }
+
+    /// Advance the clock by `ns` nanoseconds.
+    #[inline]
+    pub fn advance(&self, ns: f64) {
+        self.ns.set(self.ns.get() + ns);
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> f64 {
+        self.ns.get()
+    }
+
+    /// Set the clock (used by collectives to reconcile to the global max).
+    #[inline]
+    pub fn set_ns(&self, ns: f64) {
+        self.ns.set(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn local_transfer_cheaper_than_remote() {
+        let m = CostModel::default();
+        assert!(m.transfer(0, 0, 64) < m.transfer(0, 1, 64));
+        assert!(m.atomic(0, 0) < m.atomic(0, 1));
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let m = CostModel::default();
+        let small = m.transfer(0, 1, 8);
+        let large = m.transfer(0, 1, 8 * 1024);
+        assert!(large > small);
+        let delta = large - small;
+        let expected = m.g_ns_per_byte * (8.0 * 1024.0 - 8.0);
+        assert!((delta - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0.0);
+        c.advance(10.0);
+        c.advance(5.5);
+        assert!((c.now_ns() - 15.5).abs() < 1e-12);
+        c.set_ns(100.0);
+        assert_eq!(c.now_ns(), 100.0);
+    }
+
+    #[test]
+    fn barrier_cost_grows_logarithmically() {
+        let m = CostModel::default();
+        assert_eq!(m.barrier(1), 0.0);
+        let b2 = m.barrier(2);
+        let b1024 = m.barrier(1024);
+        assert!((b1024 / b2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = CostModel::zero();
+        assert_eq!(m.transfer(0, 5, 4096), 0.0);
+        assert_eq!(m.atomic(3, 7), 0.0);
+        assert_eq!(m.barrier(512), 0.0);
+    }
+}

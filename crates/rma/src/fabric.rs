@@ -1,0 +1,548 @@
+//! The fabric: ranks, windows and one-sided operations.
+//!
+//! A [`Fabric`] models a distributed-memory machine with `P` ranks. Ranks
+//! execute concurrently as OS threads inside [`Fabric::run`]; each rank owns
+//! one instance of every registered window and reaches other ranks' windows
+//! exclusively through the one-sided operations on [`RankCtx`] — there is no
+//! shared-state backdoor, mirroring the discipline of MPI RMA / RDMA verbs.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::barrier::PoisonBarrier;
+use crate::cost::{CostModel, SimClock};
+use crate::stats::{CommStats, RankReport};
+use crate::window::Window;
+
+/// Identifier of a registered window (index in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WinId(pub usize);
+
+pub(crate) struct Shared {
+    pub nranks: usize,
+    pub cost: CostModel,
+    /// `windows[rank][win]`
+    pub windows: Vec<Vec<Window>>,
+    /// Published simulated clocks (f64 bits), one slot per rank.
+    pub clocks: Vec<AtomicU64>,
+    /// Collective exchange board, one slot per rank.
+    pub boards: Vec<Mutex<Option<Arc<dyn Any + Send + Sync>>>>,
+    pub barrier: PoisonBarrier,
+}
+
+/// Builder for a [`Fabric`].
+pub struct FabricBuilder {
+    nranks: usize,
+    window_bytes: Vec<usize>,
+    cost: CostModel,
+}
+
+impl FabricBuilder {
+    /// Start building a fabric with `nranks` simulated processes.
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks >= 1, "a fabric needs at least one rank");
+        assert!(nranks <= u16::MAX as usize, "rank ids must fit in 16 bits");
+        Self {
+            nranks,
+            window_bytes: Vec::new(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Register a symmetric window of `bytes` bytes on every rank. Windows
+    /// receive consecutive [`WinId`]s starting from 0, in call order.
+    pub fn window(mut self, bytes: usize) -> Self {
+        self.window_bytes.push(bytes);
+        self
+    }
+
+    /// Use a specific cost model (defaults to [`CostModel::default`]).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn build(self) -> Fabric {
+        let windows = (0..self.nranks)
+            .map(|_| {
+                self.window_bytes
+                    .iter()
+                    .map(|&b| Window::new(b))
+                    .collect()
+            })
+            .collect();
+        let clocks = (0..self.nranks).map(|_| AtomicU64::new(0)).collect();
+        let boards = (0..self.nranks).map(|_| Mutex::new(None)).collect();
+        Fabric {
+            shared: Arc::new(Shared {
+                nranks: self.nranks,
+                cost: self.cost,
+                windows,
+                clocks,
+                boards,
+                barrier: PoisonBarrier::new(self.nranks),
+            }),
+            last_reports: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A simulated distributed-memory machine.
+pub struct Fabric {
+    shared: Arc<Shared>,
+    last_reports: Mutex<Vec<RankReport>>,
+}
+
+impl Fabric {
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.shared.cost
+    }
+
+    /// Execute `f` once per rank, concurrently, and return the per-rank
+    /// results in rank order. Communication statistics and final simulated
+    /// clocks are captured and retrievable via [`Fabric::last_reports`].
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&RankCtx) -> R + Sync,
+        R: Send,
+    {
+        let shared = &self.shared;
+        let mut out: Vec<Option<(R, RankReport)>> =
+            (0..shared.nranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shared.nranks);
+            for rank in 0..shared.nranks {
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let ctx = RankCtx {
+                        rank,
+                        shared,
+                        clock: SimClock::new(),
+                        stats: CommStats::new(),
+                        nb_depth: std::cell::Cell::new(None),
+                    };
+                    // If this rank panics, poison the fabric barrier so
+                    // peer ranks blocked in collectives fail fast instead
+                    // of deadlocking the harness.
+                    let r = match std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| f(&ctx)),
+                    ) {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            shared.barrier.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    };
+                    let mut report = ctx.stats.snapshot();
+                    report.sim_time_ns = ctx.clock.now_ns();
+                    (r, report)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                out[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        let mut reports = Vec::with_capacity(shared.nranks);
+        let mut results = Vec::with_capacity(shared.nranks);
+        for slot in out {
+            let (r, rep) = slot.unwrap();
+            results.push(r);
+            reports.push(rep);
+        }
+        *self.last_reports.lock() = reports;
+        results
+    }
+
+    /// Reports (comm statistics + final sim clock) of the most recent
+    /// [`Fabric::run`], in rank order.
+    pub fn last_reports(&self) -> Vec<RankReport> {
+        self.last_reports.lock().clone()
+    }
+
+    /// Maximum simulated time over all ranks of the last run, in seconds.
+    pub fn last_sim_time_s(&self) -> f64 {
+        self.last_reports
+            .lock()
+            .iter()
+            .map(|r| r.sim_time_ns)
+            .fold(0.0, f64::max)
+            / 1e9
+    }
+}
+
+/// Per-rank execution context: the handle through which a rank performs all
+/// fabric operations. Not `Send`/`Sync`: it lives on its rank's thread.
+pub struct RankCtx<'a> {
+    rank: usize,
+    pub(crate) shared: &'a Shared,
+    pub(crate) clock: SimClock,
+    pub(crate) stats: CommStats,
+    /// Non-blocking batch state: when `Some`, data-transfer operations
+    /// charge only their injection/bandwidth terms and the largest network
+    /// latency is deferred to [`RankCtx::end_nb_batch`] — modeling the
+    /// latency overlap of non-blocking RDMA operations the paper relies on
+    /// (§5.1: "we use non-blocking variants of all functions, because they
+    /// can additionally increase performance by overlapping communication").
+    pub(crate) nb_depth: std::cell::Cell<Option<f64>>,
+}
+
+impl<'a> RankCtx<'a> {
+    /// This rank's id, `0 ≤ rank < nranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// The fabric's cost model.
+    #[inline]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
+    /// Current simulated time of this rank in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> f64 {
+        self.clock.now_ns()
+    }
+
+    /// Accrue local compute cost of `n` abstract CPU operations (hashing,
+    /// filtering, arithmetic): used by workloads to model query-local work.
+    #[inline]
+    pub fn charge_cpu(&self, n: u64) {
+        self.clock.advance(self.shared.cost.cpu_op_ns * n as f64);
+    }
+
+    /// Accrue an explicit amount of simulated nanoseconds.
+    #[inline]
+    pub fn charge_ns(&self, ns: f64) {
+        self.clock.advance(ns);
+    }
+
+    /// Communication statistics snapshot of this rank (so far).
+    pub fn stats_snapshot(&self) -> RankReport {
+        let mut r = self.stats.snapshot();
+        r.sim_time_ns = self.clock.now_ns();
+        r
+    }
+
+    #[inline]
+    fn win(&self, win: WinId, rank: usize) -> &Window {
+        &self.shared.windows[rank][win.0]
+    }
+
+    /// Size in bytes of a window (identical on all ranks).
+    pub fn win_len_bytes(&self, win: WinId) -> usize {
+        self.win(win, self.rank).len_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided operations (paper §5.1: GET, PUT, CAS, AGET, APUT, flush)
+    // ------------------------------------------------------------------
+
+    /// Charge a data transfer, honouring an open non-blocking batch: inside
+    /// a batch only injection overhead + bandwidth accrue immediately and
+    /// the largest latency is deferred to the closing flush.
+    #[inline]
+    fn charge_transfer(&self, target: usize, bytes: usize) {
+        let full = self.shared.cost.transfer(self.rank, target, bytes);
+        match self.nb_depth.get() {
+            None => self.clock.advance(full),
+            Some(max_latency) => {
+                let lat = if target == self.rank {
+                    0.0
+                } else {
+                    self.shared.cost.l_ns
+                };
+                self.clock.advance(full - lat);
+                self.nb_depth.set(Some(max_latency.max(lat)));
+            }
+        }
+    }
+
+    /// Open a non-blocking batch: subsequent GET/PUT operations overlap
+    /// their network latencies until [`RankCtx::end_nb_batch`]. Batches do
+    /// not nest.
+    pub fn begin_nb_batch(&self) {
+        debug_assert!(self.nb_depth.get().is_none(), "nb batches do not nest");
+        self.nb_depth.set(Some(0.0));
+    }
+
+    /// Close a non-blocking batch (the local completion/flush point): the
+    /// largest deferred latency of the batch is charged once.
+    pub fn end_nb_batch(&self) {
+        if let Some(lat) = self.nb_depth.take() {
+            self.clock.advance(lat);
+        }
+    }
+
+    /// One-sided bulk GET: read `dst.len()` bytes from `target`'s window.
+    pub fn get_bytes(&self, win: WinId, target: usize, off: usize, dst: &mut [u8]) {
+        self.charge_transfer(target, dst.len());
+        self.stats.record_get(target != self.rank, dst.len());
+        self.win(win, target).read_bytes(off, dst);
+    }
+
+    /// One-sided bulk PUT: write `src` into `target`'s window.
+    pub fn put_bytes(&self, win: WinId, target: usize, off: usize, src: &[u8]) {
+        self.charge_transfer(target, src.len());
+        self.stats.record_put(target != self.rank, src.len());
+        self.win(win, target).write_bytes(off, src);
+    }
+
+    /// One-sided single-word GET (non-atomic flavour; still word-atomic).
+    pub fn get_u64(&self, win: WinId, target: usize, word: usize) -> u64 {
+        self.charge_transfer(target, 8);
+        self.stats.record_get(target != self.rank, 8);
+        self.win(win, target).load(word)
+    }
+
+    /// One-sided single-word PUT.
+    pub fn put_u64(&self, win: WinId, target: usize, word: usize, v: u64) {
+        self.charge_transfer(target, 8);
+        self.stats.record_put(target != self.rank, 8);
+        self.win(win, target).store(word, v)
+    }
+
+    /// Atomic GET of a 64-bit word (hardware-accelerated remote atomic).
+    pub fn aget_u64(&self, win: WinId, target: usize, word: usize) -> u64 {
+        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.stats.record_atomic(target != self.rank);
+        self.win(win, target).load(word)
+    }
+
+    /// Atomic PUT of a 64-bit word.
+    pub fn aput_u64(&self, win: WinId, target: usize, word: usize, v: u64) {
+        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.stats.record_atomic(target != self.rank);
+        self.win(win, target).store(word, v)
+    }
+
+    /// Remote compare-and-swap; returns the value observed at the target
+    /// (equals `compare` iff the swap succeeded) — the paper's
+    /// `CAS(local_new, compare, result, remote)`.
+    pub fn cas_u64(
+        &self,
+        win: WinId,
+        target: usize,
+        word: usize,
+        compare: u64,
+        new: u64,
+    ) -> u64 {
+        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.stats.record_atomic(target != self.rank);
+        self.win(win, target).cas(word, compare, new)
+    }
+
+    /// Remote fetch-and-add; returns the previous value.
+    pub fn fadd_u64(&self, win: WinId, target: usize, word: usize, delta: u64) -> u64 {
+        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.stats.record_atomic(target != self.rank);
+        self.win(win, target).fadd(word, delta)
+    }
+
+    /// Remote fetch-and-sub; returns the previous value.
+    pub fn fsub_u64(&self, win: WinId, target: usize, word: usize, delta: u64) -> u64 {
+        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.stats.record_atomic(target != self.rank);
+        self.win(win, target).fsub(word, delta)
+    }
+
+    /// Flush: complete all outstanding one-sided operations towards `target`
+    /// and make them visible. In this shared-memory fabric operations
+    /// complete eagerly, so flush only charges its synchronization cost and
+    /// issues a fence (the memory-visibility role flushes play on RDMA).
+    pub fn flush(&self, target: usize) {
+        self.clock.advance(self.shared.cost.flush(self.rank, target));
+        self.stats.record_flush();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Clock publication (used by collectives; see collectives.rs)
+    // ------------------------------------------------------------------
+
+    /// Publish this rank's clock and return the max over all ranks after a
+    /// full synchronization. Internal building block for collectives.
+    pub(crate) fn clock_sync(&self) -> f64 {
+        self.shared.clocks[self.rank]
+            .store(self.clock.now_ns().to_bits(), Ordering::Release);
+        self.shared.barrier.wait();
+        let max = (0..self.shared.nranks)
+            .map(|r| f64::from_bits(self.shared.clocks[r].load(Ordering::Acquire)))
+            .fold(0.0, f64::max);
+        self.shared.barrier.wait();
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_each_others_windows() {
+        let fabric = FabricBuilder::new(4).window(256).build();
+        let w = WinId(0);
+        let ok = fabric.run(|ctx| {
+            ctx.put_u64(w, ctx.rank(), 0, 1000 + ctx.rank() as u64);
+            ctx.barrier();
+            let peer = (ctx.rank() + 1) % ctx.nranks();
+            ctx.get_u64(w, peer, 0) == 1000 + peer as u64
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cas_is_globally_atomic() {
+        // All ranks increment a counter on rank 0 via CAS loops; the final
+        // value must equal the number of increments.
+        const PER_RANK: u64 = 200;
+        let fabric = FabricBuilder::new(8).window(64).build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            for _ in 0..PER_RANK {
+                loop {
+                    let cur = ctx.aget_u64(w, 0, 0);
+                    if ctx.cas_u64(w, 0, 0, cur, cur + 1) == cur {
+                        break;
+                    }
+                }
+            }
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                assert_eq!(ctx.aget_u64(w, 0, 0), 8 * PER_RANK);
+            }
+        });
+    }
+
+    #[test]
+    fn fadd_counts() {
+        let fabric = FabricBuilder::new(6).window(64).build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            ctx.fadd_u64(w, 0, 3, 5);
+            ctx.barrier();
+            assert_eq!(ctx.aget_u64(w, 0, 3), 30);
+        });
+    }
+
+    #[test]
+    fn bulk_transfer_roundtrip_across_ranks() {
+        let fabric = FabricBuilder::new(2).window(4096).build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            if ctx.rank() == 0 {
+                let payload: Vec<u8> = (0..255).collect();
+                ctx.put_bytes(w, 1, 17, &payload);
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                let mut got = vec![0u8; 255];
+                ctx.get_bytes(w, 1, 17, &mut got);
+                assert_eq!(got, (0..255).collect::<Vec<u8>>());
+            }
+        });
+    }
+
+    #[test]
+    fn sim_time_and_stats_are_reported() {
+        let fabric = FabricBuilder::new(2).window(64).build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            ctx.put_u64(w, 1 - ctx.rank(), 0, 1);
+            ctx.flush(1 - ctx.rank());
+        });
+        let reports = fabric.last_reports();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.puts, 1);
+            assert_eq!(r.flushes, 1);
+            assert!(r.sim_time_ns > 0.0);
+        }
+        assert!(fabric.last_sim_time_s() > 0.0);
+    }
+
+    #[test]
+    fn single_rank_fabric_works() {
+        let fabric = FabricBuilder::new(1).window(64).build();
+        let w = WinId(0);
+        let v = fabric.run(|ctx| {
+            ctx.aput_u64(w, 0, 0, 42);
+            ctx.barrier();
+            ctx.aget_u64(w, 0, 0)
+        });
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = FabricBuilder::new(0);
+    }
+}
+
+#[cfg(test)]
+mod nb_tests {
+    use super::*;
+
+    #[test]
+    fn nb_batch_overlaps_latency() {
+        let fabric = FabricBuilder::new(2).build();
+        let w = WinId(0);
+        // sequential: N puts pay N latencies; batched: one latency
+        let fabric2 = FabricBuilder::new(2).window(4096).build();
+        let _ = fabric; // windows registered on the second builder only
+        let times = fabric2.run(|ctx| {
+            if ctx.rank() != 0 {
+                return (0.0, 0.0);
+            }
+            let payload = [0u8; 64];
+            let t0 = ctx.now_ns();
+            for i in 0..10 {
+                ctx.put_bytes(w, 1, i * 64, &payload);
+            }
+            let sequential = ctx.now_ns() - t0;
+
+            let t1 = ctx.now_ns();
+            ctx.begin_nb_batch();
+            for i in 0..10 {
+                ctx.put_bytes(w, 1, i * 64, &payload);
+            }
+            ctx.end_nb_batch();
+            let batched = ctx.now_ns() - t1;
+            (sequential, batched)
+        });
+        let (seq, bat) = times[0];
+        assert!(bat < seq, "batched {bat} !< sequential {seq}");
+        let l = CostModel::default().l_ns;
+        // batched saves 9 of the 10 latencies
+        assert!((seq - bat - 9.0 * l).abs() < 1e-6, "saved {}", seq - bat);
+    }
+
+    #[test]
+    fn nb_batch_local_ops_free_of_latency() {
+        let fabric = FabricBuilder::new(1).window(4096).build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            ctx.begin_nb_batch();
+            ctx.put_u64(w, 0, 0, 7); // local: no deferred latency
+            ctx.end_nb_batch();
+            assert_eq!(ctx.get_u64(w, 0, 0), 7);
+        });
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-rank communication statistics.
+//!
+//! Every one-sided operation and collective is counted. The figure harnesses
+//! use these counters both for reporting and for cost-model extrapolation to
+//! machine sizes beyond the host (§6.8 extreme-scale runs).
+
+use std::cell::Cell;
+
+/// Mutable per-rank counters (single-writer: the owning rank thread).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    puts: Cell<u64>,
+    gets: Cell<u64>,
+    atomics: Cell<u64>,
+    flushes: Cell<u64>,
+    bytes_put: Cell<u64>,
+    bytes_get: Cell<u64>,
+    collectives: Cell<u64>,
+    coll_bytes: Cell<u64>,
+    local_ops: Cell<u64>,
+}
+
+impl CommStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record_put(&self, remote: bool, bytes: usize) {
+        if remote {
+            self.puts.set(self.puts.get() + 1);
+            self.bytes_put.set(self.bytes_put.get() + bytes as u64);
+        } else {
+            self.local_ops.set(self.local_ops.get() + 1);
+        }
+    }
+
+    #[inline]
+    pub fn record_get(&self, remote: bool, bytes: usize) {
+        if remote {
+            self.gets.set(self.gets.get() + 1);
+            self.bytes_get.set(self.bytes_get.get() + bytes as u64);
+        } else {
+            self.local_ops.set(self.local_ops.get() + 1);
+        }
+    }
+
+    #[inline]
+    pub fn record_atomic(&self, remote: bool) {
+        if remote {
+            self.atomics.set(self.atomics.get() + 1);
+        } else {
+            self.local_ops.set(self.local_ops.get() + 1);
+        }
+    }
+
+    #[inline]
+    pub fn record_flush(&self) {
+        self.flushes.set(self.flushes.get() + 1);
+    }
+
+    #[inline]
+    pub fn record_collective(&self, bytes: usize) {
+        self.collectives.set(self.collectives.get() + 1);
+        self.coll_bytes.set(self.coll_bytes.get() + bytes as u64);
+    }
+
+    /// Produce an owned snapshot.
+    pub fn snapshot(&self) -> RankReport {
+        RankReport {
+            puts: self.puts.get(),
+            gets: self.gets.get(),
+            atomics: self.atomics.get(),
+            flushes: self.flushes.get(),
+            bytes_put: self.bytes_put.get(),
+            bytes_get: self.bytes_get.get(),
+            collectives: self.collectives.get(),
+            coll_bytes: self.coll_bytes.get(),
+            local_ops: self.local_ops.get(),
+            sim_time_ns: 0.0,
+        }
+    }
+}
+
+/// An owned, sendable summary of a rank's communication behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankReport {
+    pub puts: u64,
+    pub gets: u64,
+    pub atomics: u64,
+    pub flushes: u64,
+    pub bytes_put: u64,
+    pub bytes_get: u64,
+    pub collectives: u64,
+    pub coll_bytes: u64,
+    pub local_ops: u64,
+    /// Final simulated time of the rank in nanoseconds.
+    pub sim_time_ns: f64,
+}
+
+impl RankReport {
+    /// Total remote messages injected by this rank.
+    pub fn messages(&self) -> u64 {
+        self.puts + self.gets + self.atomics + self.flushes
+    }
+
+    /// Total remote bytes moved by this rank (puts + gets + collectives).
+    pub fn bytes(&self) -> u64 {
+        self.bytes_put + self.bytes_get + self.coll_bytes
+    }
+
+    /// Element-wise accumulation (max for sim time).
+    pub fn merge(&mut self, other: &RankReport) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.atomics += other.atomics;
+        self.flushes += other.flushes;
+        self.bytes_put += other.bytes_put;
+        self.bytes_get += other.bytes_get;
+        self.collectives += other.collectives;
+        self.coll_bytes += other.coll_bytes;
+        self.local_ops += other.local_ops;
+        self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CommStats::new();
+        s.record_put(true, 64);
+        s.record_put(false, 8);
+        s.record_get(true, 128);
+        s.record_atomic(true);
+        s.record_atomic(false);
+        s.record_flush();
+        s.record_collective(32);
+        let r = s.snapshot();
+        assert_eq!(r.puts, 1);
+        assert_eq!(r.gets, 1);
+        assert_eq!(r.atomics, 1);
+        assert_eq!(r.flushes, 1);
+        assert_eq!(r.local_ops, 2);
+        assert_eq!(r.bytes_put, 64);
+        assert_eq!(r.bytes_get, 128);
+        assert_eq!(r.collectives, 1);
+        assert_eq!(r.coll_bytes, 32);
+        assert_eq!(r.messages(), 4);
+        assert_eq!(r.bytes(), 64 + 128 + 32);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = RankReport {
+            puts: 1,
+            sim_time_ns: 5.0,
+            ..Default::default()
+        };
+        let b = RankReport {
+            puts: 2,
+            sim_time_ns: 3.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.puts, 3);
+        assert_eq!(a.sim_time_ns, 5.0);
+    }
+}

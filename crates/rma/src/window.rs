@@ -1,0 +1,250 @@
+//! RMA windows: word-granular atomic memory regions.
+//!
+//! A window is the unit of memory a rank *exposes* to one-sided access by
+//! other ranks (§5.1). We store windows as `Box<[AtomicU64]>`:
+//!
+//! * all remote atomics (CAS, FADD, AGET, APUT) operate on naturally aligned
+//!   64-bit words — exactly the hardware-accelerated granularity the paper
+//!   builds its design around (§5.3, "Using 64-bit distributed pointers
+//!   facilitates harnessing hardware accelerated remote atomic operations");
+//! * bulk `GET`/`PUT` of byte ranges are performed word-wise with relaxed
+//!   ordering, reproducing RDMA semantics where bulk transfers are *not*
+//!   atomic with respect to concurrent accesses and must be ordered by
+//!   flushes and application-level locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::WORD_BYTES;
+
+/// A word-granular shared memory region.
+pub struct Window {
+    words: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Window")
+            .field("bytes", &(self.words.len() * WORD_BYTES))
+            .finish()
+    }
+}
+
+impl Window {
+    /// Create a zero-initialized window of at least `bytes` bytes (rounded up
+    /// to whole words).
+    pub fn new(bytes: usize) -> Self {
+        let nwords = bytes.div_ceil(WORD_BYTES);
+        let mut v = Vec::with_capacity(nwords);
+        v.resize_with(nwords, || AtomicU64::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * WORD_BYTES
+    }
+
+    /// Size in words.
+    #[inline]
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Atomic load of word `idx` (acquire).
+    #[inline]
+    pub fn load(&self, idx: usize) -> u64 {
+        self.words[idx].load(Ordering::Acquire)
+    }
+
+    /// Atomic store to word `idx` (release).
+    #[inline]
+    pub fn store(&self, idx: usize, v: u64) {
+        self.words[idx].store(v, Ordering::Release);
+    }
+
+    /// Atomic compare-and-swap on word `idx`; returns the previous value.
+    #[inline]
+    pub fn cas(&self, idx: usize, compare: u64, new: u64) -> u64 {
+        match self.words[idx].compare_exchange(
+            compare,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        }
+    }
+
+    /// Atomic fetch-and-add on word `idx`; returns the previous value.
+    #[inline]
+    pub fn fadd(&self, idx: usize, delta: u64) -> u64 {
+        self.words[idx].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomic fetch-and-sub on word `idx`; returns the previous value.
+    #[inline]
+    pub fn fsub(&self, idx: usize, delta: u64) -> u64 {
+        self.words[idx].fetch_sub(delta, Ordering::AcqRel)
+    }
+
+    /// Bulk read of `dst.len()` bytes starting at byte offset `off`.
+    ///
+    /// Word-wise, non-atomic across words: concurrent writers may produce a
+    /// mix of old and new words (torn bulk reads), as on real RDMA hardware.
+    /// Callers serialize through locks/flushes, as GDA does.
+    pub fn read_bytes(&self, off: usize, dst: &mut [u8]) {
+        assert!(
+            off + dst.len() <= self.len_bytes(),
+            "window read out of bounds: off={} len={} window={}",
+            off,
+            dst.len(),
+            self.len_bytes()
+        );
+        let mut pos = 0usize;
+        while pos < dst.len() {
+            let byte = off + pos;
+            let widx = byte / WORD_BYTES;
+            let in_word = byte % WORD_BYTES;
+            let take = (WORD_BYTES - in_word).min(dst.len() - pos);
+            let w = self.words[widx].load(Ordering::Acquire).to_le_bytes();
+            dst[pos..pos + take].copy_from_slice(&w[in_word..in_word + take]);
+            pos += take;
+        }
+    }
+
+    /// Bulk write of `src` starting at byte offset `off`.
+    ///
+    /// Whole words are stored atomically; partial boundary words use a
+    /// load-modify-store (safe here because GDA guards all bulk block writes
+    /// with its distributed reader-writer locks, mirroring the paper's ACI
+    /// protocol).
+    pub fn write_bytes(&self, off: usize, src: &[u8]) {
+        assert!(
+            off + src.len() <= self.len_bytes(),
+            "window write out of bounds: off={} len={} window={}",
+            off,
+            src.len(),
+            self.len_bytes()
+        );
+        let mut pos = 0usize;
+        while pos < src.len() {
+            let byte = off + pos;
+            let widx = byte / WORD_BYTES;
+            let in_word = byte % WORD_BYTES;
+            let take = (WORD_BYTES - in_word).min(src.len() - pos);
+            if take == WORD_BYTES {
+                let w = u64::from_le_bytes(src[pos..pos + 8].try_into().unwrap());
+                self.words[widx].store(w, Ordering::Release);
+            } else {
+                let mut w = self.words[widx].load(Ordering::Acquire).to_le_bytes();
+                w[in_word..in_word + take].copy_from_slice(&src[pos..pos + take]);
+                self.words[widx]
+                    .store(u64::from_le_bytes(w), Ordering::Release);
+            }
+            pos += take;
+        }
+    }
+
+    /// Zero a byte range (used when releasing blocks back to the pool).
+    pub fn zero_bytes(&self, off: usize, len: usize) {
+        // Reuse write_bytes in word-sized chunks to avoid a large temp.
+        const Z: [u8; 256] = [0u8; 256];
+        let mut pos = 0;
+        while pos < len {
+            let take = (len - pos).min(Z.len());
+            self.write_bytes(off + pos, &Z[..take]);
+            pos += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_up_to_words() {
+        let w = Window::new(3);
+        assert_eq!(w.len_bytes(), 8);
+        assert_eq!(w.len_words(), 1);
+        let w = Window::new(16);
+        assert_eq!(w.len_words(), 2);
+    }
+
+    #[test]
+    fn word_ops() {
+        let w = Window::new(64);
+        w.store(2, 0xdead_beef);
+        assert_eq!(w.load(2), 0xdead_beef);
+        assert_eq!(w.cas(2, 0xdead_beef, 7), 0xdead_beef);
+        assert_eq!(w.load(2), 7);
+        // failed CAS returns current value and leaves memory untouched
+        assert_eq!(w.cas(2, 99, 1), 7);
+        assert_eq!(w.load(2), 7);
+        assert_eq!(w.fadd(2, 10), 7);
+        assert_eq!(w.load(2), 17);
+        assert_eq!(w.fsub(2, 17), 17);
+        assert_eq!(w.load(2), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip_aligned() {
+        let w = Window::new(64);
+        let src: Vec<u8> = (0..32).collect();
+        w.write_bytes(8, &src);
+        let mut dst = vec![0u8; 32];
+        w.read_bytes(8, &mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn byte_roundtrip_unaligned() {
+        let w = Window::new(64);
+        let src: Vec<u8> = (100..100 + 13).collect();
+        w.write_bytes(3, &src);
+        let mut dst = vec![0u8; 13];
+        w.read_bytes(3, &mut dst);
+        assert_eq!(src, dst);
+        // neighbouring bytes untouched
+        let mut b = [0u8; 3];
+        w.read_bytes(0, &mut b);
+        assert_eq!(b, [0, 0, 0]);
+    }
+
+    #[test]
+    fn unaligned_write_preserves_neighbours() {
+        let w = Window::new(32);
+        w.write_bytes(0, &[0xAA; 16]);
+        w.write_bytes(5, &[0xBB; 4]);
+        let mut dst = [0u8; 16];
+        w.read_bytes(0, &mut dst);
+        for (i, b) in dst.iter().enumerate() {
+            let expect = if (5..9).contains(&i) { 0xBB } else { 0xAA };
+            assert_eq!(*b, expect, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn zeroing() {
+        let w = Window::new(1024);
+        w.write_bytes(0, &[0xFF; 1024]);
+        w.zero_bytes(100, 700);
+        let mut dst = [0u8; 1024];
+        w.read_bytes(0, &mut dst);
+        assert!(dst[..100].iter().all(|&b| b == 0xFF));
+        assert!(dst[100..800].iter().all(|&b| b == 0));
+        assert!(dst[800..].iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let w = Window::new(8);
+        let mut dst = [0u8; 16];
+        w.read_bytes(0, &mut dst);
+    }
+}

@@ -1,0 +1,193 @@
+//! BFS and k-hop neighborhood queries (Fig. 6e/6f).
+//!
+//! Level-synchronous distributed BFS in the Graph500 style: per level, each
+//! rank expands its local frontier through the adjacency it fetched via
+//! GDI, routes discovered vertices to their owners with one `alltoallv`,
+//! and the ranks agree on termination with an `allreduce` of the next
+//! frontier size. Edges are traversed in both directions (Graph500 treats
+//! the Kronecker graph as undirected).
+
+use gda::GdaRank;
+
+use super::{route, LocalView};
+
+/// Result of a BFS / k-hop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Vertices reached (including the root).
+    pub visited: u64,
+    /// Levels expanded (root = level 0).
+    pub levels: u32,
+}
+
+/// Full BFS from `root_app`.
+pub fn bfs(eng: &GdaRank, view: &LocalView, root_app: u64) -> BfsResult {
+    bounded_bfs(eng, view, root_app, u32::MAX)
+}
+
+/// k-hop neighborhood query: number of distinct vertices within `k` hops
+/// of `root_app` (the paper's 2-/3-/4-hop workloads, Fig. 6e).
+pub fn khop(eng: &GdaRank, view: &LocalView, root_app: u64, k: u32) -> u64 {
+    bounded_bfs(eng, view, root_app, k).visited
+}
+
+fn bounded_bfs(eng: &GdaRank, view: &LocalView, root_app: u64, max_levels: u32) -> BfsResult {
+    let ctx = eng.ctx();
+    let nranks = ctx.nranks();
+    let mut visited = vec![false; view.len()];
+    let mut frontier: Vec<usize> = Vec::new();
+    if let Some(&i) = view.app_index.get(&root_app) {
+        visited[i] = true;
+        frontier.push(i);
+    }
+    let mut total_visited = ctx.allreduce_sum_u64(frontier.len() as u64);
+    assert!(total_visited == 1, "BFS root {root_app} not found");
+    let mut levels = 0u32;
+
+    loop {
+        if levels >= max_levels {
+            break;
+        }
+        // expand: messages to the owners of discovered vertices
+        let msgs = frontier
+            .iter()
+            .flat_map(|&i| view.adj_any[i].iter().map(|&t| (t, ())));
+        let rows = route(nranks, msgs);
+        let recv = ctx.alltoallv(rows);
+        ctx.charge_cpu(frontier.len() as u64 + 1);
+
+        let mut next: Vec<usize> = Vec::new();
+        for (raw, ()) in recv.into_iter().flatten() {
+            let i = view.index_of[&raw];
+            if !visited[i] {
+                visited[i] = true;
+                next.push(i);
+            }
+        }
+        let next_total = ctx.allreduce_sum_u64(next.len() as u64);
+        if next_total == 0 {
+            break;
+        }
+        total_visited += next_total;
+        frontier = next;
+        levels += 1;
+    }
+    BfsResult {
+        visited: total_visited,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::build_view;
+    use gda::GdaDb;
+    use graphgen::{load_into, sized_config, GraphSpec, LpgConfig};
+    use rma::CostModel;
+    use std::collections::{HashSet, VecDeque};
+
+    fn spec() -> GraphSpec {
+        GraphSpec {
+            scale: 6,
+            edge_factor: 4,
+            seed: 11,
+            lpg: LpgConfig::bare(),
+        }
+    }
+
+    /// Sequential reference BFS over the raw edge list (undirected).
+    fn reference_bfs(spec: &GraphSpec, root: u64, max_levels: u32) -> (u64, u32) {
+        let n = spec.n_vertices() as usize;
+        let mut adj = vec![Vec::new(); n];
+        for (u, v) in spec.edges_for_rank(0, 1) {
+            adj[u as usize].push(v as usize);
+            adj[v as usize].push(u as usize);
+        }
+        let mut seen = HashSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(root as usize);
+        q.push_back((root as usize, 0u32));
+        let mut levels = 0;
+        while let Some((v, d)) = q.pop_front() {
+            if d >= max_levels {
+                continue;
+            }
+            for &w in &adj[v] {
+                if seen.insert(w) {
+                    levels = levels.max(d + 1);
+                    q.push_back((w, d + 1));
+                }
+            }
+        }
+        (seen.len() as u64, levels)
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let spec = spec();
+        let nranks = 4;
+        let cfg = sized_config(&spec, nranks);
+        let (db, fabric) = GdaDb::with_fabric("bfs", cfg, nranks, CostModel::default());
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            load_into(&eng, &spec);
+            let apps = spec.vertices_for_rank(ctx.rank(), ctx.nranks());
+            let view = build_view(&eng, &apps);
+            for root in [0u64, 5, 17] {
+                let got = bfs(&eng, &view, root);
+                let (want_visited, want_levels) = reference_bfs(&spec, root, u32::MAX);
+                assert_eq!(got.visited, want_visited, "root {root}");
+                assert_eq!(got.levels, want_levels, "root {root}");
+            }
+        });
+    }
+
+    #[test]
+    fn khop_matches_reference_and_is_monotone() {
+        let spec = spec();
+        let nranks = 2;
+        let cfg = sized_config(&spec, nranks);
+        let (db, fabric) = GdaDb::with_fabric("khop", cfg, nranks, CostModel::default());
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            load_into(&eng, &spec);
+            let apps = spec.vertices_for_rank(ctx.rank(), ctx.nranks());
+            let view = build_view(&eng, &apps);
+            let mut prev = 0;
+            for k in 1..=4 {
+                let got = khop(&eng, &view, 3, k);
+                let (want, _) = reference_bfs(&spec, 3, k);
+                assert_eq!(got, want, "k={k}");
+                assert!(got >= prev, "k-hop counts must be monotone");
+                prev = got;
+            }
+        });
+    }
+
+    #[test]
+    fn isolated_root_visits_itself() {
+        // scale-6 Kronecker has isolated vertices; find one and BFS from it
+        let spec = spec();
+        let mut deg = vec![0u64; spec.n_vertices() as usize];
+        for (u, v) in spec.edges_for_rank(0, 1) {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let isolated = deg.iter().position(|&d| d == 0).expect("none isolated") as u64;
+        let cfg = sized_config(&spec, 1);
+        let (db, fabric) = GdaDb::with_fabric("iso", cfg, 1, CostModel::zero());
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            load_into(&eng, &spec);
+            let apps = spec.vertices_for_rank(ctx.rank(), 1);
+            let view = build_view(&eng, &apps);
+            let r = bfs(&eng, &view, isolated);
+            assert_eq!(r.visited, 1);
+            assert_eq!(r.levels, 0);
+        });
+    }
+}

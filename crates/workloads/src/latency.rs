@@ -1,0 +1,172 @@
+//! Log-bucketed latency histograms (the data behind Fig. 5).
+//!
+//! The paper plots per-operation latency histograms with microsecond
+//! resolution for GDA/JanusGraph and millisecond resolution for Neo4j. We
+//! use logarithmic buckets (factor 2) from 64 ns to ~4 s, which covers
+//! both regimes, plus exact mean/percentile extraction.
+
+/// A histogram with power-of-two bucket edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[min_ns · 2^i, min_ns · 2^(i+1))`.
+    buckets: Vec<u64>,
+    min_ns: f64,
+    count: u64,
+    sum_ns: f64,
+    max_ns: f64,
+}
+
+const NUM_BUCKETS: usize = 26; // 64ns .. ~4.3s
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            min_ns: 64.0,
+            count: 0,
+            sum_ns: 0.0,
+            max_ns: 0.0,
+        }
+    }
+
+    /// Record one sample (nanoseconds).
+    pub fn add(&mut self, ns: f64) {
+        let idx = if ns <= self.min_ns {
+            0
+        } else {
+            ((ns / self.min_ns).log2() as usize).min(NUM_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
+    }
+
+    /// Maximum recorded sample.
+    pub fn max_ns(&self) -> f64 {
+        self.max_ns
+    }
+
+    /// Approximate percentile (bucket upper edge), `p ∈ (0, 100]`.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.min_ns * 2f64.powi(i as i32 + 1);
+            }
+        }
+        self.min_ns * 2f64.powi(NUM_BUCKETS as i32)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// `(bucket lower edge in ns, count)` pairs for plotting; empty
+    /// buckets are skipped.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.min_ns * 2f64.powi(i as i32), c))
+            .collect()
+    }
+
+    /// Raw bucket counts (fixed length), for serialization across ranks.
+    pub fn raw(&self) -> (&[u64], u64, f64, f64) {
+        (&self.buckets, self.count, self.sum_ns, self.max_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new();
+        h.add(1_000.0);
+        h.add(3_000.0);
+        assert_eq!(h.count(), 2);
+        assert!((h.mean_ns() - 2_000.0).abs() < 1e-9);
+        assert_eq!(h.max_ns(), 3_000.0);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.add(i as f64 * 1_000.0); // 1µs .. 1ms
+        }
+        let p50 = h.percentile_ns(50.0);
+        let p95 = h.percentile_ns(95.0);
+        let p99 = h.percentile_ns(99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!((250_000.0..=1_200_000.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn tiny_and_huge_samples_clamp() {
+        let mut h = Histogram::new();
+        h.add(0.5);
+        h.add(1e12); // beyond the last bucket
+        assert_eq!(h.count(), 2);
+        let s = h.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, 64.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.add(500.0);
+        b.add(5_000.0);
+        b.add(50_000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 50_000.0);
+        assert_eq!(a.series().iter().map(|(_, c)| c).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.percentile_ns(99.0), 0.0);
+        assert!(h.series().is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # `workloads` — graph-database workloads expressed against GDI (§4, §6)
+//!
+//! Everything the paper evaluates, written on top of the GDI routines the
+//! way Listings 1–3 prescribe:
+//!
+//! * [`oltp`] — the four interactive workload mixes of Table 3
+//!   (Read Mostly, Read Intensive, Write Intensive, LinkBench), driven as
+//!   streams of single-process transactions, with success/abort accounting;
+//! * [`latency`] — log-bucketed latency histograms (Fig. 5);
+//! * [`analytics`] — OLAP algorithms in collective transactions: BFS,
+//!   PageRank, CDLP (community detection by label propagation), WCC
+//!   (weakly connected components), LCC (local clustering coefficient) and
+//!   k-hop neighborhoods (Fig. 6);
+//! * [`gnn`] — graph convolution training forward pass (Listing 2,
+//!   Fig. 6c/6d);
+//! * [`bi2`] — the business-intelligence aggregate query in the style of
+//!   Listing 3 / LDBC BI (Fig. 6b).
+
+pub mod analytics;
+pub mod bi2;
+pub mod gnn;
+pub mod latency;
+pub mod olsp;
+pub mod oltp;
+
+pub use latency::Histogram;
+pub use oltp::{Mix, OltpConfig, OltpResult, OpKind};

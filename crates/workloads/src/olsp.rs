@@ -1,0 +1,180 @@
+//! A second business-intelligence workload: group-by aggregation with a
+//! global top-k (the other canonical LDBC BI query shape besides the
+//! filter-expand-count of [`crate::bi2`]).
+//!
+//! *"Which labels are carried by the most vertices, and what is the
+//! average P0 value per label?"* — every rank aggregates its local index
+//! partition inside a collective read transaction, partial aggregates are
+//! merged with one `allgatherv`, and all ranks deterministically select
+//! the top-k. This is the "fetch large parts of a graph and use data
+//! summarization and aggregation" class of §2.
+
+use rustc_hash::FxHashMap;
+
+use gda::GdaRank;
+use gdi::{AccessMode, LabelId, PropertyValue};
+use graphgen::{GraphSpec, LpgMeta};
+
+/// Aggregate of one label group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelGroup {
+    pub label: LabelId,
+    pub count: u64,
+    /// Mean of property P0 over group members that carry it.
+    pub mean_p0: f64,
+}
+
+/// Collective: group vertices by label, aggregate counts and P0 means,
+/// return the global top-k groups by count (ties towards the smaller
+/// label id). Identical on every rank.
+pub fn top_labels(
+    eng: &GdaRank,
+    meta: &LpgMeta,
+    k: usize,
+) -> Vec<LabelGroup> {
+    let ctx = eng.ctx();
+    let index = meta.all_index.expect("generated database has __all index");
+    let p0 = meta.ptypes.first().copied();
+
+    // local aggregation inside a collective read transaction
+    let tx = eng.begin_collective(AccessMode::ReadOnly);
+    let mut acc: FxHashMap<u32, (u64, f64, u64)> = FxHashMap::default(); // label -> (count, sum, n_with_p0)
+    for posting in eng.local_index_vertices(index) {
+        let labels = tx.labels(posting.vertex).unwrap();
+        let p0_val = p0
+            .and_then(|pt| tx.property(posting.vertex, pt).unwrap())
+            .and_then(|v| match v {
+                PropertyValue::U64(x) => Some(x as f64),
+                other => other.as_f64(),
+            });
+        for l in labels {
+            let e = acc.entry(l.0).or_insert((0, 0.0, 0));
+            e.0 += 1;
+            if let Some(x) = p0_val {
+                e.1 += x;
+                e.2 += 1;
+            }
+        }
+    }
+    tx.commit().expect("collective read commit");
+
+    // global merge: one allgatherv of the partial aggregates
+    let mine: Vec<(u32, u64, f64, u64)> =
+        acc.into_iter().map(|(l, (c, s, n))| (l, c, s, n)).collect();
+    let all = ctx.allgatherv(mine);
+    let mut merged: FxHashMap<u32, (u64, f64, u64)> = FxHashMap::default();
+    for (l, c, s, n) in all.into_iter().flatten() {
+        let e = merged.entry(l).or_insert((0, 0.0, 0));
+        e.0 += c;
+        e.1 += s;
+        e.2 += n;
+    }
+    ctx.charge_cpu(merged.len() as u64 + 1);
+
+    let mut groups: Vec<LabelGroup> = merged
+        .into_iter()
+        .map(|(l, (c, s, n))| LabelGroup {
+            label: LabelId(l),
+            count: c,
+            mean_p0: if n == 0 { 0.0 } else { s / n as f64 },
+        })
+        .collect();
+    groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
+    groups.truncate(k);
+    groups
+}
+
+/// Sequential reference evaluation directly on the generator functions.
+pub fn top_labels_reference(spec: &GraphSpec, meta: &LpgMeta, k: usize) -> Vec<LabelGroup> {
+    let mut acc: FxHashMap<u32, (u64, f64, u64)> = FxHashMap::default();
+    for app in 0..spec.n_vertices() {
+        let props = spec.lpg.vertex_props(spec.seed, app);
+        let p0_val = props.iter().find(|(i, _)| *i == 0).map(|(_, v)| *v as f64);
+        for idx in spec.lpg.vertex_label_indices(spec.seed, app) {
+            let l = meta.label(idx);
+            let e = acc.entry(l.0).or_insert((0, 0.0, 0));
+            e.0 += 1;
+            if let Some(x) = p0_val {
+                e.1 += x;
+                e.2 += 1;
+            }
+        }
+    }
+    let mut groups: Vec<LabelGroup> = acc
+        .into_iter()
+        .map(|(l, (c, s, n))| LabelGroup {
+            label: LabelId(l),
+            count: c,
+            mean_p0: if n == 0 { 0.0 } else { s / n as f64 },
+        })
+        .collect();
+    groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
+    groups.truncate(k);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gda::GdaDb;
+    use graphgen::{load_into, sized_config, LpgConfig};
+    use rma::CostModel;
+
+    #[test]
+    fn top_labels_matches_reference() {
+        let spec = GraphSpec {
+            scale: 7,
+            edge_factor: 4,
+            seed: 55,
+            lpg: LpgConfig {
+                num_labels: 6,
+                labels_per_vertex: 2,
+                ..Default::default()
+            },
+        };
+        let nranks = 3;
+        let cfg = sized_config(&spec, nranks);
+        let (db, fabric) = GdaDb::with_fabric("olsp", cfg, nranks, CostModel::default());
+        let got = fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let (meta, _) = load_into(&eng, &spec);
+            let groups = top_labels(&eng, &meta, 3);
+            (groups, meta)
+        });
+        let (groups0, meta) = &got[0];
+        // identical on all ranks
+        for (g, _) in &got {
+            assert_eq!(g, groups0);
+        }
+        let want = top_labels_reference(&spec, meta, 3);
+        assert_eq!(groups0.len(), want.len());
+        for (a, b) in groups0.iter().zip(want.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.count, b.count);
+            let scale = b.mean_p0.abs().max(1.0);
+            assert!((a.mean_p0 - b.mean_p0).abs() < 1e-9 * scale);
+        }
+        // sorted by count descending
+        assert!(groups0.windows(2).all(|w| w[0].count >= w[1].count));
+    }
+
+    #[test]
+    fn k_truncation() {
+        let spec = GraphSpec {
+            scale: 5,
+            edge_factor: 2,
+            seed: 9,
+            lpg: LpgConfig::default(),
+        };
+        let cfg = sized_config(&spec, 1);
+        let (db, fabric) = GdaDb::with_fabric("olsp2", cfg, 1, CostModel::zero());
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let (meta, _) = load_into(&eng, &spec);
+            assert_eq!(top_labels(&eng, &meta, 1).len(), 1);
+            assert!(top_labels(&eng, &meta, 100).len() <= spec.lpg.num_labels);
+        });
+    }
+}
