@@ -125,12 +125,7 @@ pub fn csr_bfs(ctx: &RankCtx, csr: &Csr, root: u64) -> (u64, u32) {
 /// Degree map (global id → degree) of this rank's shard, for tests.
 pub fn local_degrees(csr: &Csr) -> FxHashMap<u64, usize> {
     (0..csr.n_local)
-        .map(|i| {
-            (
-                (i * csr.nranks + csr.rank) as u64,
-                csr.neighbors(i).len(),
-            )
-        })
+        .map(|i| ((i * csr.nranks + csr.rank) as u64, csr.neighbors(i).len()))
         .collect()
 }
 
@@ -168,7 +163,9 @@ mod tests {
         let spec = spec();
         let mut results = Vec::new();
         for nranks in [1usize, 2, 5] {
-            let fabric = FabricBuilder::new(nranks).cost(CostModel::default()).build();
+            let fabric = FabricBuilder::new(nranks)
+                .cost(CostModel::default())
+                .build();
             let r = fabric.run(|ctx| {
                 let csr = build_csr(ctx, &spec);
                 csr_bfs(ctx, &csr, 1)

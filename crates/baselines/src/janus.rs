@@ -154,22 +154,33 @@ impl JanusStore {
         mix: &Mix,
         cfg: &OltpConfig,
     ) -> OltpResult {
-        let mut rng =
-            SmallRng::seed_from_u64(cfg.seed ^ (ctx.rank() as u64).wrapping_mul(0x51AB));
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (ctx.rank() as u64).wrapping_mul(0x51AB));
         let n = spec.n_vertices();
         let mut next_new = n + ctx.rank() as u64 * 1_000_000_007;
         let mut added: Vec<u64> = Vec::new();
-        let mut per_op: Vec<(OpKind, OpStats)> =
-            OpKind::ALL.iter().map(|k| (*k, OpStats::default())).collect();
+        let mut per_op: Vec<(OpKind, OpStats)> = OpKind::ALL
+            .iter()
+            .map(|k| (*k, OpStats::default()))
+            .collect();
         let mut committed = 0u64;
         let mut aborted = 0u64;
         let start = ctx.now_ns();
 
         for i in 0..cfg.ops_per_rank {
             let kind = mix.sample(&mut rng);
-            let jitter = 0.75 + (hash3(cfg.seed, i as u64, ctx.rank() as u64) % 1000) as f64 / 800.0;
+            let jitter =
+                0.75 + (hash3(cfg.seed, i as u64, ctx.rank() as u64) % 1000) as f64 / 800.0;
             let t0 = ctx.now_ns();
-            let ok = self.run_one(ctx, spec, kind, &mut rng, n, &mut next_new, &mut added, jitter);
+            let ok = self.run_one(
+                ctx,
+                spec,
+                kind,
+                &mut rng,
+                n,
+                &mut next_new,
+                &mut added,
+                jitter,
+            );
             let dt = ctx.now_ns() - t0;
             let st = &mut per_op.iter_mut().find(|(k, _)| *k == kind).unwrap().1;
             st.attempts += 1;
@@ -359,10 +370,15 @@ mod tests {
         let results = fabric.run(move |ctx| {
             s.load(ctx, &spec);
             ctx.barrier();
-            s.run_oltp(ctx, &spec, &Mix::LINKBENCH, &OltpConfig {
-                ops_per_rank: 300,
-                seed: 5,
-            })
+            s.run_oltp(
+                ctx,
+                &spec,
+                &Mix::LINKBENCH,
+                &OltpConfig {
+                    ops_per_rank: 300,
+                    seed: 5,
+                },
+            )
         });
         for r in &results {
             assert!(r.committed > 0);
@@ -398,10 +414,15 @@ mod tests {
                 name: "updates",
                 weights: [0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
             };
-            s.run_oltp(ctx, &spec, &mix, &OltpConfig {
-                ops_per_rank: 400,
-                seed: 9,
-            })
+            s.run_oltp(
+                ctx,
+                &spec,
+                &mix,
+                &OltpConfig {
+                    ops_per_rank: 400,
+                    seed: 9,
+                },
+            )
         });
         let aborted: u64 = results.iter().map(|r| r.aborted).sum();
         let committed: u64 = results.iter().map(|r| r.committed).sum();

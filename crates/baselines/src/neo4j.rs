@@ -158,13 +158,14 @@ impl Neo4jStore {
         mix: &Mix,
         cfg: &OltpConfig,
     ) -> OltpResult {
-        let mut rng =
-            SmallRng::seed_from_u64(cfg.seed ^ (ctx.rank() as u64).wrapping_mul(0x4E04));
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (ctx.rank() as u64).wrapping_mul(0x4E04));
         let n = spec.n_vertices();
         let mut next_new = n + ctx.rank() as u64 * 1_000_000_007;
         let mut added: Vec<u64> = Vec::new();
-        let mut per_op: Vec<(OpKind, OpStats)> =
-            OpKind::ALL.iter().map(|k| (*k, OpStats::default())).collect();
+        let mut per_op: Vec<(OpKind, OpStats)> = OpKind::ALL
+            .iter()
+            .map(|k| (*k, OpStats::default()))
+            .collect();
         let (mut committed, mut aborted) = (0u64, 0u64);
         let start = ctx.now_ns();
 
@@ -172,8 +173,8 @@ impl Neo4jStore {
             let kind = mix.sample(&mut rng);
             // long-tail jitter: JVM GC pauses and page faults
             let h = hash3(cfg.seed, i as u64, ctx.rank() as u64);
-            let jitter = 0.6 + (h % 1000) as f64 / 400.0
-                + if h.is_multiple_of(97) { 8.0 } else { 0.0 }; // outliers
+            let jitter =
+                0.6 + (h % 1000) as f64 / 400.0 + if h.is_multiple_of(97) { 8.0 } else { 0.0 }; // outliers
             let t0 = ctx.now_ns();
             let ok = self.run_one(ctx, kind, &mut rng, n, &mut next_new, &mut added, jitter);
             let dt = ctx.now_ns() - t0;
@@ -251,7 +252,11 @@ impl Neo4jStore {
                         }
                         let d = v.adj.len() as f64;
                         drop(g);
-                        self.charge(ctx, c.delete_service_ns + c.write_service_ns * 0.1 * d, jitter);
+                        self.charge(
+                            ctx,
+                            c.delete_service_ns + c.write_service_ns * 0.1 * d,
+                            jitter,
+                        );
                         true
                     }
                     None => {
@@ -308,9 +313,7 @@ impl Neo4jStore {
                     if let Some(vx) = g.verts.get(&v) {
                         for &(w, _, _) in &vx.adj {
                             edges_touched += 1;
-                            if let std::collections::hash_map::Entry::Vacant(e) =
-                                seen.entry(w)
-                            {
+                            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
                                 e.insert(0);
                                 next.push(w);
                             }
@@ -330,8 +333,22 @@ impl Neo4jStore {
         } else {
             (0, 0)
         };
-        let visited = ctx.bcast(0, if ctx.rank() == 0 { Some(result.0) } else { None });
-        let levels = ctx.bcast(0, if ctx.rank() == 0 { Some(result.1) } else { None });
+        let visited = ctx.bcast(
+            0,
+            if ctx.rank() == 0 {
+                Some(result.0)
+            } else {
+                None
+            },
+        );
+        let levels = ctx.bcast(
+            0,
+            if ctx.rank() == 0 {
+                Some(result.1)
+            } else {
+                None
+            },
+        );
         (visited, levels)
     }
 
@@ -372,11 +389,7 @@ impl Neo4jStore {
 
     /// Server-side BI-2-style aggregate (same predicate as
     /// `workloads::bi2`): full scan + neighbor expansion.
-    pub fn bi2(
-        &self,
-        ctx: &RankCtx,
-        params: &workloads::bi2::Bi2Params,
-    ) -> u64 {
+    pub fn bi2(&self, ctx: &RankCtx, params: &workloads::bi2::Bi2Params) -> u64 {
         let result = if ctx.rank() == 0 {
             let g = self.inner.read();
             let mut count = 0u64;
@@ -443,10 +456,15 @@ mod tests {
         let s = store.clone();
         let results = fabric.run(move |ctx| {
             s.load(ctx, &spec);
-            s.run_oltp(ctx, &spec, &Mix::LINKBENCH, &OltpConfig {
-                ops_per_rank: 200,
-                seed: 2,
-            })
+            s.run_oltp(
+                ctx,
+                &spec,
+                &Mix::LINKBENCH,
+                &OltpConfig {
+                    ops_per_rank: 200,
+                    seed: 2,
+                },
+            )
         });
         for r in &results {
             assert!(r.committed > 0);

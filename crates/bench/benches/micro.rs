@@ -197,7 +197,8 @@ fn bench_collectives(c: &mut Criterion) {
             let b = parking_lot::Mutex::new(b);
             fabric.run(|ctx| {
                 if ctx.rank() == 0 {
-                    b.lock().iter(|| black_box(ctx.allreduce_sum_u64(black_box(1))));
+                    b.lock()
+                        .iter(|| black_box(ctx.allreduce_sum_u64(black_box(1))));
                 } else {
                     // peers keep answering until rank 0 signals completion
                     loop {

@@ -20,7 +20,8 @@ fn main() {
     let nranks = *params.ranks.iter().max().unwrap_or(&4);
     let scale = params.base_scale.min(12);
     let ops = params.ops_per_rank;
-    let mut out = String::from("### §6.6 — varying labels, properties, edge factor (Read Mostly)\n");
+    let mut out =
+        String::from("### §6.6 — varying labels, properties, edge factor (Read Mostly)\n");
     out.push_str(&format!(
         "{:<34} {:>8} {:>10} {:>14}\n",
         "configuration", "ranks", "MQ/s", "bytes/vertex"
@@ -110,8 +111,7 @@ fn main() {
             cfg.blocks_per_rank *= scale_factor;
         }
         cfg.block_size = bs;
-        let (db, fabric) =
-            gda::GdaDb::with_fabric("abl", cfg, nranks, rma::CostModel::default());
+        let (db, fabric) = gda::GdaDb::with_fabric("abl", cfg, nranks, rma::CostModel::default());
         let results = fabric.run(|ctx| {
             let eng = db.attach(ctx);
             eng.init_collective();
@@ -158,7 +158,10 @@ fn main() {
         let blocked = move |v: u64| (v % chunk) * p + (v / chunk).min(p - 1);
         let identity = move |v: u64| v;
         for (name, relabel) in [
-            ("round-robin", Box::new(identity) as Box<dyn Fn(u64) -> u64 + Sync>),
+            (
+                "round-robin",
+                Box::new(identity) as Box<dyn Fn(u64) -> u64 + Sync>,
+            ),
             ("blocked", Box::new(blocked)),
         ] {
             let cfg = gdi_bench::oltp_sized_config(&spec, nranks, ops);

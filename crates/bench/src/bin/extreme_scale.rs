@@ -17,7 +17,8 @@ use workloads::oltp::Mix;
 fn main() {
     let params = RunParams::from_env();
     let ops = params.ops_per_rank;
-    let mut out = String::from("### §6.8 — extreme-scale extrapolation (Read Mostly, weak scaling)\n");
+    let mut out =
+        String::from("### §6.8 — extreme-scale extrapolation (Read Mostly, weak scaling)\n");
     out.push_str(&format!(
         "{:<10} {:>7} {:>14} {:>16}\n",
         "kind", "ranks", "scale", "MQ/s"

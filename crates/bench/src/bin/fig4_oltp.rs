@@ -8,39 +8,9 @@
 //! * `strong-write` — Fig. 4d: same, fixed dataset.
 //! * `all` — everything (default).
 
-use gdi_bench::{emit, gda_oltp, janus_oltp, render_series, spec_for, Point, RunParams, Series};
+use gdi_bench::{emit, gda_oltp, janus_oltp, render_series, sweep, RunParams, Series};
 use graphgen::LpgConfig;
 use workloads::oltp::Mix;
-
-fn sweep(
-    name: &str,
-    params: &RunParams,
-    _mix: &Mix,
-    weak: bool,
-    runner: impl Fn(usize, &graphgen::GraphSpec) -> (f64, f64),
-) -> Series {
-    let mut points = Vec::new();
-    for &nranks in &params.ranks {
-        let scale = if weak {
-            params.weak_scale(nranks)
-        } else {
-            params.base_scale
-        };
-        let spec = spec_for(scale, params.seed, LpgConfig::default());
-        let (mqps, fail) = runner(nranks, &spec);
-        points.push(Point {
-            nranks,
-            scale,
-            value: mqps,
-            fail_frac: fail,
-        });
-        eprintln!("  [{name}] P={nranks} s={scale}: {mqps:.4} MQ/s, {:.2}% failed", fail * 100.0);
-    }
-    Series {
-        name: name.to_string(),
-        points,
-    }
-}
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -54,9 +24,13 @@ fn main() {
         let series: Vec<Series> = read_mixes
             .iter()
             .map(|m| {
-                sweep(&format!("{}/GDA", m.name), &params, m, true, |p, s| {
-                    gda_oltp(p, s, m, ops)
-                })
+                sweep(
+                    &format!("{}/GDA", m.name),
+                    &params,
+                    true,
+                    LpgConfig::default(),
+                    |p, s| gda_oltp(p, s, m, ops),
+                )
             })
             .collect();
         emit(
@@ -68,9 +42,13 @@ fn main() {
         let series: Vec<Series> = read_mixes
             .iter()
             .map(|m| {
-                sweep(&format!("{}/GDA", m.name), &params, m, false, |p, s| {
-                    gda_oltp(p, s, m, ops)
-                })
+                sweep(
+                    &format!("{}/GDA", m.name),
+                    &params,
+                    false,
+                    LpgConfig::default(),
+                    |p, s| gda_oltp(p, s, m, ops),
+                )
             })
             .collect();
         emit(
@@ -82,16 +60,20 @@ fn main() {
         let mut series: Vec<Series> = write_mixes
             .iter()
             .map(|m| {
-                sweep(&format!("{}/GDA", m.name), &params, m, true, |p, s| {
-                    gda_oltp(p, s, m, ops)
-                })
+                sweep(
+                    &format!("{}/GDA", m.name),
+                    &params,
+                    true,
+                    LpgConfig::default(),
+                    |p, s| gda_oltp(p, s, m, ops),
+                )
             })
             .collect();
         series.push(sweep(
             "LinkBench/JanusGraph",
             &params,
-            &Mix::LINKBENCH,
             true,
+            LpgConfig::default(),
             |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
         ));
         emit(
@@ -103,16 +85,20 @@ fn main() {
         let mut series: Vec<Series> = write_mixes
             .iter()
             .map(|m| {
-                sweep(&format!("{}/GDA", m.name), &params, m, false, |p, s| {
-                    gda_oltp(p, s, m, ops)
-                })
+                sweep(
+                    &format!("{}/GDA", m.name),
+                    &params,
+                    false,
+                    LpgConfig::default(),
+                    |p, s| gda_oltp(p, s, m, ops),
+                )
             })
             .collect();
         series.push(sweep(
             "LinkBench/JanusGraph",
             &params,
-            &Mix::LINKBENCH,
             false,
+            LpgConfig::default(),
             |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
         ));
         emit(

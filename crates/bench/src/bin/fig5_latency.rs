@@ -38,7 +38,10 @@ fn main() {
         }
         let spec = spec_for(params.base_scale, params.seed, LpgConfig::default());
         let systems: Vec<(&str, Vec<OltpResult>)> = vec![
-            ("GDA", gda_oltp_detailed(nranks, &spec, &Mix::LINKBENCH, ops)),
+            (
+                "GDA",
+                gda_oltp_detailed(nranks, &spec, &Mix::LINKBENCH, ops),
+            ),
             (
                 "Janus",
                 janus_oltp_detailed(nranks, &spec, &Mix::LINKBENCH, ops),
@@ -69,13 +72,21 @@ fn main() {
         eprintln!("  [fig5] S{nranks} done");
     }
     // histogram series (bucket, count) for plotting, GDA S-max
-    out.push_str("\n# log2-bucket histograms (lower edge in us : count), LinkBench 'retrieve vertex'\n");
+    out.push_str(
+        "\n# log2-bucket histograms (lower edge in us : count), LinkBench 'retrieve vertex'\n",
+    );
     let last = *params.ranks.iter().filter(|&&r| r <= 8).max().unwrap_or(&1);
     let spec = spec_for(params.base_scale, params.seed, LpgConfig::default());
     for (sys, results) in [
         ("GDA", gda_oltp_detailed(last, &spec, &Mix::LINKBENCH, ops)),
-        ("Janus", janus_oltp_detailed(last, &spec, &Mix::LINKBENCH, ops)),
-        ("Neo4j", neo4j_oltp_detailed(last, &spec, &Mix::LINKBENCH, ops)),
+        (
+            "Janus",
+            janus_oltp_detailed(last, &spec, &Mix::LINKBENCH, ops),
+        ),
+        (
+            "Neo4j",
+            neo4j_oltp_detailed(last, &spec, &Mix::LINKBENCH, ops),
+        ),
     ] {
         let h = merged(&results, OpKind::GetVertexProps);
         out.push_str(&format!("{sys} S{last}: "));

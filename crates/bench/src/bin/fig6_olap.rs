@@ -2,40 +2,10 @@
 //! plus LCC and BI2 with the Neo4j baseline (strong scaling).
 
 use gdi_bench::{
-    emit, gda_olap, neo4j_olap, render_series, rich_lpg, spec_for, OlapAlgo, Point,
+    emit, gda_olap, neo4j_olap, render_series, rich_lpg, sweep_runtime as sweep, OlapAlgo,
     RunParams, Series,
 };
 use graphgen::LpgConfig;
-
-fn sweep(
-    name: &str,
-    params: &RunParams,
-    weak: bool,
-    lpg: LpgConfig,
-    runner: impl Fn(usize, &graphgen::GraphSpec) -> f64,
-) -> Series {
-    let mut points = Vec::new();
-    for &nranks in &params.ranks {
-        let scale = if weak {
-            params.weak_scale(nranks)
-        } else {
-            params.base_scale
-        };
-        let spec = spec_for(scale, params.seed, lpg);
-        let secs = runner(nranks, &spec);
-        points.push(Point {
-            nranks,
-            scale,
-            value: secs,
-            fail_frac: 0.0,
-        });
-        eprintln!("  [{name}] P={nranks} s={scale}: {secs:.4}s");
-    }
-    Series {
-        name: name.into(),
-        points,
-    }
-}
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());

@@ -6,38 +6,19 @@
 //! bare-metal Graph500 kernel, while Neo4j is orders of magnitude slower.
 
 use gdi_bench::{
-    emit, gda_olap, graph500_bfs, neo4j_olap, render_series, spec_for, OlapAlgo, Point,
-    RunParams, Series,
+    emit, gda_olap, graph500_bfs, neo4j_olap, render_series, sweep_runtime, OlapAlgo, RunParams,
 };
 use graphgen::LpgConfig;
 
+/// Figure-local adapter: every series in this binary uses the default
+/// LPG configuration.
 fn sweep(
     name: &str,
     params: &RunParams,
     weak: bool,
     runner: impl Fn(usize, &graphgen::GraphSpec) -> f64,
-) -> Series {
-    let mut points = Vec::new();
-    for &nranks in &params.ranks {
-        let scale = if weak {
-            params.weak_scale(nranks)
-        } else {
-            params.base_scale
-        };
-        let spec = spec_for(scale, params.seed, LpgConfig::default());
-        let secs = runner(nranks, &spec);
-        points.push(Point {
-            nranks,
-            scale,
-            value: secs,
-            fail_frac: 0.0,
-        });
-        eprintln!("  [{name}] P={nranks} s={scale}: {secs:.5}s");
-    }
-    Series {
-        name: name.into(),
-        points,
-    }
+) -> gdi_bench::Series {
+    sweep_runtime(name, params, weak, LpgConfig::default(), runner)
 }
 
 fn main() {
@@ -45,8 +26,16 @@ fn main() {
     let params = RunParams::from_env();
 
     for (weak, label, file) in [
-        (true, "Fig. 6e — BFS & k-hop weak scaling", "fig6e_traversal_weak"),
-        (false, "Fig. 6f — BFS & k-hop strong scaling", "fig6f_traversal_strong"),
+        (
+            true,
+            "Fig. 6e — BFS & k-hop weak scaling",
+            "fig6e_traversal_weak",
+        ),
+        (
+            false,
+            "Fig. 6f — BFS & k-hop strong scaling",
+            "fig6f_traversal_strong",
+        ),
     ] {
         if mode != "all" && ((weak && mode != "weak") || (!weak && mode != "strong")) {
             continue;

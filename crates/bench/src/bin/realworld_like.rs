@@ -25,12 +25,16 @@ fn degree_stats(spec: &GraphSpec) -> (f64, u64, f64) {
 fn main() {
     let params = RunParams::from_env();
     let nranks = *params.ranks.iter().max().unwrap_or(&4);
-    let mut out = String::from(
-        "### §6.7 — heavy-tail 'real-world-like' configurations (BFS)\n",
-    );
+    let mut out = String::from("### §6.7 — heavy-tail 'real-world-like' configurations (BFS)\n");
     out.push_str(&format!(
         "{:<28} {:>9} {:>9} {:>8} {:>12} {:>14} {:>10}\n",
-        "config (web-like sweep)", "mean deg", "max deg", "zero%", "GDA BFS s", "Graph500 s", "ratio"
+        "config (web-like sweep)",
+        "mean deg",
+        "max deg",
+        "zero%",
+        "GDA BFS s",
+        "Graph500 s",
+        "ratio"
     ));
     // sparsity/skew sweep bracketing web graphs (WDC: mean deg ~36,
     // extreme hubs) and social networks (mean deg ~10-70)

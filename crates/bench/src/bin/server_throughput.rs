@@ -1,0 +1,206 @@
+//! Server throughput: batched / group-commit serving versus
+//! one-transaction-per-request serving on the Table-3 write-heavy mix,
+//! sweeping the concurrent session count 10 → 10 000 on one fabric.
+//!
+//! Emits a human table plus one `BENCH_JSON` line for machines.
+//!
+//! Environment:
+//! * `GDI_BENCH_SERVER_RANKS` — fabric size (default 4)
+//! * `GDI_BENCH_SESSIONS` — comma-separated session counts
+//!   (default `10,100,1000,10000`)
+//! * `GDI_BENCH_SERVER_OPS` — total op budget per point (default 24000;
+//!   split evenly across sessions, minimum 2 ops/session)
+//! * `GDI_BENCH_SCALE` — graph scale (default 10)
+
+use gda::GdaDb;
+use gdi_bench::{emit, oltp_sized_config, spec_for, RunParams};
+use graphgen::LpgConfig;
+use rma::CostModel;
+use server::ServerOptions;
+use workloads::oltp::Mix;
+use workloads::traffic::{load_and_serve, ServeRun, TrafficConfig};
+
+struct PointResult {
+    sessions: usize,
+    mode: &'static str,
+    ops: u64,
+    committed: u64,
+    sim_mqps: f64,
+    wall_kops: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    abort_frac: f64,
+    mean_batch: f64,
+}
+
+fn measure(
+    nranks: usize,
+    spec: &graphgen::GraphSpec,
+    sessions: usize,
+    ops_per_session: usize,
+    opts: ServerOptions,
+    mode: &'static str,
+) -> PointResult {
+    let total_ops = sessions * ops_per_session;
+    let mut cfg = oltp_sized_config(spec, nranks, total_ops);
+    // thousands of sessions insert from disjoint id spaces; give the DHT
+    // heap extra headroom beyond the per-rank OLTP sizing
+    cfg.dht_heap_per_rank += (total_ops * 2).next_power_of_two();
+    cfg.blocks_per_rank += (total_ops * 2).next_power_of_two();
+    let (db, fabric) = GdaDb::with_fabric("serve", cfg, nranks, CostModel::default());
+    let tcfg = TrafficConfig {
+        sessions,
+        ops_per_session,
+        mix: Mix::WRITE_INTENSIVE,
+        seed: spec.seed,
+        workers: sessions.clamp(1, 16),
+    };
+    let run: ServeRun = load_and_serve(&db, &fabric, opts, spec, &tcfg);
+
+    let lat = run.metrics.latency();
+    let (mut drained_reqs, mut drains) = (0u64, 0u64);
+    for r in &run.metrics.per_rank {
+        if let Some(f) = &r.fabric {
+            drained_reqs += f.requests_served;
+            drains += f.batches_drained;
+        }
+    }
+    PointResult {
+        sessions,
+        mode,
+        ops: total_ops as u64,
+        committed: run.traffic.committed(),
+        sim_mqps: run.sim_throughput_qps() / 1e6,
+        wall_kops: run.traffic.committed() as f64 / run.traffic.wall_s.max(1e-9) / 1e3,
+        p50_us: lat.percentile_ns(50.0) / 1e3,
+        p95_us: lat.percentile_ns(95.0) / 1e3,
+        p99_us: lat.percentile_ns(99.0) / 1e3,
+        abort_frac: run.traffic.abort_fraction(),
+        mean_batch: if drains == 0 {
+            0.0
+        } else {
+            drained_reqs as f64 / drains as f64
+        },
+    }
+}
+
+fn main() {
+    let params = RunParams::from_env();
+    let nranks: usize = std::env::var("GDI_BENCH_SERVER_RANKS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(4);
+    let session_counts: Vec<usize> = std::env::var("GDI_BENCH_SESSIONS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![10, 100, 1000, 10_000]);
+    let op_budget: usize = std::env::var("GDI_BENCH_SERVER_OPS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(24_000);
+
+    let spec = spec_for(params.base_scale, params.seed, LpgConfig::default());
+    let mut results: Vec<PointResult> = Vec::new();
+    for &sessions in &session_counts {
+        let ops_per_session = (op_budget / sessions).max(2);
+        for (opts, mode) in [
+            (ServerOptions::default(), "grouped"),
+            (ServerOptions::unbatched(), "per-request"),
+        ] {
+            eprintln!("  [server_throughput] S={sessions} mode={mode} ...");
+            let r = measure(nranks, &spec, sessions, ops_per_session, opts, mode);
+            eprintln!(
+                "  [server_throughput] S={sessions} mode={mode}: {:.4} sim MQ/s, \
+                 {:.1} wall kops/s, p99 {:.0} µs, {:.2}% aborted, mean batch {:.1}",
+                r.sim_mqps,
+                r.wall_kops,
+                r.p99_us,
+                r.abort_frac * 100.0,
+                r.mean_batch
+            );
+            results.push(r);
+        }
+    }
+
+    // human table
+    let mut out = String::from("### Server throughput — grouped commit vs per-request\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>11}\n",
+        "sessions",
+        "mode",
+        "ops",
+        "sim MQ/s",
+        "wall kops/s",
+        "p50w µs",
+        "p95w µs",
+        "p99w µs",
+        "abort%",
+        "mean batch"
+    ));
+    for r in &results {
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>10} {:>12.4} {:>12.1} {:>10.0} {:>10.0} {:>10.0} {:>8.2}% {:>11.1}\n",
+            r.sessions,
+            r.mode,
+            r.ops,
+            r.sim_mqps,
+            r.wall_kops,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.abort_frac * 100.0,
+            r.mean_batch
+        ));
+    }
+    // headline: grouped vs per-request speedup per session count
+    for &sessions in &session_counts {
+        let g = results
+            .iter()
+            .find(|r| r.sessions == sessions && r.mode == "grouped")
+            .unwrap();
+        let u = results
+            .iter()
+            .find(|r| r.sessions == sessions && r.mode == "per-request")
+            .unwrap();
+        out.push_str(&format!(
+            "S={sessions}: grouped commit serves {:.2}x the per-request sim throughput\n",
+            g.sim_mqps / u.sim_mqps.max(1e-12)
+        ));
+    }
+
+    // machine-readable line
+    let mut json = format!(
+        "BENCH_JSON {{\"bench\":\"server_throughput\",\"nranks\":{nranks},\
+         \"scale\":{},\"mix\":\"{}\",\"points\":[",
+        params.base_scale,
+        Mix::WRITE_INTENSIVE.name
+    );
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"sessions\":{},\"mode\":\"{}\",\"ops\":{},\"committed\":{},\
+             \"sim_mqps\":{:.6},\"wall_kops\":{:.3},\"p50_wall_us\":{:.1},\
+             \"p95_wall_us\":{:.1},\"p99_wall_us\":{:.1},\"abort_frac\":{:.4},\
+             \"mean_batch\":{:.2}}}",
+            r.sessions,
+            r.mode,
+            r.ops,
+            r.committed,
+            r.sim_mqps,
+            r.wall_kops,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.abort_frac,
+            r.mean_batch
+        ));
+    }
+    json.push_str("]}");
+    out.push_str(&json);
+    out.push('\n');
+    emit("server_throughput", &out);
+}

@@ -26,15 +26,78 @@ fn main() {
     let (mqps, _) = gda_oltp(nranks, &spec, &Mix::READ_MOSTLY, params.ops_per_rank);
 
     let rows = vec![
-        Row { system: "A1",         rdma: "yes", prog: "no",      port: "no",  workloads: "OLTP",             scale: "245 srv / 2,940 cores / 3.2 TB".into() },
-        Row { system: "GAIA",       rdma: "no",  prog: "no",      port: "no",  workloads: "OLAP",             scale: "16 srv / 384 cores / 1.96 TB".into() },
-        Row { system: "G-Tran",     rdma: "yes", prog: "no",      port: "no",  workloads: "OLTP",             scale: "10 srv / 160 cores / 1.28 TB".into() },
-        Row { system: "Neo4j",      rdma: "no",  prog: "partial", port: "no",  workloads: "OLTP+OLAP",        scale: "1 srv / 128 cores / 6.9 TB".into() },
-        Row { system: "TigerGraph", rdma: "no",  prog: "no",      port: "no",  workloads: "OLTP+OLAP",        scale: "40 srv / 1,600 cores / 17.7 TB".into() },
-        Row { system: "JanusGraph", rdma: "no",  prog: "partial", port: "no",  workloads: "OLTP+OLAP",        scale: "N/A".into() },
-        Row { system: "Weaver",     rdma: "no",  prog: "no",      port: "no",  workloads: "OLTP",             scale: "44 srv / 352 cores / 0.976 TB".into() },
-        Row { system: "Wukong",     rdma: "yes", prog: "no",      port: "no",  workloads: "OLTP(RDF)",        scale: "6 srv / 120 cores / 0.384 TB".into() },
-        Row { system: "ByteGraph",  rdma: "no",  prog: "partial", port: "no",  workloads: "OLTP+OLAP+OLSP",   scale: "130 srv / 113 TB (OLAP)".into() },
+        Row {
+            system: "A1",
+            rdma: "yes",
+            prog: "no",
+            port: "no",
+            workloads: "OLTP",
+            scale: "245 srv / 2,940 cores / 3.2 TB".into(),
+        },
+        Row {
+            system: "GAIA",
+            rdma: "no",
+            prog: "no",
+            port: "no",
+            workloads: "OLAP",
+            scale: "16 srv / 384 cores / 1.96 TB".into(),
+        },
+        Row {
+            system: "G-Tran",
+            rdma: "yes",
+            prog: "no",
+            port: "no",
+            workloads: "OLTP",
+            scale: "10 srv / 160 cores / 1.28 TB".into(),
+        },
+        Row {
+            system: "Neo4j",
+            rdma: "no",
+            prog: "partial",
+            port: "no",
+            workloads: "OLTP+OLAP",
+            scale: "1 srv / 128 cores / 6.9 TB".into(),
+        },
+        Row {
+            system: "TigerGraph",
+            rdma: "no",
+            prog: "no",
+            port: "no",
+            workloads: "OLTP+OLAP",
+            scale: "40 srv / 1,600 cores / 17.7 TB".into(),
+        },
+        Row {
+            system: "JanusGraph",
+            rdma: "no",
+            prog: "partial",
+            port: "no",
+            workloads: "OLTP+OLAP",
+            scale: "N/A".into(),
+        },
+        Row {
+            system: "Weaver",
+            rdma: "no",
+            prog: "no",
+            port: "no",
+            workloads: "OLTP",
+            scale: "44 srv / 352 cores / 0.976 TB".into(),
+        },
+        Row {
+            system: "Wukong",
+            rdma: "yes",
+            prog: "no",
+            port: "no",
+            workloads: "OLTP(RDF)",
+            scale: "6 srv / 120 cores / 0.384 TB".into(),
+        },
+        Row {
+            system: "ByteGraph",
+            rdma: "no",
+            prog: "partial",
+            port: "no",
+            workloads: "OLTP+OLAP+OLSP",
+            scale: "130 srv / 113 TB (OLAP)".into(),
+        },
         Row {
             system: "This work (paper)",
             rdma: "yes",

@@ -48,10 +48,7 @@ impl RunParams {
     pub fn from_env() -> Self {
         let mut p = Self::default();
         if let Ok(r) = std::env::var("GDI_BENCH_RANKS") {
-            let v: Vec<usize> = r
-                .split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect();
+            let v: Vec<usize> = r.split(',').filter_map(|s| s.trim().parse().ok()).collect();
             if !v.is_empty() {
                 p.ranks = v;
             }
@@ -136,6 +133,55 @@ pub fn spec_for(scale: u32, seed: u64, lpg: LpgConfig) -> GraphSpec {
         seed,
         lpg,
     }
+}
+
+/// Run one scaling sweep over `params.ranks`: weak scaling grows the
+/// graph with the machine, strong scaling fixes it at `base_scale`. The
+/// runner returns `(metric value, failed-transaction fraction)` for one
+/// point; use [`sweep_runtime`] for seconds-valued runners without a
+/// failure channel. This is the shared core of every figure binary.
+pub fn sweep(
+    name: &str,
+    params: &RunParams,
+    weak: bool,
+    lpg: LpgConfig,
+    runner: impl Fn(usize, &GraphSpec) -> (f64, f64),
+) -> Series {
+    let mut points = Vec::new();
+    for &nranks in &params.ranks {
+        let scale = if weak {
+            params.weak_scale(nranks)
+        } else {
+            params.base_scale
+        };
+        let spec = spec_for(scale, params.seed, lpg);
+        let (value, fail) = runner(nranks, &spec);
+        points.push(Point {
+            nranks,
+            scale,
+            value,
+            fail_frac: fail,
+        });
+        eprintln!(
+            "  [{name}] P={nranks} s={scale}: {value:.6} ({:.2}% failed)",
+            fail * 100.0
+        );
+    }
+    Series {
+        name: name.into(),
+        points,
+    }
+}
+
+/// [`sweep`] for runtime-valued runners (no failure fraction).
+pub fn sweep_runtime(
+    name: &str,
+    params: &RunParams,
+    weak: bool,
+    lpg: LpgConfig,
+    runner: impl Fn(usize, &GraphSpec) -> f64,
+) -> Series {
+    sweep(name, params, weak, lpg, |p, s| (runner(p, s), 0.0))
 }
 
 // ---------------------------------------------------------------------
@@ -248,8 +294,8 @@ pub fn gda_olap(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
     let mut cfg = sized_config(spec, nranks);
     if let OlapAlgo::Gnn { k, .. } = algo {
         // feature vectors dominate storage
-        let fv_blocks = (spec.n_vertices() as usize / nranks + 1)
-            * (k * 8 / (cfg.block_size - 8) + 2);
+        let fv_blocks =
+            (spec.n_vertices() as usize / nranks + 1) * (k * 8 / (cfg.block_size - 8) + 2);
         cfg.blocks_per_rank = (cfg.blocks_per_rank + fv_blocks).next_power_of_two();
     }
     let (db, fabric) = GdaDb::with_fabric("olap", cfg, nranks, CostModel::default());
@@ -332,7 +378,9 @@ pub fn run_algo_timed(
 /// A deterministic BFS root with non-zero degree: the paper samples
 /// random roots; we pick the first endpoint of the first edge.
 pub fn bfs_root(spec: &GraphSpec) -> u64 {
-    graphgen::KroneckerSampler::new(spec.scale, spec.seed).edge(0).0
+    graphgen::KroneckerSampler::new(spec.scale, spec.seed)
+        .edge(0)
+        .0
 }
 
 /// The BI2 parameters used across harnesses (tuned for measurable
@@ -391,7 +439,12 @@ pub fn janus_oltp(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> (f6
 }
 
 /// Janus OLTP with full per-op results.
-pub fn janus_oltp_detailed(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> Vec<OltpResult> {
+pub fn janus_oltp_detailed(
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    ops: usize,
+) -> Vec<OltpResult> {
     let store = Arc::new(baselines::JanusStore::new(nranks));
     let fabric = rma::FabricBuilder::new(nranks)
         .cost(CostModel::default())
@@ -440,7 +493,12 @@ pub fn neo4j_oltp(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> (f6
 }
 
 /// Neo4j OLTP with full per-op results.
-pub fn neo4j_oltp_detailed(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> Vec<OltpResult> {
+pub fn neo4j_oltp_detailed(
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    ops: usize,
+) -> Vec<OltpResult> {
     let store = Arc::new(baselines::Neo4jStore::default());
     let fabric = rma::FabricBuilder::new(nranks)
         .cost(CostModel::default())

@@ -270,10 +270,11 @@ mod tests {
                 .with_prop(PTypeId(4), CmpOp::Eq, PropertyValue::Text("red".into())),
         );
         assert!(c.eval(&e));
-        let c_blue = Constraint::from_sub(
-            Subconstraint::new()
-                .with_prop(PTypeId(4), CmpOp::Eq, PropertyValue::Text("blue".into())),
-        );
+        let c_blue = Constraint::from_sub(Subconstraint::new().with_prop(
+            PTypeId(4),
+            CmpOp::Eq,
+            PropertyValue::Text("blue".into()),
+        ));
         assert!(!c_blue.eval(&e));
     }
 
@@ -281,11 +282,7 @@ mod tests {
     fn dnf_disjunction() {
         let e = red_car_over30();
         let no_match = Subconstraint::new().with_label(LabelId(99));
-        let matches = Subconstraint::new().with_prop(
-            PTypeId(3),
-            CmpOp::Ge,
-            PropertyValue::U64(35),
-        );
+        let matches = Subconstraint::new().with_prop(PTypeId(3), CmpOp::Ge, PropertyValue::U64(35));
         let c = Constraint::from_sub(no_match).or(matches);
         assert!(c.eval(&e));
     }
@@ -345,9 +342,11 @@ mod tests {
                 .with_label(LabelId(5))
                 .with_prop(PTypeId(9), CmpOp::Eq, PropertyValue::U64(0)),
         )
-        .or(Subconstraint::new()
-            .with_label(LabelId(7))
-            .with_prop(PTypeId(4), CmpOp::Eq, PropertyValue::U64(0)));
+        .or(Subconstraint::new().with_label(LabelId(7)).with_prop(
+            PTypeId(4),
+            CmpOp::Eq,
+            PropertyValue::U64(0),
+        ));
         assert_eq!(c.referenced_labels(), vec![LabelId(5), LabelId(7)]);
         assert_eq!(c.referenced_ptypes(), vec![PTypeId(4), PTypeId(9)]);
     }

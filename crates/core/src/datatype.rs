@@ -32,7 +32,9 @@ impl Datatype {
     /// Size in bytes of one element of this datatype.
     pub fn elem_bytes(self) -> usize {
         match self {
-            Datatype::Uint8 | Datatype::Int8 | Datatype::Bool | Datatype::Char | Datatype::Byte => 1,
+            Datatype::Uint8 | Datatype::Int8 | Datatype::Bool | Datatype::Char | Datatype::Byte => {
+                1
+            }
             Datatype::Uint16 | Datatype::Int16 => 2,
             Datatype::Uint32 | Datatype::Int32 | Datatype::Float => 4,
             Datatype::Uint64 | Datatype::Int64 | Datatype::Double => 8,

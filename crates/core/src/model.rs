@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 
 /// Application-level vertex identifier (external id, `vID_app` in the
 /// paper's listings).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AppVertexId(pub u64);
 
 impl From<u64> for AppVertexId {
@@ -35,17 +33,13 @@ impl std::fmt::Display for AppVertexId {
 
 /// Integer id of a label (element of `L`). Ids `0..=2` are reserved entry
 /// markers (see crate-level constants); user labels start above them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LabelId(pub u32);
 
 /// Integer id of a property type (element of `K`). Always
 /// `>= FIRST_PTYPE_ID` so holders can distinguish label entries, property
 /// entries and markers (§5.4.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PTypeId(pub u32);
 
 /// Edge orientation selector for neighborhood queries

@@ -56,81 +56,411 @@ macro_rules! routine {
 pub const CATALOG: &[Routine] = &[
     // ---- general management ------------------------------------------
     routine!("GDI_Init", Management, Collective, "rma::Fabric::run"),
-    routine!("GDI_Finalize", Management, Collective, "rma::Fabric::run (scope exit)"),
-    routine!("GDI_CreateDatabase", Management, Collective, "gda::DbRegistry::create"),
-    routine!("GDI_DeleteDatabase", Management, Collective, "gda::DbRegistry::delete"),
+    routine!(
+        "GDI_Finalize",
+        Management,
+        Collective,
+        "rma::Fabric::run (scope exit)"
+    ),
+    routine!(
+        "GDI_CreateDatabase",
+        Management,
+        Collective,
+        "gda::DbRegistry::create"
+    ),
+    routine!(
+        "GDI_DeleteDatabase",
+        Management,
+        Collective,
+        "gda::DbRegistry::delete"
+    ),
     // ---- labels -------------------------------------------------------
-    routine!("GDI_CreateLabel", Labels, Collective, "gda::GdaRank::create_label"),
-    routine!("GDI_UpdateLabel", Labels, Collective, "gda::GdaRank::update_label"),
-    routine!("GDI_DeleteLabel", Labels, Collective, "gda::GdaRank::delete_label"),
-    routine!("GDI_GetLabelFromName", Labels, Local, "gda::meta::MetaSnapshot::label_from_name"),
-    routine!("GDI_GetNameOfLabel", Labels, Local, "gda::meta::MetaSnapshot::label_name"),
-    routine!("GDI_GetAllLabelsOfDatabase", Labels, Local, "gda::meta::MetaSnapshot::all_labels"),
+    routine!(
+        "GDI_CreateLabel",
+        Labels,
+        Collective,
+        "gda::GdaRank::create_label"
+    ),
+    routine!(
+        "GDI_UpdateLabel",
+        Labels,
+        Collective,
+        "gda::GdaRank::update_label"
+    ),
+    routine!(
+        "GDI_DeleteLabel",
+        Labels,
+        Collective,
+        "gda::GdaRank::delete_label"
+    ),
+    routine!(
+        "GDI_GetLabelFromName",
+        Labels,
+        Local,
+        "gda::meta::MetaSnapshot::label_from_name"
+    ),
+    routine!(
+        "GDI_GetNameOfLabel",
+        Labels,
+        Local,
+        "gda::meta::MetaSnapshot::label_name"
+    ),
+    routine!(
+        "GDI_GetAllLabelsOfDatabase",
+        Labels,
+        Local,
+        "gda::meta::MetaSnapshot::all_labels"
+    ),
     // ---- property types ------------------------------------------------
-    routine!("GDI_CreatePropertyType", PropertyTypes, Collective, "gda::GdaRank::create_ptype"),
-    routine!("GDI_UpdatePropertyType", PropertyTypes, Collective, "gda::meta::MetaStore (create/delete)"),
-    routine!("GDI_DeletePropertyType", PropertyTypes, Collective, "gda::GdaRank::delete_ptype"),
-    routine!("GDI_GetPropertyTypeFromName", PropertyTypes, Local, "gda::meta::MetaSnapshot::ptype_from_name"),
-    routine!("GDI_GetNameOfPropertyType", PropertyTypes, Local, "gda::meta::PTypeDef::name"),
-    routine!("GDI_GetAllPropertyTypesOfDatabase", PropertyTypes, Local, "gda::meta::MetaSnapshot::all_ptypes"),
-    routine!("GDI_GetEntityTypeOfPropertyType", PropertyTypes, Local, "gda::meta::PTypeDef::entity"),
-    routine!("GDI_GetSizeTypeOfPropertyType", PropertyTypes, Local, "gda::meta::PTypeDef::stype"),
-    routine!("GDI_GetDatatypeOfPropertyType", PropertyTypes, Local, "gda::meta::PTypeDef::dtype"),
+    routine!(
+        "GDI_CreatePropertyType",
+        PropertyTypes,
+        Collective,
+        "gda::GdaRank::create_ptype"
+    ),
+    routine!(
+        "GDI_UpdatePropertyType",
+        PropertyTypes,
+        Collective,
+        "gda::meta::MetaStore (create/delete)"
+    ),
+    routine!(
+        "GDI_DeletePropertyType",
+        PropertyTypes,
+        Collective,
+        "gda::GdaRank::delete_ptype"
+    ),
+    routine!(
+        "GDI_GetPropertyTypeFromName",
+        PropertyTypes,
+        Local,
+        "gda::meta::MetaSnapshot::ptype_from_name"
+    ),
+    routine!(
+        "GDI_GetNameOfPropertyType",
+        PropertyTypes,
+        Local,
+        "gda::meta::PTypeDef::name"
+    ),
+    routine!(
+        "GDI_GetAllPropertyTypesOfDatabase",
+        PropertyTypes,
+        Local,
+        "gda::meta::MetaSnapshot::all_ptypes"
+    ),
+    routine!(
+        "GDI_GetEntityTypeOfPropertyType",
+        PropertyTypes,
+        Local,
+        "gda::meta::PTypeDef::entity"
+    ),
+    routine!(
+        "GDI_GetSizeTypeOfPropertyType",
+        PropertyTypes,
+        Local,
+        "gda::meta::PTypeDef::stype"
+    ),
+    routine!(
+        "GDI_GetDatatypeOfPropertyType",
+        PropertyTypes,
+        Local,
+        "gda::meta::PTypeDef::dtype"
+    ),
     // ---- vertices -------------------------------------------------------
-    routine!("GDI_CreateVertex", Vertices, Local, "gda::Transaction::create_vertex"),
-    routine!("GDI_DeleteVertex", Vertices, Local, "gda::Transaction::delete_vertex"),
-    routine!("GDI_TranslateVertexID", Vertices, Local, "gda::Transaction::translate_vertex_id"),
-    routine!("GDI_AssociateVertex", Vertices, Local, "gda::Transaction::associate_vertex"),
-    routine!("GDI_GetEdgesOfVertex", Vertices, Local, "gda::Transaction::edges"),
-    routine!("GDI_GetNeighborVerticesOfVertex", Vertices, Local, "gda::Transaction::neighbors / neighbors_matching"),
-    routine!("GDI_AddLabelToVertex", Vertices, Local, "gda::Transaction::add_label"),
-    routine!("GDI_RemoveLabelFromVertex", Vertices, Local, "gda::Transaction::remove_label"),
-    routine!("GDI_GetAllLabelsOfVertex", Vertices, Local, "gda::Transaction::labels"),
-    routine!("GDI_AddPropertyToVertex", Vertices, Local, "gda::Transaction::add_property"),
-    routine!("GDI_UpdatePropertyOfVertex", Vertices, Local, "gda::Transaction::update_property"),
-    routine!("GDI_RemovePropertyFromVertex", Vertices, Local, "gda::Transaction::remove_properties"),
-    routine!("GDI_GetPropertiesOfVertex", Vertices, Local, "gda::Transaction::property / properties"),
-    routine!("GDI_RemoveAllPropertiesFromVertex", Vertices, Local, "gda::Transaction::remove_all_properties"),
-    routine!("GDI_GetAllPropertyTypesOfVertex", Vertices, Local, "gda::Transaction::ptypes"),
-    routine!("GDI_BulkLoadVertices", Vertices, Collective, "gda::GdaRank::bulk_load"),
+    routine!(
+        "GDI_CreateVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::create_vertex"
+    ),
+    routine!(
+        "GDI_DeleteVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::delete_vertex"
+    ),
+    routine!(
+        "GDI_TranslateVertexID",
+        Vertices,
+        Local,
+        "gda::Transaction::translate_vertex_id"
+    ),
+    routine!(
+        "GDI_AssociateVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::associate_vertex"
+    ),
+    routine!(
+        "GDI_GetEdgesOfVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::edges"
+    ),
+    routine!(
+        "GDI_GetNeighborVerticesOfVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::neighbors / neighbors_matching"
+    ),
+    routine!(
+        "GDI_AddLabelToVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::add_label"
+    ),
+    routine!(
+        "GDI_RemoveLabelFromVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::remove_label"
+    ),
+    routine!(
+        "GDI_GetAllLabelsOfVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::labels"
+    ),
+    routine!(
+        "GDI_AddPropertyToVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::add_property"
+    ),
+    routine!(
+        "GDI_UpdatePropertyOfVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::update_property"
+    ),
+    routine!(
+        "GDI_RemovePropertyFromVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::remove_properties"
+    ),
+    routine!(
+        "GDI_GetPropertiesOfVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::property / properties"
+    ),
+    routine!(
+        "GDI_RemoveAllPropertiesFromVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::remove_all_properties"
+    ),
+    routine!(
+        "GDI_GetAllPropertyTypesOfVertex",
+        Vertices,
+        Local,
+        "gda::Transaction::ptypes"
+    ),
+    routine!(
+        "GDI_BulkLoadVertices",
+        Vertices,
+        Collective,
+        "gda::GdaRank::bulk_load"
+    ),
     // ---- edges -----------------------------------------------------------
     routine!("GDI_CreateEdge", Edges, Local, "gda::Transaction::add_edge"),
-    routine!("GDI_DeleteEdge", Edges, Local, "gda::Transaction::delete_edge"),
-    routine!("GDI_GetVerticesOfEdge", Edges, Local, "gda::Transaction::edge_endpoints"),
-    routine!("GDI_GetDirectionOfEdge", Edges, Local, "gda::Transaction::edge_direction"),
-    routine!("GDI_SetOriginVertexOfEdge", Edges, Local, "gda::Transaction::flip_edge"),
-    routine!("GDI_SetTargetVertexOfEdge", Edges, Local, "gda::Transaction::flip_edge"),
-    routine!("GDI_AddLabelToEdge", Edges, Local, "gda::Transaction::add_edge_label"),
-    routine!("GDI_GetAllLabelsOfEdge", Edges, Local, "gda::Transaction::edge_labels"),
-    routine!("GDI_AddPropertyToEdge", Edges, Local, "gda::Transaction::set_edge_property"),
-    routine!("GDI_UpdatePropertyOfEdge", Edges, Local, "gda::Transaction::set_edge_property"),
-    routine!("GDI_RemovePropertyFromEdge", Edges, Local, "gda::Transaction::remove_edge_properties"),
-    routine!("GDI_GetPropertiesOfEdge", Edges, Local, "gda::Transaction::edge_property"),
-    routine!("GDI_GetAllPropertyTypesOfEdge", Edges, Local, "gda::Transaction::edge_ptypes"),
-    routine!("GDI_BulkLoadEdges", Edges, Collective, "gda::GdaRank::bulk_load"),
+    routine!(
+        "GDI_DeleteEdge",
+        Edges,
+        Local,
+        "gda::Transaction::delete_edge"
+    ),
+    routine!(
+        "GDI_GetVerticesOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::edge_endpoints"
+    ),
+    routine!(
+        "GDI_GetDirectionOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::edge_direction"
+    ),
+    routine!(
+        "GDI_SetOriginVertexOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::flip_edge"
+    ),
+    routine!(
+        "GDI_SetTargetVertexOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::flip_edge"
+    ),
+    routine!(
+        "GDI_AddLabelToEdge",
+        Edges,
+        Local,
+        "gda::Transaction::add_edge_label"
+    ),
+    routine!(
+        "GDI_GetAllLabelsOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::edge_labels"
+    ),
+    routine!(
+        "GDI_AddPropertyToEdge",
+        Edges,
+        Local,
+        "gda::Transaction::set_edge_property"
+    ),
+    routine!(
+        "GDI_UpdatePropertyOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::set_edge_property"
+    ),
+    routine!(
+        "GDI_RemovePropertyFromEdge",
+        Edges,
+        Local,
+        "gda::Transaction::remove_edge_properties"
+    ),
+    routine!(
+        "GDI_GetPropertiesOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::edge_property"
+    ),
+    routine!(
+        "GDI_GetAllPropertyTypesOfEdge",
+        Edges,
+        Local,
+        "gda::Transaction::edge_ptypes"
+    ),
+    routine!(
+        "GDI_BulkLoadEdges",
+        Edges,
+        Collective,
+        "gda::GdaRank::bulk_load"
+    ),
     // ---- transactions ------------------------------------------------------
-    routine!("GDI_StartTransaction", Transactions, Local, "gda::GdaRank::begin"),
-    routine!("GDI_CloseTransaction", Transactions, Local, "gda::Transaction::commit / abort"),
-    routine!("GDI_StartCollectiveTransaction", Transactions, Collective, "gda::GdaRank::begin_collective"),
-    routine!("GDI_CloseCollectiveTransaction", Transactions, Collective, "gda::Transaction::commit / abort"),
-    routine!("GDI_GetTypeOfTransaction", Transactions, Local, "gda::Transaction::kind"),
+    routine!(
+        "GDI_StartTransaction",
+        Transactions,
+        Local,
+        "gda::GdaRank::begin"
+    ),
+    routine!(
+        "GDI_CloseTransaction",
+        Transactions,
+        Local,
+        "gda::Transaction::commit / abort"
+    ),
+    routine!(
+        "GDI_StartCollectiveTransaction",
+        Transactions,
+        Collective,
+        "gda::GdaRank::begin_collective"
+    ),
+    routine!(
+        "GDI_CloseCollectiveTransaction",
+        Transactions,
+        Collective,
+        "gda::Transaction::commit / abort"
+    ),
+    routine!(
+        "GDI_GetTypeOfTransaction",
+        Transactions,
+        Local,
+        "gda::Transaction::kind"
+    ),
     // ---- indexes --------------------------------------------------------------
-    routine!("GDI_CreateIndex", Indexes, Collective, "gda::GdaRank::create_index"),
-    routine!("GDI_DeleteIndex", Indexes, Collective, "gda::GdaRank::delete_index"),
-    routine!("GDI_AddLabelToIndex", Indexes, Collective, "gda::index::IndexShared::add_label"),
-    routine!("GDI_RemoveLabelFromIndex", Indexes, Collective, "gda::index::IndexShared::remove_label"),
-    routine!("GDI_GetAllLabelsOfIndex", Indexes, Local, "gda::index::IndexDef::labels"),
-    routine!("GDI_GetLocalVerticesOfIndex", Indexes, Local, "gda::GdaRank::local_index_vertices / Transaction::local_index_scan"),
-    routine!("GDI_GetAllIndexesOfDatabase", Indexes, Local, "gda::GdaRank::all_indexes"),
+    routine!(
+        "GDI_CreateIndex",
+        Indexes,
+        Collective,
+        "gda::GdaRank::create_index"
+    ),
+    routine!(
+        "GDI_DeleteIndex",
+        Indexes,
+        Collective,
+        "gda::GdaRank::delete_index"
+    ),
+    routine!(
+        "GDI_AddLabelToIndex",
+        Indexes,
+        Collective,
+        "gda::index::IndexShared::add_label"
+    ),
+    routine!(
+        "GDI_RemoveLabelFromIndex",
+        Indexes,
+        Collective,
+        "gda::index::IndexShared::remove_label"
+    ),
+    routine!(
+        "GDI_GetAllLabelsOfIndex",
+        Indexes,
+        Local,
+        "gda::index::IndexDef::labels"
+    ),
+    routine!(
+        "GDI_GetLocalVerticesOfIndex",
+        Indexes,
+        Local,
+        "gda::GdaRank::local_index_vertices / Transaction::local_index_scan"
+    ),
+    routine!(
+        "GDI_GetAllIndexesOfDatabase",
+        Indexes,
+        Local,
+        "gda::GdaRank::all_indexes"
+    ),
     // ---- constraints -------------------------------------------------------------
-    routine!("GDI_CreateConstraint", Constraints, Local, "gdi::Constraint::any / from_sub"),
-    routine!("GDI_CreateSubconstraint", Constraints, Local, "gdi::Subconstraint::new"),
-    routine!("GDI_AddLabelConditionToSubconstraint", Constraints, Local, "gdi::Subconstraint::with_label / without_label"),
-    routine!("GDI_AddPropertyConditionToSubconstraint", Constraints, Local, "gdi::Subconstraint::with_prop"),
-    routine!("GDI_AddSubconstraintToConstraint", Constraints, Local, "gdi::Constraint::or"),
-    routine!("GDI_VerifyStaleness", Constraints, Local, "gdi::Constraint::is_stale"),
+    routine!(
+        "GDI_CreateConstraint",
+        Constraints,
+        Local,
+        "gdi::Constraint::any / from_sub"
+    ),
+    routine!(
+        "GDI_CreateSubconstraint",
+        Constraints,
+        Local,
+        "gdi::Subconstraint::new"
+    ),
+    routine!(
+        "GDI_AddLabelConditionToSubconstraint",
+        Constraints,
+        Local,
+        "gdi::Subconstraint::with_label / without_label"
+    ),
+    routine!(
+        "GDI_AddPropertyConditionToSubconstraint",
+        Constraints,
+        Local,
+        "gdi::Subconstraint::with_prop"
+    ),
+    routine!(
+        "GDI_AddSubconstraintToConstraint",
+        Constraints,
+        Local,
+        "gdi::Constraint::or"
+    ),
+    routine!(
+        "GDI_VerifyStaleness",
+        Constraints,
+        Local,
+        "gdi::Constraint::is_stale"
+    ),
     // ---- errors -----------------------------------------------------------------------
-    routine!("GDI_GetErrorClass", Errors, Local, "gdi::GdiError::is_transaction_critical"),
+    routine!(
+        "GDI_GetErrorClass",
+        Errors,
+        Local,
+        "gdi::GdiError::is_transaction_critical"
+    ),
     routine!("GDI_GetErrorName", Errors, Local, "gdi::GdiError::name"),
 ];
 

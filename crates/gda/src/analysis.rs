@@ -29,27 +29,132 @@ pub struct WorkDepth {
 
 /// The per-routine performance table (§5.9).
 pub const WORK_DEPTH: &[WorkDepth] = &[
-    WorkDepth { routine: "acquireBlock", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "releaseBlock", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "DHT insert", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "DHT lookup", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "DHT delete", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "TranslateVertexID", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "AssociateVertex (fetch)", work: "O(b)", depth: "O(b)", amortized: false },
-    WorkDepth { routine: "CreateVertex", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "DeleteVertex", work: "O(d·b)", depth: "O(b)", amortized: false },
-    WorkDepth { routine: "Add/RemoveLabel (cached)", work: "O(1)", depth: "O(1)", amortized: false },
-    WorkDepth { routine: "Add/Update/RemoveProperty (cached)", work: "O(1)", depth: "O(1)", amortized: false },
-    WorkDepth { routine: "GetEdgesOfVertex (cached)", work: "O(d)", depth: "O(1)", amortized: false },
-    WorkDepth { routine: "CreateEdge", work: "O(b)", depth: "O(b)", amortized: false },
-    WorkDepth { routine: "DeleteEdge", work: "O(b+d)", depth: "O(b)", amortized: false },
-    WorkDepth { routine: "Lock acquire/release", work: "O(1)", depth: "O(1)", amortized: true },
-    WorkDepth { routine: "Commit (local tx)", work: "O(t·b)", depth: "O(b)", amortized: false },
-    WorkDepth { routine: "Abort", work: "O(t)", depth: "O(1)", amortized: false },
-    WorkDepth { routine: "Start/CloseCollectiveTransaction", work: "O(P)", depth: "O(log P)", amortized: false },
-    WorkDepth { routine: "CreateLabel / CreatePropertyType", work: "O(x)", depth: "O(x)", amortized: false },
-    WorkDepth { routine: "GetLocalVerticesOfIndex", work: "O(n_I)", depth: "O(1)", amortized: false },
-    WorkDepth { routine: "BulkLoad", work: "O((n+m)/P)", depth: "O(log P)", amortized: true },
+    WorkDepth {
+        routine: "acquireBlock",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "releaseBlock",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "DHT insert",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "DHT lookup",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "DHT delete",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "TranslateVertexID",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "AssociateVertex (fetch)",
+        work: "O(b)",
+        depth: "O(b)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "CreateVertex",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "DeleteVertex",
+        work: "O(d·b)",
+        depth: "O(b)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "Add/RemoveLabel (cached)",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "Add/Update/RemoveProperty (cached)",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "GetEdgesOfVertex (cached)",
+        work: "O(d)",
+        depth: "O(1)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "CreateEdge",
+        work: "O(b)",
+        depth: "O(b)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "DeleteEdge",
+        work: "O(b+d)",
+        depth: "O(b)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "Lock acquire/release",
+        work: "O(1)",
+        depth: "O(1)",
+        amortized: true,
+    },
+    WorkDepth {
+        routine: "Commit (local tx)",
+        work: "O(t·b)",
+        depth: "O(b)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "Abort",
+        work: "O(t)",
+        depth: "O(1)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "Start/CloseCollectiveTransaction",
+        work: "O(P)",
+        depth: "O(log P)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "CreateLabel / CreatePropertyType",
+        work: "O(x)",
+        depth: "O(x)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "GetLocalVerticesOfIndex",
+        work: "O(n_I)",
+        depth: "O(1)",
+        amortized: false,
+    },
+    WorkDepth {
+        routine: "BulkLoad",
+        work: "O((n+m)/P)",
+        depth: "O(log P)",
+        amortized: true,
+    },
 ];
 
 /// Look up the bounds of one routine.
@@ -67,7 +172,11 @@ pub fn render_markdown() -> String {
             w.routine,
             w.work,
             w.depth,
-            if w.amortized { "expected" } else { "worst-case" }
+            if w.amortized {
+                "expected"
+            } else {
+                "worst-case"
+            }
         ));
     }
     s

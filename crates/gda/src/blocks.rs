@@ -68,13 +68,9 @@ impl<'c, 'f> BlockManager<'c, 'f> {
             }
             let next = self.ctx.get_u64(WIN_USAGE, target, idx as usize);
             let new_head = head.bump(next);
-            let prev = self.ctx.cas_u64(
-                WIN_SYSTEM,
-                target,
-                HEAD_WORD,
-                head.raw(),
-                new_head.raw(),
-            );
+            let prev = self
+                .ctx
+                .cas_u64(WIN_SYSTEM, target, HEAD_WORD, head.raw(), new_head.raw());
             if prev == head.raw() {
                 return Ok(DPtr::new(target, idx * self.cfg.block_size as u64));
             }
@@ -91,15 +87,12 @@ impl<'c, 'f> BlockManager<'c, 'f> {
         debug_assert!(idx >= 1 && idx <= self.cfg.blocks_per_rank as u64);
         let mut head = TaggedIdx::from_raw(self.ctx.aget_u64(WIN_SYSTEM, target, HEAD_WORD));
         loop {
-            self.ctx.put_u64(WIN_USAGE, target, idx as usize, head.idx());
+            self.ctx
+                .put_u64(WIN_USAGE, target, idx as usize, head.idx());
             let new_head = head.bump(idx);
-            let prev = self.ctx.cas_u64(
-                WIN_SYSTEM,
-                target,
-                HEAD_WORD,
-                head.raw(),
-                new_head.raw(),
-            );
+            let prev = self
+                .ctx
+                .cas_u64(WIN_SYSTEM, target, HEAD_WORD, head.raw(), new_head.raw());
             if prev == head.raw() {
                 return;
             }

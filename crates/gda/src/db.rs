@@ -18,8 +18,8 @@ use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 
 use gdi::{
-    AccessMode, AppVertexId, Datatype, EntityType, GdiError, GdiResult, LabelId,
-    Multiplicity, PTypeId, SizeType, TxKind,
+    AccessMode, AppVertexId, Datatype, EntityType, GdiError, GdiResult, LabelId, Multiplicity,
+    PTypeId, SizeType, TxKind,
 };
 use rma::{CostModel, Fabric, RankCtx};
 
@@ -243,6 +243,17 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     pub fn begin_collective(&self, mode: AccessMode) -> Transaction<'_, 'd, 'c, 'f> {
         self.ctx.barrier();
         Transaction::new(self, TxKind::Collective, mode)
+    }
+
+    /// Service-layer entry point: a local transaction with grouped commit
+    /// enabled. Many client operations are coalesced into this one
+    /// transaction and their write-backs are issued as a single
+    /// non-blocking RMA batch at commit — the engine half of the server's
+    /// request batching / group commit (see the `server` crate).
+    pub fn begin_grouped(&self, mode: AccessMode) -> Transaction<'_, 'd, 'c, 'f> {
+        let tx = Transaction::new(self, TxKind::Local, mode);
+        tx.enable_grouped_commit();
+        tx
     }
 
     /// Resolve an application vertex id without a transaction (diagnostic).

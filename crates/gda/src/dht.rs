@@ -127,14 +127,15 @@ impl<'c, 'f> Dht<'c, 'f> {
     /// Allocate a heap entry on `target` (tagged-CAS free list, like BGDL
     /// blocks; the link lives in the entry's value word).
     fn alloc(&self, target: usize) -> GdiResult<u64> {
-        let mut head =
-            TaggedIdx::from_raw(self.ctx.aget_u64(WIN_INDEX, target, HEAP_HEAD_WORD));
+        let mut head = TaggedIdx::from_raw(self.ctx.aget_u64(WIN_INDEX, target, HEAP_HEAD_WORD));
         loop {
             let idx = head.idx();
             if idx == 0 {
                 return Err(GdiError::OutOfMemory);
             }
-            let link = self.ctx.get_u64(WIN_INDEX, target, self.entry_word(idx) + 1);
+            let link = self
+                .ctx
+                .get_u64(WIN_INDEX, target, self.entry_word(idx) + 1);
             let prev = self.ctx.cas_u64(
                 WIN_INDEX,
                 target,
@@ -154,8 +155,7 @@ impl<'c, 'f> Dht<'c, 'f> {
     fn dealloc(&self, target: usize, idx: u64) {
         let ew = self.entry_word(idx);
         self.ctx.put_u64(WIN_INDEX, target, ew, FREE_KEY);
-        let mut head =
-            TaggedIdx::from_raw(self.ctx.aget_u64(WIN_INDEX, target, HEAP_HEAD_WORD));
+        let mut head = TaggedIdx::from_raw(self.ctx.aget_u64(WIN_INDEX, target, HEAP_HEAD_WORD));
         loop {
             self.ctx.put_u64(WIN_INDEX, target, ew + 1, head.idx());
             let prev = self.ctx.cas_u64(
@@ -236,7 +236,9 @@ impl<'c, 'f> Dht<'c, 'f> {
                 }
                 if k == key {
                     // CAS 1: mark the entry by pointing its next to itself
-                    let prev = self.ctx.cas_u64(WIN_INDEX, rank, self.next_word(cur), next, cur);
+                    let prev = self
+                        .ctx
+                        .cas_u64(WIN_INDEX, rank, self.next_word(cur), next, cur);
                     if prev != next {
                         // lost a race (entry or its successor changed)
                         continue 'restart;

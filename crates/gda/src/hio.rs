@@ -90,7 +90,12 @@ pub fn read_chain(
     let payload = payload_per_block(cfg);
     let max_total = payload * cfg.blocks_per_rank;
     let mut block_buf = vec![0u8; cfg.block_size];
-    ctx.get_bytes(WIN_DATA, primary.rank(), primary.offset() as usize, &mut block_buf);
+    ctx.get_bytes(
+        WIN_DATA,
+        primary.rank(),
+        primary.offset() as usize,
+        &mut block_buf,
+    );
     let mut next = DPtr::from_raw(u64::from_le_bytes(block_buf[..8].try_into().unwrap()));
     let total = Holder::peek_total_len(&block_buf[8..]);
     if total < crate::holder::HEADER_BYTES || total > max_total {
@@ -103,7 +108,12 @@ pub fn read_chain(
         if next.is_null() || blocks.len() > cfg.blocks_per_rank {
             return Err(GdiError::NotFound("object (stale internal id)"));
         }
-        ctx.get_bytes(WIN_DATA, next.rank(), next.offset() as usize, &mut block_buf);
+        ctx.get_bytes(
+            WIN_DATA,
+            next.rank(),
+            next.offset() as usize,
+            &mut block_buf,
+        );
         blocks.push(next);
         let take = payload.min(total - bytes.len());
         bytes.extend_from_slice(&block_buf[8..8 + take]);

@@ -117,7 +117,9 @@ impl Entry {
 
     pub fn as_label(&self) -> Option<LabelId> {
         if self.id == ENTRY_LABEL && self.data.len() == 4 {
-            Some(LabelId(u32::from_le_bytes(self.data[..].try_into().unwrap())))
+            Some(LabelId(u32::from_le_bytes(
+                self.data[..].try_into().unwrap(),
+            )))
         } else {
             None
         }
@@ -297,11 +299,7 @@ impl Holder {
     pub fn encoded_len(&self) -> usize {
         HEADER_BYTES
             + self.edges.len() * EDGE_RECORD_BYTES
-            + self
-                .entries
-                .iter()
-                .map(Entry::encoded_len)
-                .sum::<usize>()
+            + self.entries.iter().map(Entry::encoded_len).sum::<usize>()
     }
 
     /// Serialize to the on-block byte layout.
@@ -408,8 +406,16 @@ mod tests {
         h.add_label(LabelId(11));
         h.add_property(PTypeId(3), vec![1, 2, 3]);
         h.add_property(PTypeId(4), 77u64.to_le_bytes().to_vec());
-        h.push_edge(EdgeRecord::lightweight(DPtr::new(1, 512), 5, Direction::Out));
-        h.push_edge(EdgeRecord::lightweight(DPtr::new(2, 1024), 6, Direction::In));
+        h.push_edge(EdgeRecord::lightweight(
+            DPtr::new(1, 512),
+            5,
+            Direction::Out,
+        ));
+        h.push_edge(EdgeRecord::lightweight(
+            DPtr::new(2, 1024),
+            6,
+            Direction::In,
+        ));
         h
     }
 

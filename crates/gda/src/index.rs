@@ -65,12 +65,19 @@ impl IndexShared {
         Self {
             defs: RwLock::new(Vec::new()),
             next_id: Mutex::new(1),
-            postings: (0..nranks).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            postings: (0..nranks)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
         }
     }
 
     /// `GDI_CreateIndex`.
-    pub fn create(&self, name: &str, labels: Vec<LabelId>, ptypes: Vec<PTypeId>) -> GdiResult<IndexId> {
+    pub fn create(
+        &self,
+        name: &str,
+        labels: Vec<LabelId>,
+        ptypes: Vec<PTypeId>,
+    ) -> GdiResult<IndexId> {
         let mut defs = self.defs.write();
         if defs.iter().any(|d| d.name == name) {
             return Err(GdiError::AlreadyExists("index"));
@@ -316,11 +323,11 @@ mod tests {
         let mut h = Holder::new_vertex(1);
         h.add_label(person());
         h.add_property(PTypeId(3), 35u64.to_le_bytes().to_vec());
-        let c = Constraint::from_sub(
-            Subconstraint::new()
-                .with_label(person())
-                .with_prop(PTypeId(3), CmpOp::Gt, PropertyValue::U64(30)),
-        );
+        let c = Constraint::from_sub(Subconstraint::new().with_label(person()).with_prop(
+            PTypeId(3),
+            CmpOp::Gt,
+            PropertyValue::U64(30),
+        ));
         let decode = |_pt: PTypeId, raw: &[u8]| {
             Some(PropertyValue::U64(u64::from_le_bytes(raw.try_into().ok()?)))
         };

@@ -229,7 +229,9 @@ impl MetaSnapshot {
 
     /// `GDI_GetNameOfLabel`.
     pub fn label_name(&self, id: LabelId) -> Option<&str> {
-        self.label_by_id.get(&id).map(|&i| self.labels[i].name.as_str())
+        self.label_by_id
+            .get(&id)
+            .map(|&i| self.labels[i].name.as_str())
     }
 
     /// `GDI_GetPropertyTypeFromName`.
@@ -323,7 +325,10 @@ mod tests {
         assert_eq!(def.entity, EntityType::Vertex);
         assert_eq!(s.ptype_from_name("age"), Some(age));
         m.delete_ptype(age).unwrap();
-        assert_eq!(m.delete_ptype(age), Err(GdiError::NotFound("property type")));
+        assert_eq!(
+            m.delete_ptype(age),
+            Err(GdiError::NotFound("property type"))
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::cell::{Cell, RefCell};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use gdi::{
-    AccessMode, AppVertexId, Constraint, Direction, EdgeOrientation, GdiError, GdiResult,
-    LabelId, PTypeId, PropertyValue, TxKind, TxStatus,
+    AccessMode, AppVertexId, Constraint, Direction, EdgeOrientation, GdiError, GdiResult, LabelId,
+    PTypeId, PropertyValue, TxKind, TxStatus,
 };
 
 use crate::db::GdaRank;
@@ -55,6 +55,10 @@ pub struct Transaction<'r, 'd, 'c, 'f> {
     /// Metadata epoch snapshot at start (staleness detection, §3.8).
     epoch: u64,
     used_meta: Cell<bool>,
+    /// Grouped commit: write-back runs inside a non-blocking RMA batch so
+    /// block write latencies overlap (the engine half of the service
+    /// layer's group commit; see [`crate::db::GdaRank::begin_grouped`]).
+    grouped: Cell<bool>,
     cache: RefCell<FxHashMap<u64, CachedObj>>,
 }
 
@@ -68,8 +72,23 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             status: Cell::new(TxStatus::Active),
             epoch: eng.meta_epoch(),
             used_meta: Cell::new(false),
+            grouped: Cell::new(false),
             cache: RefCell::new(FxHashMap::default()),
         }
+    }
+
+    /// Enable grouped (batched) commit for this transaction: the dirty
+    /// write-back at commit is issued as one non-blocking RMA batch, so the
+    /// per-block network latencies overlap and each touched rank is flushed
+    /// once for the whole group. Entry point for service layers that
+    /// coalesce many client operations into one engine transaction.
+    pub fn enable_grouped_commit(&self) {
+        self.grouped.set(true);
+    }
+
+    /// Is grouped commit enabled?
+    pub fn is_grouped(&self) -> bool {
+        self.grouped.get()
     }
 
     /// `GDI_GetTypeOfTransaction`.
@@ -125,14 +144,32 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             // assume that no participating process modifies the data").
             (TxKind::Collective, AccessMode::ReadOnly) => None,
             (_, AccessMode::ReadOnly) => Some(LockKind::Read),
-            _ => Some(if write { LockKind::Write } else { LockKind::Read }),
+            _ => Some(if write {
+                LockKind::Write
+            } else {
+                LockKind::Read
+            }),
         }
     }
 
     /// Ensure `id` is cached with at least the requested access. Fetches
     /// blocks and acquires the distributed lock on first touch; upgrades
-    /// read→write on first mutation.
+    /// read→write on first mutation. A transaction-critical failure
+    /// (lock conflict) aborts the transaction per §3.3.
     fn ensure_cached(&self, id: DPtr, write: bool) -> GdiResult<()> {
+        self.ensure_cached_policy(id, write, true)
+    }
+
+    /// [`Transaction::ensure_cached`] with an abort policy: when
+    /// `abort_on_critical` is false, a failed lock acquisition is
+    /// reported without poisoning the transaction — the probe behaviour
+    /// [`Transaction::prepare_write`] exposes to batchers.
+    fn ensure_cached_policy(
+        &self,
+        id: DPtr,
+        write: bool,
+        abort_on_critical: bool,
+    ) -> GdiResult<()> {
         self.check_active()?;
         if id.is_null() {
             return Err(GdiError::InvalidArgument("null internal id"));
@@ -147,7 +184,10 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                     Ok(()) => obj.lock = Some(LockKind::Write),
                     Err(e) => {
                         drop(cache);
-                        return self.fail(e);
+                        if abort_on_critical {
+                            return self.fail(e);
+                        }
+                        return Err(e);
                     }
                 }
             }
@@ -161,11 +201,14 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 LockKind::Write => self.eng.lm.acquire_write(id),
             };
             if let Err(e) = res {
-                return self.fail(e);
+                if abort_on_critical {
+                    return self.fail(e);
+                }
+                return Err(e);
             }
         }
-        let fetched = hio::read_chain(self.eng.ctx, self.eng.cfg(), id)
-            .and_then(|(bytes, blocks)| {
+        let fetched =
+            hio::read_chain(self.eng.ctx, self.eng.cfg(), id).and_then(|(bytes, blocks)| {
                 Holder::try_decode(&bytes)
                     .map(|h| (h, blocks))
                     .ok_or(GdiError::NotFound("object (stale internal id)"))
@@ -228,6 +271,45 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     /// transaction (fetches and caches its holder).
     pub fn associate_vertex(&self, id: DPtr) -> GdiResult<()> {
         self.ensure_cached(id, false)
+    }
+
+    /// Batch-friendly entry point: acquire the write lock on `id` and
+    /// cache its holder *without mutating anything*. A batcher that
+    /// prepares every object an op touches before issuing the first
+    /// mutation gets all-or-nothing ops inside a shared transaction — and
+    /// unlike the ordinary routines, a failed preparation (even a lock
+    /// conflict) does **not** poison the transaction: it is a probe, so
+    /// the batch can skip the op and keep going (see `server::batch`).
+    pub fn prepare_write(&self, id: DPtr) -> GdiResult<()> {
+        self.check_active()?;
+        if self.mode == AccessMode::ReadOnly {
+            return Err(GdiError::ReadOnlyViolation);
+        }
+        self.ensure_cached_policy(id, true, false)
+    }
+
+    /// Probe-lock the full write-set of [`Transaction::delete_vertex`]:
+    /// the vertex, every mirror holder, and every heavy edge holder.
+    /// Lives next to `delete_vertex` so the enumeration cannot drift from
+    /// what the deletion actually touches. Same non-poisoning semantics
+    /// as [`Transaction::prepare_write`]; after it succeeds, the deletion
+    /// itself cannot hit a lock conflict.
+    pub fn prepare_delete_vertex(&self, id: DPtr) -> GdiResult<()> {
+        self.prepare_write(id)?;
+        let targets: Vec<(DPtr, DPtr)> = self.with_holder(id, |h| {
+            h.live_edges()
+                .map(|(_, r)| (r.target, r.edge_holder))
+                .collect()
+        })?;
+        for (target, edge_holder) in targets {
+            if target != id {
+                self.prepare_write(target)?;
+            }
+            if !edge_holder.is_null() {
+                self.prepare_write(edge_holder)?;
+            }
+        }
+        Ok(())
     }
 
     /// `GDI_CreateVertex`. The vertex's primary block (and hence its
@@ -355,7 +437,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     ) -> GdiResult<Vec<u8>> {
         self.used_meta.set(true);
         let meta = self.eng.meta();
-        let def = meta.ptype(ptype).ok_or(GdiError::NotFound("property type"))?;
+        let def = meta
+            .ptype(ptype)
+            .ok_or(GdiError::NotFound("property type"))?;
         if (on_edge && !def.entity.allows_edge()) || (!on_edge && !def.entity.allows_vertex()) {
             return Err(GdiError::TypeMismatch);
         }
@@ -395,7 +479,12 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     }
 
     /// `GDI_UpdatePropertyOfVertex`: set/replace the (first) entry.
-    pub fn update_property(&self, id: DPtr, ptype: PTypeId, value: &PropertyValue) -> GdiResult<()> {
+    pub fn update_property(
+        &self,
+        id: DPtr,
+        ptype: PTypeId,
+        value: &PropertyValue,
+    ) -> GdiResult<()> {
         let bytes = self.validate_property(ptype, value, false)?;
         self.with_holder_mut(id, |h| h.set_property(ptype, bytes))
     }
@@ -491,6 +580,18 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         .ok_or(GdiError::NotFound("edge"))
     }
 
+    /// Internal id of the edge's heavy holder, if it has one (batch-
+    /// friendly: lets a batcher [`Transaction::prepare_write`] every
+    /// object a vertex deletion will touch, heavy edges included).
+    pub fn edge_holder_id(&self, e: EdgeUid) -> GdiResult<Option<DPtr>> {
+        let rec = self.edge_record(e)?;
+        Ok(if rec.edge_holder.is_null() {
+            None
+        } else {
+            Some(rec.edge_holder)
+        })
+    }
+
     /// `GDI_DeleteEdge`: tombstones both endpoint records and deletes any
     /// heavy-edge holder.
     pub fn delete_edge(&self, e: EdgeUid) -> GdiResult<()> {
@@ -510,7 +611,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             self.with_holder_mut(e.vertex, |h| {
                 let sib = h
                     .live_edges()
-                    .find(|(s, r)| *s != e.slot && r.target == e.vertex && r.edge_holder == rec.edge_holder)
+                    .find(|(s, r)| {
+                        *s != e.slot && r.target == e.vertex && r.edge_holder == rec.edge_holder
+                    })
                     .map(|(s, _)| s);
                 if let Some(s) = sib {
                     h.remove_edge(s);
@@ -537,7 +640,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     /// Count edges without materializing UIDs.
     pub fn edge_count(&self, id: DPtr, orient: EdgeOrientation) -> GdiResult<usize> {
         self.with_holder(id, |h| {
-            h.live_edges().filter(|(_, r)| orient.matches(r.dir)).count()
+            h.live_edges()
+                .filter(|(_, r)| orient.matches(r.dir))
+                .count()
         })
     }
 
@@ -625,7 +730,8 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             self.update_edge_records(e, &rec, |r| r.label = label.0)
         } else {
             let holder = self.ensure_edge_holder(e, &rec)?;
-            self.with_holder_mut(holder, |h| h.add_label(label)).map(|_| ())
+            self.with_holder_mut(holder, |h| h.add_label(label))
+                .map(|_| ())
         }
     }
 
@@ -814,8 +920,31 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         let mut cache = self.cache.borrow_mut();
         let mut touched: FxHashSet<usize> = FxHashSet::default();
         let mut result = Ok(());
+        // Has any object been written back (or freed) already? Once one
+        // has, persisted holders may reference a created object's blocks
+        // (mirror edge records), so reclaiming those blocks on a later
+        // failure could hand them to a new owner while stale references
+        // resolve to them — silent corruption. In that case we leak the
+        // blocks instead (bounded: only failed commits); reclaiming is
+        // safe only while nothing has been persisted yet.
+        let mut wrote_any = false;
+        // grouped commit: overlap the write-back transfers of all dirty
+        // objects in one non-blocking batch (one deferred latency + one
+        // flush per touched rank instead of per-object costs)
+        if self.grouped.get() {
+            self.eng.ctx().begin_nb_batch();
+        }
         for (&raw, obj) in cache.iter_mut() {
             let id = DPtr::from_raw(raw);
+            if result.is_err() {
+                // the commit already failed: write back nothing further;
+                // reclaim never-published creations only when nothing was
+                // persisted before the failure (see `wrote_any` above)
+                if obj.created && !wrote_any {
+                    hio::free_chain(&self.eng.bm, &obj.blocks);
+                }
+                continue;
+            }
             if obj.deleted {
                 if !obj.created {
                     // remove from DHT and indexes, then free storage
@@ -828,19 +957,30 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 }
                 hio::free_chain(&self.eng.bm, &obj.blocks);
                 touched.insert(id.rank());
+                wrote_any = true;
             } else if obj.dirty || obj.created {
                 obj.holder.version += 1;
                 obj.holder.compact_edges();
                 let bytes = obj.holder.encode();
-                if let Err(e) = hio::write_chain(self.eng.ctx, &self.eng.bm, &bytes, &mut obj.blocks)
+                if let Err(e) =
+                    hio::write_chain(self.eng.ctx, &self.eng.bm, &bytes, &mut obj.blocks)
                 {
                     result = Err(e);
-                    break;
+                    if obj.created && !wrote_any {
+                        // nothing persisted references this object yet
+                        // and it is not in the DHT: safe to reclaim
+                        hio::free_chain(&self.eng.bm, &obj.blocks);
+                    }
+                    continue;
                 }
+                wrote_any = true;
                 if obj.created && !obj.holder.is_edge {
                     if let Err(e) = self.eng.dht.insert(obj.holder.app_id, raw) {
                         result = Err(e);
-                        break;
+                        // written (wrote_any is set): persisted mirrors
+                        // may point here, so the blocks must leak rather
+                        // than be reused
+                        continue;
                     }
                 }
                 if !obj.holder.is_edge {
@@ -855,6 +995,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         }
         for r in touched {
             self.eng.ctx().flush(r);
+        }
+        if self.grouped.get() {
+            self.eng.ctx().end_nb_batch();
         }
         // release all locks (end of phase two)
         for (&raw, obj) in cache.iter() {

@@ -6,8 +6,8 @@
 use gda::blocks::BlockManager;
 use gda::{GdaConfig, GdaDb};
 use gdi::{
-    AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EdgeOrientation, EntityType,
-    GdiError, Multiplicity, PropertyValue, SizeType, Subconstraint,
+    AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EdgeOrientation, EntityType, GdiError,
+    Multiplicity, PropertyValue, SizeType, Subconstraint,
 };
 use rma::CostModel;
 
@@ -76,7 +76,10 @@ fn dht_heap_exhaustion_surfaces_at_commit() {
                 committed += 1;
             }
         }
-        assert!(committed >= cfg.dht_heap_per_rank.min(8), "committed {committed}");
+        assert!(
+            committed >= cfg.dht_heap_per_rank.min(8),
+            "committed {committed}"
+        );
         // every committed vertex is still resolvable
         let tx = eng.begin(AccessMode::ReadOnly);
         let mut found = 0;
@@ -98,8 +101,15 @@ fn failed_transactions_leave_no_partial_writes() {
         let eng = db.attach(ctx);
         eng.init_collective();
         let age = if ctx.rank() == 0 {
-            eng.create_ptype("a", Datatype::Uint64, EntityType::Vertex, Multiplicity::Single, SizeType::Fixed, 1)
-                .ok()
+            eng.create_ptype(
+                "a",
+                Datatype::Uint64,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
+            .ok()
         } else {
             None
         };
@@ -121,7 +131,8 @@ fn failed_transactions_leave_no_partial_writes() {
             let tx = eng.begin(AccessMode::ReadWrite);
             let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
             let w = tx.translate_vertex_id(AppVertexId(2)).unwrap();
-            tx.update_property(v, age, &PropertyValue::U64(999)).unwrap();
+            tx.update_property(v, age, &PropertyValue::U64(999))
+                .unwrap();
             tx.delete_edge(tx.edges(v, EdgeOrientation::Outgoing).unwrap()[0])
                 .unwrap();
             tx.delete_vertex(w).unwrap();
@@ -209,7 +220,14 @@ fn constraint_filtered_neighbors() {
         let car = eng.create_label("Car").unwrap();
         let owns = eng.create_label("OWNS").unwrap();
         let color = eng
-            .create_ptype("color", Datatype::Uint64, EntityType::Vertex, Multiplicity::Single, SizeType::Fixed, 1)
+            .create_ptype(
+                "color",
+                Datatype::Uint64,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
             .unwrap();
         let tx = eng.begin(AccessMode::ReadWrite);
         let p = tx.create_vertex(AppVertexId(1)).unwrap();
@@ -226,11 +244,11 @@ fn constraint_filtered_neighbors() {
         let tx = eng.begin(AccessMode::ReadOnly);
         let p = tx.translate_vertex_id(AppVertexId(1)).unwrap();
         // red (color == 1) cars only
-        let red_cars = Constraint::from_sub(
-            Subconstraint::new()
-                .with_label(car)
-                .with_prop(color, CmpOp::Eq, PropertyValue::U64(1)),
-        );
+        let red_cars = Constraint::from_sub(Subconstraint::new().with_label(car).with_prop(
+            color,
+            CmpOp::Eq,
+            PropertyValue::U64(1),
+        ));
         let found = tx
             .neighbors_matching(p, EdgeOrientation::Outgoing, Some(owns), &red_cars)
             .unwrap();
@@ -275,7 +293,8 @@ fn read_only_collective_with_concurrent_local_writers_stays_alive() {
             if ctx.rank() < 2 {
                 let tx = eng.begin(AccessMode::ReadWrite);
                 let r = (|| {
-                    let v = tx.translate_vertex_id(AppVertexId((round * 7 + ctx.rank() as u64) % 64))?;
+                    let v =
+                        tx.translate_vertex_id(AppVertexId((round * 7 + ctx.rank() as u64) % 64))?;
                     let w = tx.translate_vertex_id(AppVertexId((round * 13 + 1) % 64))?;
                     tx.add_edge(v, w, None, true)?;
                     Ok::<(), GdiError>(())

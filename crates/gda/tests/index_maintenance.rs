@@ -3,8 +3,10 @@
 //! eventual-consistency contract of §3.8.
 
 use gda::{GdaConfig, GdaDb};
-use gdi::{AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EntityType, Multiplicity,
-    PropertyValue, SizeType, Subconstraint};
+use gdi::{
+    AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EntityType, Multiplicity, PropertyValue,
+    SizeType, Subconstraint,
+};
 use rma::CostModel;
 
 #[test]
@@ -67,7 +69,11 @@ fn postings_live_on_owner_ranks() {
             None
         };
         let ix = if ctx.rank() == 0 {
-            Some(eng.create_index("people", vec![person.unwrap()], vec![]).unwrap().0)
+            Some(
+                eng.create_index("people", vec![person.unwrap()], vec![])
+                    .unwrap()
+                    .0,
+            )
         } else {
             None
         };
@@ -109,15 +115,25 @@ fn constrained_scan_inside_transaction() {
         let (person, age) = if ctx.rank() == 0 {
             let p = eng.create_label("Person").unwrap();
             let a = eng
-                .create_ptype("age", Datatype::Uint64, EntityType::Vertex,
-                    Multiplicity::Single, SizeType::Fixed, 1)
+                .create_ptype(
+                    "age",
+                    Datatype::Uint64,
+                    EntityType::Vertex,
+                    Multiplicity::Single,
+                    SizeType::Fixed,
+                    1,
+                )
                 .unwrap();
             (Some(p), Some(a))
         } else {
             (None, None)
         };
         let ix = if ctx.rank() == 0 {
-            Some(eng.create_index("people", vec![person.unwrap()], vec![]).unwrap().0)
+            Some(
+                eng.create_index("people", vec![person.unwrap()], vec![])
+                    .unwrap()
+                    .0,
+            )
         } else {
             None
         };
@@ -140,11 +156,11 @@ fn constrained_scan_inside_transaction() {
 
         // constrained scan: Person AND age >= 20, evaluated per rank
         let tx = eng.begin_collective(AccessMode::ReadOnly);
-        let c = Constraint::from_sub(
-            Subconstraint::new()
-                .with_label(person)
-                .with_prop(age, CmpOp::Ge, PropertyValue::U64(20)),
-        );
+        let c = Constraint::from_sub(Subconstraint::new().with_label(person).with_prop(
+            age,
+            CmpOp::Ge,
+            PropertyValue::U64(20),
+        ));
         let local = tx.local_index_scan(ix, &c).unwrap();
         for p in &local {
             assert!(p.app_id.0 >= 20);
@@ -171,7 +187,10 @@ fn index_created_after_data_starts_empty() {
         tx.commit().unwrap();
 
         let late = eng.create_index("late", vec![l], vec![]).unwrap();
-        assert!(eng.local_index_vertices(late).is_empty(), "not yet converged");
+        assert!(
+            eng.local_index_vertices(late).is_empty(),
+            "not yet converged"
+        );
 
         // the next committed write of the vertex converges the index
         let l2 = eng.create_label("L2").unwrap();

@@ -3,8 +3,8 @@
 
 use gda::{EdgeSpec, GdaConfig, GdaDb, VertexSpec};
 use gdi::{
-    AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EdgeOrientation, EntityType,
-    GdiError, LabelId, Multiplicity, PropertyValue, SizeType, Subconstraint, TxStatus,
+    AccessMode, AppVertexId, CmpOp, Constraint, Datatype, EdgeOrientation, EntityType, GdiError,
+    LabelId, Multiplicity, PropertyValue, SizeType, Subconstraint, TxStatus,
 };
 use rma::CostModel;
 
@@ -27,10 +27,24 @@ fn single_rank(f: impl Fn(&gda::GdaRank) + Sync) {
 fn std_meta(eng: &gda::GdaRank) -> (LabelId, gdi::PTypeId, gdi::PTypeId) {
     let person = eng.create_label("Person").unwrap();
     let age = eng
-        .create_ptype("age", Datatype::Uint64, EntityType::Vertex, Multiplicity::Single, SizeType::Fixed, 1)
+        .create_ptype(
+            "age",
+            Datatype::Uint64,
+            EntityType::Vertex,
+            Multiplicity::Single,
+            SizeType::Fixed,
+            1,
+        )
         .unwrap();
     let name = eng
-        .create_ptype("name", Datatype::Char, EntityType::VertexEdge, Multiplicity::Single, SizeType::NoLimit, 0)
+        .create_ptype(
+            "name",
+            Datatype::Char,
+            EntityType::VertexEdge,
+            Multiplicity::Single,
+            SizeType::NoLimit,
+            0,
+        )
         .unwrap();
     (person, age, name)
 }
@@ -43,7 +57,8 @@ fn create_read_vertex_roundtrip() {
         let v = tx.create_vertex(app(1)).unwrap();
         tx.add_label(v, person).unwrap();
         tx.add_property(v, age, &PropertyValue::U64(33)).unwrap();
-        tx.add_property(v, name, &PropertyValue::Text("Ada".into())).unwrap();
+        tx.add_property(v, name, &PropertyValue::Text("Ada".into()))
+            .unwrap();
         tx.commit().unwrap();
 
         let tx = eng.begin(AccessMode::ReadOnly);
@@ -143,7 +158,8 @@ fn update_and_remove_properties() {
         tx.add_property(v, age, &PropertyValue::U64(30)).unwrap();
         // Single multiplicity: second add fails, update succeeds
         assert_eq!(
-            tx.add_property(v, age, &PropertyValue::U64(31)).unwrap_err(),
+            tx.add_property(v, age, &PropertyValue::U64(31))
+                .unwrap_err(),
             GdiError::AlreadyExists("single-valued property")
         );
         tx.update_property(v, age, &PropertyValue::U64(31)).unwrap();
@@ -163,32 +179,51 @@ fn property_type_validation() {
     single_rank(|eng| {
         let (_, age, _) = std_meta(eng);
         let edge_only = eng
-            .create_ptype("weight", Datatype::Double, EntityType::Edge, Multiplicity::Single, SizeType::Fixed, 1)
+            .create_ptype(
+                "weight",
+                Datatype::Double,
+                EntityType::Edge,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
             .unwrap();
         let bounded = eng
-            .create_ptype("tag", Datatype::Byte, EntityType::Vertex, Multiplicity::Multi, SizeType::Limited, 4)
+            .create_ptype(
+                "tag",
+                Datatype::Byte,
+                EntityType::Vertex,
+                Multiplicity::Multi,
+                SizeType::Limited,
+                4,
+            )
             .unwrap();
         let tx = eng.begin(AccessMode::ReadWrite);
         let v = tx.create_vertex(app(1)).unwrap();
         // wrong entity type
         assert_eq!(
-            tx.add_property(v, edge_only, &PropertyValue::F64(1.0)).unwrap_err(),
+            tx.add_property(v, edge_only, &PropertyValue::F64(1.0))
+                .unwrap_err(),
             GdiError::TypeMismatch
         );
         // datatype misalignment: 3 bytes into a u64 property
         assert_eq!(
-            tx.add_property(v, age, &PropertyValue::Bytes(vec![1, 2, 3])).unwrap_err(),
+            tx.add_property(v, age, &PropertyValue::Bytes(vec![1, 2, 3]))
+                .unwrap_err(),
             GdiError::TypeMismatch
         );
         // size limit
         assert_eq!(
-            tx.add_property(v, bounded, &PropertyValue::Bytes(vec![0; 5])).unwrap_err(),
+            tx.add_property(v, bounded, &PropertyValue::Bytes(vec![0; 5]))
+                .unwrap_err(),
             GdiError::SizeExceeded
         );
-        tx.add_property(v, bounded, &PropertyValue::Bytes(vec![0; 4])).unwrap();
+        tx.add_property(v, bounded, &PropertyValue::Bytes(vec![0; 4]))
+            .unwrap();
         // unknown ptype
         assert_eq!(
-            tx.add_property(v, gdi::PTypeId(999), &PropertyValue::U64(0)).unwrap_err(),
+            tx.add_property(v, gdi::PTypeId(999), &PropertyValue::U64(0))
+                .unwrap_err(),
             GdiError::NotFound("property type")
         );
         tx.commit().unwrap();
@@ -216,9 +251,13 @@ fn edges_directed_and_undirected() {
         assert_eq!(tx.edge_count(a, EdgeOrientation::Any).unwrap(), 2);
         assert_eq!(tx.edge_count(b, EdgeOrientation::Incoming).unwrap(), 1);
         assert_eq!(tx.edge_count(c, EdgeOrientation::Undirected).unwrap(), 1);
-        assert_eq!(tx.neighbors(a, EdgeOrientation::Outgoing, None).unwrap(), vec![b]);
         assert_eq!(
-            tx.neighbors(a, EdgeOrientation::Outgoing, Some(knows)).unwrap(),
+            tx.neighbors(a, EdgeOrientation::Outgoing, None).unwrap(),
+            vec![b]
+        );
+        assert_eq!(
+            tx.neighbors(a, EdgeOrientation::Outgoing, Some(knows))
+                .unwrap(),
             vec![b]
         );
         assert!(tx
@@ -278,7 +317,11 @@ fn delete_vertex_cleans_neighbours() {
         assert!(tx.translate_vertex_id(app(1)).is_err());
         for i in 2..=5 {
             let s = tx.translate_vertex_id(app(i)).unwrap();
-            assert_eq!(tx.edge_count(s, EdgeOrientation::Any).unwrap(), 0, "spoke {i}");
+            assert_eq!(
+                tx.edge_count(s, EdgeOrientation::Any).unwrap(),
+                0,
+                "spoke {i}"
+            );
         }
         tx.commit().unwrap();
     });
@@ -304,13 +347,21 @@ fn heavy_edge_properties_and_second_label() {
         let owns = eng.create_label("OWNS").unwrap();
         let since = eng.create_label("SINCE_2020").unwrap();
         let weight = eng
-            .create_ptype("weight", Datatype::Double, EntityType::Edge, Multiplicity::Single, SizeType::Fixed, 1)
+            .create_ptype(
+                "weight",
+                Datatype::Double,
+                EntityType::Edge,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
             .unwrap();
         let tx = eng.begin(AccessMode::ReadWrite);
         let a = tx.create_vertex(app(1)).unwrap();
         let b = tx.create_vertex(app(2)).unwrap();
         let e = tx.add_edge(a, b, Some(owns), true).unwrap();
-        tx.set_edge_property(e, weight, &PropertyValue::F64(2.5)).unwrap();
+        tx.set_edge_property(e, weight, &PropertyValue::F64(2.5))
+            .unwrap();
         tx.add_edge_label(e, since).unwrap();
         tx.commit().unwrap();
 
@@ -335,7 +386,8 @@ fn large_vertex_spills_to_many_blocks() {
         let big_text = "x".repeat(1000); // >> 128-byte blocks
         let tx = eng.begin(AccessMode::ReadWrite);
         let v = tx.create_vertex(app(1)).unwrap();
-        tx.add_property(v, name, &PropertyValue::Text(big_text.clone())).unwrap();
+        tx.add_property(v, name, &PropertyValue::Text(big_text.clone()))
+            .unwrap();
         for i in 10..40 {
             let u = tx.create_vertex(app(i)).unwrap();
             tx.add_edge(v, u, None, true).unwrap();
@@ -411,8 +463,15 @@ fn write_conflicts_abort_not_corrupt() {
         let eng = db.attach(ctx);
         eng.init_collective();
         let age = if ctx.rank() == 0 {
-            eng.create_ptype("n", Datatype::Uint64, EntityType::Vertex, Multiplicity::Single, SizeType::Fixed, 1)
-                .ok()
+            eng.create_ptype(
+                "n",
+                Datatype::Uint64,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
+            .ok()
         } else {
             None
         };
@@ -469,7 +528,14 @@ fn collective_read_transaction_scans_index() {
         let (person, age) = if ctx.rank() == 0 {
             let p = eng.create_label("Person").unwrap();
             let a = eng
-                .create_ptype("age", Datatype::Uint64, EntityType::Vertex, Multiplicity::Single, SizeType::Fixed, 1)
+                .create_ptype(
+                    "age",
+                    Datatype::Uint64,
+                    EntityType::Vertex,
+                    Multiplicity::Single,
+                    SizeType::Fixed,
+                    1,
+                )
                 .unwrap();
             (Some(p), Some(a))
         } else {
@@ -501,11 +567,11 @@ fn collective_read_transaction_scans_index() {
 
         // collective OLSP query: count persons with age > 30 (Listing 3)
         let tx = eng.begin_collective(AccessMode::ReadOnly);
-        let cnstr = Constraint::from_sub(
-            Subconstraint::new()
-                .with_label(person)
-                .with_prop(age, CmpOp::Gt, PropertyValue::U64(30)),
-        );
+        let cnstr = Constraint::from_sub(Subconstraint::new().with_label(person).with_prop(
+            age,
+            CmpOp::Gt,
+            PropertyValue::U64(30),
+        ));
         let local = tx.local_index_scan(index, &cnstr).unwrap().len() as u64;
         tx.commit().unwrap();
         let total = ctx.allreduce_sum_u64(local);
@@ -572,7 +638,12 @@ fn bulk_load_reports_duplicates_and_dangling() {
         let (vs, es) = if ctx.rank() == 0 {
             (
                 vec![VertexSpec::new(1), VertexSpec::new(1)], // duplicate
-                vec![EdgeSpec { from: app(1), to: app(999), label: 0, directed: true }],
+                vec![EdgeSpec {
+                    from: app(1),
+                    to: app(999),
+                    label: 0,
+                    directed: true,
+                }],
             )
         } else {
             (Vec::new(), Vec::new())
@@ -596,8 +667,8 @@ fn stale_metadata_aborts_commit() {
         let tx = eng.begin(AccessMode::ReadWrite);
         let v = tx.create_vertex(app(1)).unwrap();
         tx.add_label(v, l).unwrap(); // transaction now relies on metadata
-        // concurrent metadata change (as if from another process):
-        // bumps the epoch mid-transaction
+                                     // concurrent metadata change (as if from another process):
+                                     // bumps the epoch mid-transaction
         eng.create_label("B").unwrap();
         assert_eq!(tx.commit().unwrap_err(), GdiError::StaleMetadata);
         // the vertex never became visible

@@ -63,9 +63,7 @@ impl GraphSpec {
 
     /// The vertex app-ids owned by `rank` under round-robin distribution.
     pub fn vertices_for_rank(&self, rank: usize, nranks: usize) -> Vec<u64> {
-        (rank as u64..self.n_vertices())
-            .step_by(nranks)
-            .collect()
+        (rank as u64..self.n_vertices()).step_by(nranks).collect()
     }
 
     /// This rank's contiguous share of the edge stream (deterministic:

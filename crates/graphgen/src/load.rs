@@ -7,8 +7,7 @@
 
 use gda::{EdgeSpec, GdaRank, VertexSpec};
 use gdi::{
-    AppVertexId, Datatype, EntityType, LabelId, Multiplicity, PTypeId, PropertyValue,
-    SizeType,
+    AppVertexId, Datatype, EntityType, LabelId, Multiplicity, PTypeId, PropertyValue, SizeType,
 };
 
 use crate::{GraphSpec, LpgConfig};

@@ -77,8 +77,8 @@ impl LpgConfig {
         }
         let mut out: Vec<(usize, u64)> = Vec::with_capacity(self.props_per_vertex);
         for j in 0..self.props_per_vertex {
-            let idx = (kronecker::hash3(seed, app, 0x9e0 + j as u64)
-                % self.num_ptypes as u64) as usize;
+            let idx =
+                (kronecker::hash3(seed, app, 0x9e0 + j as u64) % self.num_ptypes as u64) as usize;
             if out.iter().any(|(i, _)| *i == idx) {
                 continue;
             }

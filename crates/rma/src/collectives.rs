@@ -42,9 +42,7 @@ impl<'a> RankCtx<'a> {
             self.shared.barrier.wait();
             (0..self.nranks())
                 .map(|r| {
-                    f64::from_bits(
-                        self.shared.clocks[r].load(std::sync::atomic::Ordering::Acquire),
-                    )
+                    f64::from_bits(self.shared.clocks[r].load(std::sync::atomic::Ordering::Acquire))
                 })
                 .fold(0.0, f64::max)
         };
@@ -75,11 +73,7 @@ impl<'a> RankCtx<'a> {
     }
 
     /// Broadcast `val` from `root` to all ranks. Non-root ranks pass `None`.
-    pub fn bcast<T: Clone + Send + Sync + 'static>(
-        &self,
-        root: usize,
-        val: Option<T>,
-    ) -> T {
+    pub fn bcast<T: Clone + Send + Sync + 'static>(&self, root: usize, val: Option<T>) -> T {
         let bytes = std::mem::size_of::<T>();
         let cost = self.cost_model().reduce_like(self.nranks(), bytes);
         self.exchange(val, bytes, cost, |views| {
@@ -160,10 +154,7 @@ impl<'a> RankCtx<'a> {
 
     /// Gather a variable-length vector from every rank (concatenated in rank
     /// order is up to the caller; this returns per-rank vectors).
-    pub fn allgatherv<T: Clone + Send + Sync + 'static>(
-        &self,
-        v: Vec<T>,
-    ) -> Vec<Vec<T>> {
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, v: Vec<T>) -> Vec<Vec<T>> {
         let bytes = v.len() * std::mem::size_of::<T>();
         let cost = self.cost_model().allgather(self.nranks(), bytes);
         self.exchange(v, bytes, cost, |views| {
@@ -176,10 +167,7 @@ impl<'a> RankCtx<'a> {
     ///
     /// This is the backbone of the OLAP workloads (frontier exchange in BFS,
     /// contribution delivery in PageRank/CDLP/WCC, feature pushes in GNN).
-    pub fn alltoallv<T: Clone + Send + Sync + 'static>(
-        &self,
-        rows: Vec<Vec<T>>,
-    ) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Clone + Send + Sync + 'static>(&self, rows: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(
             rows.len(),
             self.nranks(),
@@ -226,9 +214,7 @@ impl<'a> RankCtx<'a> {
     pub fn exscan_sum_u64(&self, v: u64) -> u64 {
         let me = self.rank();
         let cost = self.cost_model().reduce_like(self.nranks(), 8);
-        self.exchange(v, 8, cost, |views| {
-            views[..me].iter().map(|x| **x).sum()
-        })
+        self.exchange(v, 8, cost, |views| views[..me].iter().map(|x| **x).sum())
     }
 }
 

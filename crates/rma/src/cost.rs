@@ -37,6 +37,8 @@ pub struct CostModel {
     pub g_ns_per_byte: f64,
     /// Additional NIC processing cost of a remote atomic.
     pub atomic_ns: f64,
+    /// Cost of one service-queue poll (doorbell check) by a serving rank.
+    pub poll_ns: f64,
 }
 
 impl Default for CostModel {
@@ -48,6 +50,7 @@ impl Default for CostModel {
             l_ns: 1_400.0,
             g_ns_per_byte: 0.1,
             atomic_ns: 350.0,
+            poll_ns: 80.0,
         }
     }
 }
@@ -63,6 +66,7 @@ impl CostModel {
             l_ns: 0.0,
             g_ns_per_byte: 0.0,
             atomic_ns: 0.0,
+            poll_ns: 0.0,
         }
     }
 
@@ -119,13 +123,22 @@ impl CostModel {
             + self.g_ns_per_byte * (bytes * nranks.saturating_sub(1)) as f64
     }
 
+    /// Cost for a serving rank to drain `n` requests from its service
+    /// queue in one poll: one doorbell check plus a per-request dispatch
+    /// (dequeue, decode, route) of a few CPU ops. Draining a batch pays
+    /// the poll once — the amortization the server's group-commit path
+    /// relies on.
+    #[inline]
+    pub fn drain(&self, n: usize) -> f64 {
+        self.poll_ns + 4.0 * self.cpu_op_ns * n as f64
+    }
+
     /// Cost of a personalized all-to-all where this rank sends `sent` bytes
     /// total and receives `recvd` bytes total, with `peers` distinct non-self
     /// destinations.
     #[inline]
     pub fn alltoallv(&self, peers: usize, sent: usize, recvd: usize) -> f64 {
-        peers as f64 * (self.l_ns / 2.0 + self.o_ns)
-            + self.g_ns_per_byte * (sent + recvd) as f64
+        peers as f64 * (self.l_ns / 2.0 + self.o_ns) + self.g_ns_per_byte * (sent + recvd) as f64
     }
 }
 

@@ -67,12 +67,7 @@ impl FabricBuilder {
 
     pub fn build(self) -> Fabric {
         let windows = (0..self.nranks)
-            .map(|_| {
-                self.window_bytes
-                    .iter()
-                    .map(|&b| Window::new(b))
-                    .collect()
-            })
+            .map(|_| self.window_bytes.iter().map(|&b| Window::new(b)).collect())
             .collect();
         let clocks = (0..self.nranks).map(|_| AtomicU64::new(0)).collect();
         let boards = (0..self.nranks).map(|_| Mutex::new(None)).collect();
@@ -116,8 +111,7 @@ impl Fabric {
         R: Send,
     {
         let shared = &self.shared;
-        let mut out: Vec<Option<(R, RankReport)>> =
-            (0..shared.nranks).map(|_| None).collect();
+        let mut out: Vec<Option<(R, RankReport)>> = (0..shared.nranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(shared.nranks);
             for rank in 0..shared.nranks {
@@ -128,14 +122,14 @@ impl Fabric {
                         shared,
                         clock: SimClock::new(),
                         stats: CommStats::new(),
-                        nb_depth: std::cell::Cell::new(None),
+                        nb_depth: std::cell::Cell::new((0, 0.0)),
+                        nb_flushes: std::cell::RefCell::new(vec![false; shared.nranks]),
                     };
                     // If this rank panics, poison the fabric barrier so
                     // peer ranks blocked in collectives fail fast instead
                     // of deadlocking the harness.
-                    let r = match std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(|| f(&ctx)),
-                    ) {
+                    let r = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx)))
+                    {
                         Ok(r) => r,
                         Err(payload) => {
                             shared.barrier.poison();
@@ -186,13 +180,21 @@ pub struct RankCtx<'a> {
     pub(crate) shared: &'a Shared,
     pub(crate) clock: SimClock,
     pub(crate) stats: CommStats,
-    /// Non-blocking batch state: when `Some`, data-transfer operations
-    /// charge only their injection/bandwidth terms and the largest network
-    /// latency is deferred to [`RankCtx::end_nb_batch`] — modeling the
+    /// Non-blocking batch state `(depth, max deferred latency)`: while the
+    /// depth is non-zero, data-transfer operations charge only their
+    /// injection/bandwidth terms and the largest network latency is
+    /// deferred to the outermost [`RankCtx::end_nb_batch`] — modeling the
     /// latency overlap of non-blocking RDMA operations the paper relies on
     /// (§5.1: "we use non-blocking variants of all functions, because they
     /// can additionally increase performance by overlapping communication").
-    pub(crate) nb_depth: std::cell::Cell<Option<f64>>,
+    /// Batches nest: an enclosing batch (e.g. a grouped transaction
+    /// commit) absorbs inner ones, so the whole group shares one latency.
+    pub(crate) nb_depth: std::cell::Cell<(u32, f64)>,
+    /// Flush targets deferred inside an open non-blocking batch: their
+    /// synchronization cost is charged once per distinct target at the
+    /// outermost batch close (completion coalescing — the flushes of a
+    /// group commit share one completion round per peer).
+    pub(crate) nb_flushes: std::cell::RefCell<Vec<bool>>,
 }
 
 impl<'a> RankCtx<'a> {
@@ -233,6 +235,16 @@ impl<'a> RankCtx<'a> {
         self.clock.advance(ns);
     }
 
+    /// Drain hook for service layers: record that this rank dequeued `n`
+    /// requests from its service queue in one poll, charging the modeled
+    /// drain cost (one doorbell check + per-request dispatch). Serving
+    /// ranks call this once per drain cycle so batched serving amortizes
+    /// the poll overhead exactly as batched RDMA amortizes doorbells.
+    pub fn record_drain(&self, n: usize) {
+        self.clock.advance(self.shared.cost.drain(n));
+        self.stats.record_drain(n);
+    }
+
     /// Communication statistics snapshot of this rank (so far).
     pub fn stats_snapshot(&self) -> RankReport {
         let mut r = self.stats.snapshot();
@@ -260,33 +272,50 @@ impl<'a> RankCtx<'a> {
     #[inline]
     fn charge_transfer(&self, target: usize, bytes: usize) {
         let full = self.shared.cost.transfer(self.rank, target, bytes);
-        match self.nb_depth.get() {
-            None => self.clock.advance(full),
-            Some(max_latency) => {
-                let lat = if target == self.rank {
-                    0.0
-                } else {
-                    self.shared.cost.l_ns
-                };
-                self.clock.advance(full - lat);
-                self.nb_depth.set(Some(max_latency.max(lat)));
-            }
+        let (depth, max_latency) = self.nb_depth.get();
+        if depth == 0 {
+            self.clock.advance(full);
+        } else {
+            let lat = if target == self.rank {
+                0.0
+            } else {
+                self.shared.cost.l_ns
+            };
+            self.clock.advance(full - lat);
+            self.nb_depth.set((depth, max_latency.max(lat)));
         }
     }
 
     /// Open a non-blocking batch: subsequent GET/PUT operations overlap
-    /// their network latencies until [`RankCtx::end_nb_batch`]. Batches do
-    /// not nest.
+    /// their network latencies until the matching
+    /// [`RankCtx::end_nb_batch`]. Batches nest; only the outermost close
+    /// charges the deferred latency, so an enclosing batch (a grouped
+    /// commit) extends the overlap window across everything inside it.
     pub fn begin_nb_batch(&self) {
-        debug_assert!(self.nb_depth.get().is_none(), "nb batches do not nest");
-        self.nb_depth.set(Some(0.0));
+        let (depth, max_latency) = self.nb_depth.get();
+        self.nb_depth.set((depth + 1, max_latency));
     }
 
     /// Close a non-blocking batch (the local completion/flush point): the
-    /// largest deferred latency of the batch is charged once.
+    /// outermost close charges the largest deferred latency once, plus
+    /// one coalesced synchronization per distinct target flushed inside
+    /// the batch.
     pub fn end_nb_batch(&self) {
-        if let Some(lat) = self.nb_depth.take() {
-            self.clock.advance(lat);
+        let (depth, max_latency) = self.nb_depth.get();
+        debug_assert!(depth > 0, "end_nb_batch without begin_nb_batch");
+        if depth <= 1 {
+            self.clock.advance(max_latency);
+            self.nb_depth.set((0, 0.0));
+            let mut deferred = self.nb_flushes.borrow_mut();
+            for target in 0..deferred.len() {
+                if deferred[target] {
+                    deferred[target] = false;
+                    self.clock
+                        .advance(self.shared.cost.flush(self.rank, target));
+                }
+            }
+        } else {
+            self.nb_depth.set((depth - 1, max_latency));
         }
     }
 
@@ -320,14 +349,16 @@ impl<'a> RankCtx<'a> {
 
     /// Atomic GET of a 64-bit word (hardware-accelerated remote atomic).
     pub fn aget_u64(&self, win: WinId, target: usize, word: usize) -> u64 {
-        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.clock
+            .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
         self.win(win, target).load(word)
     }
 
     /// Atomic PUT of a 64-bit word.
     pub fn aput_u64(&self, win: WinId, target: usize, word: usize, v: u64) {
-        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.clock
+            .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
         self.win(win, target).store(word, v)
     }
@@ -335,29 +366,25 @@ impl<'a> RankCtx<'a> {
     /// Remote compare-and-swap; returns the value observed at the target
     /// (equals `compare` iff the swap succeeded) — the paper's
     /// `CAS(local_new, compare, result, remote)`.
-    pub fn cas_u64(
-        &self,
-        win: WinId,
-        target: usize,
-        word: usize,
-        compare: u64,
-        new: u64,
-    ) -> u64 {
-        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+    pub fn cas_u64(&self, win: WinId, target: usize, word: usize, compare: u64, new: u64) -> u64 {
+        self.clock
+            .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
         self.win(win, target).cas(word, compare, new)
     }
 
     /// Remote fetch-and-add; returns the previous value.
     pub fn fadd_u64(&self, win: WinId, target: usize, word: usize, delta: u64) -> u64 {
-        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.clock
+            .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
         self.win(win, target).fadd(word, delta)
     }
 
     /// Remote fetch-and-sub; returns the previous value.
     pub fn fsub_u64(&self, win: WinId, target: usize, word: usize, delta: u64) -> u64 {
-        self.clock.advance(self.shared.cost.atomic(self.rank, target));
+        self.clock
+            .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
         self.win(win, target).fsub(word, delta)
     }
@@ -366,8 +393,17 @@ impl<'a> RankCtx<'a> {
     /// and make them visible. In this shared-memory fabric operations
     /// complete eagerly, so flush only charges its synchronization cost and
     /// issues a fence (the memory-visibility role flushes play on RDMA).
+    /// Inside an open non-blocking batch the cost is deferred and
+    /// coalesced — one synchronization per distinct target at the batch
+    /// close — while the fence still executes immediately.
     pub fn flush(&self, target: usize) {
-        self.clock.advance(self.shared.cost.flush(self.rank, target));
+        let (depth, _) = self.nb_depth.get();
+        if depth > 0 {
+            self.nb_flushes.borrow_mut()[target] = true;
+        } else {
+            self.clock
+                .advance(self.shared.cost.flush(self.rank, target));
+        }
         self.stats.record_flush();
         std::sync::atomic::fence(Ordering::SeqCst);
     }
@@ -379,8 +415,7 @@ impl<'a> RankCtx<'a> {
     /// Publish this rank's clock and return the max over all ranks after a
     /// full synchronization. Internal building block for collectives.
     pub(crate) fn clock_sync(&self) -> f64 {
-        self.shared.clocks[self.rank]
-            .store(self.clock.now_ns().to_bits(), Ordering::Release);
+        self.shared.clocks[self.rank].store(self.clock.now_ns().to_bits(), Ordering::Release);
         self.shared.barrier.wait();
         let max = (0..self.shared.nranks)
             .map(|r| f64::from_bits(self.shared.clocks[r].load(Ordering::Acquire)))

@@ -18,6 +18,8 @@ pub struct CommStats {
     collectives: Cell<u64>,
     coll_bytes: Cell<u64>,
     local_ops: Cell<u64>,
+    batches_drained: Cell<u64>,
+    requests_served: Cell<u64>,
 }
 
 impl CommStats {
@@ -59,6 +61,15 @@ impl CommStats {
         self.flushes.set(self.flushes.get() + 1);
     }
 
+    /// Record one service-queue drain that dequeued `n` requests (the
+    /// server layer's per-rank serve loop).
+    #[inline]
+    pub fn record_drain(&self, n: usize) {
+        self.batches_drained.set(self.batches_drained.get() + 1);
+        self.requests_served
+            .set(self.requests_served.get() + n as u64);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -77,6 +88,8 @@ impl CommStats {
             collectives: self.collectives.get(),
             coll_bytes: self.coll_bytes.get(),
             local_ops: self.local_ops.get(),
+            batches_drained: self.batches_drained.get(),
+            requests_served: self.requests_served.get(),
             sim_time_ns: 0.0,
         }
     }
@@ -94,6 +107,10 @@ pub struct RankReport {
     pub collectives: u64,
     pub coll_bytes: u64,
     pub local_ops: u64,
+    /// Service-queue drains performed by this rank (server layer).
+    pub batches_drained: u64,
+    /// Requests dequeued across all drains (server layer).
+    pub requests_served: u64,
     /// Final simulated time of the rank in nanoseconds.
     pub sim_time_ns: f64,
 }
@@ -120,6 +137,8 @@ impl RankReport {
         self.collectives += other.collectives;
         self.coll_bytes += other.coll_bytes;
         self.local_ops += other.local_ops;
+        self.batches_drained += other.batches_drained;
+        self.requests_served += other.requests_served;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
     }
 }

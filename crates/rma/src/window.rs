@@ -68,12 +68,7 @@ impl Window {
     /// Atomic compare-and-swap on word `idx`; returns the previous value.
     #[inline]
     pub fn cas(&self, idx: usize, compare: u64, new: u64) -> u64 {
-        match self.words[idx].compare_exchange(
-            compare,
-            new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match self.words[idx].compare_exchange(compare, new, Ordering::AcqRel, Ordering::Acquire) {
             Ok(prev) => prev,
             Err(prev) => prev,
         }
@@ -142,8 +137,7 @@ impl Window {
             } else {
                 let mut w = self.words[widx].load(Ordering::Acquire).to_le_bytes();
                 w[in_word..in_word + take].copy_from_slice(&src[pos..pos + take]);
-                self.words[widx]
-                    .store(u64::from_le_bytes(w), Ordering::Release);
+                self.words[widx].store(u64::from_le_bytes(w), Ordering::Release);
             }
             pos += take;
         }

@@ -9,7 +9,10 @@ use rma::{CostModel, FabricBuilder, WinId};
 fn oversubscribed_fabric_is_correct() {
     // 16 rank threads on however few cores: collectives and atomics must
     // stay correct under arbitrary interleavings
-    let fabric = FabricBuilder::new(16).cost(CostModel::zero()).window(1 << 12).build();
+    let fabric = FabricBuilder::new(16)
+        .cost(CostModel::zero())
+        .window(1 << 12)
+        .build();
     let w = WinId(0);
     fabric.run(|ctx| {
         for round in 0..20u64 {
@@ -28,7 +31,10 @@ fn oversubscribed_fabric_is_correct() {
 fn mixed_puts_and_cas_with_word_isolation() {
     // writers hammer adjacent words; each word must only ever hold values
     // written to *that* word (no cross-word tearing at 8-byte granularity)
-    let fabric = FabricBuilder::new(8).cost(CostModel::zero()).window(1 << 10).build();
+    let fabric = FabricBuilder::new(8)
+        .cost(CostModel::zero())
+        .window(1 << 10)
+        .build();
     let w = WinId(0);
     fabric.run(|ctx| {
         let me = ctx.rank() as u64;

@@ -1,0 +1,231 @@
+//! Live service metrics: per-rank throughput, latency percentiles and
+//! abort rates, plus the fabric-level [`rma::RankReport`] counters
+//! (requests served, batches drained, messages, simulated busy time)
+//! collected when serving stops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rma::RankReport;
+
+/// Log2-bucketed nanosecond histogram (64 buckets), mergeable.
+#[derive(Debug, Clone)]
+pub struct LatencyHist {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: f64,
+    max_ns: f64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0.0,
+            max_ns: 0.0,
+        }
+    }
+}
+
+impl LatencyHist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, ns: f64) {
+        let b = (ns.max(1.0) as u64).ilog2().min(63) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
+    }
+
+    pub fn max_ns(&self) -> f64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the bucket containing the p-th percentile sample.
+    pub fn percentile_ns(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (1u64 << (i + 1).min(63)) as f64;
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Counters one serving rank updates while draining (shared with the
+/// metrics snapshotting side).
+#[derive(Debug, Default)]
+pub(crate) struct RankCounters {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub committed: AtomicU64,
+    pub aborted: AtomicU64,
+    pub batches: AtomicU64,
+    pub grouped_ops: AtomicU64,
+    pub fallback_ops: AtomicU64,
+    pub latency: Mutex<LatencyHist>,
+}
+
+impl RankCounters {
+    pub fn complete(&self, committed: bool, grouped: bool, submitted_at: Instant) {
+        if committed {
+            self.committed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+        if grouped {
+            self.grouped_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fallback_ops.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency
+            .lock()
+            .add(submitted_at.elapsed().as_nanos() as f64);
+    }
+}
+
+/// Snapshot of one rank's service state.
+#[derive(Debug, Clone)]
+pub struct RankMetrics {
+    pub rank: usize,
+    pub submitted: u64,
+    pub rejected: u64,
+    pub committed: u64,
+    pub aborted: u64,
+    pub batches: u64,
+    /// Ops that committed/aborted as part of a group commit.
+    pub grouped_ops: u64,
+    /// Ops that went through the one-transaction-per-request fallback.
+    pub fallback_ops: u64,
+    pub queue_depth: usize,
+    /// Client-observed **wall-clock** latency (submit → ack), including
+    /// queueing and host scheduling. This is the serving-path SLO view;
+    /// it is *not* on the simulated clock that sim-throughput uses (the
+    /// engine-side simulated latencies are fig5's domain).
+    pub latency: LatencyHist,
+    /// Fabric counters of the serve phase (filled after serving stops).
+    pub fabric: Option<RankReport>,
+}
+
+impl RankMetrics {
+    pub fn abort_fraction(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+}
+
+/// Whole-server snapshot: per-rank plus aggregates.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    pub per_rank: Vec<RankMetrics>,
+    /// Wall-clock seconds since the server started accepting requests.
+    pub wall_elapsed_s: f64,
+}
+
+impl ServerMetrics {
+    pub fn committed(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.committed).sum()
+    }
+
+    pub fn aborted(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.aborted).sum()
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.rejected).sum()
+    }
+
+    pub fn abort_fraction(&self) -> f64 {
+        let (c, a) = (self.committed(), self.aborted());
+        if c + a == 0 {
+            0.0
+        } else {
+            a as f64 / (c + a) as f64
+        }
+    }
+
+    /// Merged latency histogram over all ranks.
+    pub fn latency(&self) -> LatencyHist {
+        let mut h = LatencyHist::new();
+        for r in &self.per_rank {
+            h.merge(&r.latency);
+        }
+        h
+    }
+
+    /// Committed ops per wall-clock second.
+    pub fn wall_throughput_ops(&self) -> f64 {
+        if self.wall_elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.committed() as f64 / self.wall_elapsed_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = LatencyHist::new();
+        for i in 1..=1000u64 {
+            h.add(i as f64 * 100.0);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile_ns(50.0);
+        let p95 = h.percentile_ns(95.0);
+        let p99 = h.percentile_ns(99.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(h.mean_ns() > 0.0);
+        assert!(h.max_ns() >= 100_000.0 - 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.add(10.0);
+        b.add(1e6);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1e6);
+    }
+}

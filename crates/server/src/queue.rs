@@ -1,0 +1,166 @@
+//! Bounded MPSC request queues: many client sessions push, one serving
+//! rank drains. The bound is the admission-control surface — a full queue
+//! either blocks the submitter (backpressure) or rejects the request,
+//! depending on the server's [`crate::AdmissionPolicy`].
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking bounded MPSC queue (Mutex + two Condvars).
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// Why a push did not take effect.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError<T> {
+    /// Queue at capacity (admission control: retry or shed).
+    Full(T),
+    /// Queue closed by shutdown: the request was not accepted.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Non-blocking push; fails when full or closed.
+    pub fn try_push(&self, t: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(PushError::Closed(t));
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full(t));
+        }
+        g.items.push_back(t);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits while the queue is full (backpressure). Fails
+    /// only if the queue closes while waiting.
+    pub fn push_wait(&self, t: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.closed {
+                return Err(PushError::Closed(t));
+            }
+            if g.items.len() < self.cap {
+                g.items.push_back(t);
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut g);
+        }
+    }
+
+    /// Dequeue up to `max` items, waiting up to `timeout` for the first
+    /// one. Returns the drained batch and whether the queue is closed
+    /// (a closed queue is still drained until empty).
+    pub fn drain_wait(&self, max: usize, timeout: Duration) -> (Vec<T>, bool) {
+        let mut g = self.inner.lock();
+        if g.items.is_empty() && !g.closed {
+            // one bounded wait, then hand control back to the serve loop
+            // (it has rendezvous work to poll for)
+            self.not_empty.wait_for(&mut g, timeout);
+        }
+        let n = g.items.len().min(max);
+        let batch: Vec<T> = g.items.drain(..n).collect();
+        let closed = g.closed;
+        drop(g);
+        if n > 0 {
+            self.not_full.notify_all();
+        }
+        (batch, closed)
+    }
+
+    /// Close the queue: submitters fail fast, the drainer keeps going
+    /// until empty.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current depth (admission metrics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_and_drain() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        let (batch, closed) = q.drain_wait(10, Duration::from_millis(1));
+        assert_eq!(batch, vec![1, 2]);
+        assert!(!closed);
+    }
+
+    #[test]
+    fn close_rejects_and_drains_remaining() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        let (batch, closed) = q.drain_wait(10, Duration::from_millis(1));
+        assert_eq!(batch, vec![7]);
+        assert!(closed);
+    }
+
+    #[test]
+    fn blocking_push_applies_backpressure() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u64).unwrap();
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_wait(1).is_ok());
+        // the pusher must be blocked until we drain
+        std::thread::sleep(Duration::from_millis(20));
+        let (b1, _) = q.drain_wait(1, Duration::from_millis(1));
+        assert_eq!(b1, vec![0]);
+        assert!(pusher.join().unwrap());
+        let (b2, _) = q.drain_wait(1, Duration::from_millis(100));
+        assert_eq!(b2, vec![1]);
+    }
+
+    #[test]
+    fn drain_times_out_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let t0 = std::time::Instant::now();
+        let (batch, closed) = q.drain_wait(8, Duration::from_millis(10));
+        assert!(batch.is_empty());
+        assert!(!closed);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,216 @@
+//! The request/response vocabulary of the service layer.
+//!
+//! A client session submits [`Op`]s; each submission yields a [`Ticket`]
+//! that resolves to exactly one [`OpOutcome`] — the acknowledgement
+//! contract the stress tests assert (no lost acks, no double-apply).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gdi::{AppVertexId, GdiError, LabelId, PTypeId, PropertyValue};
+use parking_lot::{Condvar, Mutex};
+
+/// One client operation, mirroring the Table-3 interactive op kinds plus
+/// the read-only point queries. Each op names the application vertex that
+/// determines its owning rank (see [`crate::GdiServer::route`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Read one property (or the labels when `ptype` is `None`).
+    GetVertexProps {
+        v: AppVertexId,
+        ptype: Option<PTypeId>,
+    },
+    /// Count incident edges.
+    CountEdges { v: AppVertexId },
+    /// Retrieve incident edge handles (returns the count to the client).
+    GetEdges { v: AppVertexId },
+    /// Insert a vertex, optionally labeled and with one property.
+    AddVertex {
+        v: AppVertexId,
+        label: Option<LabelId>,
+        prop: Option<(PTypeId, PropertyValue)>,
+    },
+    /// Delete a vertex and its incident edges.
+    DeleteVertex { v: AppVertexId },
+    /// Set/replace one property on a vertex.
+    UpdateVertexProp {
+        v: AppVertexId,
+        ptype: PTypeId,
+        value: PropertyValue,
+    },
+    /// Add a directed edge.
+    AddEdge {
+        from: AppVertexId,
+        to: AppVertexId,
+        label: Option<LabelId>,
+    },
+}
+
+impl Op {
+    /// The vertex whose owner rank serves this op.
+    pub fn routing_vertex(&self) -> AppVertexId {
+        match self {
+            Op::GetVertexProps { v, .. }
+            | Op::CountEdges { v }
+            | Op::GetEdges { v }
+            | Op::AddVertex { v, .. }
+            | Op::DeleteVertex { v }
+            | Op::UpdateVertexProp { v, .. } => *v,
+            Op::AddEdge { from, .. } => *from,
+        }
+    }
+
+    /// Read-only ops execute in the shared read transaction of a batch.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Op::GetVertexProps { .. } | Op::CountEdges { .. } | Op::GetEdges { .. }
+        )
+    }
+
+    /// The application id a successful `AddVertex` makes visible (used by
+    /// the batcher to keep duplicate creates out of one group commit).
+    pub fn creates_vertex(&self) -> Option<AppVertexId> {
+        match self {
+            Op::AddVertex { v, .. } => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Successful payload of an op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpReply {
+    /// Write acknowledged (no payload).
+    Unit,
+    /// A count (edge counts, edge listings).
+    Count(usize),
+    /// Property values (empty when the vertex has none of the type).
+    Props(Vec<PropertyValue>),
+    /// Labels of a vertex.
+    Labels(Vec<LabelId>),
+    /// Scalar result of an OLAP job.
+    Scalar(f64),
+}
+
+/// Exactly-once resolution of a submitted op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome {
+    /// The op committed (alone or as part of a group commit).
+    Committed(OpReply),
+    /// The op aborted; no effects are visible.
+    Aborted(GdiError),
+    /// A group commit failed mid-write-back (resource exhaustion): the
+    /// engine does not report which objects persisted, so this op may or
+    /// may not be applied. The distributed-systems "commit uncertain"
+    /// answer — clients must not blindly retry non-idempotent ops.
+    Indeterminate(GdiError),
+}
+
+impl OpOutcome {
+    pub fn is_committed(&self) -> bool {
+        matches!(self, OpOutcome::Committed(_))
+    }
+}
+
+/// Shared slot fulfilled by the serving rank, waited on by the client.
+#[derive(Debug, Default)]
+pub(crate) struct TicketInner {
+    slot: Mutex<Option<OpOutcome>>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    pub(crate) fn fulfill(&self, outcome: OpOutcome) {
+        let mut g = self.slot.lock();
+        debug_assert!(g.is_none(), "ticket fulfilled twice (double ack)");
+        *g = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    /// Resolve with `outcome` only if still pending (used by the
+    /// drop-guard below; never overwrites a real ack).
+    pub(crate) fn fulfill_if_pending(&self, outcome: OpOutcome) {
+        let mut g = self.slot.lock();
+        if g.is_none() {
+            *g = Some(outcome);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Client-side handle to a pending op. `wait` blocks until the serving
+/// rank publishes the outcome; every accepted submission is guaranteed to
+/// be fulfilled exactly once (also on server shutdown).
+#[derive(Debug, Clone)]
+pub struct Ticket(pub(crate) Arc<TicketInner>);
+
+impl Ticket {
+    /// Block until the outcome is available.
+    pub fn wait(&self) -> OpOutcome {
+        let mut g = self.0.slot.lock();
+        loop {
+            if let Some(out) = g.clone() {
+                return out;
+            }
+            self.0.ready.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking probe.
+    pub fn try_get(&self) -> Option<OpOutcome> {
+        self.0.slot.lock().clone()
+    }
+}
+
+/// A routed request as it travels through a rank queue.
+pub(crate) struct Request {
+    pub op: Op,
+    pub ticket: Arc<TicketInner>,
+    pub submitted: Instant,
+}
+
+/// No lost acks, ever: a request dropped before execution (a panicking
+/// serve loop unwinding its batch, a queue torn down mid-flight) still
+/// resolves its ticket — as an abort, which is honest, since an
+/// unexecuted op has no visible effects.
+impl Drop for Request {
+    fn drop(&mut self) {
+        self.ticket
+            .fulfill_if_pending(OpOutcome::Aborted(GdiError::TransactionClosed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_and_classification() {
+        let v = AppVertexId(7);
+        assert!(Op::CountEdges { v }.is_read());
+        assert!(!Op::DeleteVertex { v }.is_read());
+        let e = Op::AddEdge {
+            from: AppVertexId(3),
+            to: AppVertexId(9),
+            label: None,
+        };
+        assert_eq!(e.routing_vertex(), AppVertexId(3));
+        assert_eq!(e.creates_vertex(), None);
+        let c = Op::AddVertex {
+            v,
+            label: None,
+            prop: None,
+        };
+        assert_eq!(c.creates_vertex(), Some(v));
+    }
+
+    #[test]
+    fn ticket_fulfil_and_wait() {
+        let inner = Arc::new(TicketInner::default());
+        let t = Ticket(inner.clone());
+        assert!(t.try_get().is_none());
+        inner.fulfill(OpOutcome::Committed(OpReply::Unit));
+        assert_eq!(t.wait(), OpOutcome::Committed(OpReply::Unit));
+    }
+}

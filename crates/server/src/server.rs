@@ -1,0 +1,428 @@
+//! The multi-session GDI server: request routing, per-rank serve loops,
+//! OLAP rendezvous, admission control and shutdown.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gda::dptr::owner_rank;
+use gda::{GdaDb, GdaRank};
+use parking_lot::Mutex;
+use rma::{RankCtx, RankReport};
+
+use crate::batch::execute_batch;
+use crate::metrics::{RankCounters, RankMetrics, ServerMetrics};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{Op, OpOutcome, OpReply, Request, Ticket, TicketInner};
+
+/// What happens when a session submits into a full rank queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitter until the queue has room (backpressure).
+    Block,
+    /// Reject immediately with [`SubmitError::Overloaded`] (load
+    /// shedding; the client decides whether to retry).
+    Reject,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bound of each per-rank request queue.
+    pub queue_capacity: usize,
+    /// Maximum requests drained (and hence coalesced) per serve cycle.
+    pub max_batch: usize,
+    /// Coalesce compatible ops into shared transactions with one group
+    /// commit per cycle. `false` serves one transaction per request.
+    pub group_commit: bool,
+    /// Maximum writes per grouped transaction: bounds the write-lock
+    /// footprint one group holds while it executes.
+    pub write_group: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+    /// How long a serving rank sleeps on an empty queue before re-polling
+    /// (also the OLAP rendezvous latency bound).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 64,
+            group_commit: true,
+            write_group: 16,
+            admission: AdmissionPolicy::Block,
+            poll_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+impl ServerOptions {
+    /// The unbatched baseline: every request is its own transaction.
+    pub fn unbatched() -> Self {
+        Self {
+            max_batch: 1,
+            group_commit: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control shed the request ([`AdmissionPolicy::Reject`]).
+    Overloaded { rank: usize, depth: usize },
+    /// The server no longer accepts requests.
+    ShuttingDown,
+}
+
+/// A collective OLAP job: every rank runs the closure against its engine
+/// handle (collectives allowed inside); rank 0's return value resolves
+/// the submitter's ticket.
+pub type OlapJobFn = dyn for<'r, 'd, 'c, 'f> Fn(&'r GdaRank<'d, 'c, 'f>) -> f64 + Send + Sync;
+
+struct OlapPending {
+    job: Arc<OlapJobFn>,
+    ticket: Arc<TicketInner>,
+    /// Ranks that finished this job; the slot is tombstoned (payload
+    /// dropped) once every rank has served it, so `olap_jobs` holds live
+    /// closures only for jobs still in flight.
+    served_by: usize,
+}
+
+/// A job the server drops without ever running (server torn down before
+/// any rank served it) still resolves its ticket — no lost acks.
+impl Drop for OlapPending {
+    fn drop(&mut self) {
+        self.ticket
+            .fulfill_if_pending(OpOutcome::Aborted(gdi::GdiError::TransactionClosed));
+    }
+}
+
+struct ServerInner {
+    db: Arc<GdaDb>,
+    opts: ServerOptions,
+    queues: Vec<BoundedQueue<Request>>,
+    counters: Vec<RankCounters>,
+    accepting: AtomicBool,
+    serving: AtomicUsize,
+    started: Instant,
+    next_session: AtomicU64,
+    /// Submitted OLAP jobs, indexed by submission order; a slot is
+    /// tombstoned to `None` once every rank has served it.
+    olap_jobs: Mutex<Vec<Option<OlapPending>>>,
+    olap_submitted: AtomicU64,
+    fabric_reports: Mutex<Vec<Option<RankReport>>>,
+}
+
+/// Per-rank summary returned by [`GdiServer::serve_rank`].
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    pub rank: usize,
+    /// Requests this rank executed (committed + aborted).
+    pub executed: u64,
+    /// Drain cycles.
+    pub batches: u64,
+    /// Collective OLAP jobs participated in.
+    pub olap_jobs: u64,
+    /// Simulated nanoseconds this rank spent serving.
+    pub sim_serve_ns: f64,
+}
+
+/// The multi-session service front-end over one [`GdaDb`].
+///
+/// Cheap to clone (shared state behind an `Arc`): hand clones to client
+/// threads, call [`GdiServer::serve_rank`] from every fabric rank.
+#[derive(Clone)]
+pub struct GdiServer(Arc<ServerInner>);
+
+impl GdiServer {
+    pub fn new(db: Arc<GdaDb>, opts: ServerOptions) -> Self {
+        assert!(opts.max_batch >= 1, "max_batch must be positive");
+        let nranks = db.nranks();
+        GdiServer(Arc::new(ServerInner {
+            opts: opts.clone(),
+            queues: (0..nranks)
+                .map(|_| BoundedQueue::new(opts.queue_capacity))
+                .collect(),
+            counters: (0..nranks).map(|_| RankCounters::default()).collect(),
+            accepting: AtomicBool::new(true),
+            serving: AtomicUsize::new(0),
+            started: Instant::now(),
+            next_session: AtomicU64::new(0),
+            olap_jobs: Mutex::new(Vec::new()),
+            olap_submitted: AtomicU64::new(0),
+            fabric_reports: Mutex::new((0..nranks).map(|_| None).collect()),
+            db,
+        }))
+    }
+
+    /// The database being served.
+    pub fn db(&self) -> &Arc<GdaDb> {
+        &self.0.db
+    }
+
+    /// Open a new client session.
+    pub fn session(&self) -> Session {
+        Session {
+            server: self.clone(),
+            id: self.0.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Number of ranks currently inside their serve loop.
+    pub fn serving_ranks(&self) -> usize {
+        self.0.serving.load(Ordering::SeqCst)
+    }
+
+    /// The owning rank of an op (round-robin vertex partitioning).
+    pub fn route(&self, op: &Op) -> usize {
+        owner_rank(op.routing_vertex(), self.0.db.nranks())
+    }
+
+    /// Submit a collective OLAP job: all serving ranks rendezvous, run the
+    /// closure (engine collectives allowed), and rank 0's result resolves
+    /// the ticket.
+    pub fn submit_olap(
+        &self,
+        job: impl for<'r, 'd, 'c, 'f> Fn(&'r GdaRank<'d, 'c, 'f>) -> f64 + Send + Sync + 'static,
+    ) -> Result<Ticket, SubmitError> {
+        // the accepting check, the push and the counter publish happen
+        // under the jobs lock, and shutdown() takes the same lock after
+        // flipping `accepting`: a job is either fully published before
+        // the queues close (every rank serves it before exiting) or
+        // rejected — never half-visible
+        let mut jobs = self.0.olap_jobs.lock();
+        if !self.0.accepting.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let ticket = Arc::new(TicketInner::default());
+        jobs.push(Some(OlapPending {
+            job: Arc::new(job),
+            ticket: ticket.clone(),
+            served_by: 0,
+        }));
+        // publish after the job is in place: serve loops read the counter
+        // first, then index the vec
+        self.0.olap_submitted.fetch_add(1, Ordering::SeqCst);
+        Ok(Ticket(ticket))
+    }
+
+    pub(crate) fn submit(&self, op: Op) -> Result<Ticket, SubmitError> {
+        if !self.0.accepting.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let rank = self.route(&op);
+        let ticket = Arc::new(TicketInner::default());
+        let req = Request {
+            op,
+            ticket: ticket.clone(),
+            submitted: Instant::now(),
+        };
+        self.0.counters[rank]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let res = match self.0.opts.admission {
+            AdmissionPolicy::Block => self.0.queues[rank].push_wait(req),
+            AdmissionPolicy::Reject => self.0.queues[rank].try_push(req),
+        };
+        match res {
+            Ok(()) => Ok(Ticket(ticket)),
+            Err(PushError::Full(_)) => {
+                self.0.counters[rank]
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded {
+                    rank,
+                    depth: self.0.queues[rank].len(),
+                })
+            }
+            Err(PushError::Closed(_)) => {
+                // count the shed so `submitted` keeps balancing against
+                // committed + aborted + rejected in metrics snapshots
+                self.0.counters[rank]
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Stop accepting new work and close all queues. Already-queued
+    /// requests are still served; every accepted ticket resolves.
+    pub fn shutdown(&self) {
+        self.0.accepting.store(false, Ordering::SeqCst);
+        // synchronize with any in-flight submit_olap: after this lock
+        // round-trip the OLAP job count is final, so a rank observing a
+        // closed queue also observes every job it must still serve
+        drop(self.0.olap_jobs.lock());
+        for q in &self.0.queues {
+            q.close();
+        }
+    }
+
+    /// The serve loop of one fabric rank: drain → batch → group commit →
+    /// fan outcomes back, until shutdown drains everything. Call from
+    /// every rank inside `fabric.run` (after the database was loaded).
+    pub fn serve_rank(&self, ctx: &RankCtx) -> ServeSummary {
+        let inner = &*self.0;
+        // If this rank's loop unwinds (an engine panic), fail the whole
+        // server fast instead of wedging clients: stop admissions, close
+        // every queue, and drain this rank's queue so its pending tickets
+        // resolve (as aborts, via the Request drop-guard).
+        struct PanicGuard<'a> {
+            inner: &'a ServerInner,
+            rank: usize,
+        }
+        impl Drop for PanicGuard<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.inner.accepting.store(false, Ordering::SeqCst);
+                    for q in &self.inner.queues {
+                        q.close();
+                    }
+                    loop {
+                        let (batch, _) = self.inner.queues[self.rank]
+                            .drain_wait(usize::MAX, Duration::from_millis(0));
+                        if batch.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let _guard = PanicGuard {
+            inner,
+            rank: ctx.rank(),
+        };
+        let eng = inner.db.attach(ctx);
+        let rank = ctx.rank();
+        let trace = std::env::var_os("GDI_SERVER_TRACE").is_some();
+        inner.serving.fetch_add(1, Ordering::SeqCst);
+        let sim_t0 = ctx.now_ns();
+        let mut olap_served: u64 = 0;
+        let mut batches: u64 = 0;
+        let mut executed: u64 = 0;
+        loop {
+            // collective rendezvous: all ranks run pending OLAP jobs in
+            // submission order before draining more interactive work
+            while olap_served < inner.olap_submitted.load(Ordering::SeqCst) {
+                ctx.barrier();
+                let idx = olap_served as usize;
+                let pending = {
+                    let jobs = inner.olap_jobs.lock();
+                    let p = jobs[idx].as_ref().expect("job served before tombstone");
+                    (p.job.clone(), p.ticket.clone())
+                };
+                let value = (pending.0)(&eng);
+                ctx.barrier();
+                if rank == 0 {
+                    pending
+                        .1
+                        .fulfill(OpOutcome::Committed(OpReply::Scalar(value)));
+                }
+                // the fulfillment above must be visible before any rank
+                // can tombstone the slot (whose drop-guard would
+                // otherwise resolve the ticket as aborted)
+                ctx.barrier();
+                let mut jobs = inner.olap_jobs.lock();
+                if let Some(p) = jobs[idx].as_mut() {
+                    p.served_by += 1;
+                    if p.served_by == inner.db.nranks() {
+                        jobs[idx] = None;
+                    }
+                }
+                drop(jobs);
+                olap_served += 1;
+            }
+            let (batch, closed) =
+                inner.queues[rank].drain_wait(inner.opts.max_batch, inner.opts.poll_interval);
+            if batch.is_empty() {
+                if closed && olap_served == inner.olap_submitted.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            if trace {
+                eprintln!("[serve r{rank}] drained {} closed={closed}", batch.len());
+            }
+            ctx.record_drain(batch.len());
+            batches += 1;
+            executed += batch.len() as u64;
+            inner.counters[rank].batches.fetch_add(1, Ordering::Relaxed);
+            execute_batch(
+                &eng,
+                &inner.counters[rank],
+                batch,
+                inner.opts.group_commit,
+                inner.opts.write_group,
+            );
+        }
+        if trace {
+            eprintln!("[serve r{rank}] exiting after {executed} ops / {batches} batches");
+        }
+        inner.fabric_reports.lock()[rank] = Some(ctx.stats_snapshot());
+        inner.serving.fetch_sub(1, Ordering::SeqCst);
+        ServeSummary {
+            rank,
+            executed,
+            batches,
+            olap_jobs: olap_served,
+            sim_serve_ns: ctx.now_ns() - sim_t0,
+        }
+    }
+
+    /// Live metrics snapshot (callable at any time).
+    pub fn metrics(&self) -> ServerMetrics {
+        let inner = &*self.0;
+        let reports = inner.fabric_reports.lock();
+        let per_rank = inner
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(rank, c)| RankMetrics {
+                rank,
+                submitted: c.submitted.load(Ordering::Relaxed),
+                rejected: c.rejected.load(Ordering::Relaxed),
+                committed: c.committed.load(Ordering::Relaxed),
+                aborted: c.aborted.load(Ordering::Relaxed),
+                batches: c.batches.load(Ordering::Relaxed),
+                grouped_ops: c.grouped_ops.load(Ordering::Relaxed),
+                fallback_ops: c.fallback_ops.load(Ordering::Relaxed),
+                queue_depth: inner.queues[rank].len(),
+                latency: c.latency.lock().clone(),
+                fabric: reports[rank],
+            })
+            .collect();
+        ServerMetrics {
+            per_rank,
+            wall_elapsed_s: inner.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// A lightweight client handle: submit ops, await outcomes. Thousands of
+/// sessions can share one server; a session itself is not thread-safe
+/// (clone the server and open more sessions instead).
+pub struct Session {
+    server: GdiServer,
+    id: u64,
+}
+
+impl Session {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submit asynchronously; the ticket resolves to exactly one outcome.
+    pub fn submit(&self, op: Op) -> Result<Ticket, SubmitError> {
+        self.server.submit(op)
+    }
+
+    /// Submit and wait (one closed-loop op).
+    pub fn execute(&self, op: Op) -> Result<OpOutcome, SubmitError> {
+        self.submit(op).map(|t| t.wait())
+    }
+}

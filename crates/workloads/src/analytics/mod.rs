@@ -73,8 +73,10 @@ pub fn build_view_indexed(eng: &GdaRank, index: gda::IndexId) -> LocalView {
         view.vids.push(p.vertex);
         view.index_of.insert(p.vertex.raw(), i);
         view.app_index.insert(p.app_id.0, i);
-        view.adj_out
-            .push(tx.neighbors(p.vertex, EdgeOrientation::Outgoing, None).unwrap());
+        view.adj_out.push(
+            tx.neighbors(p.vertex, EdgeOrientation::Outgoing, None)
+                .unwrap(),
+        );
         view.adj_any
             .push(tx.neighbors(p.vertex, EdgeOrientation::Any, None).unwrap());
     }

@@ -53,12 +53,7 @@ impl Default for Bi2Params {
 
 /// Run the query over this rank's partition; returns the **global** count
 /// (identical on every rank, via allreduce).
-pub fn bi2(
-    eng: &GdaRank,
-    spec: &GraphSpec,
-    meta: &LpgMeta,
-    params: &Bi2Params,
-) -> u64 {
+pub fn bi2(eng: &GdaRank, spec: &GraphSpec, meta: &LpgMeta, params: &Bi2Params) -> u64 {
     let person: LabelId = meta.label(params.person_label);
     let edge_l: LabelId = meta.label(params.edge_label);
     let target_l: LabelId = meta.label(params.target_label);
@@ -120,9 +115,11 @@ pub fn bi2_reference(spec: &GraphSpec, params: &Bi2Params) -> u64 {
         spec.lpg
             .vertex_label_indices(spec.seed, w)
             .contains(&params.target_label)
-            && spec.lpg.vertex_props(spec.seed, w).iter().any(|(i, val)| {
-                *i == params.target_prop && *val > params.target_threshold
-            })
+            && spec
+                .lpg
+                .vertex_props(spec.seed, w)
+                .iter()
+                .any(|(i, val)| *i == params.target_prop && *val > params.target_threshold)
     };
     (0..n)
         .filter(|&v| {

@@ -12,9 +12,7 @@
 use rustc_hash::FxHashMap;
 
 use gda::{DPtr, GdaRank};
-use gdi::{
-    AccessMode, Datatype, EntityType, Multiplicity, PTypeId, PropertyValue, SizeType,
-};
+use gdi::{AccessMode, Datatype, EntityType, Multiplicity, PTypeId, PropertyValue, SizeType};
 use graphgen::kronecker::hash3;
 
 use crate::analytics::{route, LocalView};
@@ -114,9 +112,7 @@ pub fn conv_layer(
     // feature (self-loop in the convolution)
     let mut agg: FxHashMap<u64, Vec<f64>> = FxHashMap::default();
     for (raw, f) in recv.into_iter().flatten() {
-        let e = agg
-            .entry(raw)
-            .or_insert_with(|| vec![0.0; cfg.k]);
+        let e = agg.entry(raw).or_insert_with(|| vec![0.0; cfg.k]);
         for (a, x) in e.iter_mut().zip(f.iter()) {
             *a += x;
         }
@@ -152,12 +148,7 @@ pub fn conv_layer(
 
 /// Full forward pass: `cfg.layers` convolution layers (the Fig. 6c/6d
 /// workload). Returns the per-layer global feature norms.
-pub fn train_forward(
-    eng: &GdaRank,
-    view: &LocalView,
-    ptype: PTypeId,
-    cfg: &GnnConfig,
-) -> Vec<f64> {
+pub fn train_forward(eng: &GdaRank, view: &LocalView, ptype: PTypeId, cfg: &GnnConfig) -> Vec<f64> {
     (0..cfg.layers)
         .map(|l| conv_layer(eng, view, ptype, cfg, l))
         .collect()

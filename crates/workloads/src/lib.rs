@@ -14,7 +14,10 @@
 //! * [`gnn`] — graph convolution training forward pass (Listing 2,
 //!   Fig. 6c/6d);
 //! * [`bi2`] — the business-intelligence aggregate query in the style of
-//!   Listing 3 / LDBC BI (Fig. 6b).
+//!   Listing 3 / LDBC BI (Fig. 6b);
+//! * [`traffic`] — the serving-path twin of [`oltp`]: the same Table-3
+//!   mixes replayed through the `server` crate's concurrent sessions
+//!   (request batching + group commit) instead of direct engine calls.
 
 pub mod analytics;
 pub mod bi2;
@@ -22,6 +25,7 @@ pub mod gnn;
 pub mod latency;
 pub mod olsp;
 pub mod oltp;
+pub mod traffic;
 
 pub use latency::Histogram;
 pub use oltp::{Mix, OltpConfig, OltpResult, OpKind};

@@ -27,11 +27,7 @@ pub struct LabelGroup {
 /// Collective: group vertices by label, aggregate counts and P0 means,
 /// return the global top-k groups by count (ties towards the smaller
 /// label id). Identical on every rank.
-pub fn top_labels(
-    eng: &GdaRank,
-    meta: &LpgMeta,
-    k: usize,
-) -> Vec<LabelGroup> {
+pub fn top_labels(eng: &GdaRank, meta: &LpgMeta, k: usize) -> Vec<LabelGroup> {
     let ctx = eng.ctx();
     let index = meta.all_index.expect("generated database has __all index");
     let p0 = meta.ptypes.first().copied();

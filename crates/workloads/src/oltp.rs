@@ -199,8 +199,10 @@ pub fn run_oltp(
     let mut next_new = n + eng.rank() as u64 * 1_000_000_007;
     let mut added: Vec<u64> = Vec::new();
 
-    let mut per_op: Vec<(OpKind, OpStats)> =
-        OpKind::ALL.iter().map(|k| (*k, OpStats::default())).collect();
+    let mut per_op: Vec<(OpKind, OpStats)> = OpKind::ALL
+        .iter()
+        .map(|k| (*k, OpStats::default()))
+        .collect();
     let mut committed = 0u64;
     let mut aborted = 0u64;
     let start_ns = eng.ctx().now_ns();
@@ -208,7 +210,16 @@ pub fn run_oltp(
     for _ in 0..cfg.ops_per_rank {
         let kind = mix.sample(&mut rng);
         let t0 = eng.ctx().now_ns();
-        let ok = run_one(eng, spec, meta, kind, &mut rng, n, &mut next_new, &mut added);
+        let ok = run_one(
+            eng,
+            spec,
+            meta,
+            kind,
+            &mut rng,
+            n,
+            &mut next_new,
+            &mut added,
+        );
         let dt = eng.ctx().now_ns() - t0;
         let stats = &mut per_op.iter_mut().find(|(k, _)| *k == kind).unwrap().1;
         stats.attempts += 1;

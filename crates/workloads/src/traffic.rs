@@ -1,0 +1,371 @@
+//! Mixed-traffic session driver: replays the Table-3 OLTP mixes through
+//! the `server` crate's session front-end instead of calling the engine
+//! directly (`oltp::run_oltp`'s serving-path twin).
+//!
+//! Sessions are closed-loop clients: each keeps exactly one op in flight.
+//! A bounded pool of worker threads multiplexes many sessions (10 →
+//! 10 000) by submitting one op per owned session per round and then
+//! awaiting all of that round's tickets, so the server sees
+//! `sessions`-wide concurrency without needing one OS thread per
+//! session.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gda::GdaDb;
+use gdi::{AppVertexId, PropertyValue};
+use graphgen::{load_into, GraphSpec, LpgMeta};
+use rma::Fabric;
+use server::{
+    GdiServer, Op, OpOutcome, ServeSummary, ServerMetrics, ServerOptions, SubmitError, Ticket,
+};
+
+use crate::oltp::{Mix, OpKind};
+
+/// Traffic shape.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Closed-loop ops each session issues.
+    pub ops_per_session: usize,
+    /// Table-3 operation mix.
+    pub mix: Mix,
+    /// RNG seed (combined with the session id).
+    pub seed: u64,
+    /// Worker threads multiplexing the sessions.
+    pub workers: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 64,
+            ops_per_session: 20,
+            mix: Mix::LINKBENCH,
+            seed: 0xC0FFEE,
+            workers: 8,
+        }
+    }
+}
+
+/// What one session observed.
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    pub committed: u64,
+    pub aborted: u64,
+    /// Commit-uncertain outcomes (failed group commit under resource
+    /// exhaustion; see `server::OpOutcome::Indeterminate`).
+    pub indeterminate: u64,
+    /// Submissions shed by admission control.
+    pub rejected: u64,
+    /// Outcomes received (must equal accepted submissions: no lost acks).
+    pub acks: u64,
+}
+
+/// Aggregate of a traffic run.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    pub per_session: Vec<SessionReport>,
+    /// Wall-clock seconds spent driving the traffic.
+    pub wall_s: f64,
+}
+
+impl TrafficReport {
+    pub fn committed(&self) -> u64 {
+        self.per_session.iter().map(|s| s.committed).sum()
+    }
+
+    pub fn aborted(&self) -> u64 {
+        self.per_session.iter().map(|s| s.aborted).sum()
+    }
+
+    pub fn indeterminate(&self) -> u64 {
+        self.per_session.iter().map(|s| s.indeterminate).sum()
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.per_session.iter().map(|s| s.rejected).sum()
+    }
+
+    pub fn acks(&self) -> u64 {
+        self.per_session.iter().map(|s| s.acks).sum()
+    }
+
+    pub fn abort_fraction(&self) -> f64 {
+        let (c, a) = (self.committed(), self.aborted());
+        if c + a == 0 {
+            0.0
+        } else {
+            a as f64 / (c + a) as f64
+        }
+    }
+}
+
+/// Per-session generator state.
+struct SessionState {
+    rng: SmallRng,
+    /// Next fresh application id (disjoint per session).
+    next_new: u64,
+    /// App ids this session added (preferred delete victims, LinkBench
+    /// style).
+    added: Vec<u64>,
+    report: SessionReport,
+}
+
+/// Translate one sampled Table-3 op kind into a server request.
+fn build_op(
+    kind: OpKind,
+    rng: &mut SmallRng,
+    n: u64,
+    meta: &LpgMeta,
+    next_new: &mut u64,
+    added: &mut Vec<u64>,
+) -> Op {
+    match kind {
+        OpKind::GetVertexProps => Op::GetVertexProps {
+            v: AppVertexId(rng.gen_range(0..n)),
+            ptype: if meta.ptypes.is_empty() {
+                None
+            } else {
+                Some(meta.ptype(rng.gen_range(0..meta.ptypes.len())))
+            },
+        },
+        OpKind::CountEdges => Op::CountEdges {
+            v: AppVertexId(rng.gen_range(0..n)),
+        },
+        OpKind::GetEdges => Op::GetEdges {
+            v: AppVertexId(rng.gen_range(0..n)),
+        },
+        OpKind::AddVertex => {
+            *next_new += 1;
+            let app = *next_new;
+            added.push(app);
+            Op::AddVertex {
+                v: AppVertexId(app),
+                label: if meta.labels.is_empty() {
+                    None
+                } else {
+                    Some(meta.label(app as usize % meta.labels.len()))
+                },
+                prop: if meta.ptypes.is_empty() {
+                    None
+                } else {
+                    Some((meta.ptype(0), PropertyValue::U64(app)))
+                },
+            }
+        }
+        OpKind::DeleteVertex => Op::DeleteVertex {
+            v: AppVertexId(added.pop().unwrap_or_else(|| rng.gen_range(0..n))),
+        },
+        OpKind::UpdateVertexProp => {
+            if meta.ptypes.is_empty() {
+                // bare LPG: nothing to update, degrade to a point read
+                Op::CountEdges {
+                    v: AppVertexId(rng.gen_range(0..n)),
+                }
+            } else {
+                Op::UpdateVertexProp {
+                    v: AppVertexId(rng.gen_range(0..n)),
+                    ptype: meta.ptype(rng.gen_range(0..meta.ptypes.len())),
+                    value: PropertyValue::U64(rng.gen()),
+                }
+            }
+        }
+        OpKind::AddEdge => Op::AddEdge {
+            from: AppVertexId(rng.gen_range(0..n)),
+            to: AppVertexId(rng.gen_range(0..n)),
+            label: if meta.labels.is_empty() {
+                None
+            } else {
+                Some(meta.label(rng.gen_range(0..meta.labels.len())))
+            },
+        },
+    }
+}
+
+/// Drive `cfg.sessions` concurrent sessions against a serving database.
+/// Call while the server's rank loops are live; returns when every
+/// session finished its ops (all accepted submissions acknowledged).
+pub fn run_traffic(
+    server: &GdiServer,
+    spec: &GraphSpec,
+    meta: &LpgMeta,
+    cfg: &TrafficConfig,
+) -> TrafficReport {
+    let n = spec.n_vertices();
+    let workers = cfg.workers.clamp(1, cfg.sessions.max(1));
+    let span = cfg.ops_per_session as u64 + 1;
+    let mut states: Vec<SessionState> = (0..cfg.sessions)
+        .map(|s| SessionState {
+            rng: SmallRng::seed_from_u64(cfg.seed ^ (s as u64).wrapping_mul(0x9E37_79B9)),
+            // fresh ids above the base graph, disjoint between sessions
+            next_new: n + 1 + s as u64 * span,
+            added: Vec::new(),
+            report: SessionReport::default(),
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let chunk = cfg.sessions.div_ceil(workers);
+        for states_chunk in states.chunks_mut(chunk.max(1)) {
+            let server = server.clone();
+            let mix = cfg.mix;
+            handles.push(scope.spawn(move || {
+                let session = server.session();
+                let mut round: Vec<(usize, Ticket)> = Vec::new();
+                for _ in 0..cfg.ops_per_session {
+                    round.clear();
+                    for (i, st) in states_chunk.iter_mut().enumerate() {
+                        let kind = mix.sample(&mut st.rng);
+                        let op =
+                            build_op(kind, &mut st.rng, n, meta, &mut st.next_new, &mut st.added);
+                        match session.submit(op) {
+                            Ok(t) => round.push((i, t)),
+                            Err(SubmitError::Overloaded { .. }) => {
+                                st.report.rejected += 1;
+                            }
+                            Err(SubmitError::ShuttingDown) => {
+                                st.report.rejected += 1;
+                            }
+                        }
+                    }
+                    for (i, ticket) in round.drain(..) {
+                        let st = &mut states_chunk[i];
+                        st.report.acks += 1;
+                        match ticket.wait() {
+                            OpOutcome::Committed(_) => st.report.committed += 1,
+                            OpOutcome::Aborted(_) => st.report.aborted += 1,
+                            OpOutcome::Indeterminate(_) => st.report.indeterminate += 1,
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("traffic worker panicked");
+        }
+    });
+
+    TrafficReport {
+        per_session: states.into_iter().map(|s| s.report).collect(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// What the sessions observed.
+    pub traffic: TrafficReport,
+    /// Per-rank serve-loop summaries (batches, executed ops, sim time).
+    pub summaries: Vec<ServeSummary>,
+    /// Final server metrics (latency percentiles, abort rates, fabric
+    /// counters of the serve phase).
+    pub metrics: ServerMetrics,
+}
+
+impl ServeRun {
+    /// Committed ops per simulated second (slowest serving rank is the
+    /// makespan) — the serving twin of `oltp::throughput_qps`.
+    pub fn sim_throughput_qps(&self) -> f64 {
+        let max_ns = self
+            .summaries
+            .iter()
+            .map(|s| s.sim_serve_ns)
+            .fold(0.0f64, f64::max);
+        if max_ns <= 0.0 {
+            0.0
+        } else {
+            self.traffic.committed() as f64 / (max_ns / 1e9)
+        }
+    }
+}
+
+/// Serve already-loaded data: start rank serve loops on `fabric`, drive
+/// `cfg` traffic, shut down, and collect every report.
+pub fn serve(
+    db: &Arc<GdaDb>,
+    fabric: &Fabric,
+    opts: ServerOptions,
+    spec: &GraphSpec,
+    meta: &LpgMeta,
+    cfg: &TrafficConfig,
+) -> ServeRun {
+    let server = GdiServer::new(db.clone(), opts);
+    let mut summaries = None;
+    let mut traffic = None;
+    std::thread::scope(|s| {
+        let srv = &server;
+        let ranks = s.spawn(move || fabric.run(|ctx| srv.serve_rank(ctx)));
+        traffic = Some(run_traffic(srv, spec, meta, cfg));
+        srv.shutdown();
+        summaries = Some(ranks.join().expect("serving fabric panicked"));
+    });
+    ServeRun {
+        traffic: traffic.unwrap(),
+        summaries: summaries.unwrap(),
+        metrics: server.metrics(),
+    }
+}
+
+/// Bulk-load `spec` into a fresh database, then [`serve`] it.
+pub fn load_and_serve(
+    db: &Arc<GdaDb>,
+    fabric: &Fabric,
+    opts: ServerOptions,
+    spec: &GraphSpec,
+    cfg: &TrafficConfig,
+) -> ServeRun {
+    let metas = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let (meta, _) = load_into(&eng, spec);
+        meta
+    });
+    let meta = metas.into_iter().next().expect("at least one rank");
+    serve(db, fabric, opts, spec, &meta, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::LpgConfig;
+
+    #[test]
+    fn op_generation_covers_kinds() {
+        let spec = GraphSpec {
+            scale: 6,
+            edge_factor: 4,
+            seed: 1,
+            lpg: LpgConfig::default(),
+        };
+        let meta = LpgMeta {
+            labels: vec![gdi::LabelId(1)],
+            ptypes: vec![gdi::PTypeId(3)],
+            all_index: None,
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut next_new = 1000;
+        let mut added = vec![];
+        for kind in OpKind::ALL {
+            let op = build_op(
+                kind,
+                &mut rng,
+                spec.n_vertices(),
+                &meta,
+                &mut next_new,
+                &mut added,
+            );
+            assert_eq!(op.is_read(), kind.is_read(), "{kind:?} vs {op:?}");
+        }
+        // AddVertex recorded its id and the later DeleteVertex consumed it
+        // (LinkBench-style: deletes prefer own inserts)
+        assert!(added.is_empty());
+        assert_eq!(next_new, 1001);
+    }
+}

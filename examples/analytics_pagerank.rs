@@ -40,10 +40,11 @@ fn main() {
         let pr_s = (ctx.now_ns() - t0) / 1e9;
 
         // local top vertex → global top via allgather
-        let (best_i, best) = pr
-            .iter()
-            .enumerate()
-            .fold((0, 0.0), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
+        let (best_i, best) =
+            pr.iter().enumerate().fold(
+                (0, 0.0),
+                |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc },
+            );
         let tops = ctx.allgather((view.apps.get(best_i).copied().unwrap_or(0), best));
         let global_top = tops
             .iter()
@@ -65,14 +66,15 @@ fn main() {
         let bfs_s = (ctx.now_ns() - t2) / 1e9;
 
         if ctx.rank() == 0 {
-            println!("graph: 2^{scale} vertices, {} edges, {nranks} ranks", spec.n_edges());
+            println!(
+                "graph: 2^{scale} vertices, {} edges, {nranks} ranks",
+                spec.n_edges()
+            );
             println!(
                 "PageRank  ({pr_s:.4}s sim): top vertex v{} with score {:.3e}",
                 global_top.0, global_top.1
             );
-            println!(
-                "WCC       ({wcc_s:.4}s sim): component of v0 holds {giant_total} vertices"
-            );
+            println!("WCC       ({wcc_s:.4}s sim): component of v0 holds {giant_total} vertices");
             println!(
                 "BFS       ({bfs_s:.4}s sim): from v{} reached {} vertices in {} levels",
                 global_top.0, r.visited, r.levels

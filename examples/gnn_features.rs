@@ -35,9 +35,9 @@ fn main() {
         seed: 5,
     };
     let mut cfg = sized_config(&spec, nranks);
-    cfg.blocks_per_rank =
-        (cfg.blocks_per_rank + (spec.n_vertices() as usize / nranks) * (k * 8 / cfg.block_size + 2))
-            .next_power_of_two();
+    cfg.blocks_per_rank = (cfg.blocks_per_rank
+        + (spec.n_vertices() as usize / nranks) * (k * 8 / cfg.block_size + 2))
+        .next_power_of_two();
     let (db, fabric) = GdaDb::with_fabric("gnn", cfg, nranks, CostModel::default());
 
     fabric.run(|ctx| {

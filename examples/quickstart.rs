@@ -7,8 +7,8 @@
 
 use gda::{GdaConfig, GdaDb};
 use gdi::{
-    AccessMode, AppVertexId, Datatype, EdgeOrientation, EntityType, Multiplicity,
-    PropertyValue, SizeType,
+    AccessMode, AppVertexId, Datatype, EdgeOrientation, EntityType, Multiplicity, PropertyValue,
+    SizeType,
 };
 use rma::CostModel;
 
@@ -27,12 +27,33 @@ fn main() {
             eng.create_label("Person").unwrap();
             eng.create_label("Car").unwrap();
             eng.create_label("OWNS").unwrap();
-            eng.create_ptype("age", Datatype::Uint64, EntityType::Vertex,
-                Multiplicity::Single, SizeType::Fixed, 1).unwrap();
-            eng.create_ptype("color", Datatype::Char, EntityType::Vertex,
-                Multiplicity::Single, SizeType::NoLimit, 0).unwrap();
-            eng.create_ptype("name", Datatype::Char, EntityType::Vertex,
-                Multiplicity::Single, SizeType::NoLimit, 0).unwrap();
+            eng.create_ptype(
+                "age",
+                Datatype::Uint64,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
+            .unwrap();
+            eng.create_ptype(
+                "color",
+                Datatype::Char,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::NoLimit,
+                0,
+            )
+            .unwrap();
+            eng.create_ptype(
+                "name",
+                Datatype::Char,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::NoLimit,
+                0,
+            )
+            .unwrap();
         }
         ctx.barrier();
         eng.refresh_meta();
@@ -54,7 +75,8 @@ fn main() {
             for (id, who, years) in [(1u64, "Ada", 36u64), (2, "Grace", 45), (3, "Linus", 29)] {
                 let v = tx.create_vertex(AppVertexId(id)).unwrap();
                 tx.add_label(v, person).unwrap();
-                tx.add_property(v, name, &PropertyValue::Text(who.into())).unwrap();
+                tx.add_property(v, name, &PropertyValue::Text(who.into()))
+                    .unwrap();
                 tx.add_property(v, age, &PropertyValue::U64(years)).unwrap();
                 people.push(v);
             }
@@ -62,7 +84,8 @@ fn main() {
             for (id, shade) in [(100u64, "red"), (101, "blue")] {
                 let v = tx.create_vertex(AppVertexId(id)).unwrap();
                 tx.add_label(v, car).unwrap();
-                tx.add_property(v, color, &PropertyValue::Text(shade.into())).unwrap();
+                tx.add_property(v, color, &PropertyValue::Text(shade.into()))
+                    .unwrap();
                 cars.push(v);
             }
             // Ada owns the red car, Linus the blue one
@@ -79,11 +102,16 @@ fn main() {
         let mut count = 0;
         for id in 1..=3u64 {
             let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
-            let Some(PropertyValue::U64(a)) = tx.property(v, age).unwrap() else { continue };
+            let Some(PropertyValue::U64(a)) = tx.property(v, age).unwrap() else {
+                continue;
+            };
             if a <= 30 {
                 continue;
             }
-            for nbr in tx.neighbors(v, EdgeOrientation::Outgoing, Some(owns)).unwrap() {
+            for nbr in tx
+                .neighbors(v, EdgeOrientation::Outgoing, Some(owns))
+                .unwrap()
+            {
                 if tx.has_label(nbr, car).unwrap() {
                     if let Some(PropertyValue::Text(c)) = tx.property(nbr, color).unwrap() {
                         if c == "red" {
@@ -100,5 +128,8 @@ fn main() {
         }
         ctx.barrier();
     });
-    println!("quickstart OK — simulated time {:.3} ms", fabric.last_sim_time_s() * 1e3);
+    println!(
+        "quickstart OK — simulated time {:.3} ms",
+        fabric.last_sim_time_s() * 1e3
+    );
 }

@@ -52,8 +52,7 @@ fn main() {
             let friends = tx.neighbors(v, EdgeOrientation::Any, None).unwrap();
             let mut names = Vec::new();
             for f in &friends {
-                if let Some(PropertyValue::U64(n)) =
-                    tx.property(*f, meta.ptype(0)).unwrap_or(None)
+                if let Some(PropertyValue::U64(n)) = tx.property(*f, meta.ptype(0)).unwrap_or(None)
                 {
                     names.push(n);
                 }

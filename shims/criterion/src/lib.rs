@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`: wall-clock micro-benchmark harness
+//! with the `criterion_group!`/`criterion_main!`/`Bencher` API surface
+//! used by `crates/bench/benches/micro.rs`. Reports mean ns/iter to
+//! stderr; no statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            samples: self.sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            eprintln!("bench {name:<40} {ns:>14.1} ns/iter ({} iters)", b.iters);
+        } else {
+            eprintln!("bench {name:<40} produced no measurements");
+        }
+        self
+    }
+}
+
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    samples: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: run until the warm-up budget elapses
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+        }
+        // measurement: split the budget into samples of growing batches
+        let per_sample = self.budget / self.samples as u32;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let mut n = 0u64;
+            while t0.elapsed() < per_sample {
+                std::hint::black_box(routine());
+                n += 1;
+            }
+            self.elapsed += t0.elapsed();
+            self.iters += n;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let per_sample = self.budget / self.samples as u32;
+        for _ in 0..self.samples {
+            let mut n = 0u64;
+            let mut measured = Duration::ZERO;
+            while measured < per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                measured += t0.elapsed();
+                n += 1;
+            }
+            self.elapsed += measured;
+            self.iters += n;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`: the derives expand to nothing.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation on plain-old-data types; no code path performs runtime
+//! serialization. This proc-macro crate keeps those derives compiling
+//! without pulling serde from crates.io (unavailable in the build
+//! environment). Any attempt to actually *call* serde APIs fails to
+//! compile, which is the intended gate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

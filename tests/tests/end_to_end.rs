@@ -72,9 +72,8 @@ fn full_pipeline_on_one_database() {
                 .unwrap_or(u64::MAX);
             ctx.allreduce_min_u64(local)
         };
-        let comp_size = ctx.allreduce_sum_u64(
-            comp.iter().filter(|&&c| c == root_comp).count() as u64
-        );
+        let comp_size =
+            ctx.allreduce_sum_u64(comp.iter().filter(|&&c| c == root_comp).count() as u64);
         assert_eq!(
             r.visited, comp_size,
             "BFS reach must equal the root's WCC size (undirected traversal)"
@@ -194,7 +193,9 @@ fn neo4j_janus_and_gda_store_equivalent_graphs() {
     });
 
     // Graph500 CSR (degree check is in its own tests; here: totals line up)
-    let fabric2 = rma::FabricBuilder::new(nranks).cost(CostModel::zero()).build();
+    let fabric2 = rma::FabricBuilder::new(nranks)
+        .cost(CostModel::zero())
+        .build();
     fabric2.run(|ctx| {
         let csr = baselines::build_csr(ctx, &spec);
         let local = csr.n_local_edges() as u64;

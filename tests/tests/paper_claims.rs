@@ -59,7 +59,10 @@ fn write_mixes_fail_more_than_read_mixes() {
         "write-intensive failure rate ({fail_wi:.4}) must be >= read-mostly ({fail_rm:.4})"
     );
     assert!(fail_rm < 0.02, "read-mostly failures must be negligible");
-    assert!(fail_wi < 0.25, "WI failures stay low (paper: <2%), got {fail_wi}");
+    assert!(
+        fail_wi < 0.25,
+        "WI failures stay low (paper: <2%), got {fail_wi}"
+    );
 }
 
 #[test]
@@ -75,7 +78,10 @@ fn gda_bfs_within_small_factor_of_graph500() {
         ratio < 8.0,
         "GDA BFS must stay within a small factor of Graph500, got {ratio:.2}x"
     );
-    assert!(ratio > 0.5, "suspicious: GDA much faster than the raw kernel");
+    assert!(
+        ratio > 0.5,
+        "suspicious: GDA much faster than the raw kernel"
+    );
 }
 
 #[test]
@@ -124,5 +130,8 @@ fn khop_runtime_increases_with_k() {
     let nranks = 2;
     let t2 = gda_olap(nranks, &spec, OlapAlgo::Khop(2));
     let t4 = gda_olap(nranks, &spec, OlapAlgo::Khop(4));
-    assert!(t4 >= t2, "4-hop ({t4:.6}s) must cost at least 2-hop ({t2:.6}s)");
+    assert!(
+        t4 >= t2,
+        "4-hop ({t4:.6}s) must cost at least 2-hop ({t2:.6}s)"
+    );
 }
