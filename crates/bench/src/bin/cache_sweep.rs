@@ -1,0 +1,453 @@
+//! `cache_sweep` — the translation-cache locality sweep.
+//!
+//! Sweeps the new scenario axis introduced with `gda::cache`:
+//! **lookup locality** (uniform vs Zipf-skewed vertex choice) crossed
+//! with a read-heavy and a churn-heavy Table-3 mix, comparing three
+//! translation paths:
+//!
+//! * `uncached` — every `translate_vertex_id` pays the remote DHT chain
+//!   walk (the seed behaviour);
+//! * `cached` — the epoch-validated cache, one revalidation `aget` per
+//!   probe;
+//! * `pinned` — the cache with drain-cycle pinning (one epoch check per
+//!   16-op cycle), the server batch path.
+//!
+//! Reported per point: simulated time, speedup vs uncached, cache hit
+//! fraction, and — for the churn mix — **stale reads**: after every
+//! committed `DeleteVertex`, the driver immediately probes the deleted
+//! id and counts any successful translation. The epoch protocol must
+//! keep this at zero.
+//!
+//! `--smoke` runs a seconds-sized configuration (the CI smoke step).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gda::GdaDb;
+use gdi::{AccessMode, AppVertexId, EdgeOrientation, GdiError, PropertyValue};
+use graphgen::{load_into, GraphSpec, LpgConfig, LpgMeta};
+use rma::CostModel;
+use workloads::locality::VertexSampler;
+use workloads::oltp::{Mix, OpKind};
+
+use gdi_bench::{emit, oltp_sized_config, spec_for};
+
+/// Which translation path a point exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheMode {
+    Uncached,
+    Cached,
+    Pinned,
+}
+
+impl CacheMode {
+    const ALL: [CacheMode; 3] = [CacheMode::Uncached, CacheMode::Cached, CacheMode::Pinned];
+
+    fn label(self) -> &'static str {
+        match self {
+            CacheMode::Uncached => "uncached",
+            CacheMode::Cached => "cached",
+            CacheMode::Pinned => "cached+pinned",
+        }
+    }
+}
+
+/// Ops per pinned epoch-check cycle (mirrors a server drain batch).
+const PIN_CYCLE: usize = 16;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PointOut {
+    sim_s: f64,
+    hits: u64,
+    misses: u64,
+    stale_reads: u64,
+    committed: u64,
+    aborted: u64,
+}
+
+impl PointOut {
+    fn hit_frac(&self) -> f64 {
+        gda::CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            ..Default::default()
+        }
+        .hit_fraction()
+    }
+}
+
+fn build_db(
+    spec: &GraphSpec,
+    nranks: usize,
+    ops: usize,
+    mode: CacheMode,
+) -> (std::sync::Arc<GdaDb>, rma::Fabric) {
+    let mut cfg = oltp_sized_config(spec, nranks, ops);
+    cfg.translation_cache = mode != CacheMode::Uncached;
+    // every rank translates across the whole id space here (unlike the
+    // server, where routing partitions it), so size the cache to cover
+    // it — the default capacity already does for per-rank workloads
+    cfg.translation_cache_capacity = (2 * spec.n_vertices() as usize).next_power_of_two();
+    GdaDb::with_fabric("cache_sweep", cfg, nranks, CostModel::default())
+}
+
+/// Translate-only microbenchmark: the isolated cost of
+/// `translate_vertex_id` under each mode (the Fig-4 hot-path component
+/// this PR attacks).
+fn run_translate_point(
+    nranks: usize,
+    spec: &GraphSpec,
+    sampler: &VertexSampler,
+    mode: CacheMode,
+    lookups: usize,
+) -> PointOut {
+    let (db, fabric) = build_db(spec, nranks, lookups / 8 + 64, mode);
+    let outs = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let _ = load_into(&eng, spec);
+        ctx.barrier();
+        let mut rng = SmallRng::seed_from_u64(0xCAC4E ^ (ctx.rank() as u64) << 17);
+        let tx = eng.begin(AccessMode::ReadOnly);
+        let t0 = ctx.now_ns();
+        for i in 0..lookups {
+            if mode == CacheMode::Pinned && i % PIN_CYCLE == 0 {
+                eng.cache_begin_cycle();
+            }
+            let v = sampler.sample(&mut rng);
+            let _ = tx.translate_vertex_id(AppVertexId(v));
+        }
+        let dt = ctx.now_ns() - t0;
+        if mode == CacheMode::Pinned {
+            eng.cache_end_cycle();
+        }
+        tx.commit().expect("read-only commit");
+        let s = eng.translation_cache_stats();
+        (dt, s.hits, s.misses)
+    });
+    let mut out = PointOut::default();
+    for (dt, h, m) in outs {
+        out.sim_s = out.sim_s.max(dt / 1e9);
+        out.hits += h;
+        out.misses += m;
+    }
+    out
+}
+
+/// One end-to-end mix point: every rank drives `ops` single-process
+/// transactions whose target vertices come from `sampler`, with a
+/// post-delete stale probe.
+fn run_mix_point(
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    sampler: &VertexSampler,
+    mode: CacheMode,
+    ops: usize,
+) -> PointOut {
+    let (db, fabric) = build_db(spec, nranks, ops, mode);
+    let outs = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let (meta, _) = load_into(&eng, spec);
+        ctx.barrier();
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ (ctx.rank() as u64).wrapping_mul(0x9E37));
+        let n = spec.n_vertices();
+        let mut next_new = n + 1 + ctx.rank() as u64 * 1_000_000_007;
+        let mut added: Vec<u64> = Vec::new();
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        let mut stale = 0u64;
+        let t0 = ctx.now_ns();
+        for i in 0..ops {
+            if mode == CacheMode::Pinned && i % PIN_CYCLE == 0 {
+                eng.cache_begin_cycle();
+            }
+            let kind = mix.sample(&mut rng);
+            let (ok, deleted) = run_one_sampled(
+                &eng,
+                &meta,
+                kind,
+                sampler,
+                &mut rng,
+                &mut next_new,
+                &mut added,
+            );
+            if ok {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+            // stale probe: a committed delete must be untranslatable
+            // immediately afterwards — a cached stale translation (the
+            // bug class the epoch protocol prevents) would surface here
+            if let (true, Some(app)) = (ok, deleted) {
+                let tx = eng.begin(AccessMode::ReadOnly);
+                if tx.translate_vertex_id(AppVertexId(app)).is_ok() {
+                    stale += 1;
+                }
+                tx.commit().expect("probe commit");
+            }
+        }
+        let dt = ctx.now_ns() - t0;
+        if mode == CacheMode::Pinned {
+            eng.cache_end_cycle();
+        }
+        // snapshot the counters now: the verification sweep below is
+        // not part of the benchmarked workload and must not distort
+        // the reported hit rate
+        let s = eng.translation_cache_stats();
+        // cross-rank stale sweep (untimed): after all churn settles,
+        // every rank revalidates every base id through its own cache
+        // against the uncached diagnostic path. A broken epoch bump
+        // would leave this rank serving positives for vertices OTHER
+        // ranks deleted (write-through never reaches here) — the
+        // in-loop probe above cannot see that, since the deleting
+        // rank's own cache is always corrected by write-through.
+        ctx.barrier();
+        if mode == CacheMode::Pinned {
+            eng.cache_begin_cycle(); // a fresh drain cycle, per contract
+        }
+        let tx = eng.begin(AccessMode::ReadOnly);
+        for app in 0..n {
+            let cached = tx.translate_vertex_id(AppVertexId(app)).is_ok();
+            let truth = eng.peek_translate(AppVertexId(app)).is_some();
+            if cached != truth {
+                stale += 1;
+            }
+        }
+        tx.commit().expect("sweep commit");
+        if mode == CacheMode::Pinned {
+            eng.cache_end_cycle();
+        }
+        (dt, s.hits, s.misses, stale, committed, aborted)
+    });
+    let mut out = PointOut::default();
+    for (dt, h, m, st, c, a) in outs {
+        out.sim_s = out.sim_s.max(dt / 1e9);
+        out.hits += h;
+        out.misses += m;
+        out.stale_reads += st;
+        out.committed += c;
+        out.aborted += a;
+    }
+    out
+}
+
+/// Execute one sampled op as a single-process transaction, under the
+/// server's routing discipline: every single-vertex op targets a vertex
+/// this rank *owns* (sampled locality is preserved by snapping the draw
+/// to the rank's stride), so write-through covers its translations even
+/// in pinned cycles; the one cross-rank translation — `AddEdge`'s
+/// target — revalidates via `translate_vertex_id_fresh`, exactly like
+/// `server::batch`. Returns `(committed, Some(app) for DeleteVertex)`.
+#[allow(clippy::too_many_arguments)]
+fn run_one_sampled(
+    eng: &gda::GdaRank,
+    meta: &LpgMeta,
+    kind: OpKind,
+    sampler: &VertexSampler,
+    rng: &mut SmallRng,
+    next_new: &mut u64,
+    added: &mut Vec<u64>,
+) -> (bool, Option<u64>) {
+    let mode = if kind.is_read() {
+        AccessMode::ReadOnly
+    } else {
+        AccessMode::ReadWrite
+    };
+    // snap a sampled id onto this rank's stride without wrapping onto
+    // another rank's vertex when nranks does not divide n
+    let owned = |rng: &mut SmallRng| {
+        let p = eng.nranks() as u64;
+        let n = sampler.n();
+        let cand = (sampler.sample(rng) / p) * p + eng.rank() as u64;
+        if cand < n {
+            cand
+        } else {
+            cand.saturating_sub(p)
+        }
+    };
+    let tx = eng.begin(mode);
+    let mut delete_target: Option<u64> = None;
+    let mut body = || -> Result<(), GdiError> {
+        match kind {
+            OpKind::GetVertexProps => {
+                let v = tx.translate_vertex_id(AppVertexId(owned(rng)))?;
+                if meta.ptypes.is_empty() {
+                    let _ = tx.labels(v)?;
+                } else {
+                    let _ = tx.property(v, meta.ptype(0))?;
+                }
+            }
+            OpKind::CountEdges => {
+                let v = tx.translate_vertex_id(AppVertexId(owned(rng)))?;
+                let _ = tx.edge_count(v, EdgeOrientation::Any)?;
+            }
+            OpKind::GetEdges => {
+                let v = tx.translate_vertex_id(AppVertexId(owned(rng)))?;
+                let _ = tx.edges(v, EdgeOrientation::Any)?;
+            }
+            OpKind::AddVertex => {
+                *next_new += 1;
+                let app = *next_new;
+                let v = tx.create_vertex(AppVertexId(app))?;
+                if !meta.ptypes.is_empty() {
+                    tx.add_property(v, meta.ptype(0), &PropertyValue::U64(app))?;
+                }
+                added.push(app);
+            }
+            OpKind::DeleteVertex => {
+                let app = added.pop().unwrap_or_else(|| owned(rng));
+                delete_target = Some(app);
+                let v = tx.translate_vertex_id(AppVertexId(app))?;
+                tx.delete_vertex(v)?;
+            }
+            OpKind::UpdateVertexProp => {
+                let v = tx.translate_vertex_id(AppVertexId(owned(rng)))?;
+                if !meta.ptypes.is_empty() {
+                    tx.update_property(v, meta.ptype(0), &PropertyValue::U64(rng.gen()))?;
+                }
+            }
+            OpKind::AddEdge => {
+                let a = tx.translate_vertex_id(AppVertexId(owned(rng)))?;
+                // cross-rank endpoint: revalidate past any pinned snapshot
+                let b = tx.translate_vertex_id_fresh(AppVertexId(sampler.sample(rng)))?;
+                tx.add_edge(a, b, None, true)?;
+            }
+        }
+        Ok(())
+    };
+    let ok = match body() {
+        Ok(()) => tx.commit().is_ok(),
+        Err(_) => {
+            tx.abort();
+            false
+        }
+    };
+    (ok, delete_target)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (nranks, scale, ops, lookups) = if smoke {
+        (2usize, 8u32, 250usize, 1_500usize)
+    } else {
+        let p = gdi_bench::RunParams::from_env();
+        (
+            *p.ranks.last().unwrap_or(&4),
+            p.base_scale,
+            p.ops_per_rank.max(1500),
+            12_000,
+        )
+    };
+    let spec = spec_for(scale, 42, LpgConfig::default());
+    let n = spec.n_vertices();
+    let localities = [
+        ("uniform", VertexSampler::uniform(n)),
+        ("zipf-1.0", VertexSampler::zipf(n, 1.0)),
+        ("zipf-1.2", VertexSampler::zipf(n, 1.2)),
+    ];
+
+    let mut out = String::new();
+    out.push_str("### cache_sweep — epoch-validated translation cache, locality axis\n");
+    out.push_str(&format!(
+        "P={nranks} scale={scale} ({n} vertices), ops/rank={ops}, translate-lookups/rank={lookups}\n\n"
+    ));
+
+    // ---- translate-only microbenchmark --------------------------------
+    out.push_str(&format!(
+        "{:<24} {:>13} {:>12} {:>9} {:>7}\n",
+        "translate-only", "mode", "sim_s", "speedup", "hit%"
+    ));
+    let mut zipf_cached_speedup = 0.0f64;
+    for (lname, sampler) in &localities {
+        let base = run_translate_point(nranks, &spec, sampler, CacheMode::Uncached, lookups);
+        for mode in CacheMode::ALL {
+            let p = if mode == CacheMode::Uncached {
+                base
+            } else {
+                run_translate_point(nranks, &spec, sampler, mode, lookups)
+            };
+            let speedup = if p.sim_s > 0.0 {
+                base.sim_s / p.sim_s
+            } else {
+                0.0
+            };
+            if *lname == "zipf-1.2" && mode == CacheMode::Cached {
+                zipf_cached_speedup = speedup;
+            }
+            out.push_str(&format!(
+                "{:<24} {:>13} {:>12.6} {:>8.2}x {:>6.1}%\n",
+                lname,
+                mode.label(),
+                p.sim_s,
+                speedup,
+                p.hit_frac() * 100.0
+            ));
+        }
+    }
+    out.push('\n');
+
+    // ---- end-to-end Table-3 mixes --------------------------------------
+    let mixes: [(&str, Mix); 2] = [
+        ("read-heavy (RM)", Mix::READ_MOSTLY),
+        ("churn-heavy (WI)", Mix::WRITE_INTENSIVE),
+    ];
+    out.push_str(&format!(
+        "{:<18} {:<10} {:>13} {:>12} {:>9} {:>7} {:>7} {:>9}\n",
+        "mix", "locality", "mode", "sim_s", "speedup", "hit%", "fail%", "stale"
+    ));
+    let mut total_stale = 0u64;
+    let mut read_zipf_speedup = 0.0f64;
+    for (mname, mix) in &mixes {
+        for (lname, sampler) in &localities {
+            let base = run_mix_point(nranks, &spec, mix, sampler, CacheMode::Uncached, ops);
+            for mode in CacheMode::ALL {
+                let p = if mode == CacheMode::Uncached {
+                    base
+                } else {
+                    run_mix_point(nranks, &spec, mix, sampler, mode, ops)
+                };
+                let speedup = if p.sim_s > 0.0 {
+                    base.sim_s / p.sim_s
+                } else {
+                    0.0
+                };
+                let fail = if p.committed + p.aborted == 0 {
+                    0.0
+                } else {
+                    p.aborted as f64 / (p.committed + p.aborted) as f64
+                };
+                total_stale += p.stale_reads;
+                if *mname == "read-heavy (RM)" && *lname == "zipf-1.2" && mode == CacheMode::Pinned
+                {
+                    read_zipf_speedup = speedup;
+                }
+                out.push_str(&format!(
+                    "{:<18} {:<10} {:>13} {:>12.6} {:>8.2}x {:>6.1}% {:>6.2}% {:>9}\n",
+                    mname,
+                    lname,
+                    mode.label(),
+                    p.sim_s,
+                    speedup,
+                    p.hit_frac() * 100.0,
+                    fail * 100.0,
+                    p.stale_reads
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\nstale reads total: {total_stale} (must be 0)\n\
+         translate-only zipf-1.2 cached speedup: {zipf_cached_speedup:.2}x\n\
+         read-heavy zipf-1.2 pinned end-to-end speedup: {read_zipf_speedup:.2}x\n"
+    ));
+    emit("cache_sweep", &out);
+
+    assert_eq!(total_stale, 0, "the cache served a stale translation");
+    assert!(
+        zipf_cached_speedup >= 1.3,
+        "translate-only cached speedup {zipf_cached_speedup:.2}x below the 1.3x target at high locality"
+    );
+}

@@ -113,10 +113,15 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
             for (p, v) in spec.props {
                 h.add_property(p, v.encode());
             }
-            self.dht.insert(spec.app.0, primary.raw())?;
+            // quiet insert: one epoch bump per rank after the loop
+            // replaces millions of per-vertex bumps
+            self.dht.insert_quiet(spec.app.0, primary.raw())?;
             local.insert(spec.app.0, (primary, h));
             report.vertices += 1;
         }
+        // collective: every rank bumps its own word before the barrier,
+        // so all cached negative entries are retired machine-wide
+        self.dht.bump_own_insert_epoch();
         self.ctx().barrier();
 
         // ---- phase 3: route half-edges to endpoint owners ----------------

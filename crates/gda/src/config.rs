@@ -8,7 +8,7 @@
 //! | **data**   | the BGDL block pool: `blocks_per_rank` fixed-size blocks |
 //! | **usage**  | the free-list links: word *i* = next free block after *i* |
 //! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i* |
-//! | **index**  | DHT: word 0 = tagged heap free head; buckets; 3-word heap entries |
+//! | **index**  | DHT: word 0 = tagged heap free head; word 1 = epoch word (`delete:32 \| insert:32`); buckets; 3-word heap entries |
 
 use rma::{CostModel, Fabric, FabricBuilder, WinId};
 
@@ -38,6 +38,11 @@ pub struct GdaConfig {
     /// `GDI_ERROR_LOCK_CONFLICT` (the source of the paper's failed-
     /// transaction percentages).
     pub max_lock_retries: usize,
+    /// Enable the per-rank, epoch-validated app-id → `DPtr` translation
+    /// cache in front of `Dht::lookup` (see `gda::cache`).
+    pub translation_cache: bool,
+    /// Maximum resident entries of the translation cache (per rank).
+    pub translation_cache_capacity: usize,
 }
 
 impl Default for GdaConfig {
@@ -48,6 +53,8 @@ impl Default for GdaConfig {
             dht_buckets_per_rank: 4096,
             dht_heap_per_rank: 8192,
             max_lock_retries: 48,
+            translation_cache: true,
+            translation_cache_capacity: 8192,
         }
     }
 }
@@ -61,6 +68,8 @@ impl GdaConfig {
             dht_buckets_per_rank: 64,
             dht_heap_per_rank: 256,
             max_lock_retries: 48,
+            translation_cache: true,
+            translation_cache_capacity: 128,
         }
     }
 
@@ -76,6 +85,7 @@ impl GdaConfig {
         cfg.blocks_per_rank = blocks.next_power_of_two();
         cfg.dht_buckets_per_rank = (vertices.max(16)).next_power_of_two();
         cfg.dht_heap_per_rank = (vertices.max(16) * 2).next_power_of_two();
+        cfg.translation_cache_capacity = (vertices.max(64) * 2).next_power_of_two();
         cfg
     }
 
@@ -89,6 +99,10 @@ impl GdaConfig {
         assert!(self.blocks_per_rank >= 2, "need at least one usable block");
         assert!(self.dht_buckets_per_rank >= 1);
         assert!(self.dht_heap_per_rank >= 1);
+        assert!(
+            !self.translation_cache || self.translation_cache_capacity >= 1,
+            "an enabled translation cache needs a positive capacity"
+        );
     }
 
     /// Bytes of the data window.
@@ -106,9 +120,10 @@ impl GdaConfig {
         (self.blocks_per_rank + 1) * 8
     }
 
-    /// Bytes of the index window (tagged heap head + buckets + heap).
+    /// Bytes of the index window (tagged heap head + epoch word + buckets
+    /// + heap).
     pub fn index_bytes(&self) -> usize {
-        (1 + self.dht_buckets_per_rank + 3 * (self.dht_heap_per_rank + 1)) * 8
+        (2 + self.dht_buckets_per_rank + 3 * (self.dht_heap_per_rank + 1)) * 8
     }
 
     /// Build a fabric with the four GDA windows registered.
@@ -140,7 +155,7 @@ mod tests {
         assert_eq!(c.data_bytes(), 257 * 128);
         assert_eq!(c.usage_bytes(), 257 * 8);
         assert_eq!(c.system_bytes(), 257 * 8);
-        assert_eq!(c.index_bytes(), (1 + 64 + 3 * 257) * 8);
+        assert_eq!(c.index_bytes(), (2 + 64 + 3 * 257) * 8);
     }
 
     #[test]

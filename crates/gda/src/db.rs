@@ -24,8 +24,10 @@ use gdi::{
 use rma::{CostModel, Fabric, RankCtx};
 
 use crate::blocks::BlockManager;
+use crate::cache::{CacheStats, TranslationCache};
 use crate::config::GdaConfig;
 use crate::dht::Dht;
+use crate::dptr::DPtr;
 use crate::index::{IndexId, IndexShared, Posting};
 use crate::locks::LockManager;
 use crate::meta::{MetaSnapshot, MetaStore, SharedMeta};
@@ -84,6 +86,11 @@ impl GdaDb {
             bm: BlockManager::new(ctx, self.cfg),
             lm: LockManager::new(ctx, self.cfg),
             dht: Dht::new(ctx, self.cfg),
+            tcache: TranslationCache::new(
+                self.cfg.translation_cache,
+                self.cfg.translation_cache_capacity,
+                ctx.nranks(),
+            ),
             meta_snap: RefCell::new(self.meta.snapshot()),
         }
     }
@@ -96,6 +103,7 @@ pub struct GdaRank<'d, 'c, 'f> {
     pub(crate) bm: BlockManager<'c, 'f>,
     pub(crate) lm: LockManager<'c, 'f>,
     pub(crate) dht: Dht<'c, 'f>,
+    pub(crate) tcache: TranslationCache,
     meta_snap: RefCell<MetaSnapshot>,
 }
 
@@ -105,6 +113,7 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     pub fn init_collective(&self) {
         self.bm.init_collective();
         self.dht.init_collective();
+        self.tcache.clear();
     }
 
     /// This rank's id.
@@ -256,9 +265,48 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
         tx
     }
 
-    /// Resolve an application vertex id without a transaction (diagnostic).
+    /// Resolve an application vertex id without a transaction (diagnostic;
+    /// deliberately **uncached** — the reference path benches compare the
+    /// translation cache against).
     pub fn peek_translate(&self, app: AppVertexId) -> Option<crate::dptr::DPtr> {
         self.dht.lookup(app.0).map(crate::dptr::DPtr::from_raw)
+    }
+
+    // ---- translation cache (see `crate::cache`) -------------------------
+
+    /// Resolve an application vertex id through the epoch-validated
+    /// translation cache (the hot path behind
+    /// [`crate::tx::Transaction::translate_vertex_id`]).
+    pub(crate) fn translate(&self, app: AppVertexId) -> Option<DPtr> {
+        self.tcache
+            .lookup(&self.dht, self.ctx, app.0)
+            .map(DPtr::from_raw)
+    }
+
+    /// [`GdaRank::translate`] with forced remote epoch revalidation (see
+    /// [`crate::cache::TranslationCache::lookup_fresh`]).
+    pub(crate) fn translate_fresh(&self, app: AppVertexId) -> Option<DPtr> {
+        self.tcache
+            .lookup_fresh(&self.dht, self.ctx, app.0)
+            .map(DPtr::from_raw)
+    }
+
+    /// Translation-cache counters of this rank.
+    pub fn translation_cache_stats(&self) -> CacheStats {
+        self.tcache.stats()
+    }
+
+    /// Pin the translation cache for one service drain cycle: snapshot
+    /// every rank's epoch word now and skip per-lookup revalidation until
+    /// [`GdaRank::cache_end_cycle`] — one epoch check per batch instead
+    /// of per op. Local commits stay exact via write-through.
+    pub fn cache_begin_cycle(&self) {
+        self.tcache.begin_cycle(&self.dht, self.nranks());
+    }
+
+    /// Leave the pinned cycle (per-lookup revalidation resumes).
+    pub fn cache_end_cycle(&self) {
+        self.tcache.end_cycle();
     }
 }
 

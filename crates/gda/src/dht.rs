@@ -10,10 +10,19 @@
 //!
 //! ```text
 //! word 0                  : tagged free-list head of the entry heap
-//! words 1..=B             : buckets — each holds the heap index of the
+//! word 1                  : epoch word `delete_epoch:32 | insert_epoch:32`
+//! words 2..=B+1           : buckets — each holds the heap index of the
 //!                           first chain entry (0 = empty)
-//! words B+1..             : heap of 3-word entries {key, value, next}
+//! words B+2..             : heap of 3-word entries {key, value, next}
 //! ```
+//!
+//! The **epoch word** backs the per-rank translation cache
+//! ([`crate::cache`]): every successful `delete` bumps the high half and
+//! every `insert` bumps the low half with one remote `fadd`, so a cached
+//! positive translation is trusted only while the owner rank's delete
+//! epoch is unchanged, and a cached negative entry only while the insert
+//! epoch is unchanged — one `aget` revalidates either, instead of a
+//! remote chain walk.
 //!
 //! A key `k` hashes to bucket rank `h(k) mod P` and bucket index
 //! `(h(k)/P) mod B`; chains stay on the bucket's rank (distributed
@@ -34,6 +43,27 @@ use crate::dptr::TaggedIdx;
 
 /// Word index of the heap free-list head.
 const HEAP_HEAD_WORD: usize = 0;
+
+/// Word index of the per-rank epoch counter (`delete:32 | insert:32`).
+const EPOCH_WORD: usize = 1;
+
+/// `fadd` delta bumping the delete half of the epoch word.
+const EPOCH_DEL_DELTA: u64 = 1 << 32;
+
+/// `fadd` delta bumping the insert half of the epoch word.
+const EPOCH_INS_DELTA: u64 = 1;
+
+/// Delete half of an epoch word (invalidates positive cached entries).
+#[inline]
+pub const fn epoch_del(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Insert half of an epoch word (invalidates negative cached entries).
+#[inline]
+pub const fn epoch_ins(word: u64) -> u32 {
+    word as u32
+}
 
 /// Sentinel key stored in freed heap entries so that in-flight traversals
 /// can never match them. Application keys must be `< u64::MAX`.
@@ -66,13 +96,13 @@ impl<'c, 'f> Dht<'c, 'f> {
 
     #[inline]
     fn heap_base(&self) -> usize {
-        1 + self.nbuckets()
+        2 + self.nbuckets()
     }
 
     /// Word of bucket `b`.
     #[inline]
     fn bucket_word(&self, b: usize) -> usize {
-        1 + b
+        2 + b
     }
 
     /// First word of heap entry `idx` (1-based).
@@ -96,6 +126,20 @@ impl<'c, 'f> Dht<'c, 'f> {
         (rank, self.bucket_word(bucket))
     }
 
+    /// The rank whose index window holds `key`'s chain (and thus whose
+    /// epoch word validates cached translations of `key`).
+    #[inline]
+    pub fn placement_rank(&self, key: u64) -> usize {
+        self.place(key).0
+    }
+
+    /// Atomically read `rank`'s epoch word (one remote `aget`) — the
+    /// translation-cache revalidation primitive.
+    #[inline]
+    pub fn read_epoch(&self, rank: usize) -> u64 {
+        self.ctx.aget_u64(WIN_INDEX, rank, EPOCH_WORD)
+    }
+
     /// Collective: initialize this rank's heap free list; ends in a barrier.
     ///
     /// The free list is threaded through the **value** word of free entries
@@ -111,6 +155,7 @@ impl<'c, 'f> Dht<'c, 'f> {
         for b in 0..self.nbuckets() {
             self.ctx.put_u64(WIN_INDEX, me, self.bucket_word(b), 0);
         }
+        self.ctx.put_u64(WIN_INDEX, me, EPOCH_WORD, 0);
         let n = self.cfg.dht_heap_per_rank as u64;
         for i in 1..=n {
             let link = if i < n { i + 1 } else { 0 };
@@ -176,6 +221,40 @@ impl<'c, 'f> Dht<'c, 'f> {
     /// be unique; duplicate keys yield multiple entries, with lookups
     /// returning the most recently inserted.
     pub fn insert(&self, key: u64, value: u64) -> GdiResult<()> {
+        self.insert_traced(key, value).map(|_| ())
+    }
+
+    /// [`Dht::insert`], returning the owner rank's epoch word as observed
+    /// by the insert-epoch bump (the pre-bump value): the delete half of
+    /// that word is what a write-through cache entry for `key` must
+    /// record, since it was current while `key` was being published.
+    pub fn insert_traced(&self, key: u64, value: u64) -> GdiResult<u64> {
+        self.insert_impl(key, value, true)
+    }
+
+    /// Bulk-load variant of [`Dht::insert`] that skips the per-insert
+    /// epoch bump. A batch of quiet inserts must be followed by a
+    /// collective round of [`Dht::bump_own_insert_epoch`] before any
+    /// reader may trust a cached negative entry again.
+    pub fn insert_quiet(&self, key: u64, value: u64) -> GdiResult<()> {
+        self.insert_impl(key, value, false).map(|_| ())
+    }
+
+    /// Bump this rank's own insert epoch once — the batched equivalent
+    /// of per-insert bumps after a quiet bulk load. Called by **every**
+    /// rank of a collective load (before its closing barrier), each
+    /// rank's word advances exactly once and every cached negative
+    /// entry anywhere is retired, at one local atomic per rank instead
+    /// of `P` remote fadds per inserted key.
+    pub fn bump_own_insert_epoch(&self) {
+        if !self.cfg.translation_cache {
+            return;
+        }
+        self.ctx
+            .fadd_u64(WIN_INDEX, self.ctx.rank(), EPOCH_WORD, EPOCH_INS_DELTA);
+    }
+
+    fn insert_impl(&self, key: u64, value: u64, bump: bool) -> GdiResult<u64> {
         assert_ne!(key, FREE_KEY, "u64::MAX is a reserved key");
         let (rank, bucket) = self.place(key);
         let entry = self.alloc(rank)?;
@@ -188,7 +267,21 @@ impl<'c, 'f> Dht<'c, 'f> {
             self.ctx.flush(rank);
             let prev = self.ctx.cas_u64(WIN_INDEX, rank, bucket, head, entry);
             if prev == head {
-                return Ok(());
+                if !bump || !self.cfg.translation_cache {
+                    // nothing (yet) reads the epoch word: skip the remote
+                    // bump so the path matches seed costs
+                    return Ok(0);
+                }
+                // publish, then bump: a reader that cached a negative
+                // entry just before the bump revalidates on its next
+                // epoch check and finds the key. The returned (pre-bump)
+                // word is safe for a write-through *positive* entry:
+                // no delete of this key can land before the bump, since
+                // the inserting transaction still holds the write lock
+                // on the vertex a deleter would have to acquire first.
+                return Ok(self
+                    .ctx
+                    .fadd_u64(WIN_INDEX, rank, EPOCH_WORD, EPOCH_INS_DELTA));
             }
         }
     }
@@ -222,6 +315,19 @@ impl<'c, 'f> Dht<'c, 'f> {
 
     /// Delete a key (Listing 4 `delete`). Returns whether it was present.
     pub fn delete(&self, key: u64) -> bool {
+        self.delete_traced(key).is_some()
+    }
+
+    /// [`Dht::delete`], returning `Some(epoch word)` when the key was
+    /// present: the insert half of that word is what a write-through
+    /// *negative* cache entry for `key` must record. The word is read
+    /// **before the unlink**, because a re-create of the same key can
+    /// only publish (and bump the insert epoch) after the entry is
+    /// unlinked — recording a pre-unlink insert epoch therefore
+    /// guarantees the negative entry self-invalidates against any
+    /// recreation, instead of folding a racing re-create's bump into
+    /// the recorded epoch and masking the new vertex forever.
+    pub fn delete_traced(&self, key: u64) -> Option<u64> {
         let (rank, bucket) = self.place(key);
         'restart: loop {
             let mut cur = self.ctx.aget_u64(WIN_INDEX, rank, bucket);
@@ -243,15 +349,26 @@ impl<'c, 'f> Dht<'c, 'f> {
                         // lost a race (entry or its successor changed)
                         continue 'restart;
                     }
+                    if !self.cfg.translation_cache {
+                        self.unlink(rank, bucket, cur, next);
+                        self.dealloc(rank, cur);
+                        return Some(0);
+                    }
+                    // epoch snapshot before the unlink (see doc comment)
+                    let word = self.read_epoch(rank);
                     // CAS 2: unlink — we own `cur`; retry until the
                     // predecessor cell is swung past it
                     self.unlink(rank, bucket, cur, next);
                     self.dealloc(rank, cur);
-                    return true;
+                    // bump the owner's delete epoch so cached positive
+                    // translations of this rank revalidate
+                    self.ctx
+                        .fadd_u64(WIN_INDEX, rank, EPOCH_WORD, EPOCH_DEL_DELTA);
+                    return Some(word);
                 }
                 cur = next;
             }
-            return false;
+            return None;
         }
     }
 
@@ -293,17 +410,37 @@ impl<'c, 'f> Dht<'c, 'f> {
     /// Number of live entries in this rank's buckets (diagnostic; walks all
     /// local chains).
     pub fn local_len(&self) -> usize {
+        /// Bucket-walk restarts before giving up on a chain that always
+        /// has a delete in flight (pathological churn): the walk then
+        /// keeps the entries counted so far instead of livelocking.
+        const MAX_RESTARTS: usize = 64;
         let me = self.ctx.rank();
         let mut n = 0;
         for b in 0..self.nbuckets() {
-            let mut ptr = self.ctx.aget_u64(WIN_INDEX, me, self.bucket_word(b));
-            while ptr != 0 {
-                let next = self.ctx.get_u64(WIN_INDEX, me, self.next_word(ptr));
-                if next == ptr {
-                    break;
+            let mut restarts = 0;
+            'bucket: loop {
+                let mut count = 0;
+                let mut ptr = self.ctx.aget_u64(WIN_INDEX, me, self.bucket_word(b));
+                while ptr != 0 {
+                    let next = self.ctx.get_u64(WIN_INDEX, me, self.next_word(ptr));
+                    if next == ptr {
+                        // a marked (self-pointing) entry hides its
+                        // successors — the chain beyond it is only
+                        // recoverable by the deleting process. Restart
+                        // this bucket like `lookup` does instead of
+                        // undercounting every live entry behind it.
+                        restarts += 1;
+                        if restarts < MAX_RESTARTS {
+                            std::thread::yield_now();
+                            continue 'bucket;
+                        }
+                        break;
+                    }
+                    count += 1;
+                    ptr = next;
                 }
-                n += 1;
-                ptr = next;
+                n += count;
+                break;
             }
         }
         n
@@ -471,6 +608,85 @@ mod tests {
             ctx.barrier();
             let remaining = ctx.allreduce_sum_u64(dht.local_len() as u64);
             assert_eq!(remaining, 0);
+        });
+    }
+
+    /// Regression: `local_len` used to stop counting a chain at the first
+    /// marked (self-pointing) entry, undercounting every live entry behind
+    /// an in-flight delete. With a concurrent deleter churning keys that
+    /// share rank-0 buckets with stable keys, the count of rank 0 must
+    /// never drop below the number of stable entries.
+    #[test]
+    fn local_len_counts_entries_behind_inflight_deletes() {
+        let (f, cfg) = fabric(2);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            // stable keys placed on rank 0, inserted first so churned
+            // entries prepend in front of them within shared chains
+            let stable: Vec<u64> = (0..10_000u64)
+                .filter(|k| hash64(*k).is_multiple_of(2))
+                .take(32)
+                .collect();
+            let churn: Vec<u64> = (10_000..20_000u64)
+                .filter(|k| hash64(*k).is_multiple_of(2))
+                .take(16)
+                .collect();
+            if ctx.rank() == 0 {
+                for &k in &stable {
+                    dht.insert(k, 1).unwrap();
+                }
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                // deleter: keep marked entries appearing in rank 0 chains
+                for _ in 0..60 {
+                    for &k in &churn {
+                        dht.insert(k, 2).unwrap();
+                    }
+                    for &k in &churn {
+                        assert!(dht.delete(k));
+                    }
+                }
+            } else {
+                for _ in 0..120 {
+                    let n = dht.local_len();
+                    assert!(
+                        n >= stable.len(),
+                        "local_len {n} undercounts {} stable entries",
+                        stable.len()
+                    );
+                    assert!(n <= stable.len() + churn.len());
+                }
+            }
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                assert_eq!(dht.local_len(), stable.len());
+            }
+        });
+    }
+
+    #[test]
+    fn epoch_word_tracks_inserts_and_deletes() {
+        let (f, cfg) = fabric(1);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            assert_eq!(dht.read_epoch(0), 0);
+            let w0 = dht.insert_traced(5, 50).unwrap();
+            assert_eq!(epoch_ins(w0), 0, "pre-bump word returned");
+            let w1 = dht.insert_traced(6, 60).unwrap();
+            assert_eq!(epoch_ins(w1), 1);
+            assert_eq!(epoch_del(w1), 0);
+            let w2 = dht.delete_traced(5).expect("key present");
+            assert_eq!(epoch_del(w2), 0);
+            assert_eq!(epoch_ins(w2), 2);
+            let now = dht.read_epoch(0);
+            assert_eq!(epoch_del(now), 1);
+            assert_eq!(epoch_ins(now), 2);
+            // deleting an absent key must not bump anything
+            assert_eq!(dht.delete_traced(5), None);
+            assert_eq!(dht.read_epoch(0), now);
         });
     }
 

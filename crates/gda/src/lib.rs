@@ -18,6 +18,8 @@
 //!   mapped onto block chains;
 //! * [`dht`] — the fully-offloaded lock-free distributed hash table used
 //!   for application-id → internal-id translation;
+//! * [`cache`] — the per-rank, epoch-validated translation cache in front
+//!   of the DHT (positive + negative entries, one-`aget` revalidation);
 //! * [`locks`] — one-word distributed reader–writer locks (write bit +
 //!   reader counter, single remote atomics);
 //! * [`meta`] — replicated, eventually-consistent labels and property
@@ -69,6 +71,7 @@
 pub mod analysis;
 pub mod blocks;
 pub mod bulk;
+pub mod cache;
 pub mod config;
 pub mod db;
 pub mod dht;
@@ -81,6 +84,7 @@ pub mod meta;
 pub mod tx;
 
 pub use bulk::{BulkReport, EdgeSpec, VertexSpec};
+pub use cache::CacheStats;
 pub use config::GdaConfig;
 pub use db::{DbRegistry, GdaDb, GdaRank};
 pub use dptr::{DPtr, EdgeUid};

@@ -258,11 +258,28 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     // ------------------------------------------------------------------
 
     /// `GDI_TranslateVertexID`: application id → internal id via the
-    /// offloaded DHT (§5.7).
+    /// offloaded DHT (§5.7), fronted by the per-rank epoch-validated
+    /// translation cache (`crate::cache`). Valid under both access modes:
+    /// revalidation observes any epoch bump that preceded the
+    /// transaction, so a vertex deleted before this transaction began can
+    /// never translate.
     pub fn translate_vertex_id(&self, app: AppVertexId) -> GdiResult<DPtr> {
         self.check_active()?;
-        match self.eng.dht.lookup(app.0) {
-            Some(raw) => Ok(DPtr::from_raw(raw)),
+        match self.eng.translate(app) {
+            Some(id) => Ok(id),
+            None => Err(GdiError::NotFound("vertex (application id)")),
+        }
+    }
+
+    /// [`Transaction::translate_vertex_id`] that revalidates the owner
+    /// rank's epoch remotely even while the cache is pinned to a drain
+    /// cycle. Service layers use it for vertices a request does **not**
+    /// route by (an edge's target endpoint): those get no write-through
+    /// on this rank, so the pinned snapshot cannot vouch for them.
+    pub fn translate_vertex_id_fresh(&self, app: AppVertexId) -> GdiResult<DPtr> {
+        self.check_active()?;
+        match self.eng.translate_fresh(app) {
+            Some(id) => Ok(id),
             None => Err(GdiError::NotFound("vertex (application id)")),
         }
     }
@@ -317,7 +334,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     /// visibility (DHT entry, index postings) happens at commit.
     pub fn create_vertex(&self, app: AppVertexId) -> GdiResult<DPtr> {
         self.check_writable()?;
-        if self.eng.dht.lookup(app.0).is_some() {
+        if self.eng.translate(app).is_some() {
             return Err(GdiError::AlreadyExists("vertex (application id)"));
         }
         let target = owner_rank(app, self.eng.nranks());
@@ -947,9 +964,13 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             }
             if obj.deleted {
                 if !obj.created {
-                    // remove from DHT and indexes, then free storage
+                    // remove from DHT and indexes, then free storage; the
+                    // traced delete bumps the owner's epoch and feeds the
+                    // write-through negative cache entry
                     if !obj.holder.is_edge {
-                        self.eng.dht.delete(obj.holder.app_id);
+                        if let Some(word) = self.eng.dht.delete_traced(obj.holder.app_id) {
+                            self.eng.tcache.note_delete(obj.holder.app_id, word);
+                        }
                         self.eng
                             .indexes()
                             .reindex_vertex(id, AppVertexId(obj.holder.app_id), None);
@@ -975,12 +996,15 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 }
                 wrote_any = true;
                 if obj.created && !obj.holder.is_edge {
-                    if let Err(e) = self.eng.dht.insert(obj.holder.app_id, raw) {
-                        result = Err(e);
-                        // written (wrote_any is set): persisted mirrors
-                        // may point here, so the blocks must leak rather
-                        // than be reused
-                        continue;
+                    match self.eng.dht.insert_traced(obj.holder.app_id, raw) {
+                        Ok(word) => self.eng.tcache.note_insert(obj.holder.app_id, raw, word),
+                        Err(e) => {
+                            result = Err(e);
+                            // written (wrote_any is set): persisted mirrors
+                            // may point here, so the blocks must leak rather
+                            // than be reused
+                            continue;
+                        }
                     }
                 }
                 if !obj.holder.is_edge {

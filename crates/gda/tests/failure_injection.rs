@@ -19,6 +19,7 @@ fn starved_cfg() -> GdaConfig {
         dht_buckets_per_rank: 8,
         dht_heap_per_rank: 8,
         max_lock_retries: 8,
+        ..GdaConfig::tiny()
     }
 }
 

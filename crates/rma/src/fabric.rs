@@ -245,6 +245,19 @@ impl<'a> RankCtx<'a> {
         self.stats.record_drain(n);
     }
 
+    /// Record one translation-cache probe outcome (hit avoided a remote
+    /// chain walk); surfaced through [`RankReport`] for the benches and
+    /// the server metrics.
+    pub fn record_cache_probe(&self, hit: bool) {
+        self.stats.record_cache_probe(hit);
+    }
+
+    /// Record one translation-cache invalidation (an owner-rank epoch
+    /// bump retired a cached entry).
+    pub fn record_cache_invalidation(&self) {
+        self.stats.record_cache_invalidation();
+    }
+
     /// Communication statistics snapshot of this rank (so far).
     pub fn stats_snapshot(&self) -> RankReport {
         let mut r = self.stats.snapshot();
@@ -537,12 +550,10 @@ mod nb_tests {
 
     #[test]
     fn nb_batch_overlaps_latency() {
-        let fabric = FabricBuilder::new(2).build();
-        let w = WinId(0);
         // sequential: N puts pay N latencies; batched: one latency
-        let fabric2 = FabricBuilder::new(2).window(4096).build();
-        let _ = fabric; // windows registered on the second builder only
-        let times = fabric2.run(|ctx| {
+        let w = WinId(0);
+        let fabric = FabricBuilder::new(2).window(4096).build();
+        let times = fabric.run(|ctx| {
             if ctx.rank() != 0 {
                 return (0.0, 0.0);
             }

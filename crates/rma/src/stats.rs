@@ -20,6 +20,9 @@ pub struct CommStats {
     local_ops: Cell<u64>,
     batches_drained: Cell<u64>,
     requests_served: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    cache_invalidations: Cell<u64>,
 }
 
 impl CommStats {
@@ -70,6 +73,25 @@ impl CommStats {
             .set(self.requests_served.get() + n as u64);
     }
 
+    /// Record one translation-cache probe (GDA's epoch-validated app-id →
+    /// `DPtr` cache): a hit avoided a remote chain walk, a miss paid it.
+    #[inline]
+    pub fn record_cache_probe(&self, hit: bool) {
+        if hit {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+        } else {
+            self.cache_misses.set(self.cache_misses.get() + 1);
+        }
+    }
+
+    /// Record one translation-cache entry dropped because its owner
+    /// rank's epoch moved (a remote insert/delete invalidated it).
+    #[inline]
+    pub fn record_cache_invalidation(&self) {
+        self.cache_invalidations
+            .set(self.cache_invalidations.get() + 1);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -90,6 +112,9 @@ impl CommStats {
             local_ops: self.local_ops.get(),
             batches_drained: self.batches_drained.get(),
             requests_served: self.requests_served.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_invalidations: self.cache_invalidations.get(),
             sim_time_ns: 0.0,
         }
     }
@@ -111,6 +136,12 @@ pub struct RankReport {
     pub batches_drained: u64,
     /// Requests dequeued across all drains (server layer).
     pub requests_served: u64,
+    /// Translation-cache hits (GDA epoch-validated app-id cache).
+    pub cache_hits: u64,
+    /// Translation-cache misses (full DHT chain walk paid).
+    pub cache_misses: u64,
+    /// Translation-cache entries invalidated by an epoch bump.
+    pub cache_invalidations: u64,
     /// Final simulated time of the rank in nanoseconds.
     pub sim_time_ns: f64,
 }
@@ -139,6 +170,9 @@ impl RankReport {
         self.local_ops += other.local_ops;
         self.batches_drained += other.batches_drained;
         self.requests_served += other.requests_served;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
     }
 }
@@ -157,7 +191,14 @@ mod tests {
         s.record_atomic(false);
         s.record_flush();
         s.record_collective(32);
+        s.record_cache_probe(true);
+        s.record_cache_probe(true);
+        s.record_cache_probe(false);
+        s.record_cache_invalidation();
         let r = s.snapshot();
+        assert_eq!(r.cache_hits, 2);
+        assert_eq!(r.cache_misses, 1);
+        assert_eq!(r.cache_invalidations, 1);
         assert_eq!(r.puts, 1);
         assert_eq!(r.gets, 1);
         assert_eq!(r.atomics, 1);

@@ -79,7 +79,10 @@ fn apply_op(tx: &Transaction, op: &Op) -> Result<OpReply, GdiError> {
         }
         Op::AddEdge { from, to, label } => {
             let a = tx.translate_vertex_id(*from)?;
-            let b = tx.translate_vertex_id(*to)?;
+            // `to` is the one vertex the request does not route by: its
+            // owner rank's write-through never reaches this rank, so the
+            // translation must revalidate even in a pinned drain cycle
+            let b = tx.translate_vertex_id_fresh(*to)?;
             tx.add_edge(a, b, *label, true)?;
             Ok(OpReply::Unit)
         }
@@ -148,7 +151,8 @@ fn apply_grouped(tx: &Transaction, op: &Op) -> Result<GroupApply, GdiError> {
         }
         Op::AddEdge { from, to, label } => {
             let a = prep!(tx.translate_vertex_id(*from));
-            let b = prep!(tx.translate_vertex_id(*to));
+            // non-routed endpoint: revalidate past the pinned snapshot
+            let b = prep!(tx.translate_vertex_id_fresh(*to));
             prep!(tx.prepare_write(a));
             prep!(tx.prepare_write(b));
             tx.add_edge(a, b, *label, true)?;
@@ -205,7 +209,32 @@ fn fulfill(counters: &RankCounters, req: &Request, outcome: OpOutcome, grouped: 
 /// Execute one drained batch. `group_commit = false` serves every request
 /// in its own transaction (the baseline the throughput bench compares
 /// against).
+///
+/// The whole drain cycle shares one translation-cache epoch check
+/// ([`GdaRank::cache_begin_cycle`]): the owner-rank epoch words are
+/// snapshotted once per batch instead of revalidated per op, and this
+/// rank's own commits stay exact through the cache's write-through.
+/// Pinning costs one remote `aget` per rank, so it only pays off once a
+/// batch carries at least that many ops — tiny drains (the unbatched
+/// baseline, an idle server) keep per-op revalidation instead.
 pub(crate) fn execute_batch(
+    eng: &GdaRank,
+    counters: &RankCounters,
+    batch: Vec<Request>,
+    group_commit: bool,
+    write_group: usize,
+) {
+    let pin = batch.len() >= eng.nranks();
+    if pin {
+        eng.cache_begin_cycle();
+    }
+    execute_batch_inner(eng, counters, batch, group_commit, write_group);
+    if pin {
+        eng.cache_end_cycle();
+    }
+}
+
+fn execute_batch_inner(
     eng: &GdaRank,
     counters: &RankCounters,
     batch: Vec<Request>,

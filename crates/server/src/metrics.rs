@@ -67,7 +67,10 @@ impl LatencyHist {
         self.max_ns
     }
 
-    /// Upper bound of the bucket containing the p-th percentile sample.
+    /// Upper bound of the bucket containing the p-th percentile sample,
+    /// clamped to the largest observed sample — a bucket's power-of-two
+    /// ceiling must never report a percentile above `max_ns` (e.g. a
+    /// single 100 ns sample used to report p99 = 128).
     pub fn percentile_ns(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -77,7 +80,7 @@ impl LatencyHist {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return (1u64 << (i + 1).min(63)) as f64;
+                return ((1u64 << (i + 1).min(63)) as f64).min(self.max_ns);
             }
         }
         self.max_ns
@@ -197,6 +200,40 @@ impl ServerMetrics {
             self.committed() as f64 / self.wall_elapsed_s
         }
     }
+
+    /// Sum a fabric-report counter over all serving ranks (reports are
+    /// captured when serving stops).
+    fn fabric_sum(&self, field: impl Fn(&RankReport) -> u64) -> u64 {
+        self.per_rank
+            .iter()
+            .filter_map(|r| r.fabric.as_ref().map(&field))
+            .sum()
+    }
+
+    /// Translation-cache hits over all serving ranks.
+    pub fn cache_hits(&self) -> u64 {
+        self.fabric_sum(|f| f.cache_hits)
+    }
+
+    /// Translation-cache misses over all serving ranks.
+    pub fn cache_misses(&self) -> u64 {
+        self.fabric_sum(|f| f.cache_misses)
+    }
+
+    /// Translation-cache invalidations over all serving ranks.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.fabric_sum(|f| f.cache_invalidations)
+    }
+
+    /// Translation-cache hit fraction (0 when the cache was never probed).
+    pub fn cache_hit_fraction(&self) -> f64 {
+        gda::CacheStats {
+            hits: self.cache_hits(),
+            misses: self.cache_misses(),
+            ..Default::default()
+        }
+        .hit_fraction()
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +253,30 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
         assert!(h.mean_ns() > 0.0);
         assert!(h.max_ns() >= 100_000.0 - 1e-9);
+    }
+
+    /// Regression: a reported percentile used to be the bucket's
+    /// power-of-two upper bound, exceeding `max_ns` (a single 100 ns
+    /// sample reported p99 = 128).
+    #[test]
+    fn percentile_never_exceeds_max() {
+        let mut h = LatencyHist::new();
+        h.add(100.0);
+        assert_eq!(h.percentile_ns(99.0), 100.0);
+        let mut h = LatencyHist::new();
+        for i in 0..500u64 {
+            h.add((i * 37 % 9000) as f64 + 1.0);
+        }
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert!(
+                h.percentile_ns(p) <= h.max_ns(),
+                "p{p} = {} > max {}",
+                h.percentile_ns(p),
+                h.max_ns()
+            );
+        }
+        // monotonicity survives the clamp
+        assert!(h.percentile_ns(50.0) <= h.percentile_ns(99.0));
     }
 
     #[test]

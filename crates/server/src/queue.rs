@@ -4,7 +4,7 @@
 //! depending on the server's [`crate::AdmissionPolicy`].
 
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -81,11 +81,17 @@ impl<T> BoundedQueue<T> {
     /// one. Returns the drained batch and whether the queue is closed
     /// (a closed queue is still drained until empty).
     pub fn drain_wait(&self, max: usize, timeout: Duration) -> (Vec<T>, bool) {
+        let deadline = Instant::now() + timeout;
         let mut g = self.inner.lock();
-        if g.items.is_empty() && !g.closed {
-            // one bounded wait, then hand control back to the serve loop
-            // (it has rendezvous work to poll for)
-            self.not_empty.wait_for(&mut g, timeout);
+        // wait on the *remaining* deadline until items arrive, the queue
+        // closes, or the timeout truly elapses — a spurious condvar
+        // wakeup must not surface as an early empty batch
+        while g.items.is_empty() && !g.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            self.not_empty.wait_for(&mut g, deadline - now);
         }
         let n = g.items.len().min(max);
         let batch: Vec<T> = g.items.drain(..n).collect();
@@ -152,6 +158,45 @@ mod tests {
         assert!(pusher.join().unwrap());
         let (b2, _) = q.drain_wait(1, Duration::from_millis(100));
         assert_eq!(b2, vec![1]);
+    }
+
+    /// Regression: a spurious (or unrelated) condvar wakeup used to be
+    /// treated as a timeout, returning an empty batch early. `drain_wait`
+    /// must keep waiting on the remaining deadline until an item arrives.
+    #[test]
+    fn drain_wait_survives_spurious_wakeups() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let waker = std::thread::spawn(move || {
+            // notifications with nothing enqueued (models a spurious wake)
+            for _ in 0..3 {
+                std::thread::sleep(Duration::from_millis(5));
+                q2.not_empty.notify_all();
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            q2.try_push(42).unwrap();
+        });
+        let (batch, closed) = q.drain_wait(8, Duration::from_secs(5));
+        waker.join().unwrap();
+        assert_eq!(batch, vec![42], "woke early without an item");
+        assert!(!closed);
+    }
+
+    /// A close while waiting still wakes the drainer promptly.
+    #[test]
+    fn drain_wait_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let closer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.close();
+        });
+        let t0 = std::time::Instant::now();
+        let (batch, closed) = q.drain_wait(8, Duration::from_secs(5));
+        closer.join().unwrap();
+        assert!(batch.is_empty());
+        assert!(closed);
+        assert!(t0.elapsed() < Duration::from_secs(4), "missed the close");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!   (Read Mostly, Read Intensive, Write Intensive, LinkBench), driven as
 //!   streams of single-process transactions, with success/abort accounting;
 //! * [`latency`] — log-bucketed latency histograms (Fig. 5);
+//! * [`locality`] — vertex-id samplers (uniform vs Zipf) for the
+//!   lookup-locality sweeps of the translation-cache bench;
 //! * [`analytics`] — OLAP algorithms in collective transactions: BFS,
 //!   PageRank, CDLP (community detection by label propagation), WCC
 //!   (weakly connected components), LCC (local clustering coefficient) and
@@ -23,9 +25,11 @@ pub mod analytics;
 pub mod bi2;
 pub mod gnn;
 pub mod latency;
+pub mod locality;
 pub mod olsp;
 pub mod oltp;
 pub mod traffic;
 
 pub use latency::Histogram;
+pub use locality::VertexSampler;
 pub use oltp::{Mix, OltpConfig, OltpResult, OpKind};

@@ -1,0 +1,139 @@
+//! Lookup-locality axis for the OLTP benches: vertex-id samplers.
+//!
+//! The Table-3 drivers pick target vertices uniformly, which is the
+//! worst case for any translation cache. Real interactive graph traffic
+//! is heavily skewed (LinkBench measures a Zipf-like access pattern on
+//! the Facebook social graph), so the locality sweep samples vertex ids
+//! either **uniformly** or from a **Zipf** distribution with tunable
+//! exponent. Zipf ranks are scattered over the id space with a bijective
+//! multiplicative map so the hot set spreads across all owner ranks
+//! instead of clustering on low ids.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Scatter multiplier: prime and far larger than any bench vertex count,
+/// so `r -> (r * SCATTER) % n` is a bijection on `0..n` for every
+/// `n < SCATTER`.
+const SCATTER: u64 = 1_000_000_007;
+
+/// How a driver picks target vertex ids in `0..n`.
+#[derive(Debug, Clone)]
+pub enum VertexSampler {
+    /// Every vertex equally likely (the Table-3 default).
+    Uniform { n: u64 },
+    /// Zipf-distributed ranks (rank 1 hottest) with precomputed CDF.
+    Zipf { n: u64, cdf: Vec<f64> },
+}
+
+impl VertexSampler {
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0);
+        VertexSampler::Uniform { n }
+    }
+
+    /// Zipf over `n` vertices with exponent `s` (`s ≈ 1` is the classic
+    /// web/social skew; larger `s` is hotter).
+    pub fn zipf(n: u64, s: f64) -> Self {
+        assert!(n > 0 && n < SCATTER, "Zipf sampler sized for bench graphs");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        VertexSampler::Zipf { n, cdf }
+    }
+
+    /// Number of vertices sampled over.
+    pub fn n(&self) -> u64 {
+        match self {
+            VertexSampler::Uniform { n } | VertexSampler::Zipf { n, .. } => *n,
+        }
+    }
+
+    /// Short label for bench tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VertexSampler::Uniform { .. } => "uniform",
+            VertexSampler::Zipf { .. } => "zipf",
+        }
+    }
+
+    /// Draw one vertex id in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            VertexSampler::Uniform { n } => rng.gen_range(0..*n),
+            VertexSampler::Zipf { n, cdf } => {
+                let total = *cdf.last().expect("non-empty CDF");
+                let x = rng.gen::<f64>() * total;
+                let rank = cdf.partition_point(|&c| c < x) as u64;
+                (rank.min(n - 1) * SCATTER) % n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rustc_hash::FxHashMap;
+
+    fn histogram(s: &VertexSampler, draws: usize) -> FxHashMap<u64, u64> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut h = FxHashMap::default();
+        for _ in 0..draws {
+            let v = s.sample(&mut rng);
+            assert!(v < s.n());
+            *h.entry(v).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_covers_the_space_evenly() {
+        let s = VertexSampler::uniform(64);
+        let h = histogram(&s, 64_000);
+        assert!(h.len() >= 60, "only {} distinct ids drawn", h.len());
+        let max = *h.values().max().unwrap();
+        assert!(max < 3_000, "uniform sampler too skewed: {max}");
+    }
+
+    #[test]
+    fn zipf_is_heavily_skewed() {
+        let s = VertexSampler::zipf(1024, 1.0);
+        let h = histogram(&s, 50_000);
+        let mut counts: Vec<u64> = h.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = counts.iter().take(10).sum();
+        // with s=1.0 over 1024 ids, the 10 hottest ids carry ~39% of mass
+        assert!(
+            top10 as f64 > 0.3 * 50_000.0,
+            "Zipf top-10 mass too small: {top10}"
+        );
+    }
+
+    #[test]
+    fn zipf_hot_set_spreads_over_ranks() {
+        // the scatter map must not leave the hot ids adjacent (which
+        // would pin them all to a couple of owner ranks)
+        let s = VertexSampler::zipf(1000, 1.2);
+        let h = histogram(&s, 20_000);
+        let mut hot: Vec<(u64, u64)> = h.into_iter().collect();
+        hot.sort_unstable_by_key(|e| std::cmp::Reverse(e.1));
+        let owners: std::collections::HashSet<u64> =
+            hot.iter().take(8).map(|(v, _)| v % 4).collect();
+        assert!(owners.len() >= 3, "hot set clustered: {owners:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = VertexSampler::zipf(256, 0.9);
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,11 +1,13 @@
 //! Integration tests of the `server` service layer: concurrent-session
 //! stress (exactly-once acknowledgement, no double-apply), group-commit
-//! vs single-commit equivalence, OLAP jobs, admission control and the
-//! ≥1000-session sustain check.
+//! vs single-commit equivalence, OLAP jobs, admission control, the
+//! ≥1000-session sustain check, translation-cache churn staleness and
+//! the cached-vs-uncached equivalence property.
 
 use gda::GdaDb;
 use gdi::{AccessMode, AppVertexId, EdgeOrientation};
 use graphgen::{sized_config, GraphSpec, LpgConfig};
+use proptest::prelude::*;
 use rma::CostModel;
 use server::{AdmissionPolicy, GdiServer, Op, OpOutcome, ServerOptions};
 use workloads::oltp::Mix;
@@ -401,4 +403,196 @@ fn sustains_1000_sessions_on_4_ranks() {
         .filter_map(|r| r.fabric.as_ref().map(|f| f.requests_served))
         .sum();
     assert_eq!(drained, (sessions * ops) as u64);
+}
+
+/// Translation-cache churn: concurrent sessions add, read, delete and
+/// re-read their own (disjoint) vertices while also reading the shared
+/// base graph and racing edges against other sessions' churn. The cache
+/// must never serve a stale translation: a read of a vertex whose delete
+/// was acknowledged must abort, a read of a just-added vertex and of any
+/// base vertex must commit.
+#[test]
+fn churn_sessions_never_serve_stale_translations() {
+    let s = spec(7, 31);
+    let nranks = 4;
+    let sessions = 16u64;
+    let cycles = 8u64;
+    let db_cfg = server_cfg(&s, nranks, (sessions * cycles * 4) as usize);
+    assert!(db_cfg.translation_cache, "cache must be on for this test");
+    let (db, fabric) = GdaDb::with_fabric("churn", db_cfg, nranks, CostModel::default());
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        graphgen::load_into(&eng, &s);
+    });
+
+    let n = s.n_vertices();
+    let server = GdiServer::new(db.clone(), ServerOptions::default());
+    std::thread::scope(|scope| {
+        let srv = &server;
+        let fab = &fabric;
+        let ranks = scope.spawn(move || fab.run(|ctx| srv.serve_rank(ctx)));
+        let mut handles = Vec::new();
+        for sid in 0..sessions {
+            let srv = server.clone();
+            handles.push(scope.spawn(move || {
+                let session = srv.session();
+                for c in 0..cycles {
+                    let v = AppVertexId(n + 1 + sid * 1000 + c);
+                    let out = session
+                        .execute(Op::AddVertex {
+                            v,
+                            label: None,
+                            prop: None,
+                        })
+                        .unwrap();
+                    assert!(out.is_committed(), "fresh add must commit: {out:?}");
+                    // a read straight after the acknowledged add (same
+                    // owner rank, FIFO): a stale *negative* cache entry
+                    // would abort it
+                    let out = session.execute(Op::CountEdges { v }).unwrap();
+                    assert!(out.is_committed(), "read-after-add aborted: {out:?}");
+                    // racing edge against a neighbour session's churned
+                    // vertex: either outcome is legal, but the ack must
+                    // arrive (no wedge, no panic)
+                    let peer = AppVertexId(n + 1 + ((sid + 1) % sessions) * 1000 + c);
+                    let _ = session
+                        .execute(Op::AddEdge {
+                            from: v,
+                            to: peer,
+                            label: None,
+                        })
+                        .unwrap();
+                    let out = session.execute(Op::DeleteVertex { v }).unwrap();
+                    assert!(out.is_committed(), "own delete must commit: {out:?}");
+                    // the acknowledged delete must be visible: a stale
+                    // *positive* cache entry would let this read commit
+                    let out = session.execute(Op::CountEdges { v }).unwrap();
+                    assert!(
+                        !out.is_committed(),
+                        "read-after-delete served a stale translation: {out:?}"
+                    );
+                    // base vertices are never deleted: always readable
+                    let base = AppVertexId((sid * cycles + c) % n);
+                    let out = session.execute(Op::CountEdges { v: base }).unwrap();
+                    assert!(out.is_committed(), "base read aborted: {out:?}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("churn session panicked");
+        }
+        srv.shutdown();
+        ranks.join().expect("serving fabric panicked");
+    });
+
+    // the cache was actually in play, and its counters flowed through
+    // the fabric reports into the server metrics
+    let m = server.metrics();
+    assert!(
+        m.cache_hits() > 0,
+        "translation cache never hit during churn"
+    );
+    assert!(m.cache_misses() > 0);
+}
+
+/// Property: a single closed-loop session applying an arbitrary op
+/// sequence observes *identical* outcomes (and leaves identical final
+/// state) whether the translation cache is on or off.
+#[derive(Debug, Clone)]
+enum POp {
+    Add(u64),
+    Del(u64),
+    Read(u64),
+    Edge(u64, u64),
+}
+
+/// Run `ops` through a fresh server; returns per-op outcome summaries
+/// and the final `(app id, out-degree)` state of every live vertex.
+fn replay(ops: &[POp], s: &GraphSpec, cached: bool) -> (Vec<String>, Vec<(u64, usize)>) {
+    let nranks = 2;
+    let mut db_cfg = server_cfg(s, nranks, 4 * ops.len() + 64);
+    db_cfg.translation_cache = cached;
+    let name = if cached { "prop-cached" } else { "prop-raw" };
+    let (db, fabric) = GdaDb::with_fabric(name, db_cfg, nranks, CostModel::default());
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        graphgen::load_into(&eng, s);
+    });
+    let server = GdiServer::new(db.clone(), ServerOptions::default());
+    let mut outcomes = Vec::with_capacity(ops.len());
+    std::thread::scope(|scope| {
+        let srv = &server;
+        let fab = &fabric;
+        let ranks = scope.spawn(move || fab.run(|ctx| srv.serve_rank(ctx)));
+        let session = server.session();
+        for op in ops {
+            let op = match *op {
+                POp::Add(v) => Op::AddVertex {
+                    v: AppVertexId(v),
+                    label: None,
+                    prop: None,
+                },
+                POp::Del(v) => Op::DeleteVertex { v: AppVertexId(v) },
+                POp::Read(v) => Op::CountEdges { v: AppVertexId(v) },
+                POp::Edge(a, b) => Op::AddEdge {
+                    from: AppVertexId(a),
+                    to: AppVertexId(b),
+                    label: None,
+                },
+            };
+            outcomes.push(format!("{:?}", session.execute(op).unwrap()));
+        }
+        srv.shutdown();
+        ranks.join().expect("serving fabric panicked");
+    });
+    // canonical final state through the *uncached* diagnostic path
+    let n = s.n_vertices();
+    let states = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let mut out = Vec::new();
+        if ctx.rank() == 0 {
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for app in 0..(n + 64) {
+                if eng.peek_translate(AppVertexId(app)).is_some() {
+                    let id = tx.translate_vertex_id(AppVertexId(app)).unwrap();
+                    let d = tx.edge_count(id, EdgeOrientation::Any).unwrap();
+                    out.push((app, d));
+                }
+            }
+            tx.commit().unwrap();
+        }
+        out
+    });
+    (outcomes, states.into_iter().next().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_and_uncached_replays_are_identical(
+        raw_ops in prop::collection::vec((0u8..4, 0u64..24, 0u64..24), 1..32)
+    ) {
+        let s = spec(6, 13);
+        let n = s.n_vertices();
+        // map the raw tuples onto ops over a mixed id space: base-graph
+        // ids (always present initially) and fresh ids (created/deleted
+        // by the sequence itself)
+        let id = |x: u64, fresh: bool| if fresh { n + 1 + (x % 24) } else { x % n };
+        let ops: Vec<POp> = raw_ops
+            .iter()
+            .map(|&(k, x, y)| match k {
+                0 => POp::Add(id(x, true)),
+                1 => POp::Del(id(x, y % 2 == 0)),
+                2 => POp::Read(id(x, y % 2 == 0)),
+                _ => POp::Edge(id(x, y % 3 == 0), id(y, x % 3 == 0)),
+            })
+            .collect();
+        let (out_cached, state_cached) = replay(&ops, &s, true);
+        let (out_raw, state_raw) = replay(&ops, &s, false);
+        prop_assert_eq!(out_cached, out_raw);
+        prop_assert_eq!(state_cached, state_raw);
+    }
 }
