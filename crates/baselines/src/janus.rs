@@ -62,7 +62,7 @@ struct Shard {
 }
 
 /// The distributed store: one shard per rank, reachable only through
-/// [`JanusStore::rpc`]-accounted operations.
+/// RPC-accounted operations (the internal `rpc` cost hook).
 pub struct JanusStore {
     nranks: usize,
     shards: Vec<Mutex<Shard>>,

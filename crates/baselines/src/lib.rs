@@ -4,7 +4,7 @@
 //! Graph500 reference BFS. None of those can run here (JVM services, a
 //! Cray supercomputer), so this crate implements **architectural analogs**
 //! whose *mechanisms* produce the paper's performance relationships rather
-//! than hard-coding them (see `DESIGN.md`, substitutions table):
+//! than hard-coding them (substitution rationale in `docs/ARCHITECTURE.md`):
 //!
 //! * [`graph500`] — distributed CSR level-synchronous BFS on the same RMA
 //!   fabric: no transactions, no LPG, bitmap visited sets. The

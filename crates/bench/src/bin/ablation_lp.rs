@@ -95,7 +95,7 @@ fn main() {
     }
 
     // block-size ablation (the BGDL tunable of §5.5): communication vs
-    // storage tradeoff — this is the design-choice ablation DESIGN.md
+    // storage tradeoff — this is the design-choice ablation the paper
     // calls out
     out.push_str("\nblock-size ablation (BGDL tradeoff, §5.5):\n");
     for bs in [128usize, 256, 512, 1024, 2048] {

@@ -88,7 +88,7 @@ fn main() {
     }
     out.push_str(
         "\nNOTE: 'modeled' rows extrapolate the measured weak-scaling law to the\n\
-         paper's machine sizes; they are not measurements (see DESIGN.md).\n",
+         paper's machine sizes; they are not measurements.\n",
     );
     emit("extreme_scale", &out);
 }

@@ -1,0 +1,185 @@
+//! Recovery sweep: checkpoint stall versus redo-replay time across
+//! scale — the durability subsystem's cost curves.
+//!
+//! For each (ranks, scale) point the harness runs the kill-and-restart
+//! scenario of `workloads::recovery`: tracked session traffic, one
+//! collective checkpoint mid-stream, a kill, a recovery from disk, and
+//! a full read-your-committed-writes verification. Reported per point:
+//!
+//! * **checkpoint stall** — simulated seconds commits were paused
+//!   (quiesce → publish, max over ranks) and snapshot bytes written;
+//! * **replay** — redo records/bytes replayed at recovery and the
+//!   slowest rank's simulated restore time;
+//! * **restart wall** — wall-clock seconds from `recover()` to a
+//!   serving, verified database.
+//!
+//! `--smoke` runs one small point and fails the process on any
+//! verification mismatch (the CI guard for the crash/restart axis).
+//!
+//! Environment: `GDI_BENCH_RANKS`, `GDI_BENCH_SCALE` (weak-scaling base),
+//! `GDI_BENCH_RECOVERY_SESSIONS` (default 16),
+//! `GDI_BENCH_RECOVERY_OPS` (tracked ops per session per phase,
+//! default 60).
+
+use gdi_bench::{emit, RunParams};
+use rma::CostModel;
+use workloads::recovery::{run_kill_restart, RecoveryReport, RecoveryScenario};
+
+struct PointResult {
+    nranks: usize,
+    scale: u32,
+    report: RecoveryReport,
+}
+
+fn scenario_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gda-recovery-sweep-{}-{tag}", std::process::id()))
+}
+
+fn run_point(nranks: usize, scale: u32, sessions: usize, ops: usize) -> PointResult {
+    let dir = scenario_dir(&format!("p{nranks}-s{scale}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = RecoveryScenario::new(&dir);
+    cfg.nranks = nranks;
+    cfg.scale = scale;
+    cfg.sessions = sessions;
+    cfg.ops_before = ops;
+    cfg.ops_after = ops;
+    cfg.cost = CostModel::default();
+    let report = run_kill_restart(&cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    PointResult {
+        nranks,
+        scale,
+        report,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = RunParams::from_env();
+    let sessions: usize = std::env::var("GDI_BENCH_RECOVERY_SESSIONS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(16);
+    let ops: usize = std::env::var("GDI_BENCH_RECOVERY_OPS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(60);
+
+    let points: Vec<(usize, u32)> = if smoke {
+        vec![(2, 6)]
+    } else {
+        params
+            .ranks
+            .iter()
+            .map(|&p| (p, params.weak_scale(p)))
+            .collect()
+    };
+
+    let mut results = Vec::new();
+    for &(nranks, scale) in &points {
+        eprintln!("  [recovery_sweep] P={nranks} s={scale} ...");
+        let r = run_point(
+            nranks,
+            scale,
+            if smoke { 6 } else { sessions },
+            if smoke { 25 } else { ops },
+        );
+        let rec = r.report.recovery.clone().unwrap_or_default();
+        eprintln!(
+            "  [recovery_sweep] P={nranks} s={scale}: stall {:.3} sim ms \
+             ({} snap bytes), replay {} records / {:.3} sim ms, restart {:.2} s wall, \
+             {} checks, {} mismatches",
+            r.report.checkpoint.sim_stall_s * 1e3,
+            r.report.checkpoint.per_rank_bytes.iter().sum::<u64>(),
+            rec.records,
+            rec.max_sim_restore_s * 1e3,
+            r.report.restart_wall_s,
+            r.report.checks,
+            r.report.mismatches.len()
+        );
+        results.push(r);
+    }
+
+    let mut out = String::from("### Recovery sweep — checkpoint stall vs redo-replay time\n");
+    out.push_str(&format!(
+        "{:<6} {:>6} {:>10} {:>13} {:>12} {:>10} {:>13} {:>13} {:>8} {:>9}\n",
+        "ranks",
+        "scale",
+        "committed",
+        "stall sim ms",
+        "snap KiB",
+        "records",
+        "replay sim ms",
+        "restart w s",
+        "checks",
+        "mismatch"
+    ));
+    for r in &results {
+        let rec = r.report.recovery.clone().unwrap_or_default();
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>10} {:>13.3} {:>12.1} {:>10} {:>13.3} {:>13.2} {:>8} {:>9}\n",
+            r.nranks,
+            r.scale,
+            r.report.committed_writes,
+            r.report.checkpoint.sim_stall_s * 1e3,
+            r.report.checkpoint.per_rank_bytes.iter().sum::<u64>() as f64 / 1024.0,
+            rec.records,
+            rec.max_sim_restore_s * 1e3,
+            r.report.restart_wall_s,
+            r.report.checks,
+            r.report.mismatches.len()
+        ));
+    }
+
+    let mut json = String::from("BENCH_JSON {\"bench\":\"recovery_sweep\",\"points\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let rec = r.report.recovery.clone().unwrap_or_default();
+        json.push_str(&format!(
+            "{{\"nranks\":{},\"scale\":{},\"committed\":{},\"stall_sim_s\":{:.6},\
+             \"snapshot_bytes\":{},\"replay_records\":{},\"replay_sim_s\":{:.6},\
+             \"restart_wall_s\":{:.3},\"checks\":{},\"mismatches\":{}}}",
+            r.nranks,
+            r.scale,
+            r.report.committed_writes,
+            r.report.checkpoint.sim_stall_s,
+            r.report.checkpoint.per_rank_bytes.iter().sum::<u64>(),
+            rec.records,
+            rec.max_sim_restore_s,
+            r.report.restart_wall_s,
+            r.report.checks,
+            r.report.mismatches.len()
+        ));
+    }
+    json.push_str("]}");
+    out.push_str(&json);
+    out.push('\n');
+    emit("recovery_sweep", &out);
+
+    // the CI guard: every committed write must read back across the
+    // restart, with actual replay work observed
+    let failed: Vec<&PointResult> = results.iter().filter(|r| !r.report.passed()).collect();
+    for r in &failed {
+        eprintln!(
+            "MISMATCHES at P={} s={}:\n{}",
+            r.nranks,
+            r.scale,
+            r.report.mismatches.join("\n")
+        );
+    }
+    assert!(failed.is_empty(), "recovery verification failed");
+    for r in &results {
+        let rec = r.report.recovery.clone().unwrap_or_default();
+        assert!(
+            rec.records > 0,
+            "no redo records replayed at P={}",
+            r.nranks
+        );
+        assert_eq!(rec.errors, 0, "replay errors at P={}", r.nranks);
+        assert!(r.report.committed_writes > 0);
+    }
+    println!("recovery_sweep: all points verified (read-your-committed-writes across restart)");
+}

@@ -1,6 +1,6 @@
 //! # `gdi-bench` — the evaluation harness (§6)
 //!
-//! One binary per paper table/figure (see `DESIGN.md` §4 for the index).
+//! One binary per paper table/figure (`CONTRIBUTING.md` has the index).
 //! This library holds the shared machinery: scenario runners for GDA and
 //! the three baselines, weak/strong-scaling sweeps, environment-variable
 //! sizing, and plain-text table output.

@@ -19,11 +19,17 @@ use crate::value::PropertyValue;
 /// Comparison operator for property conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CmpOp {
+    /// Equal.
     Eq,
+    /// Not equal.
     Ne,
+    /// Strictly less than.
     Lt,
+    /// Less than or equal.
     Le,
+    /// Strictly greater than.
     Gt,
+    /// Greater than or equal.
     Ge,
 }
 
@@ -45,6 +51,7 @@ impl CmpOp {
 /// A label condition: the element must (or must not) carry `label`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LabelCond {
+    /// The label the condition tests for.
     pub label: LabelId,
     /// `true` = must carry the label, `false` = must not.
     pub present: bool,
@@ -56,8 +63,11 @@ pub struct LabelCond {
 /// satisfies it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PropCond {
+    /// The property type whose entries are compared.
     pub ptype: PTypeId,
+    /// The comparison operator.
     pub op: CmpOp,
+    /// The right-hand-side value entries are compared against.
     pub value: PropertyValue,
 }
 
@@ -84,11 +94,14 @@ pub trait ElementView {
 /// A conjunction of label and property conditions.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Subconstraint {
+    /// Label conditions, all of which must hold.
     pub label_conds: Vec<LabelCond>,
+    /// Property conditions, all of which must hold.
     pub prop_conds: Vec<PropCond>,
 }
 
 impl Subconstraint {
+    /// An empty (always-true) conjunction to extend with builders.
     pub fn new() -> Self {
         Self::default()
     }
@@ -137,6 +150,7 @@ impl Subconstraint {
 /// A constraint: a disjunction of subconstraints (DNF formula).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Constraint {
+    /// The disjuncts: the constraint holds if *any* of them holds.
     pub subconstraints: Vec<Subconstraint>,
     /// Metadata epoch at which the constraint was created; used for the
     /// staleness check mandated by eventual metadata consistency.

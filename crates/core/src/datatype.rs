@@ -12,17 +12,29 @@ use serde::{Deserialize, Serialize};
 /// Datatype of the elements of a property value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Datatype {
+    /// Unsigned 8-bit integer elements.
     Uint8,
+    /// Unsigned 16-bit integer elements.
     Uint16,
+    /// Unsigned 32-bit integer elements.
     Uint32,
+    /// Unsigned 64-bit integer elements.
     Uint64,
+    /// Signed 8-bit integer elements.
     Int8,
+    /// Signed 16-bit integer elements.
     Int16,
+    /// Signed 32-bit integer elements.
     Int32,
+    /// Signed 64-bit integer elements.
     Int64,
+    /// Single-precision float elements.
     Float,
+    /// Double-precision float elements.
     Double,
+    /// Boolean elements.
     Bool,
+    /// UTF-8 code-unit elements (text).
     Char,
     /// Raw bytes with no further interpretation.
     Byte,
@@ -45,7 +57,9 @@ impl Datatype {
 /// Which graph entities a property type may be attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EntityType {
+    /// Vertices only.
     Vertex,
+    /// Edges only.
     Edge,
     /// Both vertices and edges.
     VertexEdge,

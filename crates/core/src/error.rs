@@ -51,6 +51,12 @@ pub enum GdiError {
     SizeExceeded,
     /// A constraint handle is stale (its metadata epoch expired).
     StaleConstraint,
+    /// A durable-storage operation failed (snapshot / redo-log I/O of a
+    /// persistence-enabled implementation). Carries the underlying
+    /// description. Not transaction critical: the in-memory database
+    /// stays consistent and serving; only durability of the affected
+    /// checkpoint/append is lost.
+    Io(String),
 }
 
 impl GdiError {
@@ -70,6 +76,7 @@ impl GdiError {
             GdiError::TypeMismatch => "GDI_ERROR_TYPE_MISMATCH",
             GdiError::SizeExceeded => "GDI_ERROR_SIZE_LIMIT",
             GdiError::StaleConstraint => "GDI_ERROR_STALE_CONSTRAINT",
+            GdiError::Io(_) => "GDI_ERROR_IO",
         }
     }
 
@@ -99,6 +106,7 @@ impl fmt::Display for GdiError {
             GdiError::AlreadyExists(what) => {
                 write!(f, "{}: already exists: {what}", self.name())
             }
+            GdiError::Io(what) => write!(f, "{}: {what}", self.name()),
             _ => f.write_str(self.name()),
         }
     }
@@ -136,6 +144,7 @@ mod tests {
             GdiError::TypeMismatch,
             GdiError::SizeExceeded,
             GdiError::StaleConstraint,
+            GdiError::Io("x".into()),
         ];
         let names: std::collections::HashSet<_> = errs.iter().map(|e| e.name()).collect();
         assert_eq!(names.len(), errs.len());

@@ -23,6 +23,8 @@
 //! The high-performance distributed implementation of this interface lives
 //! in the `gda` crate (GDI-RMA).
 
+#![warn(missing_docs)]
+
 pub mod constraint;
 pub mod datatype;
 pub mod error;

@@ -20,22 +20,34 @@ pub enum CallClass {
 /// The routine groups of Fig. 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Group {
+    /// General database management (create/delete/start-up).
     Management,
+    /// Label metadata routines.
     Labels,
+    /// Property-type metadata routines.
     PropertyTypes,
+    /// Vertex graph-data routines.
     Vertices,
+    /// Edge graph-data routines.
     Edges,
+    /// Transaction lifecycle routines.
     Transactions,
+    /// Explicit-index routines.
     Indexes,
+    /// Constraint-object routines.
     Constraints,
+    /// Error introspection routines.
     Errors,
 }
 
 /// One GDI routine and where it lives in this reproduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Routine {
+    /// The `GDI_*` routine name as printed in Fig. 2.
     pub name: &'static str,
+    /// The routine group (Fig. 2 section).
     pub group: Group,
+    /// Local or collective call class.
     pub class: CallClass,
     /// `crate::path` of the implementing item.
     pub implemented_by: &'static str,

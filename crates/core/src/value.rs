@@ -14,12 +14,19 @@ use crate::error::{GdiError, GdiResult};
 /// A typed property value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PropertyValue {
+    /// An unsigned 64-bit integer.
     U64(u64),
+    /// A signed 64-bit integer.
     I64(i64),
+    /// An unsigned 32-bit integer.
     U32(u32),
+    /// A signed 32-bit integer.
     I32(i32),
+    /// A double-precision float.
     F64(f64),
+    /// A single-precision float.
     F32(f32),
+    /// A boolean.
     Bool(bool),
     /// UTF-8 text (stored as `Datatype::Char` element sequences).
     Text(String),

@@ -20,8 +20,11 @@
 /// One routine's bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkDepth {
+    /// The GDI routine the bounds apply to.
     pub routine: &'static str,
+    /// Asymptotic work bound (as printed in the paper's table).
     pub work: &'static str,
+    /// Asymptotic depth bound.
     pub depth: &'static str,
     /// Expected/amortized (lock-free retry loops) vs worst-case.
     pub amortized: bool,

@@ -32,6 +32,7 @@ pub struct BlockManager<'c, 'f> {
 }
 
 impl<'c, 'f> BlockManager<'c, 'f> {
+    /// Bind a block-pool view to a rank context.
     pub fn new(ctx: &'c RankCtx<'f>, cfg: GdaConfig) -> Self {
         Self { ctx, cfg }
     }
@@ -100,6 +101,50 @@ impl<'c, 'f> BlockManager<'c, 'f> {
         }
     }
 
+    /// Claim a *specific* block out of its owner's free list, if it is
+    /// free: returns `true` when `dp` was unlinked (the caller now owns
+    /// it), `false` when `dp` is not on the free list (already
+    /// allocated). **Recovery primitive**: redo-log replay must
+    /// materialize objects at their original addresses so that
+    /// persisted `DPtr` references stay valid; it walks the quiesced
+    /// free list and unlinks the exact block. Requires quiescence — the
+    /// walk-then-unlink is not safe against concurrent pool traffic.
+    pub fn acquire_at(&self, dp: DPtr) -> bool {
+        debug_assert!(!dp.is_null(), "claiming the null block");
+        let target = dp.rank();
+        let want = dp.offset() / self.cfg.block_size as u64;
+        debug_assert!(want >= 1 && want <= self.cfg.blocks_per_rank as u64);
+        let head = TaggedIdx::from_raw(self.ctx.aget_u64(WIN_SYSTEM, target, HEAD_WORD));
+        let mut cur = head.idx();
+        if cur == 0 {
+            return false;
+        }
+        if cur == want {
+            let next = self.ctx.get_u64(WIN_USAGE, target, want as usize);
+            self.ctx
+                .put_u64(WIN_SYSTEM, target, HEAD_WORD, head.bump(next).raw());
+            return true;
+        }
+        let mut steps = 0usize;
+        loop {
+            let next = self.ctx.get_u64(WIN_USAGE, target, cur as usize);
+            if next == 0 {
+                return false;
+            }
+            if next == want {
+                let after = self.ctx.get_u64(WIN_USAGE, target, want as usize);
+                self.ctx.put_u64(WIN_USAGE, target, cur as usize, after);
+                return true;
+            }
+            cur = next;
+            steps += 1;
+            assert!(
+                steps <= self.cfg.blocks_per_rank,
+                "free-list cycle during acquire_at"
+            );
+        }
+    }
+
     /// Count the free blocks on `target` by walking the free list (O(n);
     /// diagnostic only — not part of the hot path).
     pub fn count_free(&self, target: usize) -> usize {
@@ -163,6 +208,35 @@ mod tests {
                 n += 1;
             }
             assert_eq!(n, cfg.blocks_per_rank);
+        });
+    }
+
+    #[test]
+    fn acquire_at_claims_specific_blocks() {
+        let (f, cfg) = setup(1);
+        f.run(|ctx| {
+            let bm = BlockManager::new(ctx, cfg);
+            bm.init_collective();
+            // claim a block from the middle of the pristine list
+            let mid = DPtr::new(0, (cfg.blocks_per_rank / 2) as u64 * cfg.block_size as u64);
+            assert!(bm.acquire_at(mid));
+            assert!(!bm.acquire_at(mid), "already claimed");
+            assert_eq!(bm.count_free(0), cfg.blocks_per_rank - 1);
+            // the head block is claimable too
+            let head = bm.acquire(0).unwrap();
+            bm.release(head);
+            assert!(bm.acquire_at(head));
+            // ordinary allocation never hands out a claimed block
+            let mut seen = HashSet::new();
+            while let Ok(dp) = bm.acquire(0) {
+                assert!(seen.insert(dp));
+                assert_ne!(dp, mid);
+                assert_ne!(dp, head);
+            }
+            assert_eq!(seen.len(), cfg.blocks_per_rank - 2);
+            // released claims come back through the ordinary path
+            bm.release(mid);
+            assert_eq!(bm.acquire(0).unwrap(), mid);
         });
     }
 

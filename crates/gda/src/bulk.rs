@@ -22,12 +22,16 @@ use crate::holder::{EdgeRecord, Holder};
 /// Specification of one vertex to ingest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VertexSpec {
+    /// The application vertex id.
     pub app: AppVertexId,
+    /// Labels to attach.
     pub labels: Vec<LabelId>,
+    /// Property entries to attach.
     pub props: Vec<(PTypeId, PropertyValue)>,
 }
 
 impl VertexSpec {
+    /// A bare vertex with the given application id.
     pub fn new(app: u64) -> Self {
         Self {
             app: AppVertexId(app),
@@ -36,11 +40,13 @@ impl VertexSpec {
         }
     }
 
+    /// Attach a label (builder).
     pub fn with_label(mut self, l: LabelId) -> Self {
         self.labels.push(l);
         self
     }
 
+    /// Attach a property entry (builder).
     pub fn with_prop(mut self, p: PTypeId, v: PropertyValue) -> Self {
         self.props.push((p, v));
         self
@@ -50,10 +56,13 @@ impl VertexSpec {
 /// Specification of one edge to ingest.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeSpec {
+    /// Origin application vertex id.
     pub from: AppVertexId,
+    /// Target application vertex id.
     pub to: AppVertexId,
     /// Lightweight edge label (0 = unlabeled).
     pub label: u32,
+    /// Directed (`from → to`) or undirected.
     pub directed: bool,
 }
 

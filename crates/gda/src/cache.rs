@@ -94,6 +94,8 @@ pub struct TranslationCache {
 }
 
 impl TranslationCache {
+    /// Create a cache for a fabric of `nranks` ranks (a disabled
+    /// cache passes every lookup straight through).
     pub fn new(enabled: bool, capacity: usize, nranks: usize) -> Self {
         Self {
             enabled,

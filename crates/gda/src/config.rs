@@ -7,7 +7,7 @@
 //! |---|---|
 //! | **data**   | the BGDL block pool: `blocks_per_rank` fixed-size blocks |
 //! | **usage**  | the free-list links: word *i* = next free block after *i* |
-//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i* |
+//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i*; last word = commit-stamp counter (persistence) |
 //! | **index**  | DHT: word 0 = tagged heap free head; word 1 = epoch word (`delete:32 \| insert:32`); buckets; 3-word heap entries |
 
 use rma::{CostModel, Fabric, FabricBuilder, WinId};
@@ -115,9 +115,19 @@ impl GdaConfig {
         (self.blocks_per_rank + 1) * 8
     }
 
-    /// Bytes of the system window (head word + one lock word per block).
+    /// Bytes of the system window (head word + one lock word per block +
+    /// the commit-stamp counter word).
     pub fn system_bytes(&self) -> usize {
-        (self.blocks_per_rank + 1) * 8
+        (self.blocks_per_rank + 2) * 8
+    }
+
+    /// System-window word index of the per-rank **commit-stamp
+    /// counter**: a monotone counter the persistence layer `fadd`s to
+    /// version every persisted holder write, making object versions
+    /// strictly monotone across delete/recreate incarnations (the
+    /// redo-replay ordering authority; see `gda::persist`).
+    pub fn stamp_word(&self) -> usize {
+        self.blocks_per_rank + 1
     }
 
     /// Bytes of the index window (tagged heap head + epoch word + buckets
@@ -154,7 +164,8 @@ mod tests {
         let c = GdaConfig::tiny();
         assert_eq!(c.data_bytes(), 257 * 128);
         assert_eq!(c.usage_bytes(), 257 * 8);
-        assert_eq!(c.system_bytes(), 257 * 8);
+        assert_eq!(c.system_bytes(), 258 * 8);
+        assert_eq!(c.stamp_word(), 257);
         assert_eq!(c.index_bytes(), (2 + 64 + 3 * 257) * 8);
     }
 

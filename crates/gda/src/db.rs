@@ -31,16 +31,20 @@ use crate::dptr::DPtr;
 use crate::index::{IndexId, IndexShared, Posting};
 use crate::locks::LockManager;
 use crate::meta::{MetaSnapshot, MetaStore, SharedMeta};
+use crate::persist::{PersistOptions, PersistStore, RedoRecord};
 use crate::tx::Transaction;
 
 /// One GDI database (shared, rank-independent state).
 #[derive(Debug)]
 pub struct GdaDb {
+    /// Database name (the registry key).
     pub name: String,
+    /// The configuration the storage windows are laid out for.
     pub cfg: GdaConfig,
     nranks: usize,
     pub(crate) meta: SharedMeta,
     pub(crate) indexes: Arc<IndexShared>,
+    persist: Mutex<Option<Arc<PersistStore>>>,
 }
 
 impl GdaDb {
@@ -53,7 +57,65 @@ impl GdaDb {
             nranks,
             meta: Arc::new(MetaStore::new()),
             indexes: Arc::new(IndexShared::new(nranks)),
+            persist: Mutex::new(None),
         })
+    }
+
+    /// Rebuild a database object from recovered parts (the catalog and
+    /// index definitions a snapshot manifest carried).
+    pub(crate) fn restore(
+        name: &str,
+        cfg: GdaConfig,
+        nranks: usize,
+        meta: MetaStore,
+        indexes: IndexShared,
+    ) -> Arc<GdaDb> {
+        cfg.validate();
+        Arc::new(GdaDb {
+            name: name.to_string(),
+            cfg,
+            nranks,
+            meta: Arc::new(meta),
+            indexes: Arc::new(indexes),
+            persist: Mutex::new(None),
+        })
+    }
+
+    /// Turn on durability: every commit from now on appends to a
+    /// per-rank redo log under `opts.dir`, and [`GdaRank::checkpoint`]
+    /// (collective) writes snapshots there. Writes a genesis manifest
+    /// (checkpoint 0) capturing the catalog as of now; fails if the
+    /// directory already holds a database (use
+    /// [`crate::persist::recover`] for that). Ranks attached *before*
+    /// this call do not log — enable persistence before `fabric.run`.
+    pub fn enable_persistence(&self, opts: PersistOptions) -> GdiResult<Arc<PersistStore>> {
+        let mut guard = self.persist.lock();
+        if guard.is_some() {
+            return Err(GdiError::AlreadyExists("persistence store"));
+        }
+        let store = crate::persist::create_store(self, opts)?;
+        *guard = Some(store.clone());
+        Ok(store)
+    }
+
+    /// The attached persistence store, if any.
+    pub fn persistence(&self) -> Option<Arc<PersistStore>> {
+        self.persist.lock().clone()
+    }
+
+    /// Attach an already-open store (recovery path).
+    pub(crate) fn set_persistence(&self, store: Arc<PersistStore>) {
+        *self.persist.lock() = Some(store);
+    }
+
+    /// The authoritative metadata store (persistence support).
+    pub(crate) fn meta_store(&self) -> &MetaStore {
+        &self.meta
+    }
+
+    /// The shared index state (persistence support).
+    pub(crate) fn indexes_shared(&self) -> &IndexShared {
+        &self.indexes
     }
 
     /// Convenience: create the database together with a matching fabric.
@@ -91,6 +153,7 @@ impl GdaDb {
                 self.cfg.translation_cache_capacity,
                 ctx.nranks(),
             ),
+            persist: self.persistence(),
             meta_snap: RefCell::new(self.meta.snapshot()),
         }
     }
@@ -104,6 +167,7 @@ pub struct GdaRank<'d, 'c, 'f> {
     pub(crate) lm: LockManager<'c, 'f>,
     pub(crate) dht: Dht<'c, 'f>,
     pub(crate) tcache: TranslationCache,
+    pub(crate) persist: Option<Arc<PersistStore>>,
     meta_snap: RefCell<MetaSnapshot>,
 }
 
@@ -134,6 +198,68 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     /// The database configuration.
     pub fn cfg(&self) -> &GdaConfig {
         &self.db.cfg
+    }
+
+    /// The database this rank is attached to.
+    pub fn db(&self) -> &GdaDb {
+        self.db
+    }
+
+    // ---- durability (see `crate::persist`) ------------------------------
+
+    /// The persistence store this attach captured (if the database had
+    /// durability enabled at [`GdaDb::attach`] time).
+    pub fn persistence(&self) -> Option<Arc<PersistStore>> {
+        self.persist.clone()
+    }
+
+    /// Is this engine handle logging commits durably?
+    pub(crate) fn persist_enabled(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Collective: take a durable checkpoint (quiesce, snapshot every
+    /// rank's windows + index postings, publish, rotate the redo logs).
+    /// Every rank must call this together; returns the published
+    /// checkpoint id. See [`crate::persist`] for the protocol.
+    pub fn checkpoint(&self) -> GdiResult<u64> {
+        crate::persist::checkpoint_rank(self)
+    }
+
+    /// Take the next **commit stamp** from the owner rank of `id`'s
+    /// primary block (one `fadd` on the system-window counter). Commits
+    /// of one object are serialized by its write lock and every
+    /// incarnation of an application id lives on the same owner rank,
+    /// so stamps give persisted holder versions a strict monotone order
+    /// per object — across delete/recreate — which is what redo replay
+    /// orders cross-log records by. Only taken when persistence is
+    /// enabled (the in-memory path keeps the free `version + 1` bump).
+    pub(crate) fn next_version_stamp(&self, id: crate::dptr::DPtr) -> u64 {
+        let word = self.cfg().stamp_word();
+        self.ctx
+            .fadd_u64(crate::config::WIN_SYSTEM, id.rank(), word, 1)
+            + 1
+    }
+
+    /// Commit-path hook: append one committed transaction's redo
+    /// records to this rank's log, charging the modeled device cost. An
+    /// I/O failure is counted and reported, not propagated — the
+    /// in-memory commit already succeeded and stays visible.
+    pub(crate) fn log_commit(&self, records: Vec<RedoRecord>) {
+        let Some(store) = &self.persist else { return };
+        if records.is_empty() {
+            return;
+        }
+        match store.append(self.rank(), &records) {
+            Ok(bytes) => self.ctx.record_log_write(bytes),
+            Err(e) => {
+                store.note_log_error();
+                eprintln!(
+                    "[gda::persist] rank {}: redo append failed: {e}",
+                    self.rank()
+                );
+            }
+        }
     }
 
     // ---- metadata (eventually consistent, §3.8) -------------------------
@@ -317,6 +443,7 @@ pub struct DbRegistry {
 }
 
 impl DbRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }

@@ -85,6 +85,7 @@ pub struct Dht<'c, 'f> {
 }
 
 impl<'c, 'f> Dht<'c, 'f> {
+    /// Bind a DHT view to a rank context.
     pub fn new(ctx: &'c RankCtx<'f>, cfg: GdaConfig) -> Self {
         Self { ctx, cfg }
     }
@@ -147,7 +148,8 @@ impl<'c, 'f> Dht<'c, 'f> {
     /// from the deletion protocol, so a traverser that still holds a pointer
     /// to a reclaimed entry sees `next == self`, restarts its walk from the
     /// bucket, and can never follow a free-list link into unrelated memory.
-    /// Their key word holds [`FREE_KEY`], so they can never match a lookup.
+    /// Their key word holds the reserved free-key sentinel (`u64::MAX`),
+    /// so they can never match a lookup.
     pub fn init_collective(&self) {
         let me = self.ctx.rank();
         // empty every bucket (re-initialization must not leave stale chain

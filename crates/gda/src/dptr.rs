@@ -108,11 +108,13 @@ impl TaggedIdx {
         TaggedIdx::new(self.tag().wrapping_add(1), new_idx)
     }
 
+    /// Raw 64-bit representation.
     #[inline]
     pub fn raw(self) -> u64 {
         self.0
     }
 
+    /// Rebuild from the raw representation.
     #[inline]
     pub fn from_raw(v: u64) -> TaggedIdx {
         TaggedIdx(v)
@@ -134,6 +136,7 @@ pub struct EdgeUid {
 }
 
 impl EdgeUid {
+    /// An edge UID based at `vertex`, record slot `slot`.
     pub fn new(vertex: DPtr, slot: u32) -> EdgeUid {
         EdgeUid { vertex, slot }
     }

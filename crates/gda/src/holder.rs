@@ -51,8 +51,10 @@ pub struct EdgeRecord {
 }
 
 impl EdgeRecord {
+    /// Flag bit marking a tombstoned (removed) record.
     pub const TOMBSTONE: u8 = 1;
 
+    /// A lightweight record (no heavy holder) to `target`.
     pub fn lightweight(target: DPtr, label: u32, dir: Direction) -> Self {
         Self {
             target,
@@ -63,6 +65,7 @@ impl EdgeRecord {
         }
     }
 
+    /// Is this record tombstoned?
     pub fn is_tombstone(&self) -> bool {
         self.flags & Self::TOMBSTONE != 0
     }
@@ -103,6 +106,7 @@ pub struct Entry {
 }
 
 impl Entry {
+    /// A label entry.
     pub fn label(label: LabelId) -> Self {
         Self {
             id: ENTRY_LABEL,
@@ -110,11 +114,13 @@ impl Entry {
         }
     }
 
+    /// A property entry of `ptype` with raw value bytes.
     pub fn property(ptype: PTypeId, data: Vec<u8>) -> Self {
         debug_assert!(ptype.0 >= FIRST_PTYPE_ID);
         Self { id: ptype.0, data }
     }
 
+    /// The label id, if this is a label entry.
     pub fn as_label(&self) -> Option<LabelId> {
         if self.id == ENTRY_LABEL && self.data.len() == 4 {
             Some(LabelId(u32::from_le_bytes(
@@ -125,6 +131,7 @@ impl Entry {
         }
     }
 
+    /// Is this a property entry of `ptype`?
     pub fn is_property_of(&self, ptype: PTypeId) -> bool {
         self.id == ptype.0
     }
@@ -178,6 +185,7 @@ impl Holder {
         self.entries.iter().filter_map(Entry::as_label).collect()
     }
 
+    /// Does the element carry `label`?
     pub fn has_label(&self, label: LabelId) -> bool {
         self.entries.iter().any(|e| e.as_label() == Some(label))
     }

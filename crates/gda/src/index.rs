@@ -26,7 +26,9 @@ pub struct IndexId(pub u32);
 /// Definition of an explicit index.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexDef {
+    /// The index id.
     pub id: IndexId,
+    /// Unique index name.
     pub name: String,
     /// Labels whose carriers are indexed. Empty = index **all** vertices.
     pub labels: Vec<LabelId>,
@@ -45,7 +47,9 @@ impl IndexDef {
 /// A posting: one indexed vertex on its owner rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Posting {
+    /// Internal id of the indexed vertex.
     pub vertex: DPtr,
+    /// Its application id.
     pub app_id: AppVertexId,
 }
 
@@ -61,6 +65,7 @@ pub struct IndexShared {
 }
 
 impl IndexShared {
+    /// Empty index state for a fabric of `nranks` ranks.
     pub fn new(nranks: usize) -> Self {
         Self {
             defs: RwLock::new(Vec::new()),
@@ -136,6 +141,7 @@ impl IndexShared {
         Ok(())
     }
 
+    /// `GDI_RemoveLabelFromIndex`.
     pub fn remove_label(&self, id: IndexId, label: LabelId) -> GdiResult<()> {
         let mut defs = self.defs.write();
         let d = defs
@@ -180,6 +186,58 @@ impl IndexShared {
                 v
             })
             .unwrap_or_default()
+    }
+
+    /// Export the index definitions plus the id allocator (persistence
+    /// support: the manifest half of a durable snapshot).
+    pub fn export_defs(&self) -> (Vec<IndexDef>, u32) {
+        (self.defs.read().clone(), *self.next_id.lock())
+    }
+
+    /// Export one rank's postings of every index, sorted for stable
+    /// snapshot bytes (persistence support: the per-rank half).
+    pub fn export_rank(&self, rank: usize) -> Vec<(IndexId, Vec<Posting>)> {
+        let guard = self.postings[rank].lock();
+        let mut out: Vec<(IndexId, Vec<Posting>)> = guard
+            .iter()
+            .map(|(&id, m)| {
+                let mut v: Vec<Posting> = m
+                    .iter()
+                    .map(|(&raw, &app)| Posting {
+                        vertex: DPtr::from_raw(raw),
+                        app_id: app,
+                    })
+                    .collect();
+                v.sort_by_key(|p| p.vertex);
+                (id, v)
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Rebuild shared index state from exported parts (recovery).
+    pub fn from_parts(nranks: usize, defs: Vec<IndexDef>, next_id: u32) -> Self {
+        Self {
+            defs: RwLock::new(defs),
+            next_id: Mutex::new(next_id.max(1)),
+            postings: (0..nranks)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Install one rank's exported postings (recovery; replaces that
+    /// rank's partitions wholesale).
+    pub fn import_rank(&self, rank: usize, parts: Vec<(IndexId, Vec<Posting>)>) {
+        let mut guard = self.postings[rank].lock();
+        guard.clear();
+        for (id, postings) in parts {
+            let m = guard.entry(id).or_default();
+            for p in postings {
+                m.insert(p.vertex.raw(), p.app_id);
+            }
+        }
     }
 
     /// Look up a vertex by app id within an index partition — the fast path

@@ -3,7 +3,7 @@
 //! The paper's second contribution (§5): a high-performance, scalable
 //! implementation of the GDI specification for distributed-memory RDMA
 //! machines, here running on the simulated RMA fabric of the [`rma`] crate
-//! (see `DESIGN.md` for the substitution argument).
+//! (see `docs/ARCHITECTURE.md` for the substitution argument).
 //!
 //! Architecture (paper Fig. 3):
 //!
@@ -31,6 +31,8 @@
 //! * [`bulk`] — collective bulk ingestion;
 //! * [`db`] — database objects, multi-database registry, the per-rank
 //!   engine handle;
+//! * [`persist`] — durability: collective checkpoints, per-rank redo
+//!   logs, crash recovery (snapshot + replay);
 //! * [`analysis`] — the work–depth guarantees table (§5.9).
 //!
 //! ## Quick start
@@ -68,6 +70,8 @@
 //! });
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod blocks;
 pub mod bulk;
@@ -81,6 +85,7 @@ pub mod holder;
 pub mod index;
 pub mod locks;
 pub mod meta;
+pub mod persist;
 pub mod tx;
 
 pub use bulk::{BulkReport, EdgeSpec, VertexSpec};
@@ -90,4 +95,7 @@ pub use db::{DbRegistry, GdaDb, GdaRank};
 pub use dptr::{DPtr, EdgeUid};
 pub use index::{IndexDef, IndexId, Posting};
 pub use meta::{LabelDef, PTypeDef};
+pub use persist::{
+    CheckpointReport, PersistOptions, PersistStore, RankRecovery, RecoveryPlan, RedoRecord,
+};
 pub use tx::Transaction;

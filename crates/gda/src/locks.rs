@@ -29,7 +29,9 @@ pub const WRITE_BIT: u64 = 1 << 63;
 /// Kind of lock held on an object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockKind {
+    /// A shared reader lock.
     Read,
+    /// An exclusive writer lock.
     Write,
 }
 
@@ -40,6 +42,7 @@ pub struct LockManager<'c, 'f> {
 }
 
 impl<'c, 'f> LockManager<'c, 'f> {
+    /// Bind a lock-manager view to a rank context.
     pub fn new(ctx: &'c RankCtx<'f>, cfg: GdaConfig) -> Self {
         Self { ctx, cfg }
     }

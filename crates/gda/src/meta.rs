@@ -27,18 +27,26 @@ use gdi::{
 /// Definition of a label (element of `L`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabelDef {
+    /// The label id.
     pub id: LabelId,
+    /// Unique label name.
     pub name: String,
 }
 
 /// Definition of a property type (element of `K`), with the §3.7 hints.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PTypeDef {
+    /// The property-type id.
     pub id: PTypeId,
+    /// Unique property-type name.
     pub name: String,
+    /// Element datatype of the values.
     pub dtype: Datatype,
+    /// Which entity kinds may carry it.
     pub entity: EntityType,
+    /// Single- or multi-entry per element.
     pub mult: Multiplicity,
+    /// Size behaviour of values.
     pub stype: SizeType,
     /// Element count for `Fixed`/`Limited` size types.
     pub count: usize,
@@ -66,6 +74,7 @@ impl Default for MetaStore {
 }
 
 impl MetaStore {
+    /// An empty catalog.
     pub fn new() -> Self {
         Self {
             inner: RwLock::new(MetaInner {
@@ -180,6 +189,35 @@ impl MetaStore {
         Ok(())
     }
 
+    /// Export the full catalog state for a durable snapshot (labels,
+    /// property types, id allocators and the current epoch) — the
+    /// persistence twin of [`MetaStore::snapshot`].
+    pub fn export_parts(&self) -> MetaParts {
+        let g = self.inner.read();
+        MetaParts {
+            labels: g.labels.clone(),
+            ptypes: g.ptypes.clone(),
+            next_label: g.next_label,
+            next_ptype: g.next_ptype,
+            epoch: self.epoch(),
+        }
+    }
+
+    /// Rebuild a store from exported parts (recovery). Id allocators are
+    /// restored too, so ids created after recovery never collide with
+    /// pre-crash ids.
+    pub fn from_parts(parts: MetaParts) -> Self {
+        Self {
+            inner: RwLock::new(MetaInner {
+                labels: parts.labels,
+                ptypes: parts.ptypes,
+                next_label: parts.next_label,
+                next_ptype: parts.next_ptype,
+            }),
+            epoch: AtomicU64::new(parts.epoch.max(1)),
+        }
+    }
+
     /// Take a consistent snapshot (what a rank replicates locally).
     pub fn snapshot(&self) -> MetaSnapshot {
         // epoch first: if a mutation lands between the two reads we get a
@@ -208,12 +246,31 @@ impl MetaStore {
     }
 }
 
+/// Exportable catalog state of a [`MetaStore`] (persistence support: what
+/// a durable snapshot's manifest carries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaParts {
+    /// All label definitions.
+    pub labels: Vec<LabelDef>,
+    /// All property-type definitions.
+    pub ptypes: Vec<PTypeDef>,
+    /// Next label id to allocate.
+    pub next_label: u32,
+    /// Next property-type id to allocate.
+    pub next_ptype: u32,
+    /// Metadata epoch at export time.
+    pub epoch: u64,
+}
+
 /// A rank-local replica of the metadata (hash maps for O(1) existence
 /// checks, per §5.8).
 #[derive(Debug, Clone, Default)]
 pub struct MetaSnapshot {
+    /// The authoritative epoch this replica reflects.
     pub epoch: u64,
+    /// All label definitions at that epoch.
     pub labels: Vec<LabelDef>,
+    /// All property-type definitions at that epoch.
     pub ptypes: Vec<PTypeDef>,
     label_by_name: FxHashMap<String, usize>,
     label_by_id: FxHashMap<LabelId, usize>,

@@ -937,6 +937,12 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         let mut cache = self.cache.borrow_mut();
         let mut touched: FxHashSet<usize> = FxHashSet::default();
         let mut result = Ok(());
+        // durability: effects of this commit, at holder granularity,
+        // appended to the rank's redo log after the write-back (only the
+        // objects actually persisted — a partially failed commit logs
+        // exactly what it made visible)
+        let logging = self.eng.persist_enabled();
+        let mut redo: Vec<crate::persist::RedoRecord> = Vec::new();
         // Has any object been written back (or freed) already? Once one
         // has, persisted holders may reference a created object's blocks
         // (mirror edge records), so reclaiming those blocks on a later
@@ -977,10 +983,26 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                     }
                 }
                 hio::free_chain(&self.eng.bm, &obj.blocks);
+                if logging && !obj.created {
+                    redo.push(crate::persist::RedoRecord::Delete {
+                        primary: raw,
+                        app_id: obj.holder.app_id,
+                        is_edge: obj.holder.is_edge,
+                        version: obj.holder.version,
+                    });
+                }
                 touched.insert(id.rank());
                 wrote_any = true;
             } else if obj.dirty || obj.created {
-                obj.holder.version += 1;
+                // a persisted write versions the holder with a commit
+                // stamp from its owner rank — strictly monotone per
+                // object across incarnations, the replay ordering
+                // authority (`max` guards pre-persistence versions)
+                obj.holder.version = if logging {
+                    self.eng.next_version_stamp(id).max(obj.holder.version + 1)
+                } else {
+                    obj.holder.version + 1
+                };
                 obj.holder.compact_edges();
                 let bytes = obj.holder.encode();
                 if let Err(e) =
@@ -1014,6 +1036,15 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                         Some(&obj.holder.labels()),
                     );
                 }
+                if logging {
+                    redo.push(crate::persist::RedoRecord::Upsert {
+                        primary: raw,
+                        app_id: obj.holder.app_id,
+                        is_edge: obj.holder.is_edge,
+                        version: obj.holder.version,
+                        bytes,
+                    });
+                }
                 touched.insert(id.rank());
             }
         }
@@ -1023,6 +1054,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         if self.grouped.get() {
             self.eng.ctx().end_nb_batch();
         }
+        // one redo append per commit: a grouped commit logs the whole
+        // group in one frame, amortizing the device overhead
+        self.eng.log_commit(redo);
         // release all locks (end of phase two)
         for (&raw, obj) in cache.iter() {
             if let Some(kind) = obj.lock {

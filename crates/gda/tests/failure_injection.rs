@@ -211,6 +211,88 @@ fn lock_conflict_storm_never_corrupts_edges() {
     });
 }
 
+/// Checkpoint under resource exhaustion: a checkpoint that fails while
+/// writing (injected, modeling a full log device) must leave the
+/// previous snapshot usable and the database serving — including under
+/// the same storage pressure the rest of this suite exercises — and a
+/// recovery anchored at the previous snapshot must see every commit,
+/// even those made *after* the failed attempt.
+#[test]
+fn failed_checkpoint_under_oom_keeps_serving_and_recovers() {
+    use gda::persist::{recover, PersistOptions};
+
+    let dir = std::env::temp_dir().join(format!("gda-fi-ckpt-oom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // a starved pool: the serving-path commits below run close to the
+    // same OutOfMemory edge the other tests in this file probe
+    let cfg = GdaConfig {
+        blocks_per_rank: 24,
+        dht_buckets_per_rank: 16,
+        dht_heap_per_rank: 24,
+        ..starved_cfg()
+    };
+    {
+        let (db, fabric) = GdaDb::with_fabric("ckptoom", cfg, 2, CostModel::zero());
+        let store = db.enable_persistence(PersistOptions::new(&dir)).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            if ctx.rank() == 0 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in 0..6u64 {
+                    tx.create_vertex(AppVertexId(i)).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+            // a good checkpoint, then a failing one (disk exhaustion)
+            assert_eq!(eng.checkpoint().unwrap(), 1);
+            store.inject_checkpoint_failures(1);
+            assert!(eng.checkpoint().is_err(), "injected failure surfaces");
+            // the failed attempt left no partial state: CURRENT still
+            // points at the good snapshot, no half-written directory
+            assert_eq!(store.current(), 1);
+            assert!(!store.ckpt_dir_exists(2));
+            ctx.barrier();
+            // the database keeps serving, including transactions that
+            // themselves hit resource exhaustion and roll back cleanly
+            if ctx.rank() == 1 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                let mut i = 100u64;
+                loop {
+                    match tx.create_vertex(AppVertexId(i)) {
+                        Ok(_) => i += 1,
+                        Err(GdiError::OutOfMemory) => break,
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+                tx.abort(); // exhaustion rolls back, pool refills
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(50)).unwrap();
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+        });
+    }
+    // recovery is anchored at the previous (good) snapshot; the commits
+    // made after the failed checkpoint replay from the redo tail
+    let (db, fabric, plan) = recover(PersistOptions::new(&dir), CostModel::zero()).unwrap();
+    assert_eq!(plan.snapshot_id(), 1);
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0);
+        let tx = eng.begin(AccessMode::ReadOnly);
+        for i in (0..6u64).chain([50]) {
+            tx.translate_vertex_id(AppVertexId(i))
+                .unwrap_or_else(|e| panic!("vertex {i} lost after failed checkpoint: {e}"));
+        }
+        assert!(tx.translate_vertex_id(AppVertexId(100)).is_err(), "aborted");
+        tx.commit().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn constraint_filtered_neighbors() {
     let cfg = GdaConfig::tiny();

@@ -39,6 +39,12 @@ pub struct CostModel {
     pub atomic_ns: f64,
     /// Cost of one service-queue poll (doorbell check) by a serving rank.
     pub poll_ns: f64,
+    /// Fixed cost of one durable redo-log append (submit to the local
+    /// persistence device; covers the commit-path log hook of `gda`).
+    pub log_o_ns: f64,
+    /// Per-byte cost of redo-log payload written to the local persistence
+    /// device (sequential-write bandwidth term).
+    pub log_g_ns_per_byte: f64,
 }
 
 impl Default for CostModel {
@@ -51,6 +57,10 @@ impl Default for CostModel {
             g_ns_per_byte: 0.1,
             atomic_ns: 350.0,
             poll_ns: 80.0,
+            // ~ a battery-backed NVRAM / NVMe log device: a few µs to
+            // submit, ~2 GB/s sequential append bandwidth
+            log_o_ns: 2_500.0,
+            log_g_ns_per_byte: 0.5,
         }
     }
 }
@@ -67,6 +77,8 @@ impl CostModel {
             g_ns_per_byte: 0.0,
             atomic_ns: 0.0,
             poll_ns: 0.0,
+            log_o_ns: 0.0,
+            log_g_ns_per_byte: 0.0,
         }
     }
 
@@ -131,6 +143,15 @@ impl CostModel {
     #[inline]
     pub fn drain(&self, n: usize) -> f64 {
         self.poll_ns + 4.0 * self.cpu_op_ns * n as f64
+    }
+
+    /// Cost of appending `bytes` of redo-log payload to this rank's local
+    /// durable log device: one fixed submission overhead plus the
+    /// sequential-write bandwidth term. Group commit amortizes the
+    /// overhead — one append per *grouped* transaction, not per op.
+    #[inline]
+    pub fn log_write(&self, bytes: usize) -> f64 {
+        self.log_o_ns + self.log_g_ns_per_byte * bytes as f64
     }
 
     /// Cost of a personalized all-to-all where this rank sends `sent` bytes

@@ -23,6 +23,9 @@ pub struct CommStats {
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
     cache_invalidations: Cell<u64>,
+    log_appends: Cell<u64>,
+    log_bytes: Cell<u64>,
+    quiesces: Cell<u64>,
 }
 
 impl CommStats {
@@ -92,6 +95,21 @@ impl CommStats {
             .set(self.cache_invalidations.get() + 1);
     }
 
+    /// Record one durable redo-log append of `bytes` payload (the commit
+    /// path of a persistence-enabled engine).
+    #[inline]
+    pub fn record_log_write(&self, bytes: usize) {
+        self.log_appends.set(self.log_appends.get() + 1);
+        self.log_bytes.set(self.log_bytes.get() + bytes as u64);
+    }
+
+    /// Record one fabric quiesce (drain barrier: all outstanding one-sided
+    /// traffic flushed machine-wide — the checkpoint entry barrier).
+    #[inline]
+    pub fn record_quiesce(&self) {
+        self.quiesces.set(self.quiesces.get() + 1);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -115,6 +133,9 @@ impl CommStats {
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             cache_invalidations: self.cache_invalidations.get(),
+            log_appends: self.log_appends.get(),
+            log_bytes: self.log_bytes.get(),
+            quiesces: self.quiesces.get(),
             sim_time_ns: 0.0,
         }
     }
@@ -142,6 +163,12 @@ pub struct RankReport {
     pub cache_misses: u64,
     /// Translation-cache entries invalidated by an epoch bump.
     pub cache_invalidations: u64,
+    /// Durable redo-log appends issued by this rank (persistence layer).
+    pub log_appends: u64,
+    /// Redo-log payload bytes written by this rank.
+    pub log_bytes: u64,
+    /// Fabric quiesces (checkpoint drain barriers) this rank entered.
+    pub quiesces: u64,
     /// Final simulated time of the rank in nanoseconds.
     pub sim_time_ns: f64,
 }
@@ -173,6 +200,9 @@ impl RankReport {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.log_appends += other.log_appends;
+        self.log_bytes += other.log_bytes;
+        self.quiesces += other.quiesces;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
     }
 }

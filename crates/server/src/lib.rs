@@ -51,7 +51,7 @@ pub mod queue;
 pub mod request;
 pub mod server;
 
-pub use metrics::{LatencyHist, RankMetrics, ServerMetrics};
+pub use metrics::{LatencyHist, RankMetrics, RecoverySummary, ServerMetrics};
 pub use request::{Op, OpOutcome, OpReply, Ticket};
 pub use server::{
     AdmissionPolicy, GdiServer, OlapJobFn, ServeSummary, ServerOptions, Session, SubmitError,

@@ -153,12 +153,42 @@ impl RankMetrics {
     }
 }
 
+/// What a crash recovery did, aggregated over ranks (built from
+/// `gda::persist::RankRecovery` by [`crate::GdiServer::metrics`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySummary {
+    /// Checkpoint id the recovery restored from (0 = genesis).
+    pub snapshot_id: u64,
+    /// Snapshot bytes restored across all ranks.
+    pub snapshot_bytes: u64,
+    /// Redo-log bytes replayed across all ranks.
+    pub log_bytes: u64,
+    /// Redo records parsed across all ranks.
+    pub records: u64,
+    /// Records applied (the rest were idempotently skipped).
+    pub applied: u64,
+    /// Records that failed to apply (should be zero).
+    pub errors: u64,
+    /// Slowest rank's simulated restore+replay seconds.
+    pub max_sim_restore_s: f64,
+    /// Slowest rank's wall-clock restore+replay seconds.
+    pub max_wall_restore_s: f64,
+    /// Ranks that finished restoring so far.
+    pub ranks_restored: usize,
+}
+
 /// Whole-server snapshot: per-rank plus aggregates.
 #[derive(Debug, Clone)]
 pub struct ServerMetrics {
+    /// One entry per fabric rank.
     pub per_rank: Vec<RankMetrics>,
     /// Wall-clock seconds since the server started accepting requests.
     pub wall_elapsed_s: f64,
+    /// Successful collective checkpoints triggered through the server.
+    pub checkpoints: u64,
+    /// Crash-recovery stats, when this server was booted via
+    /// [`crate::GdiServer::recover`].
+    pub recovery: Option<RecoverySummary>,
 }
 
 impl ServerMetrics {

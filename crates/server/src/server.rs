@@ -6,12 +6,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gda::dptr::owner_rank;
+use gda::persist::{CheckpointReport, PersistOptions, RankRecovery, RecoveryPlan};
 use gda::{GdaDb, GdaRank};
-use parking_lot::Mutex;
-use rma::{RankCtx, RankReport};
+use gdi::{GdiError, GdiResult};
+use parking_lot::{Condvar, Mutex};
+use rma::{CostModel, Fabric, RankCtx, RankReport};
 
 use crate::batch::execute_batch;
-use crate::metrics::{RankCounters, RankMetrics, ServerMetrics};
+use crate::metrics::{RankCounters, RankMetrics, RecoverySummary, ServerMetrics};
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{Op, OpOutcome, OpReply, Request, Ticket, TicketInner};
 
@@ -73,7 +75,16 @@ impl ServerOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// Admission control shed the request ([`AdmissionPolicy::Reject`]).
-    Overloaded { rank: usize, depth: usize },
+    Overloaded {
+        /// The rank whose queue was full.
+        rank: usize,
+        /// Queue depth observed at rejection.
+        depth: usize,
+    },
+    /// Admission is paused (a checkpoint is draining in-flight work)
+    /// and the policy is [`AdmissionPolicy::Reject`]; retry shortly.
+    /// Under [`AdmissionPolicy::Block`] submitters wait instead.
+    Paused,
     /// The server no longer accepts requests.
     ShuttingDown,
 }
@@ -115,6 +126,19 @@ struct ServerInner {
     olap_jobs: Mutex<Vec<Option<OlapPending>>>,
     olap_submitted: AtomicU64,
     fabric_reports: Mutex<Vec<Option<RankReport>>>,
+    /// Admission pause gate: a *count* of outstanding pauses (concurrent
+    /// checkpoints and explicit operator pauses compose — resuming one
+    /// never cancels another). While non-zero, `Block`-policy submitters
+    /// wait on the condvar and `Reject`-policy submitters are shed with
+    /// [`SubmitError::Paused`] (checkpoint stall bounding).
+    paused: Mutex<usize>,
+    pause_cv: Condvar,
+    /// Successful collective checkpoints triggered through this server.
+    checkpoints: AtomicU64,
+    /// Pending (or completed) crash-recovery plan; serve loops run it
+    /// collectively before their first drain.
+    recovery: Mutex<Option<Arc<RecoveryPlan>>>,
+    recovery_stats: Mutex<Vec<Option<RankRecovery>>>,
 }
 
 /// Per-rank summary returned by [`GdiServer::serve_rank`].
@@ -155,8 +179,31 @@ impl GdiServer {
             olap_jobs: Mutex::new(Vec::new()),
             olap_submitted: AtomicU64::new(0),
             fabric_reports: Mutex::new((0..nranks).map(|_| None).collect()),
+            paused: Mutex::new(0),
+            pause_cv: Condvar::new(),
+            checkpoints: AtomicU64::new(0),
+            recovery: Mutex::new(None),
+            recovery_stats: Mutex::new((0..nranks).map(|_| None).collect()),
             db,
         }))
+    }
+
+    /// Boot a server from a persistence directory after a crash: reads
+    /// the latest snapshot manifest, rebuilds the database object and a
+    /// fresh fabric, and arms the recovery plan. The caller runs
+    /// [`GdiServer::serve_rank`] on every rank of the returned fabric
+    /// as usual — each serve loop first restores its rank (windows +
+    /// redo replay, collective) and then starts draining requests.
+    /// Recovery metrics land in [`ServerMetrics::recovery`].
+    pub fn recover(
+        opts: PersistOptions,
+        cost: CostModel,
+        server_opts: ServerOptions,
+    ) -> GdiResult<(GdiServer, Fabric)> {
+        let (db, fabric, plan) = gda::persist::recover(opts, cost)?;
+        let server = GdiServer::new(db, server_opts);
+        *server.0.recovery.lock() = Some(plan);
+        Ok((server, fabric))
     }
 
     /// The database being served.
@@ -210,7 +257,89 @@ impl GdiServer {
         Ok(Ticket(ticket))
     }
 
+    /// Pause admission at the [`Op`] level: `Block`-policy submitters
+    /// wait, `Reject`-policy submitters are shed with
+    /// [`SubmitError::Paused`]. Used around collective checkpoints to
+    /// bound the amount of queued work a checkpoint must drain behind.
+    /// Pauses nest: admission resumes when every pause has been matched
+    /// by a [`GdiServer::resume_admission`].
+    pub fn pause_admission(&self) {
+        *self.0.paused.lock() += 1;
+    }
+
+    /// Release one [`GdiServer::pause_admission`]; wakes blocked
+    /// submitters once no pause remains outstanding.
+    pub fn resume_admission(&self) {
+        let mut g = self.0.paused.lock();
+        *g = g.saturating_sub(1);
+        if *g == 0 {
+            self.0.pause_cv.notify_all();
+        }
+    }
+
+    /// Is admission currently paused?
+    pub fn admission_paused(&self) -> bool {
+        *self.0.paused.lock() > 0
+    }
+
+    /// Trigger a durable collective checkpoint while serving: pauses
+    /// admission, rendezvouses every serving rank through the
+    /// collective-job machinery (each runs [`GdaRank::checkpoint`]),
+    /// resumes admission and returns the published report. Requires the
+    /// database to have persistence enabled and rank loops serving.
+    pub fn checkpoint(&self) -> GdiResult<CheckpointReport> {
+        let store = self
+            .0
+            .db
+            .persistence()
+            .ok_or(GdiError::InvalidArgument("persistence not enabled"))?;
+        self.pause_admission();
+        let submitted = self.submit_olap(|eng| match eng.checkpoint() {
+            Ok(_) => 1.0,
+            Err(e) => {
+                eprintln!("[server] checkpoint failed on rank {}: {e}", eng.rank());
+                0.0
+            }
+        });
+        let outcome = match submitted {
+            Ok(ticket) => ticket.wait(),
+            Err(_) => {
+                self.resume_admission();
+                return Err(GdiError::Io("server is shutting down".into()));
+            }
+        };
+        self.resume_admission();
+        match outcome {
+            OpOutcome::Committed(OpReply::Scalar(v)) if v > 0.5 => {
+                self.0.checkpoints.fetch_add(1, Ordering::Relaxed);
+                store
+                    .last_checkpoint()
+                    .ok_or(GdiError::Io("checkpoint report missing".into()))
+            }
+            OpOutcome::Committed(_) => Err(GdiError::Io("checkpoint failed; see rank logs".into())),
+            _ => Err(GdiError::Io("checkpoint job did not complete".into())),
+        }
+    }
+
     pub(crate) fn submit(&self, op: Op) -> Result<Ticket, SubmitError> {
+        if !self.0.accepting.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        {
+            let mut paused = self.0.paused.lock();
+            if *paused > 0 {
+                match self.0.opts.admission {
+                    AdmissionPolicy::Block => {
+                        // also wake on shutdown (shutdown notifies the
+                        // condvar without touching the pause count)
+                        while *paused > 0 && self.0.accepting.load(Ordering::SeqCst) {
+                            self.0.pause_cv.wait(&mut paused);
+                        }
+                    }
+                    AdmissionPolicy::Reject => return Err(SubmitError::Paused),
+                }
+            }
+        }
         if !self.0.accepting.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -254,6 +383,14 @@ impl GdiServer {
     /// requests are still served; every accepted ticket resolves.
     pub fn shutdown(&self) {
         self.0.accepting.store(false, Ordering::SeqCst);
+        // wake submitters blocked on a paused gate so they observe the
+        // shutdown instead of waiting forever (the pause count itself
+        // is left to its owners); the lock orders this notify against a
+        // submitter's check-then-wait, so no wakeup is lost
+        {
+            let _gate = self.0.paused.lock();
+            self.0.pause_cv.notify_all();
+        }
         // synchronize with any in-flight submit_olap: after this lock
         // round-trip the OLAP job count is final, so a rank observing a
         // closed queue also observes every job it must still serve
@@ -300,6 +437,19 @@ impl GdiServer {
         let eng = inner.db.attach(ctx);
         let rank = ctx.rank();
         let trace = std::env::var_os("GDI_SERVER_TRACE").is_some();
+        // crash recovery: restore this rank (collective — every serve
+        // loop of a recovered server enters here) before serving
+        let plan = inner.recovery.lock().clone();
+        if let Some(plan) = plan {
+            match plan.restore_rank(&eng) {
+                Ok(stats) => {
+                    inner.recovery_stats.lock()[rank] = Some(stats);
+                }
+                // a failed restore is fatal: poison the fabric (via the
+                // guard) rather than serve a half-recovered database
+                Err(e) => panic!("recovery failed on rank {rank}: {e}"),
+            }
+        }
         inner.serving.fetch_add(1, Ordering::SeqCst);
         let sim_t0 = ctx.now_ns();
         let mut olap_served: u64 = 0;
@@ -396,9 +546,29 @@ impl GdiServer {
                 fabric: reports[rank],
             })
             .collect();
+        let recovery = inner.recovery.lock().as_ref().map(|plan| {
+            let stats = inner.recovery_stats.lock();
+            let mut sum = RecoverySummary {
+                snapshot_id: plan.snapshot_id(),
+                ..RecoverySummary::default()
+            };
+            for s in stats.iter().flatten() {
+                sum.snapshot_bytes += s.snapshot_bytes;
+                sum.log_bytes += s.log_bytes;
+                sum.records += s.records;
+                sum.applied += s.applied;
+                sum.errors += s.errors;
+                sum.max_sim_restore_s = sum.max_sim_restore_s.max(s.sim_restore_s);
+                sum.max_wall_restore_s = sum.max_wall_restore_s.max(s.wall_restore_s);
+                sum.ranks_restored += 1;
+            }
+            sum
+        });
         ServerMetrics {
             per_rank,
             wall_elapsed_s: inner.started.elapsed().as_secs_f64(),
+            checkpoints: inner.checkpoints.load(Ordering::Relaxed),
+            recovery,
         }
     }
 }

@@ -19,7 +19,10 @@
 //!   Listing 3 / LDBC BI (Fig. 6b);
 //! * [`traffic`] — the serving-path twin of [`oltp`]: the same Table-3
 //!   mixes replayed through the `server` crate's concurrent sessions
-//!   (request batching + group commit) instead of direct engine calls.
+//!   (request batching + group commit) instead of direct engine calls;
+//! * [`recovery`] — the crash/restart axis: tracked traffic with a
+//!   mid-stream collective checkpoint, a kill, a recovery from disk,
+//!   and read-your-committed-writes verification across the restart.
 
 pub mod analytics;
 pub mod bi2;
@@ -28,6 +31,7 @@ pub mod latency;
 pub mod locality;
 pub mod olsp;
 pub mod oltp;
+pub mod recovery;
 pub mod traffic;
 
 pub use latency::Histogram;

@@ -226,10 +226,11 @@ pub fn run_traffic(
                             build_op(kind, &mut st.rng, n, meta, &mut st.next_new, &mut st.added);
                         match session.submit(op) {
                             Ok(t) => round.push((i, t)),
-                            Err(SubmitError::Overloaded { .. }) => {
-                                st.report.rejected += 1;
-                            }
-                            Err(SubmitError::ShuttingDown) => {
+                            Err(
+                                SubmitError::Overloaded { .. }
+                                | SubmitError::Paused
+                                | SubmitError::ShuttingDown,
+                            ) => {
                                 st.report.rejected += 1;
                             }
                         }

@@ -1,1 +1,10 @@
-//! Integration test package (see tests/ directory).
+//! Integration test package (see the `tests/` directory for the
+//! cross-crate suites: paper claims, end-to-end pipeline,
+//! property-based, server sessions, recovery).
+
+/// Compiles and runs the README's code examples as doctests, so the
+/// quick-start can never drift from the actual API (CI runs
+/// `cargo test --doc`).
+#[cfg(doctest)]
+#[doc = include_str!("../../README.md")]
+pub struct ReadmeDoctests;

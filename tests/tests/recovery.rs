@@ -1,0 +1,325 @@
+//! Durability integration tests: the crash/restart axis.
+//!
+//! * a property-based equivalence check — for arbitrary operation
+//!   sequences and an arbitrary checkpoint position, *snapshot + redo
+//!   replay* must reconstruct exactly the state an uninterrupted run
+//!   reaches (the core durability contract);
+//! * the full service-layer round trip — checkpoint mid-traffic, kill
+//!   the fabric, `GdiServer::recover()`, and every previously committed
+//!   read returns identical results.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gda::persist::{recover, PersistOptions};
+use gda::{GdaConfig, GdaDb};
+use gdi::{
+    AccessMode, AppVertexId, Datatype, EdgeOrientation, EntityType, Multiplicity, PropertyValue,
+    SizeType,
+};
+use rma::CostModel;
+use workloads::recovery::{run_kill_restart, RecoveryScenario};
+
+/// A unique, self-cleaning persistence directory.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gdi-tests-recovery-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TestDir(dir)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One logical operation of the generated workload. All ops routed by
+/// their first vertex id (the server discipline the replay assumes).
+#[derive(Debug, Clone, Copy)]
+enum WlOp {
+    Create(u64),
+    SetProp(u64, u64),
+    AddEdge(u64, u64),
+    Delete(u64),
+}
+
+impl WlOp {
+    fn routing(&self) -> u64 {
+        match self {
+            WlOp::Create(v) | WlOp::SetProp(v, _) | WlOp::Delete(v) | WlOp::AddEdge(v, _) => *v,
+        }
+    }
+}
+
+fn arb_op(ids: u64) -> impl Strategy<Value = WlOp> {
+    prop_oneof![
+        (0..ids).prop_map(WlOp::Create),
+        (0..ids).prop_map(WlOp::Create),
+        (0..ids, 0u64..1_000_000).prop_map(|(v, x)| WlOp::SetProp(v, x)),
+        (0..ids, 0..ids).prop_map(|(a, b)| WlOp::AddEdge(a, b)),
+        (0..ids).prop_map(WlOp::Delete),
+    ]
+}
+
+/// The observable state of the whole database: per application id, the
+/// property value and the any-orientation edge count (`None` = id does
+/// not resolve).
+type ReadState = BTreeMap<u64, Option<(Option<u64>, usize)>>;
+
+/// Execute `ops` serially on `nranks` ranks — each op runs on the rank
+/// owning its routing vertex, with a barrier in between, so every run
+/// (interrupted or not) sees the identical serial history.
+fn apply_ops(eng: &gda::GdaRank, ops: &[WlOp], ptype: gdi::PTypeId) {
+    let me = eng.rank();
+    for op in ops {
+        if gda::dptr::owner_rank(AppVertexId(op.routing()), eng.nranks()) == me {
+            let tx = eng.begin(AccessMode::ReadWrite);
+            let r = (|| -> Result<(), gdi::GdiError> {
+                match *op {
+                    WlOp::Create(v) => {
+                        let id = tx.create_vertex(AppVertexId(v))?;
+                        tx.add_property(id, ptype, &PropertyValue::U64(v))?;
+                    }
+                    WlOp::SetProp(v, x) => {
+                        let id = tx.translate_vertex_id(AppVertexId(v))?;
+                        tx.update_property(id, ptype, &PropertyValue::U64(x))?;
+                    }
+                    WlOp::AddEdge(a, b) => {
+                        let ia = tx.translate_vertex_id(AppVertexId(a))?;
+                        let ib = tx.translate_vertex_id_fresh(AppVertexId(b))?;
+                        tx.add_edge(ia, ib, None, true)?;
+                    }
+                    WlOp::Delete(v) => {
+                        let id = tx.translate_vertex_id(AppVertexId(v))?;
+                        tx.delete_vertex(id)?;
+                    }
+                }
+                Ok(())
+            })();
+            match r {
+                Ok(()) => {
+                    let _ = tx.commit();
+                }
+                Err(_) => tx.abort(), // e.g. create of an existing id
+            }
+        }
+        eng.ctx().barrier();
+    }
+}
+
+/// Read back the full observable state (rank 0's view; any rank reads
+/// the same data one-sidedly).
+fn read_state(eng: &gda::GdaRank, ids: u64, ptype: gdi::PTypeId) -> ReadState {
+    let mut out = ReadState::new();
+    let tx = eng.begin(AccessMode::ReadOnly);
+    for v in 0..ids {
+        let entry = match tx.translate_vertex_id(AppVertexId(v)) {
+            Ok(id) => {
+                let prop = tx.property(id, ptype).unwrap().and_then(|p| match p {
+                    PropertyValue::U64(x) => Some(x),
+                    _ => None,
+                });
+                let edges = tx.edge_count(id, EdgeOrientation::Any).unwrap();
+                Some((prop, edges))
+            }
+            Err(_) => None,
+        };
+        out.insert(v, entry);
+    }
+    tx.commit().unwrap();
+    out
+}
+
+fn install_ptype(eng: &gda::GdaRank) -> gdi::PTypeId {
+    if eng.rank() == 0 {
+        let p = eng
+            .create_ptype(
+                "val",
+                Datatype::Uint64,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
+            .unwrap();
+        eng.ctx().barrier();
+        p
+    } else {
+        eng.ctx().barrier();
+        eng.refresh_meta();
+        eng.meta().ptype_from_name("val").unwrap()
+    }
+}
+
+/// Uninterrupted reference run: all ops on one fabric, no persistence.
+fn reference_state(nranks: usize, cfg: GdaConfig, ops: &[WlOp], ids: u64) -> ReadState {
+    let (db, fabric) = GdaDb::with_fabric("ref", cfg, nranks, CostModel::zero());
+    let states = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        let ptype = install_ptype(&eng);
+        apply_ops(&eng, ops, ptype);
+        ctx.barrier();
+        read_state(&eng, ids, ptype)
+    });
+    states.into_iter().next().unwrap()
+}
+
+/// Interrupted run: ops up to `cut`, a collective checkpoint, the rest
+/// of the ops (redo tail only), then a crash + recovery; returns the
+/// recovered read state.
+fn recovered_state(
+    nranks: usize,
+    cfg: GdaConfig,
+    ops: &[WlOp],
+    cut: usize,
+    ids: u64,
+    dir: &std::path::Path,
+) -> ReadState {
+    {
+        let (db, fabric) = GdaDb::with_fabric("dur", cfg, nranks, CostModel::zero());
+        db.enable_persistence(PersistOptions::new(dir)).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let ptype = install_ptype(&eng);
+            apply_ops(&eng, &ops[..cut], ptype);
+            eng.checkpoint().unwrap();
+            apply_ops(&eng, &ops[cut..], ptype);
+        });
+        // drop: the crash (everything in memory is lost)
+    }
+    let (db, fabric, plan) = recover(PersistOptions::new(dir), CostModel::zero()).unwrap();
+    let states = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0, "replay errors: {rec:?}");
+        let ptype = eng.meta().ptype_from_name("val").unwrap();
+        read_state(&eng, ids, ptype)
+    });
+    states.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core durability contract: snapshot + redo replay ≡ the
+    /// uninterrupted execution, for arbitrary op sequences, checkpoint
+    /// positions and (1 or 2)-rank fabrics.
+    #[test]
+    fn snapshot_plus_replay_equals_uninterrupted(
+        ops in prop::collection::vec(arb_op(12), 1..28),
+        cut_frac in 0.0f64..1.0,
+        two_ranks in prop::bool::ANY,
+    ) {
+        let ids = 12u64;
+        let nranks = if two_ranks { 2 } else { 1 };
+        let cut = ((ops.len() as f64 * cut_frac) as usize).min(ops.len());
+        let cfg = GdaConfig::tiny();
+        let td = TestDir::new("prop");
+        let want = reference_state(nranks, cfg, &ops, ids);
+        let got = recovered_state(nranks, cfg, &ops, cut, ids, &td.0);
+        prop_assert!(
+            got == want,
+            "recovered state diverged (cut={} of {}, P={}):\n got {:?}\nwant {:?}\n ops {:?}",
+            cut, ops.len(), nranks, got, want, ops
+        );
+    }
+}
+
+/// The acceptance round trip at the service layer: tracked traffic,
+/// checkpoint mid-stream, kill, `GdiServer::recover()`, and every
+/// previously committed read returns identical results.
+#[test]
+fn server_round_trip_checkpoint_kill_recover() {
+    let td = TestDir::new("server");
+    let mut cfg = RecoveryScenario::new(&td.0);
+    cfg.nranks = 2;
+    cfg.scale = 6;
+    cfg.sessions = 6;
+    cfg.ops_before = 25;
+    cfg.ops_after = 25;
+    cfg.cost = CostModel::zero();
+    let report = run_kill_restart(&cfg);
+    assert!(report.committed_writes > 0);
+    assert!(
+        report.passed(),
+        "read-your-committed-writes across restart violated:\n{}",
+        report.mismatches.join("\n")
+    );
+    assert_eq!(report.checkpoint.id, 1);
+    let rec = report.recovery.expect("recovery metrics");
+    assert!(rec.records > 0, "the redo tail must contain work: {rec:?}");
+    assert_eq!(rec.errors, 0);
+    assert_eq!(rec.ranks_restored, 2);
+}
+
+/// Recovery directly after an *unclean* checkpoint history: the newest
+/// checkpoint attempt failed (injected), so recovery must come from
+/// the previous snapshot plus the still-growing redo segment.
+#[test]
+fn recover_from_previous_snapshot_after_failed_checkpoint() {
+    let td = TestDir::new("prevsnap");
+    let cfg = GdaConfig::tiny();
+    {
+        let (db, fabric) = GdaDb::with_fabric("prev", cfg, 2, CostModel::zero());
+        let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            if ctx.rank() == 0 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in 0..8u64 {
+                    tx.create_vertex(AppVertexId(i)).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+            eng.checkpoint().unwrap();
+            // commits after the good checkpoint: redo tail of segment 1
+            if ctx.rank() == 1 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(101)).unwrap();
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+            store.inject_checkpoint_failures(1);
+            assert!(eng.checkpoint().is_err());
+            // the tail keeps growing on the same segment after the
+            // failed attempt
+            if ctx.rank() == 0 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(102)).unwrap();
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+        });
+    }
+    let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+    assert_eq!(plan.snapshot_id(), 1, "previous snapshot is the anchor");
+    let db: Arc<GdaDb> = db;
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0);
+        let tx = eng.begin(AccessMode::ReadOnly);
+        for i in (0..8u64).chain([101, 102]) {
+            tx.translate_vertex_id(AppVertexId(i))
+                .unwrap_or_else(|e| panic!("vertex {i} lost: {e}"));
+        }
+        tx.commit().unwrap();
+    });
+}
