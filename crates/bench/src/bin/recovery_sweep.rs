@@ -31,14 +31,9 @@ struct PointResult {
     report: RecoveryReport,
 }
 
-fn scenario_dir(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("gda-recovery-sweep-{}-{tag}", std::process::id()))
-}
-
 fn run_point(nranks: usize, scale: u32, sessions: usize, ops: usize) -> PointResult {
-    let dir = scenario_dir(&format!("p{nranks}-s{scale}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    let mut cfg = RecoveryScenario::new(&dir);
+    let dir = workloads::scratch::ScratchDir::new(&format!("recovery-sweep-p{nranks}-s{scale}"));
+    let mut cfg = RecoveryScenario::new(dir.path());
     cfg.nranks = nranks;
     cfg.scale = scale;
     cfg.sessions = sessions;
@@ -46,7 +41,6 @@ fn run_point(nranks: usize, scale: u32, sessions: usize, ops: usize) -> PointRes
     cfg.ops_after = ops;
     cfg.cost = CostModel::default();
     let report = run_kill_restart(&cfg);
-    let _ = std::fs::remove_dir_all(&dir);
     PointResult {
         nranks,
         scale,

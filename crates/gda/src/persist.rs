@@ -28,9 +28,12 @@
 //!
 //! A checkpoint is crash-safe at every step: rank files and the
 //! manifest are written to `ckpt-<id>/` under temporary names and
-//! renamed, redo writers rotate to the new segment *before* the
-//! `CURRENT` pointer is atomically replaced, and the previous
-//! snapshot/segment pair is kept until the *next* checkpoint succeeds.
+//! renamed, every rank's redo writer rotates to the new segment — and
+//! the rotations are *voted on* — before rank 0 atomically replaces the
+//! `CURRENT` pointer, and the previous snapshot/segment pair is kept
+//! until the *next* checkpoint succeeds. That ordering means no unwind
+//! path ever has to move `CURRENT` back: it only ever advances to a
+//! snapshot all ranks have fully committed to.
 //! A failed checkpoint (any rank; detected with an abort-vote
 //! allreduce, like a collective commit) deletes its partial directory
 //! and leaves the previous snapshot — and the serving database —
@@ -53,7 +56,13 @@
 //!
 //! 1. **reserve** — claim every upserted primary block out of the free
 //!    lists, so no replayed chain's continuation allocation can steal a
-//!    primary another record still needs;
+//!    primary another record still needs. Primaries actually *pulled
+//!    from a free list* here are remembered: they were free at snapshot
+//!    time, so later sweeps treat any bytes still decodable there (a
+//!    stale pre-checkpoint incarnation — deletes leave data and chain
+//!    pointers intact) as vacant rather than as an occupant, and any
+//!    still unwritten after the last sweep (all their records refused
+//!    by a tombstone) are released back to the pool;
 //! 2. **deletes** — committed deletes land first, each leaving an
 //!    identity-keyed *tombstone* `(primary, app_id, is_edge) →
 //!    (version, rank, log position)`; their freed blocks go into a
@@ -101,18 +110,23 @@ const SNAP_MAGIC: &[u8; 8] = b"GDASNAP\x01";
 /// Magic prefix of a manifest file.
 const MANIFEST_MAGIC: &[u8; 8] = b"GDAMANI\x01";
 /// On-disk format version (bumped on incompatible layout changes).
-const FORMAT_VERSION: u32 = 1;
+/// v2: the checksum's FNV-1a prime was corrected (v1 shipped a
+/// truncated constant), which changes every snapshot/manifest/frame
+/// checksum — v1 files fail the checksum before the version check.
+const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // binary encoding helpers
 // ---------------------------------------------------------------------
 
-/// FNV-1a over a byte slice (the snapshot/log checksum).
+/// FNV-1a over a byte slice (the snapshot/log checksum). The prime is
+/// part of the on-disk format: changing it invalidates every existing
+/// checksum and requires a [`FORMAT_VERSION`] bump.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_01b3);
+        h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
 }
@@ -431,6 +445,7 @@ pub struct PersistStore {
     writers: Vec<Mutex<Option<File>>>,
     log_errors: AtomicU64,
     fail_next_checkpoints: AtomicU64,
+    fail_next_rotations: AtomicU64,
     last_checkpoint: Mutex<Option<CheckpointReport>>,
 }
 
@@ -451,6 +466,7 @@ impl PersistStore {
             writers: (0..nranks).map(|_| Mutex::new(None)).collect(),
             log_errors: AtomicU64::new(0),
             fail_next_checkpoints: AtomicU64::new(0),
+            fail_next_rotations: AtomicU64::new(0),
             last_checkpoint: Mutex::new(None),
         })
     }
@@ -492,6 +508,21 @@ impl PersistStore {
             .is_ok()
     }
 
+    /// Failure injection (tests): make the next `n` redo-log rotations
+    /// on a *non-zero* rank fail — the peer-failure scenario late in
+    /// the checkpoint collective, after every snapshot file is already
+    /// on disk. The unwind must leave `CURRENT` naming the previous
+    /// (complete) snapshot, never the one being deleted.
+    pub fn inject_rotate_failures(&self, n: u64) {
+        self.fail_next_rotations.store(n, Ordering::SeqCst);
+    }
+
+    fn take_injected_rotate_failure(&self) -> bool {
+        self.fail_next_rotations
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
     fn ckpt_dir(&self, id: u64) -> PathBuf {
         self.opts.dir.join(format!("ckpt-{id}"))
     }
@@ -523,6 +554,11 @@ impl PersistStore {
                 .append(true)
                 .open(&path)
                 .map_err(|e| io_err("open redo segment", e))?;
+            if self.opts.sync {
+                // the segment's directory entry must survive power loss
+                // along with the synced appends that follow
+                sync_dir(&self.opts.dir)?;
+            }
             *guard = Some(f);
         }
         let frame = encode_frame(records);
@@ -542,12 +578,18 @@ impl PersistStore {
     /// (truncating any stale file of that name from an earlier failed
     /// attempt).
     fn rotate_log(&self, rank: usize, id: u64) -> GdiResult<()> {
+        if rank != 0 && self.take_injected_rotate_failure() {
+            return Err(GdiError::Io("injected rotation failure".into()));
+        }
         let f = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(self.log_path(id, rank))
             .map_err(|e| io_err("rotate redo segment", e))?;
+        if self.opts.sync {
+            sync_dir(&self.opts.dir)?;
+        }
         *self.writers[rank].lock() = Some(f);
         Ok(())
     }
@@ -573,8 +615,15 @@ impl PersistStore {
             File::open(&tmp)
                 .and_then(|f| f.sync_all())
                 .map_err(|e| io_err("sync CURRENT.tmp", e))?;
+            // the snapshot dir and redo segments must be durably linked
+            // before the pointer can durably name them
+            sync_dir(&self.opts.dir)?;
         }
-        fs::rename(&tmp, self.current_path()).map_err(|e| io_err("publish CURRENT", e))
+        fs::rename(&tmp, self.current_path()).map_err(|e| io_err("publish CURRENT", e))?;
+        if self.opts.sync {
+            sync_dir(&self.opts.dir)?;
+        }
+        Ok(())
     }
 
     /// Delete snapshots and redo segments older than `id - 1` (the
@@ -871,6 +920,15 @@ fn manifest_from_db(db: &GdaDb, id: u64) -> Manifest {
     }
 }
 
+/// `fsync` a directory so renames and file creations inside it survive
+/// power loss (the rename itself is atomic but not durable until the
+/// directory entry is flushed).
+fn sync_dir(dir: &Path) -> GdiResult<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("sync directory", e))
+}
+
 fn write_atomically(path: &Path, bytes: &[u8], sync: bool) -> GdiResult<()> {
     let tmp = path.with_extension("tmp");
     {
@@ -881,7 +939,13 @@ fn write_atomically(path: &Path, bytes: &[u8], sync: bool) -> GdiResult<()> {
             f.sync_all().map_err(|e| io_err("sync snapshot", e))?;
         }
     }
-    fs::rename(&tmp, path).map_err(|e| io_err("rename snapshot", e))
+    fs::rename(&tmp, path).map_err(|e| io_err("rename snapshot", e))?;
+    if sync {
+        if let Some(parent) = path.parent() {
+            sync_dir(parent)?;
+        }
+    }
+    Ok(())
 }
 
 /// Set up persistence for a fresh database: creates the directory,
@@ -1054,16 +1118,23 @@ pub(crate) fn checkpoint_rank(eng: &GdaRank) -> GdiResult<u64> {
     }
     let bytes = *res.as_ref().unwrap();
 
-    // rotate the redo writers to the new segment, then publish. The
-    // fabric is quiesced for the whole collective, so a failed rotation
-    // or publish can be unwound without losing a single commit.
+    // rotate the redo writers to the new segment, vote on the rotations,
+    // and only then let rank 0 publish. Publishing *after* the rotate
+    // vote means a peer rank's failed rotation can never leave CURRENT
+    // naming a snapshot the unwind is about to delete; a failed publish
+    // itself is atomic (tmp file + rename), so CURRENT still names the
+    // old snapshot in every unwind path. The fabric is quiesced for the
+    // whole collective, so unwinding loses no commits.
     let rot = store.rotate_log(ctx.rank(), id);
-    let publish = if rot.is_ok() && ctx.rank() == 0 {
+    let rot_failed = ctx.allreduce_any(rot.is_err());
+    let publish = if rot_failed {
+        rot
+    } else if ctx.rank() == 0 {
         store.publish_current(id)
     } else {
-        rot.clone()
+        Ok(())
     };
-    if ctx.allreduce_any(publish.is_err()) {
+    if rot_failed || ctx.allreduce_any(publish.is_err()) {
         store.unrotate_log(ctx.rank(), old);
         ctx.barrier();
         // each rank removes its own abandoned segment; rank 0 the dir
@@ -1138,6 +1209,15 @@ pub struct RecoveryPlan {
     snapshot_id: u64,
     restored: Vec<AtomicBool>,
     deferred: Mutex<FxHashSet<u64>>,
+    /// Primaries sweep 1 actually *pulled out of a free list*: the block
+    /// was free at snapshot time, so any bytes still decodable there are
+    /// a stale pre-checkpoint incarnation (deletes leave data and the
+    /// chain pointer intact), never an occupant. Replay treats these as
+    /// vacant — following a stale chain would free or overwrite
+    /// continuation blocks that now belong to other objects. A primary
+    /// still claimed after the last sweep (its only upserts were refused
+    /// by a tombstone) is released back to the pool.
+    claimed: Mutex<FxHashSet<u64>>,
     /// Replayed deletes, keyed by object identity `(primary, app_id,
     /// is_edge)` → `(version at delete, deleting rank, log position)`.
     /// Deletes replay in a first pass; an upsert in the second pass
@@ -1255,7 +1335,13 @@ impl RecoveryPlan {
             if phase == me {
                 for rec in &records {
                     if let RedoRecord::Upsert { primary, .. } = rec {
-                        eng.bm.acquire_at(DPtr::from_raw(*primary));
+                        // a primary actually pulled from a free list was
+                        // free at snapshot time: whatever bytes it still
+                        // holds are stale, not an occupant (see
+                        // `RecoveryPlan::claimed`)
+                        if eng.bm.acquire_at(DPtr::from_raw(*primary)) {
+                            self.claimed.lock().insert(*primary);
+                        }
                     }
                 }
             }
@@ -1299,15 +1385,23 @@ impl RecoveryPlan {
         }
 
         // ---- release deferred frees (each rank its own pool) --------
+        // A primary still in the claimed set was pulled from a free list
+        // in sweep 1 but every record for it was refused by a tombstone
+        // (object created and deleted post-checkpoint): hand it back
+        // too, or it leaks — and the end-of-recovery checkpoint would
+        // persist the leak.
         {
             let mut deferred = self.deferred.lock();
-            let mine: Vec<u64> = deferred
+            let mut claimed = self.claimed.lock();
+            let mine: FxHashSet<u64> = deferred
                 .iter()
+                .chain(claimed.iter())
                 .copied()
                 .filter(|raw| DPtr::from_raw(*raw).rank() == me)
                 .collect();
             for raw in mine {
                 deferred.remove(&raw);
+                claimed.remove(&raw);
                 eng.bm.release(DPtr::from_raw(raw));
             }
         }
@@ -1384,15 +1478,25 @@ fn apply_record(
                 }
             }
             // a primary in the deferred-free set was vacated by a
-            // replayed delete — its stale bytes are not an occupant
-            let vacated = plan.deferred.lock().contains(primary);
-            let occupant = hio::read_chain(ctx, eng.cfg(), dp)
-                .ok()
-                .and_then(|(cur, blocks)| Holder::try_decode(&cur).map(|h| (h, blocks)));
+            // replayed delete, and one in the claimed set was already
+            // free at snapshot time. In both cases any bytes still
+            // decodable there are stale — possibly a pre-checkpoint
+            // incarnation of this very app id at an older version, left
+            // intact by its (pre-checkpoint, hence unlogged-in-the-tail)
+            // delete — and must not be read as an occupant: following
+            // the stale chain pointer would overwrite or double-free
+            // continuation blocks that belong to other objects now.
+            let vacant =
+                plan.deferred.lock().contains(primary) || plan.claimed.lock().contains(primary);
+            let occupant = if vacant {
+                None
+            } else {
+                hio::read_chain(ctx, eng.cfg(), dp)
+                    .ok()
+                    .and_then(|(cur, blocks)| Holder::try_decode(&cur).map(|h| (h, blocks)))
+            };
             match occupant {
-                Some((cur, mut blocks))
-                    if !vacated && cur.app_id == *app_id && cur.is_edge == *is_edge =>
-                {
+                Some((cur, mut blocks)) if cur.app_id == *app_id && cur.is_edge == *is_edge => {
                     if cur.version >= *version {
                         return Ok(false); // replay is idempotent
                     }
@@ -1415,9 +1519,15 @@ fn apply_record(
                 _ => {
                     // vacant: reserved in sweep 1, vacated by a delete,
                     // or stale bytes of a pre-checkpoint occupant whose
-                    // committed delete freed the block
+                    // committed delete freed the block. Clearing the
+                    // claimed/deferred marks makes the block a genuine
+                    // occupant from here on: a later record of the same
+                    // object takes the occupant path (preserving the
+                    // chain just written) and end-of-replay won't
+                    // release it.
                     eng.bm.acquire_at(dp);
                     plan.deferred.lock().remove(primary);
+                    plan.claimed.lock().remove(primary);
                     let mut blocks = vec![dp];
                     hio::write_chain(ctx, &eng.bm, bytes, &mut blocks)?;
                 }
@@ -1450,6 +1560,14 @@ fn apply_record(
             plan.tombstones
                 .lock()
                 .insert((*primary, *app_id, *is_edge), (*version, me, seq));
+            // a primary claimed out of a free list in sweep 1 was free
+            // at snapshot time: the object this delete targets exists
+            // only in not-yet-replayed upserts, and any decodable bytes
+            // are a stale earlier incarnation whose chain must not be
+            // freed (its continuation blocks belong to other objects)
+            if plan.claimed.lock().contains(primary) {
+                return Ok(false);
+            }
             let vacated = plan.deferred.lock().contains(primary);
             let Ok((cur, blocks)) = hio::read_chain(ctx, eng.cfg(), dp) else {
                 return Ok(false); // nothing physical to free
@@ -1513,6 +1631,7 @@ pub fn recover(
         snapshot_id: current,
         restored: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
         deferred: Mutex::new(FxHashSet::default()),
+        claimed: Mutex::new(FxHashSet::default()),
         tombstones: Mutex::new(FxHashMap::default()),
         stats: Mutex::new(vec![None; nranks]),
     });
@@ -2018,6 +2137,313 @@ mod tests {
             assert_eq!(out_edges, expected_edges);
             tx.commit().unwrap();
             ctx.barrier();
+        });
+    }
+
+    /// Regression: a primary that was *free at snapshot time* (its
+    /// pre-checkpoint occupant was deleted before the checkpoint, which
+    /// leaves the bytes and every chain pointer intact in `WIN_DATA`)
+    /// can still decode as a stale incarnation of the very app id a
+    /// post-checkpoint commit recreated there — the delete is not in
+    /// the replayed tail, so nothing vacates the block. Replay must
+    /// treat a sweep-1-claimed primary as vacant: following the stale
+    /// chain makes `write_chain` reuse continuation blocks that belong
+    /// to other replayed records.
+    /// Choreography (2 ranks; apps 1/3/5 live in rank 1's pool):
+    /// X (app 1, 3 blocks P→C1→C2) is created and deleted before the
+    /// checkpoint, so the snapshot holds the intact stale chain with
+    /// all three blocks free. After the checkpoint, rank 1 creates
+    /// dummies that take C2 and C1 as their primaries, then rank 0
+    /// recreates app 1 — LIFO hands it P. Replay runs rank 0's log
+    /// first: at that moment the stale chain is still fully readable,
+    /// and mistaking it for an occupant writes app 1's 3-block holder
+    /// over C1/C2 — the dummies' primaries.
+    #[test]
+    fn replay_ignores_stale_chain_of_precheckpoint_deleted_holder() {
+        let td = TestDir::new("stalechain");
+        let cfg = GdaConfig::tiny(); // 128 B blocks, 120 B payload
+        let big = PropertyValue::Bytes(vec![0xCD; 260]); // 3-block holder
+        let big2 = PropertyValue::Bytes(vec![0xEE; 260]); // recreate's blob
+        {
+            let (db, fabric) = GdaDb::with_fabric("sc", cfg, 2, CostModel::zero());
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                let blob = if ctx.rank() == 0 {
+                    Some(
+                        eng.create_ptype(
+                            "blob",
+                            Datatype::Byte,
+                            EntityType::Vertex,
+                            Multiplicity::Single,
+                            SizeType::NoLimit,
+                            0,
+                        )
+                        .unwrap(),
+                    )
+                } else {
+                    None
+                };
+                ctx.barrier();
+                eng.refresh_meta();
+                let blob = blob.unwrap_or_else(|| eng.meta().ptype_from_name("blob").unwrap());
+                // X: app 1 (rank-1 pool), 3 blocks — created and deleted
+                // entirely before the checkpoint
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let x = tx.create_vertex(AppVertexId(1)).unwrap();
+                    tx.add_property(x, blob, &big).unwrap();
+                    tx.commit().unwrap();
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let x = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+                    tx.delete_vertex(x).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                eng.checkpoint().unwrap();
+                // rank 1's log: dummies take C2 and C1 as primaries
+                if ctx.rank() == 1 {
+                    for app in [3u64, 5] {
+                        let tx = eng.begin(AccessMode::ReadWrite);
+                        let d = tx.create_vertex(AppVertexId(app)).unwrap();
+                        tx.add_property(d, blob, &PropertyValue::Bytes(vec![app as u8]))
+                            .unwrap();
+                        tx.commit().unwrap();
+                    }
+                }
+                ctx.barrier();
+                // rank 0's log: recreate app 1 at P, 3 blocks again
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let v = tx.create_vertex(AppVertexId(1)).unwrap();
+                    tx.add_property(v, blob, &big2).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+            });
+        }
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0, "{rec:?}");
+            let blob = eng.meta().ptype_from_name("blob").unwrap();
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for (app, want) in [(1u64, vec![0xEE; 260]), (3, vec![3]), (5, vec![5])] {
+                let v = tx.translate_vertex_id(AppVertexId(app)).unwrap();
+                assert_eq!(
+                    tx.property(v, blob).unwrap(),
+                    Some(PropertyValue::Bytes(want)),
+                    "app {app}"
+                );
+            }
+            tx.commit().unwrap();
+            ctx.barrier();
+            // pool accounting survived: deleting everything must drain
+            // rank 1's pool back to exactly full — a stale chain
+            // replayed as an occupant corrupts it
+            if ctx.rank() == 0 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for app in [1u64, 3, 5] {
+                    let v = tx.translate_vertex_id(AppVertexId(app)).unwrap();
+                    tx.delete_vertex(v).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+            assert_eq!(eng.bm.count_free(1), eng.cfg().blocks_per_rank);
+            ctx.barrier();
+        });
+    }
+
+    /// Regression: enabling persistence on a database that already
+    /// carries in-memory `version + 1` bumps (they never touched the
+    /// owner-rank stamp counters) must not let a later incarnation of
+    /// an app id stamp *below* an earlier logged delete. The logged
+    /// delete caps the owner's commit-stamp counter, so a cross-rank
+    /// recreate in the redo tail stamps above the tombstone version and
+    /// survives replay instead of being refused as stale.
+    #[test]
+    fn midlife_persistence_keeps_cross_log_versions_ordered() {
+        let td = TestDir::new("midlife");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("ml", cfg, 2, CostModel::zero());
+            // phase 1: no persistence — versions grow by unstamped +1s
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                if ctx.rank() == 0 {
+                    let age = eng
+                        .create_ptype(
+                            "age",
+                            Datatype::Uint64,
+                            EntityType::Vertex,
+                            Multiplicity::Single,
+                            SizeType::Fixed,
+                            1,
+                        )
+                        .unwrap();
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let v = tx.create_vertex(AppVertexId(1)).unwrap();
+                    tx.add_property(v, age, &PropertyValue::U64(0)).unwrap();
+                    tx.commit().unwrap();
+                    for i in 1..4u64 {
+                        let tx = eng.begin(AccessMode::ReadWrite);
+                        let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+                        tx.update_property(v, age, &PropertyValue::U64(i)).unwrap();
+                        tx.commit().unwrap();
+                    }
+                }
+                ctx.barrier();
+            });
+            // phase 2: persistence enabled mid-life; checkpoint captures
+            // the pre-persistence state, then delete and recreate land
+            // in *different* ranks' redo tails
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.refresh_meta();
+                eng.checkpoint().unwrap();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+                    tx.delete_vertex(v).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    let age = eng.meta().ptype_from_name("age").unwrap();
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let v = tx.create_vertex(AppVertexId(1)).unwrap();
+                    tx.add_property(v, age, &PropertyValue::U64(77)).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+            });
+        }
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0, "{rec:?}");
+            let age = eng.meta().ptype_from_name("age").unwrap();
+            let tx = eng.begin(AccessMode::ReadOnly);
+            let v = tx
+                .translate_vertex_id(AppVertexId(1))
+                .expect("the cross-rank recreate must survive replay");
+            assert_eq!(tx.property(v, age).unwrap(), Some(PropertyValue::U64(77)));
+            tx.commit().unwrap();
+        });
+    }
+
+    /// Regression: an object created *and* deleted after the checkpoint
+    /// leaves only refused records in the tail (the delete tombstones
+    /// its upsert). The primary sweep 1 claimed for the upsert must be
+    /// released at end of replay, not leaked into every later
+    /// checkpoint.
+    #[test]
+    fn refused_upsert_releases_claimed_primary() {
+        let td = TestDir::new("refusedclaim");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("rc", cfg, 1, CostModel::zero());
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(1)).unwrap();
+                tx.commit().unwrap();
+                eng.checkpoint().unwrap();
+                // tail: create app 2, then delete it again
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(2)).unwrap();
+                tx.commit().unwrap();
+                let tx = eng.begin(AccessMode::ReadWrite);
+                let v = tx.translate_vertex_id(AppVertexId(2)).unwrap();
+                tx.delete_vertex(v).unwrap();
+                tx.commit().unwrap();
+            });
+        }
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0, "{rec:?}");
+            let tx = eng.begin(AccessMode::ReadOnly);
+            tx.translate_vertex_id(AppVertexId(1)).unwrap();
+            assert!(tx.translate_vertex_id(AppVertexId(2)).is_err());
+            tx.commit().unwrap();
+            // app 2's sweep-1-claimed primary went back to the pool
+            let tx = eng.begin(AccessMode::ReadWrite);
+            let v = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+            tx.delete_vertex(v).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(eng.bm.count_free(0), eng.cfg().blocks_per_rank);
+        });
+    }
+
+    /// Regression: when a *peer* rank's log rotation fails late in the
+    /// checkpoint collective (every snapshot file already on disk),
+    /// the unwind deletes the new snapshot directory — so `CURRENT`
+    /// must still name the previous snapshot, post-failure commits must
+    /// keep appending to the previous segment, and recovery from that
+    /// state must see every committed write.
+    #[test]
+    fn failed_peer_rotation_keeps_previous_snapshot_current() {
+        let td = TestDir::new("failrotate");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("fr", cfg, 2, CostModel::zero());
+            let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    for i in 0..4u64 {
+                        tx.create_vertex(AppVertexId(i)).unwrap();
+                    }
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                assert_eq!(eng.checkpoint().unwrap(), 1);
+                // a commit in checkpoint 1's redo tail
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    tx.create_vertex(AppVertexId(40)).unwrap();
+                    tx.commit().unwrap();
+                    store.inject_rotate_failures(1);
+                }
+                ctx.barrier();
+                assert!(eng.checkpoint().is_err(), "peer rotation failure surfaces");
+                assert_eq!(store.current(), 1);
+                assert!(!store.ckpt_dir_exists(2));
+                // the on-disk pointer still names the surviving snapshot
+                let cur = fs::read_to_string(td.0.join("CURRENT")).unwrap();
+                assert_eq!(cur.trim(), "1", "CURRENT must not dangle at ckpt-2");
+                // commits after the failed checkpoint stay durable
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    tx.create_vertex(AppVertexId(50)).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+            });
+        }
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        assert_eq!(plan.snapshot_id(), 1);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0, "{rec:?}");
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in [0u64, 1, 2, 3, 40, 50] {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            tx.commit().unwrap();
         });
     }
 }

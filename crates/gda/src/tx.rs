@@ -984,6 +984,13 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 }
                 hio::free_chain(&self.eng.bm, &obj.blocks);
                 if logging && !obj.created {
+                    // the logged version also caps the owner's stamp
+                    // counter: a recreate of this app id must stamp
+                    // strictly above it even when this version predates
+                    // persistence (and so was never stamped), or replay
+                    // would refuse the recreate as older than its
+                    // tombstone
+                    self.eng.advance_version_stamp(id, obj.holder.version);
                     redo.push(crate::persist::RedoRecord::Delete {
                         primary: raw,
                         app_id: obj.holder.app_id,
@@ -997,9 +1004,20 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 // a persisted write versions the holder with a commit
                 // stamp from its owner rank — strictly monotone per
                 // object across incarnations, the replay ordering
-                // authority (`max` guards pre-persistence versions)
+                // authority. Pre-persistence in-memory bumps can outrun
+                // the counter (persistence enabled mid-life): then the
+                // counter must be raised along with the written version,
+                // or a later incarnation of this app id could stamp
+                // *below* it and lose to its tombstone at replay.
                 obj.holder.version = if logging {
-                    self.eng.next_version_stamp(id).max(obj.holder.version + 1)
+                    let stamp = self.eng.next_version_stamp(id);
+                    let want = obj.holder.version + 1;
+                    if want > stamp {
+                        self.eng.advance_version_stamp(id, want);
+                        want
+                    } else {
+                        stamp
+                    }
                 } else {
                     obj.holder.version + 1
                 };

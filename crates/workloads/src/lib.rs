@@ -22,7 +22,9 @@
 //!   (request batching + group commit) instead of direct engine calls;
 //! * [`recovery`] — the crash/restart axis: tracked traffic with a
 //!   mid-stream collective checkpoint, a kill, a recovery from disk,
-//!   and read-your-committed-writes verification across the restart.
+//!   and read-your-committed-writes verification across the restart;
+//! * [`scratch`] — self-cleaning temp directories shared by the
+//!   crash/restart tests and benches.
 
 pub mod analytics;
 pub mod bi2;
@@ -32,6 +34,7 @@ pub mod locality;
 pub mod olsp;
 pub mod oltp;
 pub mod recovery;
+pub mod scratch;
 pub mod traffic;
 
 pub use latency::Histogram;

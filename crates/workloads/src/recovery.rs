@@ -349,8 +349,15 @@ pub fn run_kill_restart(cfg: &RecoveryScenario) -> RecoveryReport {
                 &mut update_counters,
                 cfg.ops_before,
             );
-            // the mid-traffic collective checkpoint
-            checkpoint = Some(srv.checkpoint().expect("mid-traffic checkpoint"));
+            // the mid-traffic collective checkpoint; stop serving before
+            // panicking on failure — thread::scope joins the ranks
+            // thread, which loops until shutdown, so a bare expect here
+            // would hang the scenario instead of failing it
+            let ck = srv.checkpoint();
+            if ck.is_err() {
+                srv.shutdown();
+            }
+            checkpoint = Some(ck.expect("mid-traffic checkpoint"));
             drive_phase(
                 &srv,
                 &meta,
@@ -459,16 +466,14 @@ mod tests {
 
     #[test]
     fn kill_restart_round_trip() {
-        let dir = std::env::temp_dir().join(format!("gda-wl-recovery-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let mut cfg = RecoveryScenario::new(&dir);
+        let dir = crate::scratch::ScratchDir::new("wl-recovery");
+        let mut cfg = RecoveryScenario::new(dir.path());
         cfg.scale = 6;
         cfg.sessions = 4;
         cfg.ops_before = 20;
         cfg.ops_after = 20;
         cfg.cost = CostModel::zero();
         let report = run_kill_restart(&cfg);
-        let _ = std::fs::remove_dir_all(&dir);
         assert!(report.committed_writes > 0, "{report:?}");
         assert!(report.checks > 0);
         assert_eq!(report.indeterminate, 0, "healthy run should be certain");

@@ -1,0 +1,42 @@
+//! Unique, self-cleaning scratch directories for the crash/restart
+//! scenarios — one shared guard instead of a hand-rolled temp-dir
+//! discipline per test/bench (the hand-rolled variants skipped cleanup
+//! on panic, accumulating persistence directories in the system tmp).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique temp-directory path removed on drop — including on panic,
+/// so failed runs leave nothing behind.
+///
+/// The directory itself is not created here: the persistence layer
+/// creates it on demand. Any stale leftover of the same name (from a
+/// killed process of the same pid, unlikely but possible) is removed
+/// up front.
+pub struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    /// A fresh path under the system temp dir, unique per process and
+    /// call, tagged for identification in `ls /tmp`.
+    pub fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gdi-scratch-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

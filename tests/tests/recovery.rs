@@ -9,8 +9,6 @@
 //!   read returns identical results.
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -23,28 +21,7 @@ use gdi::{
 };
 use rma::CostModel;
 use workloads::recovery::{run_kill_restart, RecoveryScenario};
-
-/// A unique, self-cleaning persistence directory.
-struct TestDir(PathBuf);
-
-impl TestDir {
-    fn new(tag: &str) -> Self {
-        static SEQ: AtomicU64 = AtomicU64::new(0);
-        let dir = std::env::temp_dir().join(format!(
-            "gdi-tests-recovery-{tag}-{}-{}",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        TestDir(dir)
-    }
-}
-
-impl Drop for TestDir {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
+use workloads::scratch::ScratchDir;
 
 /// One logical operation of the generated workload. All ops routed by
 /// their first vertex id (the server discipline the replay assumes).
@@ -229,9 +206,9 @@ proptest! {
         let nranks = if two_ranks { 2 } else { 1 };
         let cut = ((ops.len() as f64 * cut_frac) as usize).min(ops.len());
         let cfg = GdaConfig::tiny();
-        let td = TestDir::new("prop");
+        let td = ScratchDir::new("prop");
         let want = reference_state(nranks, cfg, &ops, ids);
-        let got = recovered_state(nranks, cfg, &ops, cut, ids, &td.0);
+        let got = recovered_state(nranks, cfg, &ops, cut, ids, td.path());
         prop_assert!(
             got == want,
             "recovered state diverged (cut={} of {}, P={}):\n got {:?}\nwant {:?}\n ops {:?}",
@@ -245,8 +222,8 @@ proptest! {
 /// previously committed read returns identical results.
 #[test]
 fn server_round_trip_checkpoint_kill_recover() {
-    let td = TestDir::new("server");
-    let mut cfg = RecoveryScenario::new(&td.0);
+    let td = ScratchDir::new("server");
+    let mut cfg = RecoveryScenario::new(td.path());
     cfg.nranks = 2;
     cfg.scale = 6;
     cfg.sessions = 6;
@@ -272,11 +249,11 @@ fn server_round_trip_checkpoint_kill_recover() {
 /// the previous snapshot plus the still-growing redo segment.
 #[test]
 fn recover_from_previous_snapshot_after_failed_checkpoint() {
-    let td = TestDir::new("prevsnap");
+    let td = ScratchDir::new("prevsnap");
     let cfg = GdaConfig::tiny();
     {
         let (db, fabric) = GdaDb::with_fabric("prev", cfg, 2, CostModel::zero());
-        let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+        let store = db.enable_persistence(PersistOptions::new(td.path())).unwrap();
         fabric.run(|ctx| {
             let eng = db.attach(ctx);
             eng.init_collective();
@@ -308,7 +285,7 @@ fn recover_from_previous_snapshot_after_failed_checkpoint() {
             ctx.barrier();
         });
     }
-    let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+    let (db, fabric, plan) = recover(PersistOptions::new(td.path()), CostModel::zero()).unwrap();
     assert_eq!(plan.snapshot_id(), 1, "previous snapshot is the anchor");
     let db: Arc<GdaDb> = db;
     fabric.run(|ctx| {
