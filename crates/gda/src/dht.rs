@@ -118,12 +118,13 @@ impl<'c, 'f> Dht<'c, 'f> {
         self.entry_word(idx) + 2
     }
 
-    /// Bucket placement of a key.
+    /// Bucket placement of a key. Delegates the rank/bucket formulas to
+    /// [`crate::rankmap`] (the single authoritative copy — resharding
+    /// re-evaluates them under a different rank count).
     #[inline]
     fn place(&self, key: u64) -> (usize, usize) {
-        let h = hash64(key);
-        let rank = (h % self.ctx.nranks() as u64) as usize;
-        let bucket = ((h / self.ctx.nranks() as u64) % self.nbuckets() as u64) as usize;
+        let rank = crate::rankmap::dht_rank(key, self.ctx.nranks());
+        let bucket = crate::rankmap::dht_bucket(key, self.ctx.nranks(), self.nbuckets());
         (rank, self.bucket_word(bucket))
     }
 
@@ -449,6 +450,53 @@ impl<'c, 'f> Dht<'c, 'f> {
     }
 }
 
+/// Offline decode of one rank's DHT partition from its raw **index
+/// window bytes** (a snapshot's fourth window): walks every bucket
+/// chain in the byte image and returns the live `(key, value)` pairs.
+///
+/// Recovery primitive for **elastic resharding**: restoring a `P`-rank
+/// snapshot onto `Q ≠ P` ranks cannot `put` the window bytes back
+/// (every placement changes), so the logical contents are lifted out of
+/// the image instead. The snapshot was taken quiesced, so no marked
+/// (self-pointing) entries can appear; one is treated as end-of-chain
+/// defensively, as is any structurally impossible link.
+pub fn decode_partition(cfg: &GdaConfig, win: &[u8]) -> Vec<(u64, u64)> {
+    let nwords = win.len() / 8;
+    let word = |i: usize| -> u64 {
+        debug_assert!(i < nwords);
+        u64::from_le_bytes(win[i * 8..i * 8 + 8].try_into().unwrap())
+    };
+    let nb = cfg.dht_buckets_per_rank;
+    let heap = cfg.dht_heap_per_rank as u64;
+    let heap_base = 2 + nb;
+    let mut out = Vec::new();
+    for b in 0..nb {
+        let mut ptr = word(2 + b);
+        let mut steps = 0usize;
+        while ptr != 0 && ptr <= heap {
+            let ew = heap_base + 3 * (ptr as usize - 1);
+            if ew + 2 >= nwords {
+                break;
+            }
+            let k = word(ew);
+            let v = word(ew + 1);
+            let next = word(ew + 2);
+            if next == ptr {
+                break; // marked entry: impossible in a quiesced snapshot
+            }
+            if k != FREE_KEY {
+                out.push((k, v));
+            }
+            ptr = next;
+            steps += 1;
+            if steps > cfg.dht_heap_per_rank {
+                break; // cycle guard on corrupt images
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +737,33 @@ mod tests {
             // deleting an absent key must not bump anything
             assert_eq!(dht.delete_traced(5), None);
             assert_eq!(dht.read_epoch(0), now);
+        });
+    }
+
+    /// The offline partition decoder must see exactly what live lookups
+    /// see — it is the seed of a resharded restore.
+    #[test]
+    fn offline_decode_matches_live_contents() {
+        let (f, cfg) = fabric(1);
+        f.run(|ctx| {
+            let dht = Dht::new(ctx, cfg);
+            dht.init_collective();
+            for k in 0..60u64 {
+                dht.insert(k, k * 3 + 1).unwrap();
+            }
+            for k in (0..60u64).step_by(3) {
+                assert!(dht.delete(k));
+            }
+            let mut win = vec![0u8; ctx.win_len_bytes(WIN_INDEX)];
+            ctx.get_bytes(WIN_INDEX, 0, 0, &mut win);
+            let mut decoded = decode_partition(&cfg, &win);
+            decoded.sort_unstable();
+            let mut want: Vec<(u64, u64)> = (0..60u64)
+                .filter(|k| !k.is_multiple_of(3))
+                .map(|k| (k, k * 3 + 1))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(decoded, want);
         });
     }
 

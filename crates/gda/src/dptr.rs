@@ -144,9 +144,12 @@ impl EdgeUid {
 
 /// Choose the owner rank of an application vertex id: round-robin
 /// distribution across ranks (§5.4: "use round-robin distribution").
+/// Delegates to [`crate::rankmap::vertex_owner`] — the single
+/// authoritative copy of the formula, so elastic resharding can reason
+/// about ownership under both the snapshot and the live topology.
 #[inline]
 pub fn owner_rank(app: AppVertexId, nranks: usize) -> usize {
-    (app.0 % nranks as u64) as usize
+    crate::rankmap::vertex_owner(app, nranks)
 }
 
 #[cfg(test)]

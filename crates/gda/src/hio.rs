@@ -129,6 +129,56 @@ pub fn free_chain(bm: &BlockManager, blocks: &[DPtr]) {
     }
 }
 
+/// Offline variant of [`read_chain`] over a raw **data-window byte
+/// image** (a snapshot's first window): follows the chain inside the
+/// image without a live fabric. Chains are rank-local (continuation
+/// blocks always live on the primary's rank), so one rank's image
+/// suffices. Returns `None` on any structural implausibility — the
+/// caller decides whether that is corruption or a vacated block.
+///
+/// Recovery primitive for **elastic resharding**: the logical holder
+/// contents are lifted out of `P` snapshot images and re-materialized
+/// on `Q` ranks at fresh addresses.
+pub fn read_chain_bytes(
+    cfg: &GdaConfig,
+    data: &[u8],
+    primary: DPtr,
+) -> Option<(Vec<u8>, Vec<DPtr>)> {
+    debug_assert!(!primary.is_null());
+    let payload = payload_per_block(cfg);
+    let max_total = payload * cfg.blocks_per_rank;
+    let block = |dp: DPtr| -> Option<&[u8]> {
+        let off = dp.offset() as usize;
+        if dp.rank() != primary.rank() || off + cfg.block_size > data.len() {
+            return None;
+        }
+        Some(&data[off..off + cfg.block_size])
+    };
+    let buf = block(primary)?;
+    let mut next = DPtr::from_raw(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+    if buf.len() < 8 + crate::holder::HEADER_BYTES.min(payload) {
+        return None;
+    }
+    let total = Holder::peek_total_len(&buf[8..]);
+    if total < crate::holder::HEADER_BYTES || total > max_total {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(total);
+    bytes.extend_from_slice(&buf[8..8 + payload.min(total)]);
+    let mut blocks = vec![primary];
+    while bytes.len() < total {
+        if next.is_null() || blocks.len() > cfg.blocks_per_rank {
+            return None;
+        }
+        let buf = block(next)?;
+        blocks.push(next);
+        let take = payload.min(total - bytes.len());
+        bytes.extend_from_slice(&buf[8..8 + take]);
+        next = DPtr::from_raw(u64::from_le_bytes(buf[..8].try_into().unwrap()));
+    }
+    Some((bytes, blocks))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +291,36 @@ mod tests {
                 assert_eq!(Holder::decode(&bytes), h, "extra={extra}");
                 free_chain(bm, &blocks);
             }
+        });
+    }
+
+    /// The offline chain reader must reproduce exactly what the live
+    /// fetch path reads — it is the seed of a resharded restore.
+    #[test]
+    fn offline_chain_read_matches_live_read() {
+        with_pool(|ctx, bm, cfg| {
+            let small = big_holder(1, 1);
+            let large = big_holder(40, 10);
+            let mut primaries = Vec::new();
+            for h in [&small, &large] {
+                let primary = bm.acquire(0).unwrap();
+                let mut blocks = vec![primary];
+                write_chain(ctx, bm, &h.encode(), &mut blocks).unwrap();
+                primaries.push(primary);
+            }
+            let mut image = vec![0u8; ctx.win_len_bytes(WIN_DATA)];
+            ctx.get_bytes(WIN_DATA, 0, 0, &mut image);
+            for (h, primary) in [&small, &large].into_iter().zip(&primaries) {
+                let (live_bytes, live_blocks) = read_chain(ctx, cfg, *primary).unwrap();
+                let (img_bytes, img_blocks) =
+                    read_chain_bytes(cfg, &image, *primary).expect("offline read");
+                assert_eq!(img_bytes, live_bytes);
+                assert_eq!(img_blocks, live_blocks);
+                assert_eq!(Holder::decode(&img_bytes), *h);
+            }
+            // a never-written block decodes to None, not garbage
+            let free = bm.acquire(0).unwrap();
+            assert!(read_chain_bytes(cfg, &image, free).is_none());
         });
     }
 

@@ -32,7 +32,10 @@
 //! * [`db`] — database objects, multi-database registry, the per-rank
 //!   engine handle;
 //! * [`persist`] — durability: collective checkpoints, per-rank redo
-//!   logs, crash recovery (snapshot + replay);
+//!   logs, crash recovery (snapshot + replay), elastic resharded
+//!   recovery (restore a `P`-rank snapshot onto `Q` ranks);
+//! * [`rankmap`] — the canonical rank-ownership math and the
+//!   snapshot-rank → live-rank map resharding is built on;
 //! * [`analysis`] — the work–depth guarantees table (§5.9).
 //!
 //! ## Quick start
@@ -86,6 +89,8 @@ pub mod index;
 pub mod locks;
 pub mod meta;
 pub mod persist;
+pub mod rankmap;
+mod reshard;
 pub mod tx;
 
 pub use bulk::{BulkReport, EdgeSpec, VertexSpec};
@@ -98,4 +103,5 @@ pub use meta::{LabelDef, PTypeDef};
 pub use persist::{
     CheckpointReport, PersistOptions, PersistStore, RankRecovery, RecoveryPlan, RedoRecord,
 };
+pub use rankmap::RankMap;
 pub use tx::Transaction;

@@ -446,6 +446,7 @@ pub struct PersistStore {
     log_errors: AtomicU64,
     fail_next_checkpoints: AtomicU64,
     fail_next_rotations: AtomicU64,
+    fail_next_reshards: AtomicU64,
     last_checkpoint: Mutex<Option<CheckpointReport>>,
 }
 
@@ -467,6 +468,7 @@ impl PersistStore {
             log_errors: AtomicU64::new(0),
             fail_next_checkpoints: AtomicU64::new(0),
             fail_next_rotations: AtomicU64::new(0),
+            fail_next_reshards: AtomicU64::new(0),
             last_checkpoint: Mutex::new(None),
         })
     }
@@ -519,6 +521,21 @@ impl PersistStore {
 
     fn take_injected_rotate_failure(&self) -> bool {
         self.fail_next_rotations
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Failure injection (tests): make the next `n` resharded restores
+    /// fail on a *non-zero* receiving rank mid-redistribution. The
+    /// failure must be voted collectively, leave `CURRENT` at the
+    /// previous (`P`-topology) snapshot, and keep a same-topology
+    /// recovery of that snapshot fully working.
+    pub fn inject_reshard_failures(&self, n: u64) {
+        self.fail_next_reshards.store(n, Ordering::SeqCst);
+    }
+
+    pub(crate) fn take_injected_reshard_failure(&self) -> bool {
+        self.fail_next_reshards
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
             .is_ok()
     }
@@ -1014,15 +1031,29 @@ fn write_rank_snapshot(eng: &GdaRank, store: &PersistStore, id: u64, dir: &Path)
     Ok(e.buf.len() as u64)
 }
 
-struct RankSnapshot {
-    windows: Vec<Vec<u8>>,
-    postings: Vec<(IndexId, Vec<Posting>)>,
-    bytes: u64,
+/// One rank's decoded snapshot file: the four window images (in
+/// [`ALL_WINDOWS`] order: data, usage, system, index) plus the rank's
+/// index postings. Shared with the reshard path, which lifts logical
+/// contents out of the images instead of restoring them verbatim.
+pub(crate) struct RankSnapshot {
+    pub(crate) windows: Vec<Vec<u8>>,
+    pub(crate) postings: Vec<(IndexId, Vec<Posting>)>,
+    pub(crate) bytes: u64,
 }
 
-fn read_rank_snapshot(eng: &GdaRank, store: &PersistStore, id: u64) -> GdiResult<RankSnapshot> {
-    let me = eng.rank();
-    let path = store.ckpt_dir(id).join(format!("rank-{me}.snap"));
+/// Read and validate snapshot shard `rank` of checkpoint `id` against
+/// `layout` (the config the shard was written under) — no live fabric
+/// needed. Both the same-topology restore (`layout` = the recovered
+/// database's config) and the resharded restore (`layout` = the
+/// manifest's config) go through here.
+pub(crate) fn read_rank_snapshot_file(
+    store: &PersistStore,
+    id: u64,
+    rank: usize,
+    layout: &GdaConfig,
+    nranks: usize,
+) -> GdiResult<RankSnapshot> {
+    let path = store.ckpt_dir(id).join(format!("rank-{rank}.snap"));
     let bytes = fs::read(&path).map_err(|e| io_err("read rank snapshot", e))?;
     if bytes.len() < 16 {
         return Err(GdiError::Io("rank snapshot too short".into()));
@@ -1038,14 +1069,14 @@ fn read_rank_snapshot(eng: &GdaRank, store: &PersistStore, id: u64) -> GdiResult
     if d.u32()? != FORMAT_VERSION {
         return Err(GdiError::Io("unsupported snapshot version".into()));
     }
-    if d.u64()? != id || d.u32()? as usize != me || d.u32()? as usize != eng.nranks() {
+    if d.u64()? != id || d.u32()? as usize != rank || d.u32()? as usize != nranks {
         return Err(GdiError::Io("rank snapshot identity mismatch".into()));
     }
     let cfg = decode_cfg(&mut d)?;
-    if cfg.block_size != eng.cfg().block_size
-        || cfg.blocks_per_rank != eng.cfg().blocks_per_rank
-        || cfg.dht_buckets_per_rank != eng.cfg().dht_buckets_per_rank
-        || cfg.dht_heap_per_rank != eng.cfg().dht_heap_per_rank
+    if cfg.block_size != layout.block_size
+        || cfg.blocks_per_rank != layout.blocks_per_rank
+        || cfg.dht_buckets_per_rank != layout.dht_buckets_per_rank
+        || cfg.dht_heap_per_rank != layout.dht_heap_per_rank
     {
         return Err(GdiError::Io("snapshot layout does not match config".into()));
     }
@@ -1192,8 +1223,13 @@ pub struct RankRecovery {
     /// Wall-clock seconds of restore + replay on this rank.
     pub wall_restore_s: f64,
     /// Id of the checkpoint taken at the end of recovery (`None` if it
-    /// failed; the database still serves, logs keep appending).
+    /// failed; the database still serves, logs keep appending — except
+    /// for a resharded recovery, where the closing checkpoint is
+    /// mandatory and its failure fails the restore).
     pub final_checkpoint: Option<u64>,
+    /// `Some(P)` when this restore resharded a `P`-rank snapshot onto a
+    /// different live rank count (see [`recover_with_topology`]).
+    pub resharded_from: Option<usize>,
 }
 
 /// Tombstone key: the deleted object's identity `(primary, app_id,
@@ -1226,6 +1262,11 @@ pub struct RecoveryPlan {
     /// cross-log) from an older record of the deleted object — which
     /// must never resurrect it.
     tombstones: Mutex<FxHashMap<TombKey, TombInfo>>,
+    /// `Some` when the plan restores onto a different rank count than
+    /// the snapshot was written by: [`RecoveryPlan::restore_rank`] then
+    /// runs the elastic redistribution of the `reshard` module instead of
+    /// the physical window restore.
+    reshard: Option<crate::reshard::ReshardState>,
     stats: Mutex<Vec<Option<RankRecovery>>>,
 }
 
@@ -1241,6 +1282,18 @@ impl RecoveryPlan {
     /// The checkpoint id the plan restores from (0 = genesis).
     pub fn snapshot_id(&self) -> u64 {
         self.snapshot_id
+    }
+
+    /// `Some(P)` when this plan reshards a `P`-rank snapshot onto a
+    /// different live topology; `None` for a same-topology restore.
+    pub fn resharding_from(&self) -> Option<usize> {
+        self.reshard.as_ref().map(|rs| rs.map.snapshot_ranks())
+    }
+
+    /// Number of logical objects a resharded restore will redistribute
+    /// (0 for a same-topology restore). Diagnostic/bench support.
+    pub fn reshard_objects(&self) -> usize {
+        self.reshard.as_ref().map_or(0, |rs| rs.object_count())
     }
 
     /// Per-rank recovery stats (filled as ranks finish restoring).
@@ -1262,6 +1315,20 @@ impl RecoveryPlan {
         let store = eng
             .persistence()
             .ok_or(GdiError::InvalidArgument("persistence not enabled"))?;
+        // elastic path: the snapshot was written by a different rank
+        // count — redistribute instead of restoring windows verbatim
+        if let Some(rs) = &self.reshard {
+            return match crate::reshard::restore_rank_resharded(rs, eng, &store) {
+                Ok(out) => {
+                    self.stats.lock()[me] = Some(out.clone());
+                    Ok(out)
+                }
+                Err(e) => {
+                    self.restored[me].store(false, Ordering::SeqCst);
+                    Err(e)
+                }
+            };
+        }
         let ctx = eng.ctx();
         let wall0 = Instant::now();
         let sim0 = ctx.now_ns();
@@ -1278,14 +1345,16 @@ impl RecoveryPlan {
         let snap_read: GdiResult<Option<RankSnapshot>> = if self.snapshot_id == 0 {
             Ok(None)
         } else {
-            read_rank_snapshot(eng, &store, self.snapshot_id).and_then(|snap| {
-                for (win, bytes) in ALL_WINDOWS.iter().zip(&snap.windows) {
-                    if bytes.len() != ctx.win_len_bytes(*win) {
-                        return Err(GdiError::Io("snapshot window size mismatch".into()));
+            read_rank_snapshot_file(&store, self.snapshot_id, me, eng.cfg(), eng.nranks()).and_then(
+                |snap| {
+                    for (win, bytes) in ALL_WINDOWS.iter().zip(&snap.windows) {
+                        if bytes.len() != ctx.win_len_bytes(*win) {
+                            return Err(GdiError::Io("snapshot window size mismatch".into()));
+                        }
                     }
-                }
-                Ok(Some(snap))
-            })
+                    Ok(Some(snap))
+                },
+            )
         };
         // only a genuinely absent redo segment counts as an empty tail;
         // any other I/O error must surface, not silently drop commits
@@ -1604,10 +1673,32 @@ fn apply_record(
 /// restores the catalog and index definitions from the manifest, and
 /// returns the database, a freshly built fabric and the
 /// [`RecoveryPlan`] whose [`RecoveryPlan::restore_rank`] every rank
-/// must run inside `fabric.run` before serving.
+/// must run inside `fabric.run` before serving. Boots the topology the
+/// snapshot was written by; use [`recover_with_topology`] to restore
+/// onto a different rank count.
 pub fn recover(
     opts: PersistOptions,
     cost: CostModel,
+) -> GdiResult<(Arc<GdaDb>, Fabric, Arc<RecoveryPlan>)> {
+    recover_with_topology(opts, cost, None)
+}
+
+/// [`recover`] with an **elastic target topology**: restore the latest
+/// snapshot (written by `P` ranks) onto `target_ranks = Some(Q)` ranks.
+///
+/// `None` (or `Some(P)`) boots the snapshot's own topology and restores
+/// physically. For `Q ≠ P` the returned plan carries a full
+/// redistribution (see `docs/ARCHITECTURE.md` § Resharding): the logical database
+/// contents — every vertex, edge, property, index posting and DHT entry,
+/// snapshot *plus* replayed redo tails — are rebuilt on the `Q`-rank
+/// fabric under the new ownership map, and a fresh `Q`-topology
+/// checkpoint commits the reshard before the restore returns. The
+/// database's config is grown automatically where `Q` ranks need more
+/// per-rank capacity than `P` did (scale-in).
+pub fn recover_with_topology(
+    opts: PersistOptions,
+    cost: CostModel,
+    target_ranks: Option<usize>,
 ) -> GdiResult<(Arc<GdaDb>, Fabric, Arc<RecoveryPlan>)> {
     let current = fs::read_to_string(opts.dir.join("CURRENT"))
         .map_err(|e| io_err("read CURRENT", e))?
@@ -1620,20 +1711,77 @@ pub fn recover(
     if manifest.id != current {
         return Err(GdiError::Io("manifest id does not match CURRENT".into()));
     }
-    let nranks = manifest.nranks;
+    let snapshot_ranks = manifest.nranks;
+    let live_ranks = target_ranks.unwrap_or(snapshot_ranks);
+    if live_ranks == 0 || live_ranks > u16::MAX as usize {
+        return Err(GdiError::InvalidArgument(
+            "target rank count must be in 1..=65535",
+        ));
+    }
+
+    let store = PersistStore::new(opts, live_ranks, current);
+
+    // elastic path: read the P snapshot shards + logs and build the
+    // redistribution plan (same topology skips straight to the
+    // physical restore — `reshard` stays `None`)
+    let reshard = if live_ranks == snapshot_ranks {
+        None
+    } else {
+        let mut snapshots: Vec<Option<RankSnapshot>> = Vec::with_capacity(snapshot_ranks);
+        let mut snap_bytes = Vec::with_capacity(snapshot_ranks);
+        for rank in 0..snapshot_ranks {
+            if current == 0 {
+                snapshots.push(None); // genesis: logs only
+                snap_bytes.push(0);
+                continue;
+            }
+            let snap =
+                read_rank_snapshot_file(&store, current, rank, &manifest.cfg, snapshot_ranks)?;
+            snap_bytes.push(snap.bytes);
+            snapshots.push(Some(snap));
+        }
+        let mut logs: Vec<Vec<RedoRecord>> = Vec::with_capacity(snapshot_ranks);
+        let mut log_bytes = Vec::with_capacity(snapshot_ranks);
+        for rank in 0..snapshot_ranks {
+            // the P-topology segments are read-only here (no
+            // truncation): they must stay intact for a fallback
+            // same-topology recovery should the reshard abort
+            let bytes = match fs::read(store.log_path(current, rank)) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(io_err("read redo segment", e)),
+            };
+            let (records, valid_len) = parse_log(&bytes);
+            log_bytes.push(valid_len as u64);
+            logs.push(records);
+        }
+        Some(crate::reshard::plan(
+            &manifest.cfg,
+            crate::rankmap::RankMap::resharded(snapshot_ranks, live_ranks),
+            &manifest.index_defs,
+            &snapshots,
+            &logs,
+            snap_bytes,
+            log_bytes,
+        )?)
+    };
+
+    // one construction tail for both paths; only the config differs
+    // (a reshard may have grown per-rank capacity for scale-in)
+    let cfg = reshard.as_ref().map_or(manifest.cfg, |r| r.cfg);
     let meta = MetaStore::from_parts(manifest.meta);
-    let indexes = IndexShared::from_parts(nranks, manifest.index_defs, manifest.index_next_id);
-    let db = GdaDb::restore(&manifest.name, manifest.cfg, nranks, meta, indexes);
-    let store = PersistStore::new(opts, nranks, current);
+    let indexes = IndexShared::from_parts(live_ranks, manifest.index_defs, manifest.index_next_id);
+    let db = GdaDb::restore(&manifest.name, cfg, live_ranks, meta, indexes);
     db.set_persistence(store);
-    let fabric = db.cfg.build_fabric(nranks, cost);
+    let fabric = db.cfg.build_fabric(live_ranks, cost);
     let plan = Arc::new(RecoveryPlan {
         snapshot_id: current,
-        restored: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+        restored: (0..live_ranks).map(|_| AtomicBool::new(false)).collect(),
         deferred: Mutex::new(FxHashSet::default()),
         claimed: Mutex::new(FxHashSet::default()),
         tombstones: Mutex::new(FxHashMap::default()),
-        stats: Mutex::new(vec![None; nranks]),
+        reshard,
+        stats: Mutex::new(vec![None; live_ranks]),
     });
     Ok((db, fabric, plan))
 }
@@ -2382,6 +2530,352 @@ mod tests {
             tx.delete_vertex(v).unwrap();
             tx.commit().unwrap();
             assert_eq!(eng.bm.count_free(0), eng.cfg().blocks_per_rank);
+        });
+    }
+
+    /// Per app id: `None` (does not translate) or the `val` property
+    /// plus the any-orientation edge count.
+    type Observed = Vec<(u64, Option<(Option<PropertyValue>, usize)>)>;
+
+    /// The observable state a reshard must preserve: per app id the
+    /// `val` property and the any-orientation edge count, plus (when an
+    /// index exists) the global set of indexed app ids.
+    fn observable_state(eng: &GdaRank, ids: u64, val: PTypeId) -> Observed {
+        let tx = eng.begin(AccessMode::ReadOnly);
+        let out = (0..ids)
+            .map(|i| {
+                let entry = tx.translate_vertex_id(AppVertexId(i)).ok().map(|v| {
+                    (
+                        tx.property(v, val).unwrap(),
+                        tx.edge_count(v, EdgeOrientation::Any).unwrap(),
+                    )
+                });
+                (i, entry)
+            })
+            .collect();
+        tx.commit().unwrap();
+        out
+    }
+
+    /// Elastic reshard end to end: a 2-rank database with properties,
+    /// lightweight + heavyweight edges, an index, a checkpoint and a
+    /// redo tail (including a delete) restores identically onto 1, 3
+    /// and 5 ranks — and the resharded database checkpoints at its own
+    /// topology, so a further same-topology recovery works.
+    #[test]
+    fn resharded_recovery_preserves_state_across_rank_counts() {
+        let td = TestDir::new("reshard");
+        let cfg = GdaConfig::tiny();
+        let ids = 10u64;
+        {
+            let (db, fabric) = GdaDb::with_fabric("rs", cfg, 2, CostModel::zero());
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                if ctx.rank() == 0 {
+                    eng.create_label("Node").unwrap();
+                    eng.create_ptype(
+                        "val",
+                        Datatype::Uint64,
+                        EntityType::Vertex,
+                        Multiplicity::Single,
+                        SizeType::Fixed,
+                        1,
+                    )
+                    .unwrap();
+                    eng.create_ptype(
+                        "weight",
+                        Datatype::Uint64,
+                        EntityType::Edge,
+                        Multiplicity::Single,
+                        SizeType::Fixed,
+                        1,
+                    )
+                    .unwrap();
+                    eng.create_index("nodes", vec![LabelId(1)], vec![]).unwrap();
+                }
+                ctx.barrier();
+                eng.refresh_meta();
+                let val = eng.meta().ptype_from_name("val").unwrap();
+                let weight = eng.meta().ptype_from_name("weight").unwrap();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    for i in 0..ids {
+                        let v = tx.create_vertex(AppVertexId(i)).unwrap();
+                        tx.add_property(v, val, &PropertyValue::U64(i * 7)).unwrap();
+                        if i.is_multiple_of(2) {
+                            tx.add_label(v, LabelId(1)).unwrap();
+                        }
+                    }
+                    tx.commit().unwrap();
+                    // a heavyweight edge (property on the edge)
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let a = tx.translate_vertex_id(AppVertexId(0)).unwrap();
+                    let b = tx.translate_vertex_id(AppVertexId(3)).unwrap();
+                    let e = tx.add_edge(a, b, None, true).unwrap();
+                    tx.set_edge_property(e, weight, &PropertyValue::U64(42))
+                        .unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                eng.checkpoint().unwrap();
+                // redo tail: cross-rank edges, an update, a delete, and
+                // a vertex that exists only in the logs
+                if ctx.rank() == 1 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let a = tx.translate_vertex_id(AppVertexId(1)).unwrap();
+                    let b = tx.translate_vertex_id(AppVertexId(6)).unwrap();
+                    tx.add_edge(a, b, None, true).unwrap();
+                    tx.update_property(a, val, &PropertyValue::U64(999))
+                        .unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let d = tx.translate_vertex_id(AppVertexId(4)).unwrap();
+                    tx.delete_vertex(d).unwrap();
+                    tx.commit().unwrap();
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let v = tx.create_vertex(AppVertexId(100)).unwrap();
+                    tx.add_property(v, val, &PropertyValue::U64(5)).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+            });
+        }
+        // reference: what a same-topology recovery reads back
+        let want = {
+            let (db, fabric, plan) =
+                recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+            let states = fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                plan.restore_rank(&eng).unwrap();
+                let val = eng.meta().ptype_from_name("val").unwrap();
+                observable_state(&eng, 101, val)
+            });
+            states.into_iter().next().unwrap()
+        };
+        // each reshard's closing checkpoint becomes the next snapshot,
+        // so the chain re-reshards its own output: 2 → 1 → 3 → 5
+        let mut from = 2usize;
+        for q in [1usize, 3, 5] {
+            let (db, fabric, plan) =
+                recover_with_topology(PersistOptions::new(&td.0), CostModel::zero(), Some(q))
+                    .unwrap();
+            assert_eq!(plan.resharding_from(), Some(from), "Q={q}");
+            assert!(plan.reshard_objects() > 0);
+            let states = fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                let rec = plan.restore_rank(&eng).unwrap();
+                assert_eq!(rec.resharded_from, Some(from));
+                assert!(rec.final_checkpoint.is_some(), "reshard must publish");
+                let val = eng.meta().ptype_from_name("val").unwrap();
+                let weight = eng.meta().ptype_from_name("weight").unwrap();
+                let got = observable_state(&eng, 101, val);
+                // the heavy edge's property survived the move
+                let tx = eng.begin(AccessMode::ReadOnly);
+                let a = tx.translate_vertex_id(AppVertexId(0)).unwrap();
+                let e = tx.edges(a, EdgeOrientation::Outgoing).unwrap()[0];
+                assert_eq!(
+                    tx.edge_property(e, weight).unwrap(),
+                    Some(PropertyValue::U64(42)),
+                    "Q={q}"
+                );
+                tx.commit().unwrap();
+                // index postings survived membership-exact (vertex 4
+                // was even/labelled but deleted in the tail)
+                let ix = eng.all_indexes()[0].id;
+                let mine: Vec<u64> = eng
+                    .local_index_vertices(ix)
+                    .into_iter()
+                    .map(|p| p.app_id.0)
+                    .collect();
+                let mut all: Vec<u64> = ctx.allgatherv(mine).into_iter().flatten().collect();
+                all.sort_unstable();
+                assert_eq!(all, vec![0, 2, 6, 8], "Q={q}");
+                // the resharded database accepts new transactions
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    tx.create_vertex(AppVertexId(500 + q as u64)).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                got
+            });
+            for state in &states {
+                assert_eq!(state, &want, "Q={q} diverged from same-topology recovery");
+            }
+            // the reshard's closing checkpoint is a native Q-topology
+            // snapshot: a plain recover() boots Q ranks from it
+            let (db2, fabric2, plan2) =
+                recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+            assert_eq!(db2.nranks(), q);
+            let states2 = fabric2.run(|ctx| {
+                let eng = db2.attach(ctx);
+                let rec = plan2.restore_rank(&eng).unwrap();
+                assert_eq!(rec.errors, 0);
+                let val = eng.meta().ptype_from_name("val").unwrap();
+                observable_state(&eng, 101, val)
+            });
+            let mut follow = states2.into_iter().next().unwrap();
+            // drop the vertices added post-reshard before comparing
+            follow.retain(|(id, _)| *id < 500);
+            assert_eq!(follow, want, "post-reshard recovery at Q={q}");
+            from = q;
+        }
+    }
+
+    /// Genesis reshard: no checkpoint was ever taken — the logical
+    /// state comes entirely from the redo logs, rebuilt on more ranks.
+    #[test]
+    fn genesis_reshard_replays_logs_onto_new_topology() {
+        let td = TestDir::new("genesis-reshard");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("gr", cfg, 2, CostModel::zero());
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    for i in 0..6u64 {
+                        tx.create_vertex(AppVertexId(i)).unwrap();
+                    }
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let a = tx.translate_vertex_id(AppVertexId(2)).unwrap();
+                    let b = tx.translate_vertex_id(AppVertexId(5)).unwrap();
+                    tx.add_edge(a, b, None, true).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+            });
+        }
+        let (db, fabric, plan) =
+            recover_with_topology(PersistOptions::new(&td.0), CostModel::zero(), Some(3)).unwrap();
+        assert_eq!(plan.snapshot_id(), 0);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            plan.restore_rank(&eng).unwrap();
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in 0..6u64 {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            let a = tx.translate_vertex_id(AppVertexId(2)).unwrap();
+            assert_eq!(tx.edge_count(a, EdgeOrientation::Outgoing).unwrap(), 1);
+            tx.commit().unwrap();
+        });
+    }
+
+    /// A mid-reshard failure on a *receiving* rank must abort the whole
+    /// restore collectively (no barrier deadlock), leave `CURRENT` at
+    /// the previous P-topology snapshot, and keep a plain same-topology
+    /// recovery of that snapshot fully working.
+    #[test]
+    fn failed_reshard_keeps_previous_snapshot_recoverable() {
+        let td = TestDir::new("failreshard");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("fr", cfg, 2, CostModel::zero());
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    for i in 0..8u64 {
+                        tx.create_vertex(AppVertexId(i)).unwrap();
+                    }
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                eng.checkpoint().unwrap();
+                if ctx.rank() == 1 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    tx.create_vertex(AppVertexId(50)).unwrap();
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+            });
+        }
+        {
+            let (db, fabric, plan) =
+                recover_with_topology(PersistOptions::new(&td.0), CostModel::zero(), Some(4))
+                    .unwrap();
+            db.persistence().unwrap().inject_reshard_failures(1);
+            let results = fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                plan.restore_rank(&eng).err()
+            });
+            assert!(
+                results.iter().all(|e| e.is_some()),
+                "every rank must observe the collective abort: {results:?}"
+            );
+        }
+        // CURRENT still names the P-topology snapshot...
+        let cur = fs::read_to_string(td.0.join("CURRENT")).unwrap();
+        assert_eq!(cur.trim(), "1", "aborted reshard must not publish");
+        // ...and the untouched snapshot + logs recover at P as before
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        assert_eq!(db.nranks(), 2);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0);
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in (0..8u64).chain([50]) {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            tx.commit().unwrap();
+        });
+    }
+
+    /// Scale-in concentrates all data on fewer ranks: the live config
+    /// must grow (blocks / DHT heap) so a 4-rank dataset fits on 1.
+    #[test]
+    fn scale_in_grows_per_rank_capacity() {
+        let td = TestDir::new("scalein");
+        let cfg = GdaConfig::tiny(); // 256 blocks, 256 heap entries/rank
+        let per_rank = 120u64; // ~480 vertices: far beyond one tiny rank
+        {
+            let (db, fabric) = GdaDb::with_fabric("si", cfg, 4, CostModel::zero());
+            db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                let me = ctx.rank() as u64;
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for k in 0..per_rank {
+                    tx.create_vertex(AppVertexId(me + 4 * k)).unwrap();
+                }
+                tx.commit().unwrap();
+                ctx.barrier();
+                eng.checkpoint().unwrap();
+            });
+        }
+        let (db, fabric, plan) =
+            recover_with_topology(PersistOptions::new(&td.0), CostModel::zero(), Some(1)).unwrap();
+        assert!(
+            db.cfg.blocks_per_rank > cfg.blocks_per_rank,
+            "block pool must grow for scale-in: {}",
+            db.cfg.blocks_per_rank
+        );
+        assert!(db.cfg.dht_heap_per_rank > cfg.dht_heap_per_rank);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0, "{rec:?}");
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in 0..per_rank * 4 {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            tx.commit().unwrap();
         });
     }
 

@@ -269,6 +269,14 @@ impl<'a> RankCtx<'a> {
         self.stats.record_log_write(bytes);
     }
 
+    /// Record this rank's share of an elastic-reshard redistribution
+    /// (`objects` re-materialized holders, `bytes` of payload). Pure
+    /// accounting — the window writes themselves were already charged
+    /// as ordinary puts by the restore path.
+    pub fn record_reshard(&self, objects: u64, bytes: u64) {
+        self.stats.record_reshard(objects, bytes);
+    }
+
     /// Quiesce the fabric: flush every peer, then synchronize all ranks
     /// (a barrier on the reconciled clock). After every rank returns,
     /// no one-sided operation issued before the quiesce is outstanding

@@ -26,6 +26,8 @@ pub struct CommStats {
     log_appends: Cell<u64>,
     log_bytes: Cell<u64>,
     quiesces: Cell<u64>,
+    reshard_objects: Cell<u64>,
+    reshard_bytes: Cell<u64>,
 }
 
 impl CommStats {
@@ -110,6 +112,17 @@ impl CommStats {
         self.quiesces.set(self.quiesces.get() + 1);
     }
 
+    /// Record an elastic-reshard redistribution on this rank: `objects`
+    /// logical objects re-materialized here, `bytes` of holder payload
+    /// moved into this rank's windows (the restore-path equivalent of
+    /// the redo-log counters).
+    #[inline]
+    pub fn record_reshard(&self, objects: u64, bytes: u64) {
+        self.reshard_objects
+            .set(self.reshard_objects.get() + objects);
+        self.reshard_bytes.set(self.reshard_bytes.get() + bytes);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -136,6 +149,8 @@ impl CommStats {
             log_appends: self.log_appends.get(),
             log_bytes: self.log_bytes.get(),
             quiesces: self.quiesces.get(),
+            reshard_objects: self.reshard_objects.get(),
+            reshard_bytes: self.reshard_bytes.get(),
             sim_time_ns: 0.0,
         }
     }
@@ -169,6 +184,11 @@ pub struct RankReport {
     pub log_bytes: u64,
     /// Fabric quiesces (checkpoint drain barriers) this rank entered.
     pub quiesces: u64,
+    /// Logical objects this rank re-materialized during an elastic
+    /// reshard (restore onto a different rank count).
+    pub reshard_objects: u64,
+    /// Holder payload bytes moved into this rank by an elastic reshard.
+    pub reshard_bytes: u64,
     /// Final simulated time of the rank in nanoseconds.
     pub sim_time_ns: f64,
 }
@@ -203,6 +223,8 @@ impl RankReport {
         self.log_appends += other.log_appends;
         self.log_bytes += other.log_bytes;
         self.quiesces += other.quiesces;
+        self.reshard_objects += other.reshard_objects;
+        self.reshard_bytes += other.reshard_bytes;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
     }
 }

@@ -175,6 +175,9 @@ pub struct RecoverySummary {
     pub max_wall_restore_s: f64,
     /// Ranks that finished restoring so far.
     pub ranks_restored: usize,
+    /// `Some(P)` when this recovery **resharded** a `P`-rank snapshot
+    /// onto a different live rank count (elastic restore).
+    pub resharded_from: Option<usize>,
 }
 
 /// Whole-server snapshot: per-rank plus aggregates.

@@ -200,7 +200,23 @@ impl GdiServer {
         cost: CostModel,
         server_opts: ServerOptions,
     ) -> GdiResult<(GdiServer, Fabric)> {
-        let (db, fabric, plan) = gda::persist::recover(opts, cost)?;
+        Self::recover_with_ranks(opts, cost, server_opts, None)
+    }
+
+    /// [`GdiServer::recover`] with an **elastic target topology**: boot
+    /// the latest snapshot (written by `P` ranks) onto `Some(Q)` ranks.
+    /// The serve loops run the full redistribution collectively before
+    /// draining any request (see `gda::persist::recover_with_topology`);
+    /// once they serve, the database is a native `Q`-rank database with
+    /// its own published checkpoint. `None` keeps the snapshot's
+    /// topology.
+    pub fn recover_with_ranks(
+        opts: PersistOptions,
+        cost: CostModel,
+        server_opts: ServerOptions,
+        target_ranks: Option<usize>,
+    ) -> GdiResult<(GdiServer, Fabric)> {
+        let (db, fabric, plan) = gda::persist::recover_with_topology(opts, cost, target_ranks)?;
         let server = GdiServer::new(db, server_opts);
         *server.0.recovery.lock() = Some(plan);
         Ok((server, fabric))
@@ -561,6 +577,7 @@ impl GdiServer {
                 sum.max_sim_restore_s = sum.max_sim_restore_s.max(s.sim_restore_s);
                 sum.max_wall_restore_s = sum.max_wall_restore_s.max(s.wall_restore_s);
                 sum.ranks_restored += 1;
+                sum.resharded_from = sum.resharded_from.or(s.resharded_from);
             }
             sum
         });

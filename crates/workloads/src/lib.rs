@@ -23,6 +23,10 @@
 //! * [`recovery`] — the crash/restart axis: tracked traffic with a
 //!   mid-stream collective checkpoint, a kill, a recovery from disk,
 //!   and read-your-committed-writes verification across the restart;
+//! * [`reshard`] — the elastic axis: the same kill-and-restart, but the
+//!   recovered server boots a **different rank count** (scale-out and
+//!   scale-in across the restart), forcing the full redistribution
+//!   path, with a post-reshard throughput phase;
 //! * [`scratch`] — self-cleaning temp directories shared by the
 //!   crash/restart tests and benches.
 
@@ -34,6 +38,7 @@ pub mod locality;
 pub mod olsp;
 pub mod oltp;
 pub mod recovery;
+pub mod reshard;
 pub mod scratch;
 pub mod traffic;
 

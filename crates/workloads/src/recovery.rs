@@ -52,6 +52,14 @@ pub struct RecoveryScenario {
     pub cost: CostModel,
     /// Base-graph vertices sampled for cross-restart read comparison.
     pub base_sample: usize,
+    /// Rank count of the **recovered** server: `None` restarts at the
+    /// original topology; `Some(Q ≠ nranks)` reshards the snapshot and
+    /// redo logs onto `Q` ranks during recovery (elastic restart).
+    pub restart_ranks: Option<usize>,
+    /// Tracked ops per session driven against the *recovered* server
+    /// after verification (post-restart throughput measurement; 0 =
+    /// skip).
+    pub post_ops: usize,
 }
 
 impl RecoveryScenario {
@@ -68,6 +76,8 @@ impl RecoveryScenario {
             server: ServerOptions::default(),
             cost: CostModel::default(),
             base_sample: 16,
+            restart_ranks: None,
+            post_ops: 0,
         }
     }
 }
@@ -92,8 +102,14 @@ pub struct RecoveryReport {
     /// Wall-clock seconds of the serving phase (traffic + checkpoint).
     pub serve_wall_s: f64,
     /// Wall-clock seconds from `recover()` to a serving, verified
-    /// database (includes replay).
+    /// database (includes replay — or the full redistribution on an
+    /// elastic restart).
     pub restart_wall_s: f64,
+    /// Tracked ops committed against the recovered server after
+    /// verification (0 when `post_ops` is 0).
+    pub post_committed: u64,
+    /// Wall-clock seconds of that post-restart traffic phase.
+    pub post_wall_s: f64,
 }
 
 impl RecoveryReport {
@@ -385,14 +401,27 @@ pub fn run_kill_restart(cfg: &RecoveryScenario) -> RecoveryReport {
     };
     let serve_wall_s = serve_t0.elapsed().as_secs_f64();
 
-    // ---- phase 2: recover from disk and verify -----------------------
+    // ---- phase 2: recover from disk (same topology or elastic) and
+    // verify ------------------------------------------------------------
     let restart_t0 = std::time::Instant::now();
-    let (srv, fabric) =
-        GdiServer::recover(PersistOptions::new(&cfg.dir), cfg.cost, cfg.server.clone())
-            .expect("recover from persistence dir");
+    let (srv, fabric) = GdiServer::recover_with_ranks(
+        PersistOptions::new(&cfg.dir),
+        cfg.cost,
+        cfg.server.clone(),
+        cfg.restart_ranks,
+    )
+    .expect("recover from persistence dir");
     let mut mismatches: Vec<String> = Vec::new();
     let mut checks = 0u64;
     let mut recovery = None;
+    let mut post_committed = 0u64;
+    let mut post_wall_s = 0.0f64;
+    let mut restart_wall_s = 0.0f64;
+    // what the *old* server acknowledged (post-restart traffic below
+    // must not count into the cross-restart verification totals)
+    let committed_old: u64 = trackers.iter().map(|t| t.committed).sum();
+    let aborted_old: u64 = trackers.iter().map(|t| t.aborted).sum();
+    let indeterminate_old: u64 = trackers.iter().map(|t| t.indeterminate).sum();
     std::thread::scope(|scope| {
         let s = &srv;
         let ranks = scope.spawn(move || fabric.run(|ctx| s.serve_rank(ctx)));
@@ -442,21 +471,42 @@ pub fn run_kill_restart(cfg: &RecoveryScenario) -> RecoveryReport {
             );
         }
         recovery = srv.metrics().recovery;
+        // the restore metric ends at "serving + verified": the optional
+        // post-restart traffic phase must not inflate it
+        restart_wall_s = restart_t0.elapsed().as_secs_f64();
+        // post-restart traffic: the recovered (possibly resharded)
+        // server keeps serving tracked sessions — throughput sample
+        if cfg.post_ops > 0 {
+            let before: u64 = trackers.iter().map(|t| t.committed).sum();
+            let post_t0 = std::time::Instant::now();
+            drive_phase(
+                &srv,
+                &meta,
+                &mut trackers,
+                &mut rngs,
+                &mut next_new,
+                &mut update_counters,
+                cfg.post_ops,
+            );
+            post_wall_s = post_t0.elapsed().as_secs_f64();
+            post_committed = trackers.iter().map(|t| t.committed).sum::<u64>() - before;
+        }
         srv.shutdown();
         ranks.join().expect("recovered fabric panicked");
     });
-    let restart_wall_s = restart_t0.elapsed().as_secs_f64();
 
     RecoveryReport {
-        committed_writes: trackers.iter().map(|t| t.committed).sum(),
-        aborted_writes: trackers.iter().map(|t| t.aborted).sum(),
-        indeterminate: trackers.iter().map(|t| t.indeterminate).sum(),
+        committed_writes: committed_old,
+        aborted_writes: aborted_old,
+        indeterminate: indeterminate_old,
         checks,
         mismatches,
         checkpoint,
         recovery,
         serve_wall_s,
         restart_wall_s,
+        post_committed,
+        post_wall_s,
     }
 }
 

@@ -1,0 +1,134 @@
+//! Elastic-reshard traffic scenario: run at `P` ranks, checkpoint
+//! mid-traffic, kill, restart at `Q ≠ P` ranks, verify, keep serving.
+//!
+//! A thin shape over the kill-and-restart machinery of
+//! [`crate::recovery`] — the scenario is identical except that the
+//! recovered server boots a **different rank count**
+//! ([`server::GdiServer::recover_with_ranks`]), which forces the full
+//! redistribution path in `gda`: remapped vertex ownership, rewritten
+//! `DPtr`s, re-placed DHT entries and index partitions, and a fresh
+//! `Q`-topology checkpoint — all verified by the same
+//! read-your-committed-writes checks (tracked property values,
+//! deletions, edge counts, and a base-graph sample), plus an optional
+//! post-reshard traffic phase measuring throughput on the new topology.
+
+use std::path::PathBuf;
+
+use rma::CostModel;
+use server::ServerOptions;
+
+use crate::recovery::{run_kill_restart, RecoveryReport, RecoveryScenario};
+
+/// Shape of one scale-out / scale-in run.
+#[derive(Debug, Clone)]
+pub struct ReshardScenario {
+    /// Ranks serving the original traffic (the snapshot topology `P`).
+    pub ranks_before: usize,
+    /// Ranks of the recovered server (the live topology `Q`).
+    pub ranks_after: usize,
+    /// Kronecker scale of the bulk-loaded base graph.
+    pub scale: u32,
+    /// Concurrent tracked client sessions.
+    pub sessions: usize,
+    /// Tracked ops per session before the mid-traffic checkpoint.
+    pub ops_before: usize,
+    /// Tracked ops per session after it (redo-tail-only at kill time).
+    pub ops_after: usize,
+    /// Tracked ops per session against the resharded server after
+    /// verification (post-reshard throughput; 0 = skip).
+    pub ops_post: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Persistence directory.
+    pub dir: PathBuf,
+    /// Server tuning for both servers.
+    pub server: ServerOptions,
+    /// Fabric cost model.
+    pub cost: CostModel,
+}
+
+impl ReshardScenario {
+    /// A small default scale-out shape (2 → 4) writing under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            ranks_before: 2,
+            ranks_after: 4,
+            scale: 7,
+            sessions: 8,
+            ops_before: 30,
+            ops_after: 30,
+            ops_post: 20,
+            seed: 0xE1A5,
+            dir: dir.into(),
+            server: ServerOptions::default(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Run the scale-out/in scenario; the report's `mismatches` must be
+/// empty for a correct reshard (zero lost or stale committed writes).
+pub fn run_reshard(cfg: &ReshardScenario) -> RecoveryReport {
+    let mut inner = RecoveryScenario::new(&cfg.dir);
+    inner.nranks = cfg.ranks_before;
+    inner.scale = cfg.scale;
+    inner.sessions = cfg.sessions;
+    inner.ops_before = cfg.ops_before;
+    inner.ops_after = cfg.ops_after;
+    inner.post_ops = cfg.ops_post;
+    inner.seed = cfg.seed;
+    inner.server = cfg.server.clone();
+    inner.cost = cfg.cost;
+    inner.restart_ranks = Some(cfg.ranks_after);
+    run_kill_restart(&inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(p: usize, q: usize) -> RecoveryReport {
+        let dir = crate::scratch::ScratchDir::new(&format!("wl-reshard-{p}-{q}"));
+        let mut cfg = ReshardScenario::new(dir.path());
+        cfg.ranks_before = p;
+        cfg.ranks_after = q;
+        cfg.scale = 6;
+        cfg.sessions = 4;
+        cfg.ops_before = 20;
+        cfg.ops_after = 20;
+        cfg.ops_post = 10;
+        cfg.cost = CostModel::zero();
+        run_reshard(&cfg)
+    }
+
+    #[test]
+    fn scale_out_round_trip() {
+        let report = run(2, 4);
+        assert!(report.committed_writes > 0, "{report:?}");
+        assert!(
+            report.passed(),
+            "read-your-committed-writes across a 2→4 reshard violated:\n{}",
+            report.mismatches.join("\n")
+        );
+        let rec = report.recovery.expect("recovery metrics");
+        assert_eq!(rec.resharded_from, Some(2));
+        assert_eq!(rec.ranks_restored, 4);
+        assert_eq!(rec.errors, 0);
+        assert!(report.post_committed > 0, "resharded server must serve");
+    }
+
+    #[test]
+    fn scale_in_round_trip() {
+        let report = run(4, 2);
+        assert!(report.committed_writes > 0, "{report:?}");
+        assert!(
+            report.passed(),
+            "read-your-committed-writes across a 4→2 reshard violated:\n{}",
+            report.mismatches.join("\n")
+        );
+        let rec = report.recovery.expect("recovery metrics");
+        assert_eq!(rec.resharded_from, Some(4));
+        assert_eq!(rec.ranks_restored, 2);
+        assert!(report.post_committed > 0);
+    }
+}

@@ -253,7 +253,9 @@ fn recover_from_previous_snapshot_after_failed_checkpoint() {
     let cfg = GdaConfig::tiny();
     {
         let (db, fabric) = GdaDb::with_fabric("prev", cfg, 2, CostModel::zero());
-        let store = db.enable_persistence(PersistOptions::new(td.path())).unwrap();
+        let store = db
+            .enable_persistence(PersistOptions::new(td.path()))
+            .unwrap();
         fabric.run(|ctx| {
             let eng = db.attach(ctx);
             eng.init_collective();
