@@ -7,7 +7,7 @@
 //! the property count and the edge factor, reporting OLTP Read-Mostly
 //! throughput and the per-vertex holder footprint.
 
-use gdi_bench::{emit, gda_oltp, RunParams};
+use gdi_bench::{emit, emit_json, gda_oltp, RunParams};
 use graphgen::{GraphSpec, LpgConfig};
 use workloads::oltp::Mix;
 
@@ -22,6 +22,7 @@ fn main() {
     let ops = params.ops_per_rank;
     let mut out =
         String::from("### §6.6 — varying labels, properties, edge factor (Read Mostly)\n");
+    let mut json_rows: Vec<String> = Vec::new();
     out.push_str(&format!(
         "{:<34} {:>8} {:>10} {:>14}\n",
         "configuration", "ranks", "MQ/s", "bytes/vertex"
@@ -49,6 +50,9 @@ fn main() {
             lpg.bytes_per_vertex()
         ));
         eprintln!("  labels={labels}: {mqps:.4} MQ/s");
+        json_rows.push(format!(
+            "{{\"axis\":\"labels\",\"value\":{labels},\"mqps\":{mqps:.6}}}"
+        ));
     }
 
     // property sweep
@@ -73,6 +77,9 @@ fn main() {
             lpg.bytes_per_vertex()
         ));
         eprintln!("  ptypes={ptypes}: {mqps:.4} MQ/s");
+        json_rows.push(format!(
+            "{{\"axis\":\"ptypes\",\"value\":{ptypes},\"mqps\":{mqps:.6}}}"
+        ));
     }
 
     // edge-factor sweep (paper default e=16)
@@ -92,6 +99,9 @@ fn main() {
             LpgConfig::default().bytes_per_vertex()
         ));
         eprintln!("  e={ef}: {mqps:.4} MQ/s");
+        json_rows.push(format!(
+            "{{\"axis\":\"edge_factor\",\"value\":{ef},\"mqps\":{mqps:.6}}}"
+        ));
     }
 
     // block-size ablation (the BGDL tunable of §5.5): communication vs
@@ -134,6 +144,9 @@ fn main() {
             "  block_size={bs:<5} -> {mqps:.4} MQ/s, {mem:.1} MB data window/rank\n"
         ));
         eprintln!("  bs={bs}: {mqps:.4} MQ/s");
+        json_rows.push(format!(
+            "{{\"axis\":\"block_size\",\"value\":{bs},\"mqps\":{mqps:.6}}}"
+        ));
     }
 
     // distribution ablation (§5.4: "we tried other distribution schemes,
@@ -206,7 +219,17 @@ fn main() {
             let (mqps, _) = gdi_bench::summarize_oltp(&results);
             out.push_str(&format!("  {name:<12} -> {mqps:.4} MQ/s\n"));
             eprintln!("  dist={name}: {mqps:.4} MQ/s");
+            json_rows.push(format!(
+                "{{\"axis\":\"distribution\",\"value\":\"{name}\",\"mqps\":{mqps:.6}}}"
+            ));
         }
     }
     emit("ablation_lp", &out);
+    emit_json(
+        "ablation_lp",
+        &format!(
+            "{{\"bench\":\"ablation_lp\",\"points\":[{}]}}",
+            json_rows.join(",")
+        ),
+    );
 }

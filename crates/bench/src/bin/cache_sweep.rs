@@ -30,7 +30,7 @@ use rma::CostModel;
 use workloads::locality::VertexSampler;
 use workloads::oltp::{Mix, OpKind};
 
-use gdi_bench::{emit, oltp_sized_config, spec_for};
+use gdi_bench::{emit, emit_json_unless_smoke, oltp_sized_config, spec_for};
 
 /// Which translation path a point exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -350,6 +350,7 @@ fn main() {
     ];
 
     let mut out = String::new();
+    let mut json_rows: Vec<String> = Vec::new();
     out.push_str("### cache_sweep — epoch-validated translation cache, locality axis\n");
     out.push_str(&format!(
         "P={nranks} scale={scale} ({n} vertices), ops/rank={ops}, translate-lookups/rank={lookups}\n\n"
@@ -384,6 +385,14 @@ fn main() {
                 p.sim_s,
                 speedup,
                 p.hit_frac() * 100.0
+            ));
+            json_rows.push(format!(
+                "{{\"section\":\"translate\",\"locality\":\"{lname}\",\
+                 \"mode\":\"{}\",\"sim_s\":{:.9},\"speedup\":{speedup:.3},\
+                 \"hit_frac\":{:.4}}}",
+                mode.label(),
+                p.sim_s,
+                p.hit_frac()
             ));
         }
     }
@@ -435,6 +444,16 @@ fn main() {
                     fail * 100.0,
                     p.stale_reads
                 ));
+                json_rows.push(format!(
+                    "{{\"section\":\"mix\",\"mix\":\"{mname}\",\
+                     \"locality\":\"{lname}\",\"mode\":\"{}\",\"sim_s\":{:.9},\
+                     \"speedup\":{speedup:.3},\"hit_frac\":{:.4},\
+                     \"fail_frac\":{fail:.4},\"stale_reads\":{}}}",
+                    mode.label(),
+                    p.sim_s,
+                    p.hit_frac(),
+                    p.stale_reads
+                ));
             }
         }
     }
@@ -444,6 +463,15 @@ fn main() {
          read-heavy zipf-1.2 pinned end-to-end speedup: {read_zipf_speedup:.2}x\n"
     ));
     emit("cache_sweep", &out);
+    emit_json_unless_smoke(
+        "cache_sweep",
+        &format!(
+            "{{\"bench\":\"cache_sweep\",\"nranks\":{nranks},\"scale\":{scale},\
+             \"points\":[{}]}}",
+            json_rows.join(",")
+        ),
+        smoke,
+    );
 
     assert_eq!(total_stale, 0, "the cache served a stale translation");
     assert!(

@@ -10,7 +10,7 @@
 //! 550 B edges (2× data, 3.49× servers) increased OLTP throughput ≈3×;
 //! we check the analogous doubling at our scale.
 
-use gdi_bench::{emit, gda_oltp, spec_for, RunParams};
+use gdi_bench::{emit, emit_json, gda_oltp, spec_for, RunParams};
 use graphgen::LpgConfig;
 use workloads::oltp::Mix;
 
@@ -91,4 +91,16 @@ fn main() {
          paper's machine sizes; they are not measurements.\n",
     );
     emit("extreme_scale", &out);
+    let measured: Vec<String> = meas
+        .iter()
+        .map(|&(pr, mqps)| format!("{{\"nranks\":{pr},\"mqps\":{mqps:.6}}}"))
+        .collect();
+    emit_json(
+        "extreme_scale",
+        &format!(
+            "{{\"bench\":\"extreme_scale\",\"measured\":[{}],\
+             \"fit\":{{\"a\":{a:.9},\"b\":{b:.9}}}}}",
+            measured.join(",")
+        ),
+    );
 }

@@ -8,7 +8,9 @@
 //! * `strong-write` — Fig. 4d: same, fixed dataset.
 //! * `all` — everything (default).
 
-use gdi_bench::{emit, gda_oltp, janus_oltp, render_series, sweep, RunParams, Series};
+use gdi_bench::{
+    emit, emit_series_json, gda_oltp, janus_oltp, render_series, sweep, RunParams, Series,
+};
 use graphgen::LpgConfig;
 use workloads::oltp::Mix;
 
@@ -37,6 +39,7 @@ fn main() {
             "fig4a_oltp_weak",
             &render_series("Fig. 4a — RI/RM weak scaling", "MQ/s", &series),
         );
+        emit_series_json("fig4a_oltp_weak", &series);
     }
     if mode == "strong" || mode == "all" {
         let series: Vec<Series> = read_mixes
@@ -55,6 +58,7 @@ fn main() {
             "fig4b_oltp_strong",
             &render_series("Fig. 4b — RI/RM strong scaling", "MQ/s", &series),
         );
+        emit_series_json("fig4b_oltp_strong", &series);
     }
     if mode == "weak-write" || mode == "all" {
         let mut series: Vec<Series> = write_mixes
@@ -80,6 +84,7 @@ fn main() {
             "fig4c_oltp_weak_write",
             &render_series("Fig. 4c — LinkBench/WI weak scaling", "MQ/s", &series),
         );
+        emit_series_json("fig4c_oltp_weak_write", &series);
     }
     if mode == "strong-write" || mode == "all" {
         let mut series: Vec<Series> = write_mixes
@@ -105,5 +110,6 @@ fn main() {
             "fig4d_oltp_strong_write",
             &render_series("Fig. 4d — LinkBench/WI strong scaling", "MQ/s", &series),
         );
+        emit_series_json("fig4d_oltp_strong_write", &series);
     }
 }

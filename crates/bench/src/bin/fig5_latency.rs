@@ -7,7 +7,8 @@
 //! is millisecond-scale with outliers.
 
 use gdi_bench::{
-    emit, gda_oltp_detailed, janus_oltp_detailed, neo4j_oltp_detailed, spec_for, RunParams,
+    emit, emit_json, gda_oltp_detailed, janus_oltp_detailed, neo4j_oltp_detailed, spec_for,
+    RunParams,
 };
 use graphgen::LpgConfig;
 use workloads::latency::Histogram;
@@ -27,6 +28,7 @@ fn main() {
     let params = RunParams::from_env();
     let ops = params.ops_per_rank;
     let mut out = String::from("### Fig. 5 — LinkBench per-operation latency\n");
+    let mut json_rows: Vec<String> = Vec::new();
     out.push_str(&format!(
         "{:<10} {:<7} {:<17} {:>8} {:>12} {:>12} {:>12}\n",
         "system", "servers", "operation", "count", "mean_us", "p50_us", "p99_us"
@@ -67,6 +69,15 @@ fn main() {
                     h.percentile_ns(50.0) / 1e3,
                     h.percentile_ns(99.0) / 1e3,
                 ));
+                json_rows.push(format!(
+                    "{{\"system\":\"{sys}\",\"servers\":{nranks},\"op\":\"{}\",\
+                     \"count\":{},\"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3}}}",
+                    kind.name(),
+                    h.count(),
+                    h.mean_ns() / 1e3,
+                    h.percentile_ns(50.0) / 1e3,
+                    h.percentile_ns(99.0) / 1e3,
+                ));
             }
         }
         eprintln!("  [fig5] S{nranks} done");
@@ -96,4 +107,11 @@ fn main() {
         out.push('\n');
     }
     emit("fig5_latency", &out);
+    emit_json(
+        "fig5_latency",
+        &format!(
+            "{{\"bench\":\"fig5_latency\",\"points\":[{}]}}",
+            json_rows.join(",")
+        ),
+    );
 }

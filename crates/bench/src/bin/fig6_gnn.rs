@@ -4,7 +4,10 @@
 //! Defaults shrink the dimension sweep on small hosts; set
 //! `GDI_BENCH_GNN_KS=4,16,64,256,500` for the paper's full set.
 
-use gdi_bench::{emit, gda_olap, render_series, spec_for, OlapAlgo, Point, RunParams, Series};
+use gdi_bench::{
+    emit, emit_series_json, gda_olap, gda_olap_scan, render_series, spec_for, OlapAlgo, Point,
+    RunParams, Series,
+};
 use graphgen::LpgConfig;
 
 fn ks_from_env() -> Vec<usize> {
@@ -31,28 +34,40 @@ fn main() {
         }
         let mut series = Vec::new();
         for k in ks_from_env() {
-            let mut points = Vec::new();
-            for &nranks in &params.ranks {
-                let scale = if weak {
-                    base + rma::cost::log2_ceil(nranks)
-                } else {
-                    base
-                };
-                let spec = spec_for(scale, params.seed, LpgConfig::bare());
-                let secs = gda_olap(nranks, &spec, OlapAlgo::Gnn { layers, k });
-                points.push(Point {
-                    nranks,
-                    scale,
-                    value: secs,
-                    fail_frac: 0.0,
+            // before/after: tx-based view build vs the scan layer (the
+            // GNN's feature updates never retire a scan view, so the
+            // mirror survives all layers)
+            for (tag, runner) in [
+                (
+                    "GDA",
+                    gda_olap as fn(usize, &graphgen::GraphSpec, OlapAlgo) -> f64,
+                ),
+                ("GDA-scan", gda_olap_scan),
+            ] {
+                let mut points = Vec::new();
+                for &nranks in &params.ranks {
+                    let scale = if weak {
+                        base + rma::cost::log2_ceil(nranks)
+                    } else {
+                        base
+                    };
+                    let spec = spec_for(scale, params.seed, LpgConfig::bare());
+                    let secs = runner(nranks, &spec, OlapAlgo::Gnn { layers, k });
+                    points.push(Point {
+                        nranks,
+                        scale,
+                        value: secs,
+                        fail_frac: 0.0,
+                    });
+                    eprintln!("  [GNN/{tag} k={k}] P={nranks} s={scale}: {secs:.4}s");
+                }
+                series.push(Series {
+                    name: format!("{tag} k={k}"),
+                    points,
                 });
-                eprintln!("  [GNN k={k}] P={nranks} s={scale}: {secs:.4}s");
             }
-            series.push(Series {
-                name: format!("GDA k={k}"),
-                points,
-            });
         }
         emit(file, &render_series(label, "runtime_s", &series));
+        emit_series_json(file, &series);
     }
 }

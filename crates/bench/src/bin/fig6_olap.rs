@@ -2,8 +2,8 @@
 //! plus LCC and BI2 with the Neo4j baseline (strong scaling).
 
 use gdi_bench::{
-    emit, gda_olap, neo4j_olap, render_series, rich_lpg, sweep_runtime as sweep, OlapAlgo,
-    RunParams, Series,
+    emit, emit_series_json, gda_olap, gda_olap_scan, neo4j_olap, render_series, rich_lpg,
+    sweep_runtime as sweep, OlapAlgo, RunParams, Series,
 };
 use graphgen::LpgConfig;
 
@@ -13,41 +13,53 @@ fn main() {
 
     if mode == "weak" || mode == "all" {
         let algos = [OlapAlgo::Wcc, OlapAlgo::Cdlp, OlapAlgo::Pagerank];
-        let series: Vec<Series> = algos
-            .iter()
-            .map(|a| {
-                sweep(
-                    &format!("{}/GDA", a.name()),
-                    &params,
-                    true,
-                    LpgConfig::default(),
-                    |p, s| gda_olap(p, s, *a),
-                )
-            })
-            .collect();
+        let mut series: Vec<Series> = Vec::new();
+        for a in algos {
+            // before/after: the tx-based view build vs the scan layer
+            series.push(sweep(
+                &format!("{}/GDA", a.name()),
+                &params,
+                true,
+                LpgConfig::default(),
+                |p, s| gda_olap(p, s, a),
+            ));
+            series.push(sweep(
+                &format!("{}/GDA-scan", a.name()),
+                &params,
+                true,
+                LpgConfig::default(),
+                |p, s| gda_olap_scan(p, s, a),
+            ));
+        }
         emit(
             "fig6a_olap_weak",
             &render_series("Fig. 6a — PR/CDLP/WCC weak scaling", "runtime_s", &series),
         );
+        emit_series_json("fig6a_olap_weak", &series);
     }
     if mode == "strong" || mode == "all" {
-        let mut series: Vec<Series> = [
+        let mut series: Vec<Series> = Vec::new();
+        for a in [
             OlapAlgo::Wcc,
             OlapAlgo::Cdlp,
             OlapAlgo::Pagerank,
             OlapAlgo::Lcc,
-        ]
-        .iter()
-        .map(|a| {
-            sweep(
+        ] {
+            series.push(sweep(
                 &format!("{}/GDA", a.name()),
                 &params,
                 false,
                 LpgConfig::default(),
-                |p, s| gda_olap(p, s, *a),
-            )
-        })
-        .collect();
+                |p, s| gda_olap(p, s, a),
+            ));
+            series.push(sweep(
+                &format!("{}/GDA-scan", a.name()),
+                &params,
+                false,
+                LpgConfig::default(),
+                |p, s| gda_olap_scan(p, s, a),
+            ));
+        }
         // BI2 runs on the rich LPG configuration; Neo4j comparison included
         series.push(sweep("BI2/GDA", &params, false, rich_lpg(), |p, s| {
             gda_olap(p, s, OlapAlgo::Bi2)
@@ -63,5 +75,6 @@ fn main() {
                 &series,
             ),
         );
+        emit_series_json("fig6b_olap_strong", &series);
     }
 }

@@ -6,7 +6,8 @@
 //! bare-metal Graph500 kernel, while Neo4j is orders of magnitude slower.
 
 use gdi_bench::{
-    emit, gda_olap, graph500_bfs, neo4j_olap, render_series, sweep_runtime, OlapAlgo, RunParams,
+    emit, emit_series_json, gda_olap, gda_olap_scan, graph500_bfs, neo4j_olap, render_series,
+    sweep_runtime, OlapAlgo, RunParams,
 };
 use graphgen::LpgConfig;
 
@@ -45,9 +46,18 @@ fn main() {
             series.push(sweep(&format!("{k}-Hop/GDA"), &params, weak, |p, s| {
                 gda_olap(p, s, OlapAlgo::Khop(k))
             }));
+            series.push(sweep(
+                &format!("{k}-Hop/GDA-scan"),
+                &params,
+                weak,
+                |p, s| gda_olap_scan(p, s, OlapAlgo::Khop(k)),
+            ));
         }
         series.push(sweep("BFS/GDA", &params, weak, |p, s| {
             gda_olap(p, s, OlapAlgo::Bfs)
+        }));
+        series.push(sweep("BFS/GDA-scan", &params, weak, |p, s| {
+            gda_olap_scan(p, s, OlapAlgo::Bfs)
         }));
         series.push(sweep("BFS/Graph500", &params, weak, graph500_bfs));
         series.push(sweep("BFS/Neo4j", &params, weak, |p, s| {
@@ -68,5 +78,6 @@ fn main() {
             ));
         }
         emit(file, &out);
+        emit_series_json(file, &series);
     }
 }

@@ -10,7 +10,7 @@
 //! performance pattern is insensitive to the configuration — the paper's
 //! §6.7 claim.
 
-use gdi_bench::{emit, gda_olap, graph500_bfs, OlapAlgo, RunParams};
+use gdi_bench::{emit, emit_json, gda_olap, graph500_bfs, OlapAlgo, RunParams};
 use graphgen::{GraphSpec, KroneckerSampler, LpgConfig};
 
 fn degree_stats(spec: &GraphSpec) -> (f64, u64, f64) {
@@ -36,6 +36,7 @@ fn main() {
         "Graph500 s",
         "ratio"
     ));
+    let mut json_rows: Vec<String> = Vec::new();
     // sparsity/skew sweep bracketing web graphs (WDC: mean deg ~36,
     // extreme hubs) and social networks (mean deg ~10-70)
     for (name, ef, seed) in [
@@ -63,6 +64,12 @@ fn main() {
             gda_s / g500_s
         ));
         eprintln!("  {name}: GDA {gda_s:.5}s vs Graph500 {g500_s:.5}s");
+        json_rows.push(format!(
+            "{{\"config\":\"{name}\",\"edge_factor\":{ef},\"mean_deg\":{mean:.2},\
+             \"max_deg\":{max},\"gda_bfs_s\":{gda_s:.9},\"graph500_bfs_s\":{g500_s:.9},\
+             \"ratio\":{:.3}}}",
+            gda_s / g500_s
+        ));
     }
     out.push_str(
         "\nExpectation (paper §6.7): the GDA/Graph500 ratio stays in the same\n\
@@ -70,4 +77,11 @@ fn main() {
          sparsity + heavy-tail skew, which all configurations share.\n",
     );
     emit("realworld_like", &out);
+    emit_json(
+        "realworld_like",
+        &format!(
+            "{{\"bench\":\"realworld_like\",\"nranks\":{nranks},\"points\":[{}]}}",
+            json_rows.join(",")
+        ),
+    );
 }

@@ -21,7 +21,7 @@
 //! `GDI_BENCH_RECOVERY_OPS` (tracked ops per session per phase,
 //! default 60).
 
-use gdi_bench::{emit, RunParams};
+use gdi_bench::{emit, emit_json_unless_smoke, RunParams};
 use rma::CostModel;
 use workloads::recovery::{run_kill_restart, RecoveryReport, RecoveryScenario};
 
@@ -126,7 +126,7 @@ fn main() {
         ));
     }
 
-    let mut json = String::from("BENCH_JSON {\"bench\":\"recovery_sweep\",\"points\":[");
+    let mut json = String::from("{\"bench\":\"recovery_sweep\",\"points\":[");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -149,9 +149,8 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    out.push_str(&json);
-    out.push('\n');
     emit("recovery_sweep", &out);
+    emit_json_unless_smoke("recovery_sweep", &json, smoke);
 
     // the CI guard: every committed write must read back across the
     // restart, with actual replay work observed

@@ -24,7 +24,7 @@
 //! `GDI_BENCH_RESHARD_OPS` (tracked ops per session per phase,
 //! default 40).
 
-use gdi_bench::{emit, RunParams};
+use gdi_bench::{emit, emit_json_unless_smoke, RunParams};
 use rma::CostModel;
 use workloads::recovery::RecoveryReport;
 use workloads::reshard::{run_reshard, ReshardScenario};
@@ -133,7 +133,7 @@ fn main() {
         ));
     }
 
-    let mut json = String::from("BENCH_JSON {\"bench\":\"reshard_sweep\",\"points\":[");
+    let mut json = String::from("{\"bench\":\"reshard_sweep\",\"points\":[");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -156,9 +156,8 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    out.push_str(&json);
-    out.push('\n');
     emit("reshard_sweep", &out);
+    emit_json_unless_smoke("reshard_sweep", &json, smoke);
 
     // the CI guard: zero lost/stale committed writes across every
     // reshard, with the resharded server actually serving afterwards

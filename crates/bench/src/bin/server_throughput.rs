@@ -13,7 +13,7 @@
 //! * `GDI_BENCH_SCALE` — graph scale (default 10)
 
 use gda::GdaDb;
-use gdi_bench::{emit, oltp_sized_config, spec_for, RunParams};
+use gdi_bench::{emit, emit_json, oltp_sized_config, spec_for, RunParams};
 use graphgen::LpgConfig;
 use rma::CostModel;
 use server::ServerOptions;
@@ -170,9 +170,9 @@ fn main() {
         ));
     }
 
-    // machine-readable line
+    // machine-readable summary
     let mut json = format!(
-        "BENCH_JSON {{\"bench\":\"server_throughput\",\"nranks\":{nranks},\
+        "{{\"bench\":\"server_throughput\",\"nranks\":{nranks},\
          \"scale\":{},\"mix\":\"{}\",\"points\":[",
         params.base_scale,
         Mix::WRITE_INTENSIVE.name
@@ -200,7 +200,6 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    out.push_str(&json);
-    out.push('\n');
     emit("server_throughput", &out);
+    emit_json("server_throughput", &json);
 }

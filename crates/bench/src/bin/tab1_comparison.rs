@@ -4,7 +4,7 @@
 //! is filled from this reproduction's largest verified (simulated)
 //! configuration, so re-running after bigger experiments updates it.
 
-use gdi_bench::{emit, gda_oltp, spec_for, RunParams};
+use gdi_bench::{emit, emit_json, gda_oltp, spec_for, RunParams};
 use graphgen::LpgConfig;
 use workloads::oltp::Mix;
 
@@ -133,4 +133,12 @@ fn main() {
     out.push_str("\nTheoretical performance analysis (Th.? column): see gda::analysis --\n");
     out.push_str(&gda::analysis::render_markdown());
     emit("tab1_comparison", &out);
+    emit_json(
+        "tab1_comparison",
+        &format!(
+            "{{\"bench\":\"tab1_comparison\",\"measured\":{{\"nranks\":{nranks},\
+             \"scale\":{scale},\"edges\":{},\"read_mostly_mqps\":{mqps:.6}}}}}",
+            spec.n_edges()
+        ),
+    );
 }

@@ -9,7 +9,7 @@
 use gda::GdaDb;
 use gdi::tx::WorkloadClass;
 use gdi::{AccessMode, AppVertexId};
-use gdi_bench::{emit, spec_for, RunParams};
+use gdi_bench::{emit, emit_json, spec_for, RunParams};
 use graphgen::{load_into, sized_config, LpgConfig};
 use rma::CostModel;
 
@@ -79,4 +79,14 @@ fn main() {
         local / coll
     ));
     emit("tab2_tx_types", &out);
+    emit_json(
+        "tab2_tx_types",
+        &format!(
+            "{{\"bench\":\"tab2_tx_types\",\"nranks\":{nranks},\"scale\":{},\
+             \"per_vertex_local_s\":{local:.9},\"collective_s\":{coll:.9},\
+             \"speedup\":{:.3}}}",
+            spec.scale,
+            local / coll
+        ),
+    );
 }

@@ -2,7 +2,7 @@
 //! constants and verified by sampling (the empirical frequency of each
 //! operation must match its declared weight).
 
-use gdi_bench::emit;
+use gdi_bench::{emit, emit_json};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use workloads::oltp::{Mix, OpKind};
@@ -53,4 +53,19 @@ fn main() {
         out.push('\n');
     }
     emit("tab3_mixes", &out);
+    let mut json = String::from("{\"bench\":\"tab3_mixes\",\"mixes\":[");
+    for (i, m) in mixes.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let weights: Vec<String> = m.weights.iter().map(|w| format!("{w:.4}")).collect();
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"read_fraction\":{:.4},\"weights\":[{}]}}",
+            m.name,
+            m.read_fraction(),
+            weights.join(",")
+        ));
+    }
+    json.push_str("]}");
+    emit_json("tab3_mixes", &json);
 }

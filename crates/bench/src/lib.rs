@@ -125,6 +125,64 @@ pub fn emit(name: &str, content: &str) {
     }
 }
 
+/// Write the machine-readable summary of a bench run to
+/// `results/BENCH_<name>.json` (and echo a `BENCH_JSON` line to
+/// stdout). Every `bench/bin/*` harness emits one, so the perf
+/// trajectory is tracked across PRs by diffing committed JSON instead
+/// of re-parsing text tables.
+pub fn emit_json(name: &str, json: &str) {
+    println!("BENCH_JSON {json}");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[written {}]", path.display());
+    }
+}
+
+/// Serialize measured series into the standard bench-JSON shape:
+/// `{"bench":name,"series":[{"name":..,"points":[{nranks,scale,value,fail_frac}..]}..]}`.
+pub fn series_json(bench: &str, series: &[Series]) -> String {
+    let mut out = format!("{{\"bench\":\"{bench}\",\"series\":[");
+    for (si, s) in series.iter().enumerate() {
+        if si > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"name\":\"{}\",\"points\":[", s.name));
+        for (pi, p) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"nranks\":{},\"scale\":{},\"value\":{:.9},\"fail_frac\":{:.6}}}",
+                p.nranks, p.scale, p.value, p.fail_frac
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// [`emit_json`] for plain series sweeps (the fig/tab harness shape).
+pub fn emit_series_json(bench: &str, series: &[Series]) {
+    emit_json(bench, &series_json(bench, series));
+}
+
+/// [`emit_json`] that refuses to touch `results/` in smoke mode: the
+/// committed `BENCH_<name>.json` files record **full** runs, and a CI
+/// `--smoke` run must never clobber that trajectory with a smoke-sized
+/// point. The `BENCH_JSON` stdout line is printed either way.
+pub fn emit_json_unless_smoke(name: &str, json: &str, smoke: bool) {
+    if smoke {
+        println!("BENCH_JSON {json}");
+    } else {
+        emit_json(name, json);
+    }
+}
+
 /// Build a graph spec for a sweep point.
 pub fn spec_for(scale: u32, seed: u64, lpg: LpgConfig) -> GraphSpec {
     GraphSpec {
@@ -288,9 +346,31 @@ impl OlapAlgo {
     }
 }
 
+/// Which OLAP view builder a run uses (the before/after axis of the
+/// zero-transaction scan layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewMode {
+    /// The tx-based reference path: a collective read transaction and
+    /// one `neighbors` call per vertex (the differential oracle).
+    Tx,
+    /// The scan layer: `GdaRank::olap_view` — an epoch-validated CSR
+    /// mirror built by one raw-window sweep.
+    Scan,
+}
+
 /// Run one GDA OLAP/OLSP workload; returns the simulated runtime in
 /// seconds (max over ranks, measured between two barriers).
 pub fn gda_olap(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
+    gda_olap_with(nranks, spec, algo, ViewMode::Tx)
+}
+
+/// [`gda_olap`] on the zero-transaction scan path (`gda::scan`).
+pub fn gda_olap_scan(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
+    gda_olap_with(nranks, spec, algo, ViewMode::Scan)
+}
+
+/// [`gda_olap`] with an explicit view builder.
+pub fn gda_olap_with(nranks: usize, spec: &GraphSpec, algo: OlapAlgo, mode: ViewMode) -> f64 {
     let mut cfg = sized_config(spec, nranks);
     if let OlapAlgo::Gnn { k, .. } = algo {
         // feature vectors dominate storage
@@ -303,7 +383,7 @@ pub fn gda_olap(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
         let eng = db.attach(ctx);
         eng.init_collective();
         let (meta, _) = load_into(&eng, spec);
-        run_algo_timed(&eng, ctx, spec, &meta, algo)
+        run_algo_timed_with(&eng, ctx, spec, &meta, algo, mode)
     });
     times.into_iter().fold(0.0, f64::max)
 }
@@ -323,16 +403,33 @@ pub fn run_algo_timed(
     meta: &LpgMeta,
     algo: OlapAlgo,
 ) -> f64 {
+    run_algo_timed_with(eng, ctx, spec, meta, algo, ViewMode::Tx)
+}
+
+/// [`run_algo_timed`] with an explicit view builder ([`ViewMode`]).
+pub fn run_algo_timed_with(
+    eng: &gda::GdaRank,
+    ctx: &RankCtx,
+    spec: &GraphSpec,
+    meta: &LpgMeta,
+    algo: OlapAlgo,
+    mode: ViewMode,
+) -> f64 {
     ctx.barrier();
     let t0 = ctx.now_ns();
-    // enumerate the local partition through the explicit index (local
-    // call) and fetch adjacency through the collective read transaction
-    let view = &match meta.all_index {
-        Some(ix) => workloads::analytics::build_view_indexed(eng, ix),
-        None => {
-            let apps = spec.vertices_for_rank(ctx.rank(), ctx.nranks());
-            build_view(eng, &apps)
-        }
+    // materialize the local partition: either through the collective
+    // read transaction (tx path — the Fig. 6e/6f overhead separating
+    // GDA from the raw Graph500 kernel) or by the zero-transaction
+    // raw-window sweep (`gda::scan`); both are part of the query
+    let view = &*match mode {
+        ViewMode::Scan => eng.olap_view(),
+        ViewMode::Tx => std::rc::Rc::new(match meta.all_index {
+            Some(ix) => workloads::analytics::build_view_indexed(eng, ix),
+            None => {
+                let apps = spec.vertices_for_rank(ctx.rank(), ctx.nranks());
+                build_view(eng, &apps)
+            }
+        }),
     };
     match algo {
         OlapAlgo::Bfs => {

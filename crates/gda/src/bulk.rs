@@ -193,6 +193,15 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
                 .reindex_vertex(*primary, AppVertexId(*app), Some(&h.labels()));
         }
         self.ctx().flush(me);
+        // one topology-epoch bump per rank closes the bulk load (all
+        // writes of a bulk load land in the local window), so cached
+        // OLAP scan views revalidate against the new graph; the load is
+        // NOT in the redo log, so the store is told the tail is no
+        // longer a complete delta (scan views rebuild instead of patch)
+        self.bump_topology_epoch(me);
+        if let Some(store) = &self.persist {
+            store.note_unlogged_mutation();
+        }
         self.ctx().barrier();
         Ok(report)
     }

@@ -7,7 +7,7 @@
 //! |---|---|
 //! | **data**   | the BGDL block pool: `blocks_per_rank` fixed-size blocks |
 //! | **usage**  | the free-list links: word *i* = next free block after *i* |
-//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i*; last word = commit-stamp counter (persistence) |
+//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i*; then the commit-stamp counter (persistence) and the topology-epoch word (OLAP scan views) |
 //! | **index**  | DHT: word 0 = tagged heap free head; word 1 = epoch word (`delete:32 \| insert:32`); buckets; 3-word heap entries |
 
 use rma::{CostModel, Fabric, FabricBuilder, WinId};
@@ -116,9 +116,9 @@ impl GdaConfig {
     }
 
     /// Bytes of the system window (head word + one lock word per block +
-    /// the commit-stamp counter word).
+    /// the commit-stamp counter word + the topology-epoch word).
     pub fn system_bytes(&self) -> usize {
-        (self.blocks_per_rank + 2) * 8
+        (self.blocks_per_rank + 3) * 8
     }
 
     /// System-window word index of the per-rank **commit-stamp
@@ -128,6 +128,18 @@ impl GdaConfig {
     /// redo-replay ordering authority; see `gda::persist`).
     pub fn stamp_word(&self) -> usize {
         self.blocks_per_rank + 1
+    }
+
+    /// System-window word index of the per-rank **topology-epoch
+    /// counter**: bumped once per commit (and once per collective bulk
+    /// load) on every rank whose window received a *topology* change —
+    /// vertex created/deleted or an edge list mutated. Property- and
+    /// vertex-label-only commits leave it alone. The epoch stamp that
+    /// validates cached OLAP scan views (see `gda::scan`): a view built
+    /// from rank `r`'s raw windows is trustworthy exactly while `r`'s
+    /// topology word is unchanged.
+    pub fn topo_word(&self) -> usize {
+        self.blocks_per_rank + 2
     }
 
     /// Bytes of the index window (tagged heap head + epoch word + buckets
@@ -164,8 +176,9 @@ mod tests {
         let c = GdaConfig::tiny();
         assert_eq!(c.data_bytes(), 257 * 128);
         assert_eq!(c.usage_bytes(), 257 * 8);
-        assert_eq!(c.system_bytes(), 258 * 8);
+        assert_eq!(c.system_bytes(), 259 * 8);
         assert_eq!(c.stamp_word(), 257);
+        assert_eq!(c.topo_word(), 258);
         assert_eq!(c.index_bytes(), (2 + 64 + 3 * 257) * 8);
     }
 

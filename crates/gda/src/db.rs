@@ -12,6 +12,7 @@
 //! [`GdaRank::begin_collective`] to start transactions.
 
 use std::cell::{Ref, RefCell};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -155,6 +156,7 @@ impl GdaDb {
             ),
             persist: self.persistence(),
             meta_snap: RefCell::new(self.meta.snapshot()),
+            scan_cache: RefCell::new(None),
         }
     }
 }
@@ -169,6 +171,10 @@ pub struct GdaRank<'d, 'c, 'f> {
     pub(crate) tcache: TranslationCache,
     pub(crate) persist: Option<Arc<PersistStore>>,
     meta_snap: RefCell<MetaSnapshot>,
+    /// Cached OLAP scan view of this rank's partition (see
+    /// [`GdaRank::olap_view`]): revalidated per job against the
+    /// topology-epoch words it was stamped with.
+    scan_cache: RefCell<Option<Rc<crate::scan::CsrView>>>,
 }
 
 impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
@@ -178,6 +184,7 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
         self.bm.init_collective();
         self.dht.init_collective();
         self.tcache.clear();
+        self.scan_cache.borrow_mut().take();
     }
 
     /// This rank's id.
@@ -443,6 +450,72 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     /// Translation-cache counters of this rank.
     pub fn translation_cache_stats(&self) -> CacheStats {
         self.tcache.stats()
+    }
+
+    // ---- OLAP scan views (see `crate::scan`) ----------------------------
+
+    /// Atomically read `rank`'s **topology-epoch word** (one `aget` of
+    /// the system window): the scan-view revalidation primitive.
+    /// Commits bump the word on every rank whose membership or edge
+    /// lists they changed; property-only commits leave it alone.
+    pub fn topology_epoch(&self, rank: usize) -> u64 {
+        self.ctx
+            .aget_u64(crate::config::WIN_SYSTEM, rank, self.cfg().topo_word())
+    }
+
+    /// Drop this attach's cached OLAP scan view (recovery hook: after
+    /// an in-place window restore the cached mirror describes a dead
+    /// incarnation of the storage).
+    pub(crate) fn drop_scan_cache(&self) {
+        self.scan_cache.borrow_mut().take();
+    }
+
+    /// Bump `rank`'s topology-epoch word (one `fadd`). Commit-path and
+    /// bulk-load hook; always issued *after* the corresponding data
+    /// writes so a concurrent view build can never capture new bytes
+    /// under an old epoch.
+    pub(crate) fn bump_topology_epoch(&self, rank: usize) {
+        self.ctx
+            .fadd_u64(crate::config::WIN_SYSTEM, rank, self.cfg().topo_word(), 1);
+    }
+
+    /// Collective: the cached, epoch-validated OLAP scan view of this
+    /// rank's partition (every live local vertex, rows sorted by app
+    /// id). One topology-epoch snapshot revalidates the cached mirror;
+    /// when an epoch moved the view is delta-patched from the redo-log
+    /// tail when cheap, and rebuilt by a raw-window sweep otherwise —
+    /// an abort-free rendezvous, so collective OLAP jobs (`server`
+    /// crate) reuse the mirror across jobs instead of rebuilding per
+    /// request. Every rank must call this together; like collective
+    /// read-only transactions, it assumes no concurrent writers.
+    pub fn olap_view(&self) -> Rc<crate::scan::CsrView> {
+        let cached = self.scan_cache.borrow().clone();
+        let mut revalidated = false;
+        let usable: Option<Rc<crate::scan::CsrView>> = match cached {
+            Some(v) if crate::scan::revalidate(self, &v) => {
+                revalidated = true;
+                Some(v)
+            }
+            Some(v) => crate::scan::try_patch(self, &v).map(Rc::new),
+            None => None,
+        };
+        // the rebuild sweep is collective (DHT exchange): every rank
+        // votes, and a rank whose view is still valid participates as a
+        // responder without re-sweeping its own window
+        let any_rebuild = self.ctx.allreduce_any(usable.is_none());
+        let view = if any_rebuild {
+            crate::scan::build_collective(self, crate::scan::ScanPartition::LocalAll, usable)
+        } else {
+            usable.expect("voted no-rebuild with a usable view")
+        };
+        // a reuse is exactly a pure revalidation: builds and delta
+        // patches carry their own counters, so builds + patches +
+        // reuses partitions the jobs this rank served
+        if revalidated {
+            self.ctx.record_scan_reuse();
+        }
+        *self.scan_cache.borrow_mut() = Some(view.clone());
+        view
     }
 
     /// Pin the translation cache for one service drain cycle: snapshot

@@ -36,6 +36,9 @@
 //!   recovery (restore a `P`-rank snapshot onto `Q` ranks);
 //! * [`rankmap`] — the canonical rank-ownership math and the
 //!   snapshot-rank → live-rank map resharding is built on;
+//! * [`scan`] — the zero-transaction OLAP scan layer: epoch-validated
+//!   CSR mirrors built from raw window sweeps, delta-patched from the
+//!   redo-log tail, cached per rank ([`GdaRank::olap_view`]);
 //! * [`analysis`] — the work–depth guarantees table (§5.9).
 //!
 //! ## Quick start
@@ -91,6 +94,7 @@ pub mod meta;
 pub mod persist;
 pub mod rankmap;
 mod reshard;
+pub mod scan;
 pub mod tx;
 
 pub use bulk::{BulkReport, EdgeSpec, VertexSpec};
@@ -104,4 +108,5 @@ pub use persist::{
     CheckpointReport, PersistOptions, PersistStore, RankRecovery, RecoveryPlan, RedoRecord,
 };
 pub use rankmap::RankMap;
+pub use scan::{CsrView, ScanPartition};
 pub use tx::Transaction;

@@ -113,7 +113,10 @@ const MANIFEST_MAGIC: &[u8; 8] = b"GDAMANI\x01";
 /// v2: the checksum's FNV-1a prime was corrected (v1 shipped a
 /// truncated constant), which changes every snapshot/manifest/frame
 /// checksum — v1 files fail the checksum before the version check.
-const FORMAT_VERSION: u32 = 2;
+/// v3: the system window grew by one word (the per-rank topology-epoch
+/// counter backing OLAP scan views), so every snapshot's window image
+/// lengths changed.
+const FORMAT_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------
 // binary encoding helpers
@@ -444,6 +447,7 @@ pub struct PersistStore {
     current: AtomicU64,
     writers: Vec<Mutex<Option<File>>>,
     log_errors: AtomicU64,
+    unlogged_mutations: AtomicU64,
     fail_next_checkpoints: AtomicU64,
     fail_next_rotations: AtomicU64,
     fail_next_reshards: AtomicU64,
@@ -466,6 +470,7 @@ impl PersistStore {
             current: AtomicU64::new(current),
             writers: (0..nranks).map(|_| Mutex::new(None)).collect(),
             log_errors: AtomicU64::new(0),
+            unlogged_mutations: AtomicU64::new(0),
             fail_next_checkpoints: AtomicU64::new(0),
             fail_next_rotations: AtomicU64::new(0),
             fail_next_reshards: AtomicU64::new(0),
@@ -489,6 +494,20 @@ impl PersistStore {
     /// database kept serving; durability of those commits is lost).
     pub fn log_errors(&self) -> u64 {
         self.log_errors.load(Ordering::Relaxed)
+    }
+
+    /// Mutations applied *outside* the redo log (collective bulk loads,
+    /// which are durable at checkpoint granularity and never logged).
+    /// While this counter differs from what a cached scan view recorded
+    /// at build time, the redo tail is not a complete delta — such
+    /// views must rebuild rather than patch (`gda::scan`).
+    pub fn unlogged_mutations(&self) -> u64 {
+        self.unlogged_mutations.load(Ordering::Relaxed)
+    }
+
+    /// Record one unlogged mutation batch (bulk-load hook).
+    pub(crate) fn note_unlogged_mutation(&self) {
+        self.unlogged_mutations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The report of the most recent successful checkpoint.
@@ -589,6 +608,51 @@ impl PersistStore {
 
     pub(crate) fn note_log_error(&self) {
         self.log_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Position mark of `rank`'s redo log in the current segment:
+    /// `(segment id, byte length)`. A scan view records one mark per
+    /// rank at build time; [`PersistStore::read_log_tail`] later
+    /// replays exactly the records appended after the mark — the
+    /// delta-patch source of `gda::scan`. Marks are only meaningful
+    /// while no append is in flight (the quiescent-OLAP contract).
+    pub fn log_mark(&self, rank: usize) -> (u64, u64) {
+        let seg = self.current();
+        let len = fs::metadata(self.log_path(seg, rank))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        (seg, len)
+    }
+
+    /// Records appended to `rank`'s redo log after `mark`
+    /// ([`PersistStore::log_mark`]). Returns `None` when the mark is no
+    /// longer addressable — the segment rotated (a checkpoint ran) or
+    /// the file shrank — in which case the caller must fall back to a
+    /// full rebuild.
+    pub fn read_log_tail(&self, rank: usize, mark: (u64, u64)) -> Option<Vec<RedoRecord>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let (seg, pos) = mark;
+        if seg != self.current() {
+            return None;
+        }
+        // seek to the mark and read only the tail: a delta patch must
+        // cost O(delta), not O(total segment since the last checkpoint)
+        let mut f = match File::open(self.log_path(seg, rank)) {
+            Ok(f) => f,
+            // a segment that never received an append has no file; an
+            // empty tail is only valid if the mark said "empty" too
+            Err(_) if pos == 0 => return Some(Vec::new()),
+            Err(_) => return None,
+        };
+        let len = f.metadata().ok()?.len();
+        if pos > len {
+            return None; // the file shrank: the mark is meaningless
+        }
+        f.seek(SeekFrom::Start(pos)).ok()?;
+        let mut bytes = Vec::with_capacity((len - pos) as usize);
+        f.read_to_end(&mut bytes).ok()?;
+        let (records, _) = parse_log(&bytes);
+        Some(records)
     }
 
     /// Swing `rank`'s writer to the segment of checkpoint `id`
@@ -1332,6 +1396,13 @@ impl RecoveryPlan {
         let ctx = eng.ctx();
         let wall0 = Instant::now();
         let sim0 = ctx.now_ns();
+        // observe the live topology-epoch word *before* the window
+        // restore rewinds it to its snapshot value: an in-place
+        // recovery must leave the word strictly above every value a
+        // pre-crash scan view could have been stamped with, or such a
+        // view could revalidate after enough post-recovery commits
+        let topo_word = eng.cfg().topo_word();
+        let topo_before = ctx.aget_u64(crate::config::WIN_SYSTEM, me, topo_word);
         let mut out = RankRecovery {
             rank: me,
             ..Default::default()
@@ -1493,6 +1564,19 @@ impl RecoveryPlan {
         if cur < global_max {
             ctx.aput_u64(crate::config::WIN_SYSTEM, me, stamp_word, global_max);
         }
+        // same discipline for the topology-epoch word: jump past both
+        // the restored value and anything observed pre-restore, so no
+        // pre-crash view stamp can ever match again (replayed topology
+        // changes were applied without bumps), and drop this attach's
+        // own cached view
+        let topo_now = ctx.aget_u64(crate::config::WIN_SYSTEM, me, topo_word);
+        ctx.aput_u64(
+            crate::config::WIN_SYSTEM,
+            me,
+            topo_word,
+            topo_now.max(topo_before) + 1,
+        );
+        eng.drop_scan_cache();
         ctx.barrier();
 
         out.sim_restore_s = (ctx.now_ns() - sim0) / 1e9;
@@ -1787,7 +1871,7 @@ pub fn recover_with_topology(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use gdi::{AccessMode, EdgeOrientation, PropertyValue, TxStatus};
 

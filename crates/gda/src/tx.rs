@@ -44,6 +44,13 @@ struct CachedObj {
     dirty: bool,
     created: bool,
     deleted: bool,
+    /// Did this transaction change the object's **topology** — its
+    /// membership (create/delete) or its edge-record list? Commit bumps
+    /// the topology-epoch word of every rank holding a topo-dirty
+    /// object, which is what invalidates cached OLAP scan views
+    /// (`gda::scan`). Property/label-only writes leave it false, so a
+    /// GNN layer's feature updates never force a view rebuild.
+    topo: bool,
 }
 
 /// A GDI transaction executing on one rank.
@@ -231,9 +238,90 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 dirty: false,
                 created: false,
                 deleted: false,
+                topo: false,
             },
         );
         Ok(())
+    }
+
+    /// Batch-fetch every uncached holder in `ids` with one pipelined
+    /// non-blocking batch per chain level ([`hio::read_chains`]),
+    /// acquiring the usual first-touch read locks. Equivalent to
+    /// calling [`Transaction::ensure_cached`] per id — same lock, abort
+    /// and error semantics — but the block reads of all candidates
+    /// overlap instead of paying one blocking round trip each.
+    fn prefetch_holders(&self, ids: &[DPtr]) -> GdiResult<()> {
+        self.check_active()?;
+        let mut want: Vec<DPtr> = Vec::new();
+        {
+            let cache = self.cache.borrow();
+            let mut seen = FxHashSet::default();
+            for &id in ids {
+                if id.is_null() || cache.contains_key(&id.raw()) || !seen.insert(id.raw()) {
+                    continue;
+                }
+                want.push(id);
+            }
+        }
+        if want.is_empty() {
+            return Ok(());
+        }
+        let lock = self.entry_lock(false);
+        if let Some(kind) = lock {
+            for (i, &id) in want.iter().enumerate() {
+                let res = match kind {
+                    LockKind::Read => self.eng.lm.acquire_read(id),
+                    LockKind::Write => self.eng.lm.acquire_write(id),
+                };
+                if let Err(e) = res {
+                    for &held in &want[..i] {
+                        self.eng.lm.release(held, kind);
+                    }
+                    return self.fail(e);
+                }
+            }
+        }
+        let fetched = hio::read_chains(self.eng.ctx, self.eng.cfg(), &want);
+        let mut first_err = None;
+        let mut cache = self.cache.borrow_mut();
+        for (&id, res) in want.iter().zip(fetched) {
+            let decoded = res.and_then(|(bytes, blocks)| {
+                Holder::try_decode(&bytes)
+                    .map(|h| (h, blocks))
+                    .ok_or(GdiError::NotFound("object (stale internal id)"))
+            });
+            match decoded {
+                Ok((holder, blocks)) => {
+                    cache.insert(
+                        id.raw(),
+                        CachedObj {
+                            holder,
+                            blocks,
+                            lock,
+                            dirty: false,
+                            created: false,
+                            deleted: false,
+                            topo: false,
+                        },
+                    );
+                }
+                Err(e) => {
+                    if let Some(kind) = lock {
+                        self.eng.lm.release(id, kind);
+                    }
+                    // keep the error of the *first* failing candidate
+                    // (what the sequential path would have surfaced)
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        drop(cache);
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Read access to a cached holder.
@@ -251,6 +339,17 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         let obj = cache.get_mut(&id.raw()).unwrap();
         obj.dirty = true;
         Ok(f(&mut obj.holder))
+    }
+
+    /// [`Transaction::with_holder_mut`] for **topology** mutations
+    /// (edge-record changes): additionally flags the object so commit
+    /// bumps its rank's topology-epoch word (scan-view invalidation).
+    fn with_holder_topo<R>(&self, id: DPtr, f: impl FnOnce(&mut Holder) -> R) -> GdiResult<R> {
+        let r = self.with_holder_mut(id, f)?;
+        if let Some(obj) = self.cache.borrow_mut().get_mut(&id.raw()) {
+            obj.topo = true;
+        }
+        Ok(r)
     }
 
     // ------------------------------------------------------------------
@@ -355,6 +454,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 dirty: true,
                 created: true,
                 deleted: false,
+                topo: true,
             },
         );
         Ok(primary)
@@ -393,6 +493,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             if let Some(slot) = find_mirror_slot(&nbr.holder, id, &rec) {
                 nbr.holder.remove_edge(slot);
                 nbr.dirty = true;
+                nbr.topo = true;
             }
         }
         self.delete_object(id)
@@ -405,6 +506,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         let obj = cache.get_mut(&id.raw()).unwrap();
         obj.deleted = true;
         obj.dirty = true;
+        obj.topo = true;
         Ok(())
     }
 
@@ -570,16 +672,16 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         } else {
             (Direction::Undirected, Direction::Undirected)
         };
-        let slot = self.with_holder_mut(origin, |h| {
+        let slot = self.with_holder_topo(origin, |h| {
             h.push_edge(EdgeRecord::lightweight(target, lbl, od))
         })?;
         if origin != target {
-            self.with_holder_mut(target, |h| {
+            self.with_holder_topo(target, |h| {
                 h.push_edge(EdgeRecord::lightweight(origin, lbl, td));
             })?;
         } else if directed {
             // self-loop on a directed edge: record both directions
-            self.with_holder_mut(origin, |h| {
+            self.with_holder_topo(origin, |h| {
                 h.push_edge(EdgeRecord::lightweight(origin, lbl, td));
             })?;
         }
@@ -614,7 +716,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     pub fn delete_edge(&self, e: EdgeUid) -> GdiResult<()> {
         self.check_writable()?;
         let rec = self.edge_record(e)?;
-        self.with_holder_mut(e.vertex, |h| h.remove_edge(e.slot))?;
+        self.with_holder_topo(e.vertex, |h| h.remove_edge(e.slot))?;
         if rec.target != e.vertex {
             self.ensure_cached(rec.target, true)?;
             let mut cache = self.cache.borrow_mut();
@@ -622,10 +724,11 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             if let Some(slot) = find_mirror_slot(&nbr.holder, e.vertex, &rec) {
                 nbr.holder.remove_edge(slot);
                 nbr.dirty = true;
+                nbr.topo = true;
             }
         } else {
             // self-loop: remove the sibling record in the same holder
-            self.with_holder_mut(e.vertex, |h| {
+            self.with_holder_topo(e.vertex, |h| {
                 let sib = h
                     .live_edges()
                     .find(|(s, r)| {
@@ -684,7 +787,11 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     /// (Listing 3, lines 9–10): expand over edges matching `edge_label`,
     /// keep only neighbors whose holders satisfy the DNF `constraint`.
     /// Fetches each candidate neighbor through the transaction cache (the
-    /// "let the storage handle the filtering" path of §3.1).
+    /// "let the storage handle the filtering" path of §3.1). The
+    /// candidate holders are fetched as **one pipelined non-blocking
+    /// batch** ([`crate::hio::read_chains`]) — one network latency per
+    /// chain level across all candidates, instead of one blocking chain
+    /// walk per neighbor.
     pub fn neighbors_matching(
         &self,
         id: DPtr,
@@ -693,6 +800,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         constraint: &Constraint,
     ) -> GdiResult<Vec<DPtr>> {
         let candidates = self.neighbors(id, orient, edge_label)?;
+        self.prefetch_holders(&candidates)?;
         let mut out = Vec::new();
         for nbr in candidates {
             let keep = self.with_holder(nbr, |h| {
@@ -841,6 +949,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 dirty: true,
                 created: true,
                 deleted: false,
+                topo: true,
             },
         );
         self.update_edge_records(e, rec, |r| r.edge_holder = primary)?;
@@ -855,7 +964,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         rec: &EdgeRecord,
         f: impl Fn(&mut EdgeRecord),
     ) -> GdiResult<()> {
-        self.with_holder_mut(e.vertex, |h| f(&mut h.edges[e.slot as usize]))?;
+        self.with_holder_topo(e.vertex, |h| f(&mut h.edges[e.slot as usize]))?;
         if rec.target != e.vertex {
             self.ensure_cached(rec.target, true)?;
             let mut cache = self.cache.borrow_mut();
@@ -863,9 +972,10 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             if let Some(slot) = find_mirror_slot(&nbr.holder, e.vertex, rec) {
                 f(&mut nbr.holder.edges[slot as usize]);
                 nbr.dirty = true;
+                nbr.topo = true;
             }
         } else {
-            self.with_holder_mut(e.vertex, |h| {
+            self.with_holder_topo(e.vertex, |h| {
                 let sib = h
                     .live_edges()
                     .find(|(s, r)| {
@@ -936,6 +1046,10 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         }
         let mut cache = self.cache.borrow_mut();
         let mut touched: FxHashSet<usize> = FxHashSet::default();
+        // ranks whose *topology* this commit changed (membership or edge
+        // lists): their topology-epoch word is bumped after the
+        // write-back so cached OLAP scan views revalidate (`gda::scan`)
+        let mut topo_touched: FxHashSet<usize> = FxHashSet::default();
         let mut result = Ok(());
         // durability: effects of this commit, at holder granularity,
         // appended to the rank's redo log after the write-back (only the
@@ -999,6 +1113,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                     });
                 }
                 touched.insert(id.rank());
+                topo_touched.insert(id.rank());
                 wrote_any = true;
             } else if obj.dirty || obj.created {
                 // a persisted write versions the holder with a commit
@@ -1064,6 +1179,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                     });
                 }
                 touched.insert(id.rank());
+                if obj.topo {
+                    topo_touched.insert(id.rank());
+                }
             }
         }
         for r in touched {
@@ -1071,6 +1189,13 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         }
         if self.grouped.get() {
             self.eng.ctx().end_nb_batch();
+        }
+        // topology-epoch bumps strictly *after* the data write-back: a
+        // scan view built against the old epoch can never have read new
+        // bytes it would then fail to revalidate (one fadd per touched
+        // rank per commit; property-only commits bump nothing)
+        for r in topo_touched {
+            self.eng.bump_topology_epoch(r);
         }
         // one redo append per commit: a grouped commit logs the whole
         // group in one frame, amortizing the device overhead

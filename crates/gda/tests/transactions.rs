@@ -748,3 +748,72 @@ fn many_parallel_databases() {
         tx.commit().unwrap();
     });
 }
+
+/// The pipelined candidate prefetch behind `neighbors_matching` must
+/// keep the sequential path's semantics: identical results against
+/// per-candidate fetching, and a lock conflict on *any* candidate
+/// still aborts the probing transaction (transaction-critical, §3.3).
+#[test]
+fn neighbors_matching_batched_prefetch_semantics() {
+    single_rank(|eng| {
+        let (person, age, _) = std_meta(eng);
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let hub = tx.create_vertex(app(1)).unwrap();
+        let mut nbrs = Vec::new();
+        for i in 2..8u64 {
+            let v = tx.create_vertex(app(i)).unwrap();
+            tx.add_label(v, person).unwrap();
+            tx.add_property(v, age, &PropertyValue::U64(i * 10))
+                .unwrap();
+            tx.add_edge(hub, v, None, true).unwrap();
+            nbrs.push(v);
+        }
+        tx.commit().unwrap();
+
+        // batched filter result ≡ per-candidate reference
+        let young = Constraint::from_sub(Subconstraint::new().with_prop(
+            age,
+            CmpOp::Lt,
+            PropertyValue::U64(50),
+        ));
+        let tx = eng.begin(AccessMode::ReadOnly);
+        let got = tx
+            .neighbors_matching(hub, EdgeOrientation::Outgoing, None, &young)
+            .unwrap();
+        let mut want = Vec::new();
+        for &v in &nbrs {
+            if tx.property(v, age).unwrap() == Some(PropertyValue::U64(20))
+                || tx.property(v, age).unwrap() == Some(PropertyValue::U64(30))
+                || tx.property(v, age).unwrap() == Some(PropertyValue::U64(40))
+            {
+                want.push(v);
+            }
+        }
+        assert_eq!(got, want);
+        tx.commit().unwrap();
+
+        // a write lock held elsewhere on one candidate must abort the
+        // probing transaction, exactly like the sequential path did
+        let blocker = eng.begin(AccessMode::ReadWrite);
+        blocker
+            .update_property(nbrs[1], age, &PropertyValue::U64(99))
+            .unwrap(); // holds the write lock on nbrs[1]
+        let probe = eng.begin(AccessMode::ReadOnly);
+        let err = probe
+            .neighbors_matching(hub, EdgeOrientation::Outgoing, None, &young)
+            .unwrap_err();
+        assert_eq!(err, GdiError::LockConflict);
+        assert_eq!(probe.status(), TxStatus::Aborted);
+        drop(probe);
+        blocker.commit().unwrap();
+
+        // with the lock released the probe succeeds again (and sees the
+        // committed update)
+        let tx = eng.begin(AccessMode::ReadOnly);
+        let after = tx
+            .neighbors_matching(hub, EdgeOrientation::Outgoing, None, &young)
+            .unwrap();
+        assert_eq!(after.len(), want.len() - 1, "updated vertex now filtered");
+        tx.commit().unwrap();
+    });
+}

@@ -269,6 +269,26 @@ impl<'a> RankCtx<'a> {
         self.stats.record_log_write(bytes);
     }
 
+    /// Record one OLAP scan-view build on this rank (`holders` live
+    /// holders decoded, `bytes` of payload lifted out of raw window
+    /// images). Pure accounting — the image reads were already charged
+    /// as ordinary gets by the sweep.
+    pub fn record_scan_build(&self, holders: u64, bytes: u64) {
+        self.stats.record_scan_build(holders, bytes);
+    }
+
+    /// Record one OLAP job that revalidated and reused a cached scan
+    /// view (zero sweep work).
+    pub fn record_scan_reuse(&self) {
+        self.stats.record_scan_reuse();
+    }
+
+    /// Record one scan view delta-patched from the redo-log tail
+    /// (`holders` rows re-decoded instead of a full sweep).
+    pub fn record_scan_patch(&self, holders: u64, bytes: u64) {
+        self.stats.record_scan_patch(holders, bytes);
+    }
+
     /// Record this rank's share of an elastic-reshard redistribution
     /// (`objects` re-materialized holders, `bytes` of payload). Pure
     /// accounting — the window writes themselves were already charged

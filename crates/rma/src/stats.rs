@@ -28,6 +28,11 @@ pub struct CommStats {
     quiesces: Cell<u64>,
     reshard_objects: Cell<u64>,
     reshard_bytes: Cell<u64>,
+    scan_builds: Cell<u64>,
+    scan_reuses: Cell<u64>,
+    scan_patches: Cell<u64>,
+    scan_holders: Cell<u64>,
+    scan_bytes: Cell<u64>,
 }
 
 impl CommStats {
@@ -123,6 +128,33 @@ impl CommStats {
         self.reshard_bytes.set(self.reshard_bytes.get() + bytes);
     }
 
+    /// Record one OLAP scan-view **build** on this rank: `holders` live
+    /// holders decoded out of raw window images, `bytes` of holder
+    /// payload lifted (the zero-transaction analytics path of
+    /// `gda::scan`).
+    #[inline]
+    pub fn record_scan_build(&self, holders: u64, bytes: u64) {
+        self.scan_builds.set(self.scan_builds.get() + 1);
+        self.scan_holders.set(self.scan_holders.get() + holders);
+        self.scan_bytes.set(self.scan_bytes.get() + bytes);
+    }
+
+    /// Record one OLAP job that **reused** a cached scan view (its epoch
+    /// stamp revalidated, so no sweep ran).
+    #[inline]
+    pub fn record_scan_reuse(&self) {
+        self.scan_reuses.set(self.scan_reuses.get() + 1);
+    }
+
+    /// Record one scan view **delta-patched** from the redo-log tail:
+    /// `holders` rows re-decoded in place instead of a full sweep.
+    #[inline]
+    pub fn record_scan_patch(&self, holders: u64, bytes: u64) {
+        self.scan_patches.set(self.scan_patches.get() + 1);
+        self.scan_holders.set(self.scan_holders.get() + holders);
+        self.scan_bytes.set(self.scan_bytes.get() + bytes);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -151,6 +183,11 @@ impl CommStats {
             quiesces: self.quiesces.get(),
             reshard_objects: self.reshard_objects.get(),
             reshard_bytes: self.reshard_bytes.get(),
+            scan_builds: self.scan_builds.get(),
+            scan_reuses: self.scan_reuses.get(),
+            scan_patches: self.scan_patches.get(),
+            scan_holders: self.scan_holders.get(),
+            scan_bytes: self.scan_bytes.get(),
             sim_time_ns: 0.0,
         }
     }
@@ -189,6 +226,16 @@ pub struct RankReport {
     pub reshard_objects: u64,
     /// Holder payload bytes moved into this rank by an elastic reshard.
     pub reshard_bytes: u64,
+    /// OLAP scan-view builds (full raw-window sweeps) on this rank.
+    pub scan_builds: u64,
+    /// OLAP jobs that reused a cached scan view (epoch unchanged).
+    pub scan_reuses: u64,
+    /// Scan views delta-patched from the redo-log tail.
+    pub scan_patches: u64,
+    /// Live holders decoded by scan builds/patches on this rank.
+    pub scan_holders: u64,
+    /// Holder payload bytes lifted out of raw images by scans.
+    pub scan_bytes: u64,
     /// Final simulated time of the rank in nanoseconds.
     pub sim_time_ns: f64,
 }
@@ -225,6 +272,11 @@ impl RankReport {
         self.quiesces += other.quiesces;
         self.reshard_objects += other.reshard_objects;
         self.reshard_bytes += other.reshard_bytes;
+        self.scan_builds += other.scan_builds;
+        self.scan_reuses += other.scan_reuses;
+        self.scan_patches += other.scan_patches;
+        self.scan_holders += other.scan_holders;
+        self.scan_bytes += other.scan_bytes;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
     }
 }

@@ -258,6 +258,22 @@ impl ServerMetrics {
         self.fabric_sum(|f| f.cache_invalidations)
     }
 
+    /// OLAP scan-view builds (full raw-window sweeps) over all serving
+    /// ranks.
+    pub fn scan_builds(&self) -> u64 {
+        self.fabric_sum(|f| f.scan_builds)
+    }
+
+    /// OLAP jobs served from a revalidated cached scan view.
+    pub fn scan_reuses(&self) -> u64 {
+        self.fabric_sum(|f| f.scan_reuses)
+    }
+
+    /// Scan views delta-patched from the redo-log tail.
+    pub fn scan_patches(&self) -> u64 {
+        self.fabric_sum(|f| f.scan_patches)
+    }
+
     /// Translation-cache hit fraction (0 when the cache was never probed).
     pub fn cache_hit_fraction(&self) -> f64 {
         gda::CacheStats {

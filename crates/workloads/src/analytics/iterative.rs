@@ -11,13 +11,13 @@ use rustc_hash::FxHashMap;
 
 use gda::GdaRank;
 
-use super::{route, LocalView};
+use super::{route, CsrView};
 
 /// PageRank with `iters` power iterations and damping factor `damping`
 /// (paper: `i=10, df=0.85`). Returns the local vertices' scores, parallel
 /// to `view.apps`. Dangling mass is redistributed uniformly, so scores sum
 /// to 1 across all ranks.
-pub fn pagerank(eng: &GdaRank, view: &LocalView, iters: usize, damping: f64) -> Vec<f64> {
+pub fn pagerank(eng: &GdaRank, view: &CsrView, iters: usize, damping: f64) -> Vec<f64> {
     let ctx = eng.ctx();
     let nranks = ctx.nranks();
     let n_global = ctx.allreduce_sum_u64(view.len() as u64) as f64;
@@ -28,11 +28,12 @@ pub fn pagerank(eng: &GdaRank, view: &LocalView, iters: usize, damping: f64) -> 
         // combining optimization real systems use to cut message volume)
         let mut dangling = 0.0f64;
         let mut combined: FxHashMap<u64, f64> = FxHashMap::default();
-        for (i, out) in view.adj_out.iter().enumerate() {
+        for (i, &score) in pr.iter().enumerate() {
+            let out = view.out(i);
             if out.is_empty() {
-                dangling += pr[i];
+                dangling += score;
             } else {
-                let share = pr[i] / out.len() as f64;
+                let share = score / out.len() as f64;
                 for t in out {
                     *combined.entry(t.raw()).or_insert(0.0) += share;
                 }
@@ -63,19 +64,19 @@ pub fn pagerank(eng: &GdaRank, view: &LocalView, iters: usize, damping: f64) -> 
 /// rounds (paper: `i=5`). Every vertex adopts the most frequent label among
 /// its neighbors (ties broken towards the smallest label), starting from
 /// its own app id — the LDBC Graphalytics definition.
-pub fn cdlp(eng: &GdaRank, view: &LocalView, iters: usize) -> Vec<u64> {
+pub fn cdlp(eng: &GdaRank, view: &CsrView, iters: usize) -> Vec<u64> {
     let ctx = eng.ctx();
     let nranks = ctx.nranks();
     let mut labels: Vec<u64> = view.apps.clone();
 
     for _ in 0..iters {
-        let msgs = view.adj_any.iter().enumerate().flat_map(|(i, nbrs)| {
+        let msgs = (0..view.len()).flat_map(|i| {
             let l = labels[i];
-            nbrs.iter().map(move |&t| (t, l))
+            view.any(i).iter().map(move |&t| (t, l))
         });
         let rows = route(nranks, msgs);
         let recv = ctx.alltoallv(rows);
-        ctx.charge_cpu(view.adj_any.iter().map(Vec::len).sum::<usize>() as u64 + 1);
+        ctx.charge_cpu(view.any_edges() as u64 + 1);
 
         // most-frequent incoming label per vertex, ties to the minimum
         let mut freq: FxHashMap<(usize, u64), u64> = FxHashMap::default();
@@ -109,20 +110,20 @@ pub fn cdlp(eng: &GdaRank, view: &LocalView, iters: usize) -> Vec<u64> {
 /// `iters` rounds (paper: `i=5`). Returns the component label (minimum
 /// reachable app id within the horizon) per local vertex. With
 /// `iters >= diameter` the labels are the exact WCC ids.
-pub fn wcc(eng: &GdaRank, view: &LocalView, iters: usize) -> Vec<u64> {
+pub fn wcc(eng: &GdaRank, view: &CsrView, iters: usize) -> Vec<u64> {
     let ctx = eng.ctx();
     let nranks = ctx.nranks();
     let mut comp: Vec<u64> = view.apps.clone();
 
     for _ in 0..iters {
         // only changed values need to propagate; first round sends all
-        let msgs = view.adj_any.iter().enumerate().flat_map(|(i, nbrs)| {
+        let msgs = (0..view.len()).flat_map(|i| {
             let c = comp[i];
-            nbrs.iter().map(move |&t| (t, c))
+            view.any(i).iter().map(move |&t| (t, c))
         });
         let rows = route(nranks, msgs);
         let recv = ctx.alltoallv(rows);
-        ctx.charge_cpu(view.adj_any.iter().map(Vec::len).sum::<usize>() as u64 + 1);
+        ctx.charge_cpu(view.any_edges() as u64 + 1);
         let mut changed = false;
         for (raw, c) in recv.into_iter().flatten() {
             let i = view.index_of[&raw];
@@ -139,7 +140,7 @@ pub fn wcc(eng: &GdaRank, view: &LocalView, iters: usize) -> Vec<u64> {
 }
 
 /// Run WCC to convergence (for exact component counts in tests/benches).
-pub fn wcc_converged(eng: &GdaRank, view: &LocalView) -> Vec<u64> {
+pub fn wcc_converged(eng: &GdaRank, view: &CsrView) -> Vec<u64> {
     wcc(eng, view, usize::MAX)
 }
 

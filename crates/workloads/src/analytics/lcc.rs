@@ -12,22 +12,20 @@ use rustc_hash::FxHashSet;
 
 use gda::{DPtr, GdaRank};
 
-use super::{route, LocalView};
+use super::{route, CsrView};
 
 /// Compute the local clustering coefficient of every local vertex
 /// (parallel to `view.apps`). The graph is treated as undirected with
 /// parallel edges deduplicated, per the LDBC Graphalytics definition.
-pub fn lcc(eng: &GdaRank, view: &LocalView) -> Vec<f64> {
+pub fn lcc(eng: &GdaRank, view: &CsrView) -> Vec<f64> {
     let ctx = eng.ctx();
     let nranks = ctx.nranks();
 
     // deduplicated undirected neighborhoods (excluding self-loops)
-    let nbr_sets: Vec<FxHashSet<u64>> = view
-        .adj_any
-        .iter()
-        .enumerate()
-        .map(|(i, nbrs)| {
-            nbrs.iter()
+    let nbr_sets: Vec<FxHashSet<u64>> = (0..view.len())
+        .map(|i| {
+            view.any(i)
+                .iter()
                 .map(|d| d.raw())
                 .filter(|&raw| raw != view.vids[i].raw())
                 .collect()

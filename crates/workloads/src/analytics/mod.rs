@@ -1,16 +1,23 @@
 //! OLAP graph analytics in collective transactions (§4, Fig. 6).
 //!
-//! Every algorithm follows the paper's pattern (Listing 2): a **collective
-//! read transaction** in which each rank processes its local partition of
-//! the vertex set, fetching graph data through GDI, and ranks exchange
+//! Every algorithm follows the paper's pattern (Listing 2): each rank
+//! processes its local partition of the vertex set and ranks exchange
 //! per-iteration values with collective communication (`alltoallv`,
 //! `allreduce`).
 //!
-//! [`LocalView`] materializes the local partition once per algorithm run —
-//! app ids, internal ids and adjacency — through GDI calls inside the
-//! collective transaction; the iterative algorithms then exchange values
-//! keyed by internal id (`DPtr`), whose rank field gives the message
-//! destination for free.
+//! All algorithms consume a [`CsrView`] — the per-rank CSR mirror of the
+//! local partition (`gda::scan`). Two builders produce one:
+//!
+//! * the **tx-based builder** ([`build_view`] / [`build_view_indexed`]):
+//!   a collective read transaction fetching adjacency through GDI, one
+//!   `neighbors` call per vertex — the reference path, kept as the
+//!   differential oracle;
+//! * the **scan builder** ([`scan_view`], or `GdaRank::olap_view` for
+//!   the cached variant): one sequential sweep of the raw storage
+//!   windows, no transactions, no DHT translations — the fast path.
+//!
+//! The iterative algorithms exchange values keyed by internal id
+//! (`DPtr`), whose rank field gives the message destination for free.
 
 pub mod iterative;
 pub mod lcc;
@@ -20,42 +27,44 @@ pub use iterative::{cdlp, pagerank, wcc, wcc_converged};
 pub use lcc::lcc;
 pub use traversal::{bfs, khop, BfsResult};
 
-use rustc_hash::FxHashMap;
+use std::rc::Rc;
 
-use gda::{DPtr, GdaRank};
+pub use gda::{CsrView, ScanPartition};
+use gda::{DPtr, GdaRank, Transaction};
 use gdi::{AccessMode, AppVertexId, EdgeOrientation};
 
-/// The local partition of the graph, materialized through GDI.
-#[derive(Debug, Default)]
-pub struct LocalView {
-    /// Application ids of the local vertices (round-robin partition).
-    pub apps: Vec<u64>,
-    /// Internal ids, parallel to `apps`.
-    pub vids: Vec<DPtr>,
-    /// Internal id (raw) → local index.
-    pub index_of: FxHashMap<u64, usize>,
-    /// App id → local index.
-    pub app_index: FxHashMap<u64, usize>,
-    /// Outgoing neighbors per local vertex.
-    pub adj_out: Vec<Vec<DPtr>>,
-    /// All neighbors (any direction) per local vertex.
-    pub adj_any: Vec<Vec<DPtr>>,
+/// The adjacency rows of one cached vertex, read through the
+/// transaction: neighbors in record order with their inline edge labels
+/// (0 = unlabeled) — the exact rows the scan layer decodes from raw
+/// blocks, so the two builders are comparable edge for edge.
+fn tx_adjacency(tx: &Transaction, vid: DPtr, orient: EdgeOrientation) -> Vec<(DPtr, u32)> {
+    tx.edges(vid, orient)
+        .unwrap()
+        .into_iter()
+        .map(|e| {
+            let (o, t) = tx.edge_endpoints(e).unwrap();
+            let nbr = if o == vid { t } else { o };
+            let lbl = tx.edge_labels(e).unwrap().first().map(|l| l.0).unwrap_or(0);
+            (nbr, lbl)
+        })
+        .collect()
 }
 
-impl LocalView {
-    /// Number of local vertices.
-    pub fn len(&self) -> usize {
-        self.apps.len()
+/// The one parameterized tx-based builder behind [`build_view`] and
+/// [`build_view_indexed`]: fetch every `(app, vid)` item's holder
+/// through the open collective transaction and assemble the CSR.
+fn build_view_from(tx: &Transaction, items: Vec<(u64, DPtr)>) -> CsrView {
+    let mut apps = Vec::with_capacity(items.len());
+    let mut vids = Vec::with_capacity(items.len());
+    let mut out = Vec::with_capacity(items.len());
+    let mut any = Vec::with_capacity(items.len());
+    for (app, vid) in items {
+        apps.push(app);
+        vids.push(vid);
+        out.push(tx_adjacency(tx, vid, EdgeOrientation::Outgoing));
+        any.push(tx_adjacency(tx, vid, EdgeOrientation::Any));
     }
-
-    pub fn is_empty(&self) -> bool {
-        self.apps.is_empty()
-    }
-
-    /// Local out-degree sum (diagnostics).
-    pub fn out_edges(&self) -> usize {
-        self.adj_out.iter().map(Vec::len).sum()
-    }
+    CsrView::from_adjacency(apps, vids, out, any)
 }
 
 /// Collective: build the local view from this rank's partition of an
@@ -63,50 +72,46 @@ impl LocalView {
 /// point for OLAP scans (Listings 2/3). Unlike [`build_view`], no DHT
 /// translation is needed: postings already carry internal ids, and the
 /// holders live in local memory.
-pub fn build_view_indexed(eng: &GdaRank, index: gda::IndexId) -> LocalView {
-    let tx = eng.begin_collective(gdi::AccessMode::ReadOnly);
+pub fn build_view_indexed(eng: &GdaRank, index: gda::IndexId) -> CsrView {
+    let tx = eng.begin_collective(AccessMode::ReadOnly);
     let mut postings = eng.local_index_vertices(index);
     postings.sort_by_key(|p| p.app_id);
-    let mut view = LocalView::default();
-    for (i, p) in postings.iter().enumerate() {
-        view.apps.push(p.app_id.0);
-        view.vids.push(p.vertex);
-        view.index_of.insert(p.vertex.raw(), i);
-        view.app_index.insert(p.app_id.0, i);
-        view.adj_out.push(
-            tx.neighbors(p.vertex, EdgeOrientation::Outgoing, None)
-                .unwrap(),
-        );
-        view.adj_any
-            .push(tx.neighbors(p.vertex, EdgeOrientation::Any, None).unwrap());
-    }
+    let view = build_view_from(
+        &tx,
+        postings
+            .into_iter()
+            .map(|p| (p.app_id.0, p.vertex))
+            .collect(),
+    );
     tx.commit().expect("read-only collective commit");
     view
 }
 
 /// Collective: build the local view of the given app-id partition by
 /// translating ids and fetching adjacency through a collective read
-/// transaction.
-pub fn build_view(eng: &GdaRank, apps: &[u64]) -> LocalView {
+/// transaction (the tx-based reference path — the scan layer's
+/// differential oracle).
+pub fn build_view(eng: &GdaRank, apps: &[u64]) -> CsrView {
     let tx = eng.begin_collective(AccessMode::ReadOnly);
-    let mut view = LocalView {
-        apps: apps.to_vec(),
-        ..Default::default()
-    };
-    for (i, &app) in apps.iter().enumerate() {
-        let vid = tx
-            .translate_vertex_id(AppVertexId(app))
-            .expect("view vertex must exist");
-        view.vids.push(vid);
-        view.index_of.insert(vid.raw(), i);
-        view.app_index.insert(app, i);
-        view.adj_out
-            .push(tx.neighbors(vid, EdgeOrientation::Outgoing, None).unwrap());
-        view.adj_any
-            .push(tx.neighbors(vid, EdgeOrientation::Any, None).unwrap());
-    }
+    let items = apps
+        .iter()
+        .map(|&app| {
+            let vid = tx
+                .translate_vertex_id(AppVertexId(app))
+                .expect("view vertex must exist");
+            (app, vid)
+        })
+        .collect();
+    let view = build_view_from(&tx, items);
     tx.commit().expect("read-only collective commit");
     view
+}
+
+/// Collective: the zero-transaction scan build of this rank's partition
+/// (every live local vertex) — one raw-window sweep, no caching. Use
+/// `GdaRank::olap_view` for the epoch-validated cached variant.
+pub fn scan_view(eng: &GdaRank) -> Rc<CsrView> {
+    gda::scan::build_view(eng, ScanPartition::LocalAll)
 }
 
 /// Route `(target, payload)` messages into per-rank rows for `alltoallv`
@@ -151,6 +156,41 @@ mod tests {
             for (i, vid) in view.vids.iter().enumerate() {
                 assert_eq!(view.index_of[&vid.raw()], i);
             }
+        });
+    }
+
+    /// The scan builder and the tx builder must produce logically
+    /// identical views — the in-crate differential oracle (the full
+    /// churn-driven proptest lives in `gdi-tests`).
+    #[test]
+    fn scan_view_matches_tx_view() {
+        let spec = GraphSpec {
+            scale: 6,
+            edge_factor: 4,
+            seed: 9,
+            lpg: graphgen::LpgConfig::default(),
+        };
+        let nranks = 3;
+        let cfg = sized_config(&spec, nranks);
+        let (db, fabric) = GdaDb::with_fabric("sv", cfg, nranks, CostModel::default());
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let (meta, _) = load_into(&eng, &spec);
+            let scan = scan_view(&eng);
+            let tx_view = build_view(&eng, &scan.apps.clone());
+            assert!(scan.logical_eq(&tx_view), "scan view diverges from tx view");
+            // the indexed tx builder agrees too (same partition: the
+            // generator installs an index over all vertices)
+            if let Some(ix) = meta.all_index {
+                let ix_view = build_view_indexed(&eng, ix);
+                assert!(scan.logical_eq(&ix_view));
+            }
+            // cached variant: second call reuses, still identical
+            let v1 = eng.olap_view();
+            let v2 = eng.olap_view();
+            assert!(std::rc::Rc::ptr_eq(&v1, &v2));
+            assert!(v1.logical_eq(&tx_view));
         });
     }
 

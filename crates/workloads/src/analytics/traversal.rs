@@ -9,7 +9,7 @@
 
 use gda::GdaRank;
 
-use super::{route, LocalView};
+use super::{route, CsrView};
 
 /// Result of a BFS / k-hop run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,17 +21,17 @@ pub struct BfsResult {
 }
 
 /// Full BFS from `root_app`.
-pub fn bfs(eng: &GdaRank, view: &LocalView, root_app: u64) -> BfsResult {
+pub fn bfs(eng: &GdaRank, view: &CsrView, root_app: u64) -> BfsResult {
     bounded_bfs(eng, view, root_app, u32::MAX)
 }
 
 /// k-hop neighborhood query: number of distinct vertices within `k` hops
 /// of `root_app` (the paper's 2-/3-/4-hop workloads, Fig. 6e).
-pub fn khop(eng: &GdaRank, view: &LocalView, root_app: u64, k: u32) -> u64 {
+pub fn khop(eng: &GdaRank, view: &CsrView, root_app: u64, k: u32) -> u64 {
     bounded_bfs(eng, view, root_app, k).visited
 }
 
-fn bounded_bfs(eng: &GdaRank, view: &LocalView, root_app: u64, max_levels: u32) -> BfsResult {
+fn bounded_bfs(eng: &GdaRank, view: &CsrView, root_app: u64, max_levels: u32) -> BfsResult {
     let ctx = eng.ctx();
     let nranks = ctx.nranks();
     let mut visited = vec![false; view.len()];
@@ -51,7 +51,7 @@ fn bounded_bfs(eng: &GdaRank, view: &LocalView, root_app: u64, max_levels: u32) 
         // expand: messages to the owners of discovered vertices
         let msgs = frontier
             .iter()
-            .flat_map(|&i| view.adj_any[i].iter().map(|&t| (t, ())));
+            .flat_map(|&i| view.any(i).iter().map(|&t| (t, ())));
         let rows = route(nranks, msgs);
         let recv = ctx.alltoallv(rows);
         ctx.charge_cpu(frontier.len() as u64 + 1);

@@ -15,7 +15,7 @@ use gda::{DPtr, GdaRank};
 use gdi::{AccessMode, Datatype, EntityType, Multiplicity, PTypeId, PropertyValue, SizeType};
 use graphgen::kronecker::hash3;
 
-use crate::analytics::{route, LocalView};
+use crate::analytics::{route, CsrView};
 
 /// GNN configuration.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +65,7 @@ fn weight(seed: u64, layer: usize, i: usize, j: usize, k: usize) -> f64 {
 
 /// Collective: initialize every local vertex's feature property
 /// (collective write transaction).
-pub fn init_features(eng: &GdaRank, view: &LocalView, ptype: PTypeId, cfg: &GnnConfig) {
+pub fn init_features(eng: &GdaRank, view: &CsrView, ptype: PTypeId, cfg: &GnnConfig) {
     let tx = eng.begin_collective(AccessMode::ReadWrite);
     for (i, &vid) in view.vids.iter().enumerate() {
         let f = init_feature(cfg.seed, view.apps[i], cfg.k);
@@ -80,7 +80,7 @@ pub fn init_features(eng: &GdaRank, view: &LocalView, ptype: PTypeId, cfg: &GnnC
 /// the new local feature matrix (a cheap training-progress proxy).
 pub fn conv_layer(
     eng: &GdaRank,
-    view: &LocalView,
+    view: &CsrView,
     ptype: PTypeId,
     cfg: &GnnConfig,
     layer: usize,
@@ -101,9 +101,9 @@ pub fn conv_layer(
     }
     tx.commit().expect("feature fetch commit");
 
-    let msgs = view.adj_out.iter().enumerate().flat_map(|(i, nbrs)| {
+    let msgs = (0..view.len()).flat_map(|i| {
         let f = feats[i].clone();
-        nbrs.iter().map(move |&t| (t, f.clone()))
+        view.out(i).iter().map(move |&t| (t, f.clone()))
     });
     let rows = route(nranks, msgs);
     let recv = ctx.alltoallv(rows);
@@ -148,7 +148,7 @@ pub fn conv_layer(
 
 /// Full forward pass: `cfg.layers` convolution layers (the Fig. 6c/6d
 /// workload). Returns the per-layer global feature norms.
-pub fn train_forward(eng: &GdaRank, view: &LocalView, ptype: PTypeId, cfg: &GnnConfig) -> Vec<f64> {
+pub fn train_forward(eng: &GdaRank, view: &CsrView, ptype: PTypeId, cfg: &GnnConfig) -> Vec<f64> {
     (0..cfg.layers)
         .map(|l| conv_layer(eng, view, ptype, cfg, l))
         .collect()

@@ -49,7 +49,7 @@ fn reference_bfs(spec: &GraphSpec) -> Vec<(u64, u32)> {
 fn run_gda<V: Clone + Send>(
     spec: &GraphSpec,
     nranks: usize,
-    f: impl Fn(&gda::GdaRank, &workloads::analytics::LocalView) -> Vec<(u64, V)> + Sync,
+    f: impl Fn(&gda::GdaRank, &workloads::analytics::CsrView) -> Vec<(u64, V)> + Sync,
 ) -> BTreeMap<u64, V> {
     let cfg = sized_config(spec, nranks);
     let (db, fabric) = GdaDb::with_fabric("topo", cfg, nranks, CostModel::default());

@@ -1,0 +1,341 @@
+//! Differential oracle for the zero-transaction OLAP scan layer
+//! (`gda::scan`): on random graphs, under random interleaved
+//! insert/delete churn, the scan-built `CsrView` must stay logically
+//! identical to the tx-built view — and a cached mirror revalidated
+//! through `GdaRank::olap_view` must never serve a stale read.
+//!
+//! The churn driver alternates mutation batches (vertex create/delete,
+//! edge add/delete, property updates) with oracle checks; every check
+//! compares the epoch-validated cached view against a freshly built
+//! tx view over the same partition, edge for edge.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gda::{GdaConfig, GdaDb, GdaRank};
+use gdi::{AccessMode, AppVertexId, EdgeOrientation};
+use rma::CostModel;
+use workloads::analytics::{build_view, pagerank, scan_view, CsrView};
+
+/// One random mutation step of the churn driver.
+#[derive(Debug, Clone, Copy)]
+enum ChurnOp {
+    AddVertex,
+    DeleteVertex,
+    AddEdge,
+    DeleteEdge,
+    SetProp,
+}
+
+fn arb_op() -> impl Strategy<Value = ChurnOp> {
+    // duplication stands in for weights (edge churn dominates)
+    prop_oneof![
+        Just(ChurnOp::AddVertex),
+        Just(ChurnOp::AddVertex),
+        Just(ChurnOp::DeleteVertex),
+        Just(ChurnOp::AddEdge),
+        Just(ChurnOp::AddEdge),
+        Just(ChurnOp::AddEdge),
+        Just(ChurnOp::AddEdge),
+        Just(ChurnOp::DeleteEdge),
+        Just(ChurnOp::SetProp),
+        Just(ChurnOp::SetProp),
+    ]
+}
+
+/// Shared-state-free tracking of the live app ids: the driver runs on
+/// rank 0 only and re-derives targets from its own bookkeeping.
+struct Driver {
+    live: Vec<u64>,
+    next_app: u64,
+    rng: SmallRng,
+}
+
+impl Driver {
+    fn pick(&mut self) -> Option<u64> {
+        if self.live.is_empty() {
+            None
+        } else {
+            let i = self.rng.gen_range(0..self.live.len());
+            Some(self.live[i])
+        }
+    }
+
+    fn apply(&mut self, eng: &GdaRank, op: ChurnOp, ptype: gdi::PTypeId) {
+        let tx = eng.begin(AccessMode::ReadWrite);
+        let ok = match op {
+            ChurnOp::AddVertex => {
+                self.next_app += 1;
+                let app = self.next_app;
+                match tx.create_vertex(AppVertexId(app)) {
+                    Ok(_) => {
+                        self.live.push(app);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            ChurnOp::DeleteVertex => match self.pick() {
+                Some(app) => match tx
+                    .translate_vertex_id(AppVertexId(app))
+                    .and_then(|v| tx.delete_vertex(v))
+                {
+                    Ok(()) => {
+                        self.live.retain(|&a| a != app);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                None => false,
+            },
+            ChurnOp::AddEdge => {
+                let (Some(a), Some(b)) = (self.pick(), self.pick()) else {
+                    tx.abort();
+                    return;
+                };
+                let dir = self.rng.gen_bool(0.7);
+                tx.translate_vertex_id(AppVertexId(a))
+                    .and_then(|va| {
+                        tx.translate_vertex_id(AppVertexId(b))
+                            .and_then(|vb| tx.add_edge(va, vb, None, dir))
+                    })
+                    .is_ok()
+            }
+            ChurnOp::DeleteEdge => match self.pick() {
+                Some(app) => tx
+                    .translate_vertex_id(AppVertexId(app))
+                    .and_then(|v| {
+                        let es = tx.edges(v, EdgeOrientation::Any)?;
+                        match es.first() {
+                            Some(&e) => tx.delete_edge(e),
+                            None => Ok(()),
+                        }
+                    })
+                    .is_ok(),
+                None => false,
+            },
+            ChurnOp::SetProp => match self.pick() {
+                Some(app) => tx
+                    .translate_vertex_id(AppVertexId(app))
+                    .and_then(|v| {
+                        tx.update_property(v, ptype, &gdi::PropertyValue::U64(self.next_app))
+                    })
+                    .is_ok(),
+                None => false,
+            },
+        };
+        if ok {
+            tx.commit().expect("churn commit");
+        } else {
+            tx.abort();
+        }
+    }
+}
+
+/// Build the tx oracle over exactly the partition a scan view covers
+/// and compare. Returns the number of divergent views (0 or 1).
+fn check_rank(eng: &GdaRank, view: &CsrView) -> usize {
+    let want = build_view(eng, &view.apps.clone());
+    usize::from(!view.logical_eq(&want))
+}
+
+fn run_churn_case(nranks: usize, seed: u64, ops: Vec<ChurnOp>, durable: bool) {
+    let cfg = GdaConfig::tiny();
+    let db = GdaDb::new("olap-scan-prop", cfg, nranks);
+    let scratch = durable
+        .then(|| workloads::scratch::ScratchDir::new(&format!("olap-scan-prop-{nranks}-{seed}")));
+    if let Some(dir) = &scratch {
+        db.enable_persistence(gda::PersistOptions::new(dir.path()))
+            .unwrap();
+    }
+    let fabric = cfg.build_fabric(nranks, CostModel::default());
+    let divergences = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        // a deterministic base graph plus a property type for the
+        // property-churn ops (must never invalidate a view)
+        if ctx.rank() == 0 {
+            eng.create_ptype(
+                "p",
+                gdi::Datatype::Uint64,
+                gdi::EntityType::Vertex,
+                gdi::Multiplicity::Single,
+                gdi::SizeType::Fixed,
+                1,
+            )
+            .unwrap();
+        }
+        ctx.barrier();
+        eng.refresh_meta();
+        let ptype = eng.meta().ptype_from_name("p").unwrap();
+        let base: u64 = 18;
+        if ctx.rank() == 0 {
+            let tx = eng.begin(AccessMode::ReadWrite);
+            let vids: Vec<_> = (0..base)
+                .map(|a| tx.create_vertex(AppVertexId(a)).unwrap())
+                .collect();
+            for i in 0..base {
+                tx.add_edge(
+                    vids[i as usize],
+                    vids[((i + 1) % base) as usize],
+                    None,
+                    true,
+                )
+                .unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        ctx.barrier();
+
+        let mut divergences = 0usize;
+        let mut driver = Driver {
+            live: (0..base).collect(),
+            next_app: base,
+            rng: SmallRng::seed_from_u64(seed),
+        };
+        // initial mirror (collective) + oracle check
+        let mut view = eng.olap_view();
+        divergences += check_rank(&eng, &view);
+        for chunk in ops.chunks(4) {
+            // churn runs on rank 0 only; everyone else waits (the scan
+            // layer's quiescent-OLAP contract)
+            if ctx.rank() == 0 {
+                for &op in chunk {
+                    driver.apply(&eng, op, ptype);
+                }
+            }
+            ctx.barrier();
+            // the epoch-validated cached view must match a fresh tx
+            // oracle after every batch — a stale read is a divergence
+            view = eng.olap_view();
+            divergences += check_rank(&eng, &view);
+        }
+        // the fresh (uncached) scan builder agrees as well
+        let fresh = scan_view(&eng);
+        divergences += check_rank(&eng, &fresh);
+        if !fresh.logical_eq(&view) {
+            divergences += 1;
+        }
+        divergences
+    });
+    assert_eq!(
+        divergences.iter().sum::<usize>(),
+        0,
+        "scan view diverged from the tx oracle under churn (seed {seed})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// In-memory databases: every epoch movement forces a rebuild; the
+    /// rebuilt mirror must equal the tx oracle after every churn batch.
+    #[test]
+    fn scan_view_equals_tx_view_under_churn(
+        seed in 0u64..1_000_000,
+        nranks in 1usize..4,
+        ops in prop::collection::vec(arb_op(), 4..28),
+    ) {
+        run_churn_case(nranks, seed, ops, false);
+    }
+
+    /// Durable databases additionally exercise the redo-log delta
+    /// patch: small edge-only deltas are patched in place, membership
+    /// changes force rebuilds — either way the oracle must hold.
+    #[test]
+    fn durable_scan_view_patches_stay_exact(
+        seed in 0u64..1_000_000,
+        nranks in 1usize..4,
+        ops in prop::collection::vec(arb_op(), 4..20),
+    ) {
+        run_churn_case(nranks, seed, ops, true);
+    }
+}
+
+/// The server wiring: collective OLAP jobs submitted through
+/// `GdiServer::submit_olap` share one epoch-validated mirror — the
+/// first job sweeps, later jobs revalidate and reuse, and interleaved
+/// served writes retire it exactly when they change topology.
+#[test]
+fn server_olap_jobs_reuse_the_mirror_across_requests() {
+    use server::{GdiServer, ServerOptions};
+
+    let nranks = 2;
+    let cfg = GdaConfig::tiny();
+    let db = GdaDb::new("olap-scan-server", cfg, nranks);
+    let fabric = cfg.build_fabric(nranks, CostModel::default());
+    let server = GdiServer::new(db.clone(), ServerOptions::default());
+
+    let srv = server.clone();
+    std::thread::scope(|scope| {
+        let ranks = {
+            let server = server.clone();
+            let db = db.clone();
+            scope.spawn(move || {
+                fabric.run(|ctx| {
+                    let eng = db.attach(ctx);
+                    eng.init_collective();
+                    if ctx.rank() == 0 {
+                        let tx = eng.begin(AccessMode::ReadWrite);
+                        let vids: Vec<_> = (0..12u64)
+                            .map(|a| tx.create_vertex(AppVertexId(a)).unwrap())
+                            .collect();
+                        for i in 0..12 {
+                            tx.add_edge(vids[i], vids[(i + 1) % 12], None, true)
+                                .unwrap();
+                        }
+                        tx.commit().unwrap();
+                    }
+                    ctx.barrier();
+                    server.serve_rank(ctx)
+                })
+            })
+        };
+
+        // three identical PageRank jobs: the mirror is built once and
+        // reused by the next two (epoch unchanged)
+        let job = |srv: &GdiServer| {
+            srv.submit_olap(|eng| {
+                let v = eng.olap_view();
+                let pr = pagerank(eng, &v, 5, 0.85);
+                pr.iter().sum::<f64>()
+            })
+            .expect("submit olap")
+            .wait()
+        };
+        let r1 = job(&srv);
+        let r2 = job(&srv);
+        let r3 = job(&srv);
+        assert!(r1.is_committed() && r2.is_committed() && r3.is_committed());
+        // a topology change between jobs retires the mirror
+        let s = srv.session();
+        let out = s
+            .execute(server::Op::AddEdge {
+                from: AppVertexId(3),
+                to: AppVertexId(7),
+                label: None,
+            })
+            .expect("submit edge");
+        assert!(out.is_committed(), "edge add failed: {out:?}");
+        let r4 = job(&srv);
+        assert!(r4.is_committed());
+        srv.shutdown();
+        let summaries = ranks.join().expect("serve ranks");
+        assert_eq!(summaries.len(), nranks);
+
+        let m = srv.metrics();
+        assert!(
+            m.scan_reuses() >= 2 * nranks as u64,
+            "jobs 2 and 3 must reuse the mirror: {} reuses",
+            m.scan_reuses()
+        );
+        assert!(
+            m.scan_builds() + m.scan_patches() >= 2,
+            "the first job and the post-write job must rebuild/patch \
+             (builds {}, patches {})",
+            m.scan_builds(),
+            m.scan_patches()
+        );
+    });
+}
