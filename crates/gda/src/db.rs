@@ -518,6 +518,16 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
         view
     }
 
+    /// Non-collective peek at the OLAP scan view cached by a previous
+    /// [`GdaRank::olap_view`] call on this attach, if any. No epoch
+    /// revalidation is performed — this is a **planning hint** (the
+    /// query planner uses it to decide whether a `CsrView`-backed stage
+    /// is already paid for), never a substitute for the collective
+    /// rendezvous.
+    pub fn olap_view_peek(&self) -> Option<Rc<crate::scan::CsrView>> {
+        self.scan_cache.borrow().clone()
+    }
+
     /// Pin the translation cache for one service drain cycle: snapshot
     /// every rank's epoch word now and skip per-lookup revalidation until
     /// [`GdaRank::cache_end_cycle`] — one epoch check per batch instead

@@ -1,0 +1,206 @@
+//! Ergonomic builder for [`Query`] values.
+//!
+//! The builder walks the MATCH chain left to right: predicates apply to
+//! the *current* pattern node (the root until the first [`QueryBuilder::expand`],
+//! then the newest expansion target), and a projection method closes the
+//! chain:
+//!
+//! ```
+//! use gdi::{CmpOp, EdgeOrientation, LabelId, PTypeId};
+//! use query::{AggTarget, QueryBuilder};
+//!
+//! let q = QueryBuilder::node("p")
+//!     .label(LabelId(1))
+//!     .prop_gt(PTypeId(10), 30)
+//!     .expand_out(Some(LabelId(2)))
+//!     .to("c")
+//!     .label(LabelId(3))
+//!     .prop_gt(PTypeId(11), 7)
+//!     .count(AggTarget::Root);
+//! assert_eq!(q.expands.len(), 1);
+//! ```
+
+use gdi::{AppVertexId, CmpOp, EdgeOrientation, LabelId, PTypeId, PropertyValue};
+
+use crate::ast::{AggTarget, Aggregate, Expand, NodePattern, Projection, PropFilter, Query};
+
+/// Fluent constructor of [`Query`] values; see the module docs.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    root: NodePattern,
+    expands: Vec<Expand>,
+}
+
+impl QueryBuilder {
+    /// Start a chain at the driving node pattern.
+    pub fn node(var: &str) -> Self {
+        Self {
+            root: NodePattern::any(var),
+            expands: Vec::new(),
+        }
+    }
+
+    fn cur(&mut self) -> &mut NodePattern {
+        match self.expands.last_mut() {
+            Some(e) => {
+                assert!(
+                    !e.close_to_root,
+                    "cycle-closing expansions bind no target pattern"
+                );
+                &mut e.target
+            }
+            None => &mut self.root,
+        }
+    }
+
+    /// Require a label on the current pattern node.
+    pub fn label(mut self, l: LabelId) -> Self {
+        self.cur().labels.push(l);
+        self
+    }
+
+    /// Add a property predicate to the current pattern node.
+    pub fn prop(mut self, ptype: PTypeId, op: CmpOp, value: PropertyValue) -> Self {
+        self.cur().props.push(PropFilter { ptype, op, value });
+        self
+    }
+
+    /// Shorthand: `property(ptype) > v` on the current pattern node.
+    pub fn prop_gt(self, ptype: PTypeId, v: u64) -> Self {
+        self.prop(ptype, CmpOp::Gt, PropertyValue::U64(v))
+    }
+
+    /// Pin the **root** to one application id (`id(var) = x`, the DHT
+    /// point-lookup predicate). Panics when applied after an expansion.
+    pub fn with_app_id(mut self, id: AppVertexId) -> Self {
+        assert!(
+            self.expands.is_empty(),
+            "app-id equality is only supported on the root pattern"
+        );
+        self.root.app_id = Some(id);
+        self
+    }
+
+    /// Add an expansion step; predicates now apply to its target.
+    pub fn expand(mut self, orient: EdgeOrientation, edge_label: Option<LabelId>) -> Self {
+        let n = self.expands.len();
+        self.expands.push(Expand {
+            orient,
+            edge_label,
+            target: NodePattern::any(&format!("_v{}", n + 1)),
+            close_to_root: false,
+        });
+        self
+    }
+
+    /// [`QueryBuilder::expand`] with outgoing orientation.
+    pub fn expand_out(self, edge_label: Option<LabelId>) -> Self {
+        self.expand(EdgeOrientation::Outgoing, edge_label)
+    }
+
+    /// [`QueryBuilder::expand`] with any orientation.
+    pub fn expand_any(self, edge_label: Option<LabelId>) -> Self {
+        self.expand(EdgeOrientation::Any, edge_label)
+    }
+
+    /// Name the current expansion target (defaults to `_v<i>`).
+    pub fn to(mut self, var: &str) -> Self {
+        self.cur().var = var.to_string();
+        self
+    }
+
+    /// Turn the newest expansion into a cycle-closing step: its edge must
+    /// lead back to the root binding. Panics when the target already
+    /// carries predicates, or when there is no expansion yet.
+    pub fn close_cycle(mut self) -> Self {
+        let e = self
+            .expands
+            .last_mut()
+            .expect("close_cycle needs an expansion step");
+        assert!(
+            e.target.is_trivial(),
+            "a cycle-closing step binds the root, not a fresh pattern"
+        );
+        e.close_to_root = true;
+        self
+    }
+
+    fn finish(self, target: AggTarget, agg: Aggregate) -> Query {
+        Query {
+            root: self.root,
+            expands: self.expands,
+            returns: Projection { target, agg },
+        }
+    }
+
+    /// Close the chain with `count(DISTINCT <target>)`.
+    pub fn count(self, target: AggTarget) -> Query {
+        self.finish(target, Aggregate::Count)
+    }
+
+    /// Close the chain with `sum(<target>.<ptype>)` (wrapping `u64`).
+    pub fn sum(self, target: AggTarget, ptype: PTypeId) -> Query {
+        self.finish(target, Aggregate::Sum(ptype))
+    }
+
+    /// Close the chain with `collect(<target>)` — sorted application ids.
+    pub fn collect_ids(self, target: AggTarget) -> Query {
+        self.finish(target, Aggregate::CollectIds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_builds_bi2_shape() {
+        let q = QueryBuilder::node("p")
+            .label(LabelId(1))
+            .prop_gt(PTypeId(10), 100)
+            .expand_out(Some(LabelId(2)))
+            .to("c")
+            .label(LabelId(3))
+            .prop_gt(PTypeId(11), 200)
+            .count(AggTarget::Root);
+        assert_eq!(q.root.var, "p");
+        assert_eq!(q.root.labels, vec![LabelId(1)]);
+        assert_eq!(q.expands.len(), 1);
+        assert_eq!(q.expands[0].edge_label, Some(LabelId(2)));
+        assert_eq!(q.expands[0].target.var, "c");
+        assert_eq!(q.returns.agg, Aggregate::Count);
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let q = QueryBuilder::node("a")
+            .label(LabelId(1))
+            .expand_out(Some(LabelId(2)))
+            .to("b")
+            .expand_out(Some(LabelId(2)))
+            .close_cycle()
+            .count(AggTarget::Root);
+        assert!(q.expands[1].close_to_root);
+        assert_eq!(q.target_var(), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "app-id equality")]
+    fn app_id_after_expand_panics() {
+        let _ = QueryBuilder::node("a")
+            .expand_out(None)
+            .with_app_id(AppVertexId(1));
+    }
+
+    #[test]
+    fn point_lookup_collect() {
+        let q = QueryBuilder::node("p")
+            .with_app_id(AppVertexId(42))
+            .expand_any(None)
+            .to("n")
+            .label(LabelId(5))
+            .collect_ids(AggTarget::Last);
+        assert_eq!(q.root.app_id, Some(AppVertexId(42)));
+        assert_eq!(q.target_var(), "n");
+    }
+}

@@ -1,0 +1,324 @@
+//! Collective executor: run a [`Plan`] against a [`GdaRank`].
+//!
+//! Execution is **collective and symmetric**: every rank calls
+//! [`execute`] with the *same* query and plan (plan with a
+//! [`Catalog`](crate::planner::Catalog) from
+//! [`Catalog::gather`](crate::planner::Catalog::gather) — it is
+//! collective precisely so all ranks cost identically), and every
+//! collective below fires in plan order on all ranks. Two ranks
+//! disagreeing on a plan would deadlock the fabric.
+//!
+//! The executor carries bindings as `(root, cur)` pairs — the first and
+//! the newest chain vertex, which is all the supported projections need
+//! — deduplicated after every stage:
+//!
+//! - **driving stage**: point lookup (one DHT translation, owner rank
+//!   keeps the binding; a deleted id is an empty result, not an error),
+//!   local index-posting scan ([`gda::Transaction::local_index_scan`]),
+//!   or full-partition sweep over the collective [`gda::CsrView`];
+//! - **expand stages**: transactional
+//!   [`gda::Transaction::neighbors_matching`] (pipelined one-sided chain
+//!   reads), or Csr routing — bindings travel to the rank owning `cur`
+//!   via `alltoallv` and probe its cached view adjacency, with a
+//!   broadcast semi-join of qualifying target ids when the target
+//!   pattern filters (the view has no vertex labels/properties);
+//! - **aggregate stage**: targets are routed to their owner rank for
+//!   machine-wide dedup, then combined with `allreduce`/`allgatherv`
+//!   (sums are wrapping: generator properties span the full `u64`
+//!   range).
+
+use rustc_hash::FxHashSet;
+
+use gda::{DPtr, GdaRank, Transaction};
+use gdi::{
+    AccessMode, Constraint, EdgeOrientation, GdiError, GdiResult, PropertyValue, Subconstraint,
+};
+
+use crate::ast::{AggTarget, Aggregate, NodePattern, Query};
+use crate::physical::{AccessPath, ExpandPath, QueryOutput, QueryValue, StageStats};
+use crate::planner::Plan;
+
+/// Does `v` satisfy the pattern's label + property predicates (app-id
+/// excluded — the driving stages handle it)?
+fn node_matches(tx: &Transaction, v: DPtr, p: &NodePattern) -> GdiResult<bool> {
+    for l in &p.labels {
+        if !tx.has_label(v, *l)? {
+            return Ok(false);
+        }
+    }
+    for f in &p.props {
+        let Some(val) = tx.property(v, f.ptype)? else {
+            return Ok(false);
+        };
+        if !f.op.eval(val.cmp_total(&f.value)) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// The pattern as a storage-side DNF constraint (one conjunctive
+/// subconstraint), stamped with the current metadata epoch.
+fn pattern_constraint(p: &NodePattern, epoch: u64) -> Constraint {
+    let mut sub = Subconstraint::new();
+    for l in &p.labels {
+        sub = sub.with_label(*l);
+    }
+    for f in &p.props {
+        sub = sub.with_prop(f.ptype, f.op, f.value.clone());
+    }
+    Constraint::from_sub(sub).at_epoch(epoch)
+}
+
+fn dedup_pairs(v: &mut Vec<(DPtr, DPtr)>) {
+    let mut seen = FxHashSet::default();
+    v.retain(|&(a, b)| seen.insert((a.raw(), b.raw())));
+}
+
+/// Execute `plan` collectively. Every rank must call this with the same
+/// `q`/`plan`; the returned [`QueryValue`] is identical on all ranks,
+/// the per-stage counters are this rank's share.
+pub fn execute(eng: &GdaRank, q: &Query, plan: &Plan) -> QueryOutput {
+    let ctx = eng.ctx();
+    ctx.record_query_exec();
+    let nranks = eng.nranks();
+    let epoch = eng.meta_epoch();
+    // the view rendezvous is collective: it must run before the read
+    // transaction's own collectives, in plan order
+    let view = plan.uses_view.then(|| eng.olap_view());
+    let tx = eng.begin_collective(AccessMode::ReadOnly);
+    let mut stages: Vec<StageStats> = Vec::new();
+    let record = |stages: &mut Vec<StageStats>, si: usize, rows: u64, expanded: u64, bytes: u64| {
+        ctx.record_query_stage(rows, expanded, bytes);
+        stages.push(StageStats {
+            desc: plan
+                .stages
+                .get(si)
+                .map(|s| s.desc.clone())
+                .unwrap_or_default(),
+            rows,
+            expanded,
+            comm_bytes: bytes,
+        });
+    };
+
+    // ---- driving stage ---------------------------------------------------
+    let mut bind: Vec<(DPtr, DPtr)> = match plan.choice.access {
+        AccessPath::PointLookup => {
+            let app = q.root.app_id.expect("point lookup requires an app-id");
+            let mut b = Vec::new();
+            match tx.translate_vertex_id(app) {
+                // only the owner rank retains the binding, so dedup and
+                // routing behave exactly like the scan paths
+                Ok(v) if v.rank() == eng.rank() => {
+                    if node_matches(&tx, v, &q.root).expect("root filter") {
+                        b.push((v, v));
+                    }
+                }
+                Ok(_) => {}
+                // deleted or never-created id: an empty result (churn
+                // safety — concurrent deletes must not panic readers)
+                Err(GdiError::NotFound(_)) => {}
+                Err(e) => panic!("point lookup failed: {e:?}"),
+            }
+            b
+        }
+        AccessPath::IndexScan(ix) => {
+            let c = pattern_constraint(&q.root, epoch);
+            tx.local_index_scan(ix, &c)
+                .expect("index scan")
+                .into_iter()
+                .filter(|p| q.root.app_id.map(|a| a == p.app_id).unwrap_or(true))
+                .map(|p| (p.vertex, p.vertex))
+                .collect()
+        }
+        AccessPath::Sweep => {
+            let view = view.as_ref().expect("sweep plans carry a view");
+            let mut b = Vec::new();
+            for i in 0..view.len() {
+                if let Some(a) = q.root.app_id {
+                    if view.apps[i] != a.0 {
+                        continue;
+                    }
+                }
+                let v = view.vids[i];
+                if node_matches(&tx, v, &q.root).expect("root filter") {
+                    b.push((v, v));
+                }
+            }
+            b
+        }
+    };
+    dedup_pairs(&mut bind);
+    record(&mut stages, 0, bind.len() as u64, 0, 0);
+
+    // ---- expand stages ---------------------------------------------------
+    for (si, e) in q.expands.iter().enumerate() {
+        let mut expanded = 0u64;
+        let mut bytes = 0u64;
+        match plan.choice.expand {
+            ExpandPath::Tx => {
+                let c = pattern_constraint(&e.target, epoch);
+                let mut next = Vec::new();
+                for &(root, cur) in &bind {
+                    if e.close_to_root {
+                        let nbrs = tx
+                            .neighbors(cur, e.orient, e.edge_label)
+                            .expect("close-cycle neighbors");
+                        expanded += nbrs.len() as u64;
+                        if nbrs.contains(&root) {
+                            // the closing step filters bindings; `cur`
+                            // stays the last non-closing variable
+                            next.push((root, cur));
+                        }
+                    } else if e.target.is_trivial() {
+                        // nothing to filter: plain edge-list walk, no
+                        // holder prefetch
+                        let nbrs = tx
+                            .neighbors(cur, e.orient, e.edge_label)
+                            .expect("expand neighbors");
+                        expanded += nbrs.len() as u64;
+                        for n in nbrs {
+                            next.push((root, n));
+                        }
+                    } else {
+                        let nbrs = tx
+                            .neighbors_matching(cur, e.orient, e.edge_label, &c)
+                            .expect("expand neighbors");
+                        expanded += nbrs.len() as u64;
+                        for n in nbrs {
+                            next.push((root, n));
+                        }
+                    }
+                }
+                bind = next;
+            }
+            ExpandPath::Csr => {
+                let view = view.as_ref().expect("csr plans carry a view");
+                // semi-join: every rank qualifies its local partition
+                // against the target pattern and broadcasts the ids (the
+                // view has no vertex attributes). Collective — gated on
+                // query shape only, identical on all ranks.
+                let qual: Option<FxHashSet<u64>> = if e.close_to_root || e.target.is_trivial() {
+                    None
+                } else {
+                    let mut mine = Vec::new();
+                    for i in 0..view.len() {
+                        let v = view.vids[i];
+                        if node_matches(&tx, v, &e.target).expect("target filter") {
+                            mine.push(v.raw());
+                        }
+                    }
+                    bytes += mine.len() as u64 * 8;
+                    Some(ctx.allgatherv(mine).into_iter().flatten().collect())
+                };
+                // route each binding to the rank owning `cur`, whose
+                // view holds its adjacency
+                let mut outbox: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nranks];
+                for &(root, cur) in &bind {
+                    outbox[cur.rank()].push((root.raw(), cur.raw()));
+                }
+                bytes += bind.len() as u64 * 16;
+                let inbox = ctx.alltoallv(outbox);
+                let mut next = Vec::new();
+                for (root_raw, cur_raw) in inbox.into_iter().flatten() {
+                    let root = DPtr::from_raw(root_raw);
+                    let cur = DPtr::from_raw(cur_raw);
+                    let Some(&row) = view.index_of.get(&cur_raw) else {
+                        continue;
+                    };
+                    let (tgts, lbls) = match e.orient {
+                        EdgeOrientation::Outgoing => (view.out(row), view.out_labels(row)),
+                        EdgeOrientation::Any => (view.any(row), view.any_labels(row)),
+                        EdgeOrientation::Incoming | EdgeOrientation::Undirected => {
+                            unreachable!("the planner never assigns csr to in/undirected expands")
+                        }
+                    };
+                    for (t, l) in tgts.iter().zip(lbls) {
+                        if let Some(el) = e.edge_label {
+                            if *l != el.0 {
+                                continue;
+                            }
+                        }
+                        expanded += 1;
+                        if e.close_to_root {
+                            if *t == root {
+                                next.push((root, cur));
+                            }
+                        } else if qual.as_ref().map(|s| s.contains(&t.raw())).unwrap_or(true) {
+                            next.push((root, *t));
+                        }
+                    }
+                }
+                bind = next;
+            }
+        }
+        dedup_pairs(&mut bind);
+        record(&mut stages, si + 1, bind.len() as u64, expanded, bytes);
+    }
+
+    // ---- aggregate stage -------------------------------------------------
+    // route the target vertex of each binding to its owner rank and
+    // dedup there: distinct-target semantics without a global set
+    let mut outbox: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+    for &(root, cur) in &bind {
+        let v = match q.returns.target {
+            AggTarget::Root => root,
+            AggTarget::Last => cur,
+        };
+        outbox[v.rank()].push(v.raw());
+    }
+    let routed: u64 = outbox.iter().map(|o| o.len() as u64 * 8).sum();
+    let mine: FxHashSet<u64> = ctx.alltoallv(outbox).into_iter().flatten().collect();
+    let value = match &q.returns.agg {
+        Aggregate::Count => QueryValue::Count(ctx.allreduce_sum_u64(mine.len() as u64)),
+        Aggregate::Sum(pt) => {
+            let mut s = 0u64;
+            for &raw in &mine {
+                if let Some(PropertyValue::U64(x)) =
+                    tx.property(DPtr::from_raw(raw), *pt).expect("sum property")
+                {
+                    s = s.wrapping_add(x);
+                }
+            }
+            let total = ctx
+                .allgatherv(vec![s])
+                .into_iter()
+                .flatten()
+                .fold(0u64, |a, b| a.wrapping_add(b));
+            QueryValue::Sum(total)
+        }
+        Aggregate::CollectIds => {
+            let mut ids: Vec<u64> = mine
+                .iter()
+                .map(|&raw| {
+                    tx.vertex_app_id(DPtr::from_raw(raw))
+                        .expect("collect app id")
+                        .0
+                })
+                .collect();
+            ids.sort_unstable();
+            let mut all: Vec<u64> = ctx.allgatherv(ids).into_iter().flatten().collect();
+            all.sort_unstable();
+            QueryValue::Ids(all)
+        }
+    };
+    record(
+        &mut stages,
+        1 + q.expands.len(),
+        mine.len() as u64,
+        0,
+        routed,
+    );
+    tx.commit().expect("collective read-only commit");
+    QueryOutput { value, stages }
+}
+
+/// Convenience: collectively gather a catalog, plan and execute in one
+/// call, returning the plan alongside the output.
+pub fn run(eng: &GdaRank, q: &Query) -> (Plan, QueryOutput) {
+    let cat = crate::planner::Catalog::gather(eng);
+    let plan = crate::planner::plan(&cat, q);
+    let out = execute(eng, q, &plan);
+    (plan, out)
+}

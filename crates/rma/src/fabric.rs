@@ -297,6 +297,20 @@ impl<'a> RankCtx<'a> {
         self.stats.record_reshard(objects, bytes);
     }
 
+    /// Record one declarative-query execution started on this rank (the
+    /// `query` crate's collective executor).
+    pub fn record_query_exec(&self) {
+        self.stats.record_query_exec();
+    }
+
+    /// Record one executed query stage on this rank (`rows` surviving
+    /// bindings, `expanded` adjacency entries inspected, `bytes` routed
+    /// through stage exchanges). Pure accounting — the underlying gets
+    /// and collectives were already charged as ordinary fabric ops.
+    pub fn record_query_stage(&self, rows: u64, expanded: u64, bytes: u64) {
+        self.stats.record_query_stage(rows, expanded, bytes);
+    }
+
     /// Quiesce the fabric: flush every peer, then synchronize all ranks
     /// (a barrier on the reconciled clock). After every rank returns,
     /// no one-sided operation issued before the quiesce is outstanding

@@ -33,6 +33,10 @@ pub struct CommStats {
     scan_patches: Cell<u64>,
     scan_holders: Cell<u64>,
     scan_bytes: Cell<u64>,
+    query_execs: Cell<u64>,
+    query_rows: Cell<u64>,
+    query_expands: Cell<u64>,
+    query_bytes: Cell<u64>,
 }
 
 impl CommStats {
@@ -155,6 +159,24 @@ impl CommStats {
         self.scan_bytes.set(self.scan_bytes.get() + bytes);
     }
 
+    /// Record one declarative-query execution started on this rank (the
+    /// `query` crate's collective executor).
+    #[inline]
+    pub fn record_query_exec(&self) {
+        self.query_execs.set(self.query_execs.get() + 1);
+    }
+
+    /// Record one executed query stage on this rank: `rows` surviving
+    /// bindings, `expanded` adjacency entries inspected, `bytes` routed
+    /// through stage-level exchanges. Pure accounting — the underlying
+    /// gets/collectives were already charged by the fabric ops.
+    #[inline]
+    pub fn record_query_stage(&self, rows: u64, expanded: u64, bytes: u64) {
+        self.query_rows.set(self.query_rows.get() + rows);
+        self.query_expands.set(self.query_expands.get() + expanded);
+        self.query_bytes.set(self.query_bytes.get() + bytes);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -188,6 +210,10 @@ impl CommStats {
             scan_patches: self.scan_patches.get(),
             scan_holders: self.scan_holders.get(),
             scan_bytes: self.scan_bytes.get(),
+            query_execs: self.query_execs.get(),
+            query_rows: self.query_rows.get(),
+            query_expands: self.query_expands.get(),
+            query_bytes: self.query_bytes.get(),
             sim_time_ns: 0.0,
         }
     }
@@ -236,6 +262,14 @@ pub struct RankReport {
     pub scan_holders: u64,
     /// Holder payload bytes lifted out of raw images by scans.
     pub scan_bytes: u64,
+    /// Declarative-query executions started on this rank.
+    pub query_execs: u64,
+    /// Bindings surviving query stages on this rank (post-filter rows).
+    pub query_rows: u64,
+    /// Adjacency entries inspected by query expand stages on this rank.
+    pub query_expands: u64,
+    /// Bytes routed through query stage-level exchanges by this rank.
+    pub query_bytes: u64,
     /// Final simulated time of the rank in nanoseconds.
     pub sim_time_ns: f64,
 }
@@ -277,6 +311,10 @@ impl RankReport {
         self.scan_patches += other.scan_patches;
         self.scan_holders += other.scan_holders;
         self.scan_bytes += other.scan_bytes;
+        self.query_execs += other.query_execs;
+        self.query_rows += other.query_rows;
+        self.query_expands += other.query_expands;
+        self.query_bytes += other.query_bytes;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
     }
 }

@@ -274,6 +274,29 @@ impl ServerMetrics {
         self.fabric_sum(|f| f.scan_patches)
     }
 
+    /// Declarative-query executions over all serving ranks (the `query`
+    /// crate's collective executor; each execution counts once per rank).
+    pub fn query_execs(&self) -> u64 {
+        self.fabric_sum(|f| f.query_execs)
+    }
+
+    /// Bindings surviving query stages over all serving ranks.
+    pub fn query_rows(&self) -> u64 {
+        self.fabric_sum(|f| f.query_rows)
+    }
+
+    /// Adjacency entries inspected by query expand stages over all
+    /// serving ranks.
+    pub fn query_expands(&self) -> u64 {
+        self.fabric_sum(|f| f.query_expands)
+    }
+
+    /// Bytes routed through query stage-level exchanges over all
+    /// serving ranks.
+    pub fn query_bytes(&self) -> u64 {
+        self.fabric_sum(|f| f.query_bytes)
+    }
+
     /// Translation-cache hit fraction (0 when the cache was never probed).
     pub fn cache_hit_fraction(&self) -> f64 {
         gda::CacheStats {

@@ -37,6 +37,7 @@ pub mod latency;
 pub mod locality;
 pub mod olsp;
 pub mod oltp;
+pub mod queries;
 pub mod recovery;
 pub mod reshard;
 pub mod scratch;

@@ -321,6 +321,8 @@ impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
 // ---- strings ---------------------------------------------------------
 
@@ -385,11 +387,41 @@ pub mod bool_strategy {
     }
 }
 
-/// The `prop::` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod option_strategy {
+    use super::{Strategy, TestRng};
+
+    /// `prop::option::of` support: `None` one time in four, `Some`
+    /// otherwise (matching proptest's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`,
+/// `prop::bool::ANY`).
 pub mod prop {
     pub use super::collection;
     pub mod bool {
         pub use super::super::bool_strategy::{BoolAny, ANY};
+    }
+    pub mod option {
+        pub use super::super::option_strategy::{of, OptionStrategy};
     }
 }
 
