@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn csr_has_all_edges() {
         let spec = spec();
-        let fabric = FabricBuilder::new(4).cost(CostModel::default()).build();
+        let fabric = FabricBuilder::new(4)
+            .cost(CostModel::default())
+            .backend(rma::BackendKind::Sim)
+            .build();
         fabric.run(|ctx| {
             let csr = build_csr(ctx, &spec);
             let local: u64 = csr.n_local_edges() as u64;

@@ -352,7 +352,10 @@ mod tests {
     fn load_stores_everything() {
         let spec = spec();
         let store = Arc::new(JanusStore::new(2));
-        let fabric = FabricBuilder::new(2).cost(CostModel::default()).build();
+        let fabric = FabricBuilder::new(2)
+            .cost(CostModel::default())
+            .backend(rma::BackendKind::Sim)
+            .build();
         let s = store.clone();
         fabric.run(move |ctx| {
             s.load(ctx, &spec);
@@ -365,7 +368,10 @@ mod tests {
     fn oltp_runs_and_is_slower_than_typical_gda_latency() {
         let spec = spec();
         let store = Arc::new(JanusStore::new(2));
-        let fabric = FabricBuilder::new(2).cost(CostModel::default()).build();
+        let fabric = FabricBuilder::new(2)
+            .cost(CostModel::default())
+            .backend(rma::BackendKind::Sim)
+            .build();
         let s = store.clone();
         let results = fabric.run(move |ctx| {
             s.load(ctx, &spec);

@@ -452,7 +452,10 @@ mod tests {
     fn oltp_latencies_are_millisecond_scale() {
         let spec = spec();
         let store = Arc::new(Neo4jStore::new(8));
-        let fabric = FabricBuilder::new(2).cost(CostModel::default()).build();
+        let fabric = FabricBuilder::new(2)
+            .cost(CostModel::default())
+            .backend(rma::BackendKind::Sim)
+            .build();
         let s = store.clone();
         let results = fabric.run(move |ctx| {
             s.load(ctx, &spec);
@@ -507,7 +510,10 @@ mod tests {
             }
         }
         let store = Arc::new(Neo4jStore::new(4));
-        let fabric = FabricBuilder::new(2).cost(CostModel::default()).build();
+        let fabric = FabricBuilder::new(2)
+            .cost(CostModel::default())
+            .backend(rma::BackendKind::Sim)
+            .build();
         let s = store.clone();
         let got = fabric.run(move |ctx| {
             s.load(ctx, &spec);
@@ -540,7 +546,10 @@ mod tests {
         };
         let want = workloads::bi2::bi2_reference(&spec, &params);
         let store = Arc::new(Neo4jStore::new(4));
-        let fabric = FabricBuilder::new(3).cost(CostModel::default()).build();
+        let fabric = FabricBuilder::new(3)
+            .cost(CostModel::default())
+            .backend(rma::BackendKind::Sim)
+            .build();
         let s = store.clone();
         let got = fabric.run(move |ctx| {
             s.load(ctx, &spec);

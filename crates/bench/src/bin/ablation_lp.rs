@@ -7,7 +7,9 @@
 //! the property count and the edge factor, reporting OLTP Read-Mostly
 //! throughput and the per-vertex holder footprint.
 
-use gdi_bench::{emit, emit_json, gda_oltp, RunParams};
+use gdi_bench::{
+    backend_selection, emit, emit_json, for_backends, gda_oltp, BackendKind, RunParams,
+};
 use graphgen::{GraphSpec, LpgConfig};
 use workloads::oltp::Mix;
 
@@ -16,6 +18,15 @@ fn run(spec: &GraphSpec, nranks: usize, ops: usize) -> (f64, f64) {
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `ablation_lp_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "ablation_lp",
+        BackendKind::Wall => "ablation_lp_wall",
+    };
     let params = RunParams::from_env();
     let nranks = *params.ranks.iter().max().unwrap_or(&4);
     let scale = params.base_scale.min(12);
@@ -224,11 +235,12 @@ fn main() {
             ));
         }
     }
-    emit("ablation_lp", &out);
+    emit(bench, &out);
     emit_json(
-        "ablation_lp",
+        bench,
         &format!(
-            "{{\"bench\":\"ablation_lp\",\"points\":[{}]}}",
+            "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"points\":[{}]}}",
+            backend.label(),
             json_rows.join(",")
         ),
     );

@@ -30,7 +30,10 @@ use rma::CostModel;
 use workloads::locality::VertexSampler;
 use workloads::oltp::{Mix, OpKind};
 
-use gdi_bench::{emit, emit_json_unless_smoke, oltp_sized_config, spec_for};
+use gdi_bench::{
+    backend_selection, emit, emit_json_unless_smoke, for_backends, oltp_sized_config, spec_for,
+    BackendKind,
+};
 
 /// Which translation path a point exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,6 +332,16 @@ fn run_one_sampled(
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `cache_sweep_wall`
+    // and skip the modeled-speedup gate (hardware timings vary)
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "cache_sweep",
+        BackendKind::Wall => "cache_sweep_wall",
+    };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (nranks, scale, ops, lookups) = if smoke {
         (2usize, 8u32, 250usize, 1_500usize)
@@ -462,20 +475,25 @@ fn main() {
          translate-only zipf-1.2 cached speedup: {zipf_cached_speedup:.2}x\n\
          read-heavy zipf-1.2 pinned end-to-end speedup: {read_zipf_speedup:.2}x\n"
     ));
-    emit("cache_sweep", &out);
+    emit(bench, &out);
     emit_json_unless_smoke(
-        "cache_sweep",
+        bench,
         &format!(
-            "{{\"bench\":\"cache_sweep\",\"nranks\":{nranks},\"scale\":{scale},\
+            "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"nranks\":{nranks},\"scale\":{scale},\
              \"points\":[{}]}}",
+            backend.label(),
             json_rows.join(",")
         ),
         smoke,
     );
 
     assert_eq!(total_stale, 0, "the cache served a stale translation");
-    assert!(
-        zipf_cached_speedup >= 1.3,
-        "translate-only cached speedup {zipf_cached_speedup:.2}x below the 1.3x target at high locality"
-    );
+    // the speedup gate is a LogGP-model relation; wall timings are
+    // hardware-dependent and non-gating
+    if backend == BackendKind::Sim {
+        assert!(
+            zipf_cached_speedup >= 1.3,
+            "translate-only cached speedup {zipf_cached_speedup:.2}x below the 1.3x target at high locality"
+        );
+    }
 }

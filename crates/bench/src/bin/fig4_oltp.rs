@@ -7,15 +7,25 @@
 //!   LinkBench baseline), with failed-transaction percentages.
 //! * `strong-write` — Fig. 4d: same, fixed dataset.
 //! * `all` — everything (default).
+//!
+//! `--backend sim|wall|both` selects the fabric execution backend;
+//! `both` emits paired series (simulated names unchanged — the
+//! committed baseline — wall-clock ones suffixed `/wall`,
+//! nondeterministic).
 
 use gdi_bench::{
-    emit, emit_series_json, gda_oltp, janus_oltp, render_series, sweep, RunParams, Series,
+    args_without_backend, backend_selection, emit, emit_series_json, for_backends, gda_oltp,
+    janus_oltp, label_series, render_series, sweep, RunParams, Series,
 };
 use graphgen::LpgConfig;
 use workloads::oltp::Mix;
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mode = args_without_backend()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".into());
+    let backends = backend_selection();
     let params = RunParams::from_env();
     let ops = params.ops_per_rank;
 
@@ -23,18 +33,21 @@ fn main() {
     let write_mixes = [Mix::LINKBENCH, Mix::WRITE_INTENSIVE];
 
     if mode == "weak" || mode == "all" {
-        let series: Vec<Series> = read_mixes
-            .iter()
-            .map(|m| {
-                sweep(
-                    &format!("{}/GDA", m.name),
-                    &params,
-                    true,
-                    LpgConfig::default(),
-                    |p, s| gda_oltp(p, s, m, ops),
+        let mut series: Vec<Series> = Vec::new();
+        for_backends(&backends, |b| {
+            series.extend(read_mixes.iter().map(|m| {
+                label_series(
+                    sweep(
+                        &format!("{}/GDA", m.name),
+                        &params,
+                        true,
+                        LpgConfig::default(),
+                        |p, s| gda_oltp(p, s, m, ops),
+                    ),
+                    b,
                 )
-            })
-            .collect();
+            }));
+        });
         emit(
             "fig4a_oltp_weak",
             &render_series("Fig. 4a — RI/RM weak scaling", "MQ/s", &series),
@@ -42,18 +55,21 @@ fn main() {
         emit_series_json("fig4a_oltp_weak", &series);
     }
     if mode == "strong" || mode == "all" {
-        let series: Vec<Series> = read_mixes
-            .iter()
-            .map(|m| {
-                sweep(
-                    &format!("{}/GDA", m.name),
-                    &params,
-                    false,
-                    LpgConfig::default(),
-                    |p, s| gda_oltp(p, s, m, ops),
+        let mut series: Vec<Series> = Vec::new();
+        for_backends(&backends, |b| {
+            series.extend(read_mixes.iter().map(|m| {
+                label_series(
+                    sweep(
+                        &format!("{}/GDA", m.name),
+                        &params,
+                        false,
+                        LpgConfig::default(),
+                        |p, s| gda_oltp(p, s, m, ops),
+                    ),
+                    b,
                 )
-            })
-            .collect();
+            }));
+        });
         emit(
             "fig4b_oltp_strong",
             &render_series("Fig. 4b — RI/RM strong scaling", "MQ/s", &series),
@@ -61,25 +77,31 @@ fn main() {
         emit_series_json("fig4b_oltp_strong", &series);
     }
     if mode == "weak-write" || mode == "all" {
-        let mut series: Vec<Series> = write_mixes
-            .iter()
-            .map(|m| {
+        let mut series: Vec<Series> = Vec::new();
+        for_backends(&backends, |b| {
+            series.extend(write_mixes.iter().map(|m| {
+                label_series(
+                    sweep(
+                        &format!("{}/GDA", m.name),
+                        &params,
+                        true,
+                        LpgConfig::default(),
+                        |p, s| gda_oltp(p, s, m, ops),
+                    ),
+                    b,
+                )
+            }));
+            series.push(label_series(
                 sweep(
-                    &format!("{}/GDA", m.name),
+                    "LinkBench/JanusGraph",
                     &params,
                     true,
                     LpgConfig::default(),
-                    |p, s| gda_oltp(p, s, m, ops),
-                )
-            })
-            .collect();
-        series.push(sweep(
-            "LinkBench/JanusGraph",
-            &params,
-            true,
-            LpgConfig::default(),
-            |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
-        ));
+                    |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
+                ),
+                b,
+            ));
+        });
         emit(
             "fig4c_oltp_weak_write",
             &render_series("Fig. 4c — LinkBench/WI weak scaling", "MQ/s", &series),
@@ -87,25 +109,31 @@ fn main() {
         emit_series_json("fig4c_oltp_weak_write", &series);
     }
     if mode == "strong-write" || mode == "all" {
-        let mut series: Vec<Series> = write_mixes
-            .iter()
-            .map(|m| {
+        let mut series: Vec<Series> = Vec::new();
+        for_backends(&backends, |b| {
+            series.extend(write_mixes.iter().map(|m| {
+                label_series(
+                    sweep(
+                        &format!("{}/GDA", m.name),
+                        &params,
+                        false,
+                        LpgConfig::default(),
+                        |p, s| gda_oltp(p, s, m, ops),
+                    ),
+                    b,
+                )
+            }));
+            series.push(label_series(
                 sweep(
-                    &format!("{}/GDA", m.name),
+                    "LinkBench/JanusGraph",
                     &params,
                     false,
                     LpgConfig::default(),
-                    |p, s| gda_oltp(p, s, m, ops),
-                )
-            })
-            .collect();
-        series.push(sweep(
-            "LinkBench/JanusGraph",
-            &params,
-            false,
-            LpgConfig::default(),
-            |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
-        ));
+                    |p, s| janus_oltp(p, s, &Mix::LINKBENCH, ops),
+                ),
+                b,
+            ));
+        });
         emit(
             "fig4d_oltp_strong_write",
             &render_series("Fig. 4d — LinkBench/WI strong scaling", "MQ/s", &series),

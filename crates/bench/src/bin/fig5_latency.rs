@@ -7,8 +7,8 @@
 //! is millisecond-scale with outliers.
 
 use gdi_bench::{
-    emit, emit_json, gda_oltp_detailed, janus_oltp_detailed, neo4j_oltp_detailed, spec_for,
-    RunParams,
+    backend_selection, emit, emit_json, for_backends, gda_oltp_detailed, janus_oltp_detailed,
+    neo4j_oltp_detailed, spec_for, BackendKind, RunParams,
 };
 use graphgen::LpgConfig;
 use workloads::latency::Histogram;
@@ -25,9 +25,21 @@ fn merged(results: &[OltpResult], kind: OpKind) -> Histogram {
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `fig5_latency_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "fig5_latency",
+        BackendKind::Wall => "fig5_latency_wall",
+    };
     let params = RunParams::from_env();
     let ops = params.ops_per_rank;
     let mut out = String::from("### Fig. 5 — LinkBench per-operation latency\n");
+    if backend == BackendKind::Wall {
+        out.push_str("### (wall-clock backend: latencies are hardware-dependent)\n");
+    }
     let mut json_rows: Vec<String> = Vec::new();
     out.push_str(&format!(
         "{:<10} {:<7} {:<17} {:>8} {:>12} {:>12} {:>12}\n",
@@ -106,11 +118,12 @@ fn main() {
         }
         out.push('\n');
     }
-    emit("fig5_latency", &out);
+    emit(bench, &out);
     emit_json(
-        "fig5_latency",
+        bench,
         &format!(
-            "{{\"bench\":\"fig5_latency\",\"points\":[{}]}}",
+            "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"points\":[{}]}}",
+            backend.label(),
             json_rows.join(",")
         ),
     );

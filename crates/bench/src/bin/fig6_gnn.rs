@@ -5,8 +5,8 @@
 //! `GDI_BENCH_GNN_KS=4,16,64,256,500` for the paper's full set.
 
 use gdi_bench::{
-    emit, emit_series_json, gda_olap, gda_olap_scan, render_series, spec_for, OlapAlgo, Point,
-    RunParams, Series,
+    args_without_backend, backend_selection, emit, emit_series_json, for_backends, gda_olap,
+    gda_olap_scan, label_series, render_series, spec_for, OlapAlgo, Point, RunParams, Series,
 };
 use graphgen::LpgConfig;
 
@@ -19,7 +19,11 @@ fn ks_from_env() -> Vec<usize> {
 }
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mode = args_without_backend()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".into());
+    let backends = backend_selection();
     let params = RunParams::from_env();
     // the paper's GNN weak-scaling series uses a smaller per-server graph
     let base = params.base_scale.saturating_sub(1).max(5);
@@ -33,40 +37,45 @@ fn main() {
             continue;
         }
         let mut series = Vec::new();
-        for k in ks_from_env() {
-            // before/after: tx-based view build vs the scan layer (the
-            // GNN's feature updates never retire a scan view, so the
-            // mirror survives all layers)
-            for (tag, runner) in [
-                (
-                    "GDA",
-                    gda_olap as fn(usize, &graphgen::GraphSpec, OlapAlgo) -> f64,
-                ),
-                ("GDA-scan", gda_olap_scan),
-            ] {
-                let mut points = Vec::new();
-                for &nranks in &params.ranks {
-                    let scale = if weak {
-                        base + rma::cost::log2_ceil(nranks)
-                    } else {
-                        base
-                    };
-                    let spec = spec_for(scale, params.seed, LpgConfig::bare());
-                    let secs = runner(nranks, &spec, OlapAlgo::Gnn { layers, k });
-                    points.push(Point {
-                        nranks,
-                        scale,
-                        value: secs,
-                        fail_frac: 0.0,
-                    });
-                    eprintln!("  [GNN/{tag} k={k}] P={nranks} s={scale}: {secs:.4}s");
+        for_backends(&backends, |b| {
+            for k in ks_from_env() {
+                // before/after: tx-based view build vs the scan layer (the
+                // GNN's feature updates never retire a scan view, so the
+                // mirror survives all layers)
+                for (tag, runner) in [
+                    (
+                        "GDA",
+                        gda_olap as fn(usize, &graphgen::GraphSpec, OlapAlgo) -> f64,
+                    ),
+                    ("GDA-scan", gda_olap_scan),
+                ] {
+                    let mut points = Vec::new();
+                    for &nranks in &params.ranks {
+                        let scale = if weak {
+                            base + rma::cost::log2_ceil(nranks)
+                        } else {
+                            base
+                        };
+                        let spec = spec_for(scale, params.seed, LpgConfig::bare());
+                        let secs = runner(nranks, &spec, OlapAlgo::Gnn { layers, k });
+                        points.push(Point {
+                            nranks,
+                            scale,
+                            value: secs,
+                            fail_frac: 0.0,
+                        });
+                        eprintln!("  [GNN/{tag} k={k}] P={nranks} s={scale}: {secs:.4}s");
+                    }
+                    series.push(label_series(
+                        Series {
+                            name: format!("{tag} k={k}"),
+                            points,
+                        },
+                        b,
+                    ));
                 }
-                series.push(Series {
-                    name: format!("{tag} k={k}"),
-                    points,
-                });
             }
-        }
+        });
         emit(file, &render_series(label, "runtime_s", &series));
         emit_series_json(file, &series);
     }

@@ -6,8 +6,9 @@
 //! bare-metal Graph500 kernel, while Neo4j is orders of magnitude slower.
 
 use gdi_bench::{
-    emit, emit_series_json, gda_olap, gda_olap_scan, graph500_bfs, neo4j_olap, render_series,
-    sweep_runtime, OlapAlgo, RunParams,
+    args_without_backend, backend_selection, emit, emit_series_json, for_backends, gda_olap,
+    gda_olap_scan, graph500_bfs, label_series, neo4j_olap, render_series, sweep_runtime, OlapAlgo,
+    RunParams,
 };
 use graphgen::LpgConfig;
 
@@ -23,7 +24,11 @@ fn sweep(
 }
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mode = args_without_backend()
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".into());
+    let backends = backend_selection();
     let params = RunParams::from_env();
 
     for (weak, label, file) in [
@@ -42,35 +47,59 @@ fn main() {
             continue;
         }
         let mut series = Vec::new();
-        for k in [2u32, 3, 4] {
-            series.push(sweep(&format!("{k}-Hop/GDA"), &params, weak, |p, s| {
-                gda_olap(p, s, OlapAlgo::Khop(k))
-            }));
-            series.push(sweep(
-                &format!("{k}-Hop/GDA-scan"),
-                &params,
-                weak,
-                |p, s| gda_olap_scan(p, s, OlapAlgo::Khop(k)),
+        for_backends(&backends, |b| {
+            for k in [2u32, 3, 4] {
+                series.push(label_series(
+                    sweep(&format!("{k}-Hop/GDA"), &params, weak, |p, s| {
+                        gda_olap(p, s, OlapAlgo::Khop(k))
+                    }),
+                    b,
+                ));
+                series.push(label_series(
+                    sweep(&format!("{k}-Hop/GDA-scan"), &params, weak, |p, s| {
+                        gda_olap_scan(p, s, OlapAlgo::Khop(k))
+                    }),
+                    b,
+                ));
+            }
+            series.push(label_series(
+                sweep("BFS/GDA", &params, weak, |p, s| {
+                    gda_olap(p, s, OlapAlgo::Bfs)
+                }),
+                b,
             ));
-        }
-        series.push(sweep("BFS/GDA", &params, weak, |p, s| {
-            gda_olap(p, s, OlapAlgo::Bfs)
-        }));
-        series.push(sweep("BFS/GDA-scan", &params, weak, |p, s| {
-            gda_olap_scan(p, s, OlapAlgo::Bfs)
-        }));
-        series.push(sweep("BFS/Graph500", &params, weak, graph500_bfs));
-        series.push(sweep("BFS/Neo4j", &params, weak, |p, s| {
-            neo4j_olap(p, s, OlapAlgo::Bfs)
-        }));
-        series.push(sweep("4-Hop/Neo4j", &params, weak, |p, s| {
-            neo4j_olap(p, s, OlapAlgo::Khop(4))
-        }));
+            series.push(label_series(
+                sweep("BFS/GDA-scan", &params, weak, |p, s| {
+                    gda_olap_scan(p, s, OlapAlgo::Bfs)
+                }),
+                b,
+            ));
+            series.push(label_series(
+                sweep("BFS/Graph500", &params, weak, graph500_bfs),
+                b,
+            ));
+            series.push(label_series(
+                sweep("BFS/Neo4j", &params, weak, |p, s| {
+                    neo4j_olap(p, s, OlapAlgo::Bfs)
+                }),
+                b,
+            ));
+            series.push(label_series(
+                sweep("4-Hop/Neo4j", &params, weak, |p, s| {
+                    neo4j_olap(p, s, OlapAlgo::Khop(4))
+                }),
+                b,
+            ));
+        });
         let mut out = render_series(label, "runtime_s", &series);
-        // headline ratio: GDA BFS vs Graph500 at the largest point
-        let gda = series.iter().find(|s| s.name == "BFS/GDA").unwrap();
-        let g500 = series.iter().find(|s| s.name == "BFS/Graph500").unwrap();
-        if let (Some(a), Some(b)) = (gda.points.last(), g500.points.last()) {
+        // headline ratio: GDA BFS vs Graph500 at the largest point (the
+        // simulated pair; absent on a wall-only run)
+        let gda = series.iter().find(|s| s.name == "BFS/GDA");
+        let g500 = series.iter().find(|s| s.name == "BFS/Graph500");
+        if let (Some(a), Some(b)) = (
+            gda.and_then(|s| s.points.last()),
+            g500.and_then(|s| s.points.last()),
+        ) {
             out.push_str(&format!(
                 "\nGDA/Graph500 BFS ratio at P={}: {:.2}x (paper: 2-4x, sometimes parity)\n",
                 a.nranks,

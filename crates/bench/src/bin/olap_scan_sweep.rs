@@ -26,7 +26,9 @@
 //! minimum view-build speedup at P=2).
 
 use gdi::{AccessMode, Constraint, EdgeOrientation};
-use gdi_bench::{emit, emit_json_unless_smoke, spec_for, RunParams};
+use gdi_bench::{
+    backend_selection, emit, emit_json_unless_smoke, for_backends, spec_for, BackendKind, RunParams,
+};
 use graphgen::{load_into, sized_config, LpgConfig};
 use rma::CostModel;
 use workloads::analytics::{build_view, build_view_indexed, pagerank, scan_view};
@@ -190,6 +192,18 @@ fn run_point(nranks: usize, scale: u32) -> PointOut {
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under
+    // `olap_scan_sweep_wall`; the correctness guards (zero divergence,
+    // view reuse) gate on both backends, the modeled-speedup floors only
+    // on the simulated one
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "olap_scan_sweep",
+        BackendKind::Wall => "olap_scan_sweep_wall",
+    };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let params = RunParams::from_env();
     let points: Vec<(usize, u32)> = if smoke {
@@ -263,9 +277,12 @@ fn main() {
             r.divergence
         ));
     }
-    emit("olap_scan_sweep", &out);
+    emit(bench, &out);
 
-    let mut json = String::from("{\"bench\":\"olap_scan_sweep\",\"points\":[");
+    let mut json = format!(
+        "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"points\":[",
+        backend.label()
+    );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -295,9 +312,11 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    emit_json_unless_smoke("olap_scan_sweep", &json, smoke);
+    emit_json_unless_smoke(bench, &json, smoke);
 
     // ---- guards ---------------------------------------------------------
+    // correctness holds on every backend; the timing floors are LogGP
+    // relations and gate only the simulated run
     for r in &results {
         assert_eq!(
             r.divergence, 0,
@@ -305,38 +324,42 @@ fn main() {
             r.nranks
         );
         assert!(
-            r.nm_batch_s <= r.nm_seq_s * 1.001,
-            "batched neighbors_matching regressed at P={}: {:.6} > {:.6}",
-            r.nranks,
-            r.nm_batch_s,
-            r.nm_seq_s
-        );
-        assert!(
-            r.pr_reuse_s < r.pr_scan_s,
-            "cached mirror reuse not cheaper than first build at P={}",
-            r.nranks
-        );
-        assert!(
             r.scan_reuses > 0,
             "no view reuse observed at P={}",
             r.nranks
         );
+        if backend == BackendKind::Sim {
+            assert!(
+                r.nm_batch_s <= r.nm_seq_s * 1.001,
+                "batched neighbors_matching regressed at P={}: {:.6} > {:.6}",
+                r.nranks,
+                r.nm_batch_s,
+                r.nm_seq_s
+            );
+            assert!(
+                r.pr_reuse_s < r.pr_scan_s,
+                "cached mirror reuse not cheaper than first build at P={}",
+                r.nranks
+            );
+        }
     }
-    let floor = if smoke { 1.5 } else { 3.0 };
     let last = results.last().unwrap();
-    assert!(
-        last.tx_build_s / last.scan_build_s >= floor,
-        "view-build speedup {:.2}x below the {floor}x target at P={}",
-        last.tx_build_s / last.scan_build_s,
-        last.nranks
-    );
-    if !smoke {
+    if backend == BackendKind::Sim {
+        let floor = if smoke { 1.5 } else { 3.0 };
         assert!(
-            last.pr_tx_s / last.pr_scan_s >= 1.5,
-            "end-to-end PageRank speedup {:.2}x below the 1.5x target at P={}",
-            last.pr_tx_s / last.pr_scan_s,
+            last.tx_build_s / last.scan_build_s >= floor,
+            "view-build speedup {:.2}x below the {floor}x target at P={}",
+            last.tx_build_s / last.scan_build_s,
             last.nranks
         );
+        if !smoke {
+            assert!(
+                last.pr_tx_s / last.pr_scan_s >= 1.5,
+                "end-to-end PageRank speedup {:.2}x below the 1.5x target at P={}",
+                last.pr_tx_s / last.pr_scan_s,
+                last.nranks
+            );
+        }
     }
     println!(
         "olap_scan_sweep: all points verified (scan ≡ tx oracle, \

@@ -24,7 +24,10 @@
 //! factors noisy, but the planner must still never pick pathologically
 //! wrong).
 
-use gdi_bench::{emit, emit_json_unless_smoke, rich_lpg, spec_for, RunParams};
+use gdi_bench::{
+    backend_selection, emit, emit_json_unless_smoke, for_backends, rich_lpg, spec_for, BackendKind,
+    RunParams,
+};
 use graphgen::GraphSpec;
 use query::{executor, planner, Plan, QueryValue};
 use rma::CostModel;
@@ -189,6 +192,17 @@ fn run_point(nranks: usize, scale: u32, params: &SuiteParams) -> PointOut {
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `query_sweep_wall`;
+    // divergence and plan-choice guards gate on both backends, the
+    // timing-optimality guards only on the simulated one
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "query_sweep",
+        BackendKind::Wall => "query_sweep_wall",
+    };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let params = RunParams::from_env();
     let qp = SuiteParams::default();
@@ -254,10 +268,13 @@ fn main() {
             ));
         }
     }
-    emit("query_sweep", &out);
+    emit(bench, &out);
 
     // ---- JSON -----------------------------------------------------------
-    let mut json = String::from("{\"bench\":\"query_sweep\",\"points\":[");
+    let mut json = format!(
+        "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"points\":[",
+        backend.label()
+    );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -298,7 +315,7 @@ fn main() {
         json.push_str("]}");
     }
     json.push_str("]}");
-    emit_json_unless_smoke("query_sweep", &json, smoke);
+    emit_json_unless_smoke(bench, &json, smoke);
 
     // ---- guards ---------------------------------------------------------
     for r in &results {
@@ -315,14 +332,17 @@ fn main() {
                 r.nranks
             );
             // the planner must never lose to the *worst* forced path
-            assert!(
-                q.picked_s <= q.worst_forced_s * 1.10,
-                "{}: planner pick {:.6}s lost to the worst forced path {:.6}s at P={}",
-                q.name,
-                q.picked_s,
-                q.worst_forced_s,
-                r.nranks
-            );
+            // (a LogGP-clock relation; wall timings are non-gating)
+            if backend == BackendKind::Sim {
+                assert!(
+                    q.picked_s <= q.worst_forced_s * 1.10,
+                    "{}: planner pick {:.6}s lost to the worst forced path {:.6}s at P={}",
+                    q.name,
+                    q.picked_s,
+                    q.worst_forced_s,
+                    r.nranks
+                );
+            }
         }
     }
     let last = results.last().unwrap();
@@ -330,15 +350,17 @@ fn main() {
         // at the largest machine the planner must be near-optimal on
         // every query and must exercise all three driving paths
         for q in &last.queries {
-            assert!(
-                q.picked_s <= q.best_forced_s * 1.10,
-                "{}: planner pick {:.6}s more than 10% off the best forced \
-                 path {:.6}s at P={}",
-                q.name,
-                q.picked_s,
-                q.best_forced_s,
-                last.nranks
-            );
+            if backend == BackendKind::Sim {
+                assert!(
+                    q.picked_s <= q.best_forced_s * 1.10,
+                    "{}: planner pick {:.6}s more than 10% off the best forced \
+                     path {:.6}s at P={}",
+                    q.name,
+                    q.picked_s,
+                    q.best_forced_s,
+                    last.nranks
+                );
+            }
         }
         let picks: Vec<&str> = last.queries.iter().map(|q| q.picked.as_str()).collect();
         assert!(

@@ -10,7 +10,10 @@
 //! performance pattern is insensitive to the configuration — the paper's
 //! §6.7 claim.
 
-use gdi_bench::{emit, emit_json, gda_olap, graph500_bfs, OlapAlgo, RunParams};
+use gdi_bench::{
+    backend_selection, emit, emit_json, for_backends, gda_olap, graph500_bfs, BackendKind,
+    OlapAlgo, RunParams,
+};
 use graphgen::{GraphSpec, KroneckerSampler, LpgConfig};
 
 fn degree_stats(spec: &GraphSpec) -> (f64, u64, f64) {
@@ -23,9 +26,21 @@ fn degree_stats(spec: &GraphSpec) -> (f64, u64, f64) {
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `realworld_like_wall`
+    for_backends(&backend_selection(), run);
+}
+
+fn run(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "realworld_like",
+        BackendKind::Wall => "realworld_like_wall",
+    };
     let params = RunParams::from_env();
     let nranks = *params.ranks.iter().max().unwrap_or(&4);
     let mut out = String::from("### §6.7 — heavy-tail 'real-world-like' configurations (BFS)\n");
+    if backend == BackendKind::Wall {
+        out.push_str("### (wall-clock backend: timings are hardware-dependent)\n");
+    }
     out.push_str(&format!(
         "{:<28} {:>9} {:>9} {:>8} {:>12} {:>14} {:>10}\n",
         "config (web-like sweep)",
@@ -76,11 +91,12 @@ fn main() {
          small band across configurations because performance is governed by\n\
          sparsity + heavy-tail skew, which all configurations share.\n",
     );
-    emit("realworld_like", &out);
+    emit(bench, &out);
     emit_json(
-        "realworld_like",
+        bench,
         &format!(
-            "{{\"bench\":\"realworld_like\",\"nranks\":{nranks},\"points\":[{}]}}",
+            "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"nranks\":{nranks},\"points\":[{}]}}",
+            backend.label(),
             json_rows.join(",")
         ),
     );

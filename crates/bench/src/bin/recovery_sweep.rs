@@ -21,8 +21,8 @@
 //! `GDI_BENCH_RECOVERY_OPS` (tracked ops per session per phase,
 //! default 60).
 
-use gdi_bench::{emit, emit_json_unless_smoke, RunParams};
-use rma::CostModel;
+use gdi_bench::{backend_selection, emit, emit_json_unless_smoke, for_backends, RunParams};
+use rma::{BackendKind, CostModel};
 use workloads::recovery::{run_kill_restart, RecoveryReport, RecoveryScenario};
 
 struct PointResult {
@@ -31,9 +31,19 @@ struct PointResult {
     report: RecoveryReport,
 }
 
-fn run_point(nranks: usize, scale: u32, sessions: usize, ops: usize) -> PointResult {
-    let dir = workloads::scratch::ScratchDir::new(&format!("recovery-sweep-p{nranks}-s{scale}"));
+fn run_point(
+    backend: BackendKind,
+    nranks: usize,
+    scale: u32,
+    sessions: usize,
+    ops: usize,
+) -> PointResult {
+    let dir = workloads::scratch::ScratchDir::new(&format!(
+        "recovery-sweep-{}-p{nranks}-s{scale}",
+        backend.label()
+    ));
     let mut cfg = RecoveryScenario::new(dir.path());
+    cfg.backend = Some(backend);
     cfg.nranks = nranks;
     cfg.scale = scale;
     cfg.sessions = sessions;
@@ -49,6 +59,15 @@ fn run_point(nranks: usize, scale: u32, sessions: usize, ops: usize) -> PointRes
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `recovery_sweep_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "recovery_sweep",
+        BackendKind::Wall => "recovery_sweep_wall",
+    };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let params = RunParams::from_env();
     let sessions: usize = std::env::var("GDI_BENCH_RECOVERY_SESSIONS")
@@ -74,6 +93,7 @@ fn main() {
     for &(nranks, scale) in &points {
         eprintln!("  [recovery_sweep] P={nranks} s={scale} ...");
         let r = run_point(
+            backend,
             nranks,
             scale,
             if smoke { 6 } else { sessions },
@@ -126,7 +146,10 @@ fn main() {
         ));
     }
 
-    let mut json = String::from("{\"bench\":\"recovery_sweep\",\"points\":[");
+    let mut json = format!(
+        "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"points\":[",
+        backend.label()
+    );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -149,8 +172,8 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    emit("recovery_sweep", &out);
-    emit_json_unless_smoke("recovery_sweep", &json, smoke);
+    emit(bench, &out);
+    emit_json_unless_smoke(bench, &json, smoke);
 
     // the CI guard: every committed write must read back across the
     // restart, with actual replay work observed

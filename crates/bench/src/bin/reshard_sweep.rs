@@ -24,8 +24,8 @@
 //! `GDI_BENCH_RESHARD_OPS` (tracked ops per session per phase,
 //! default 40).
 
-use gdi_bench::{emit, emit_json_unless_smoke, RunParams};
-use rma::CostModel;
+use gdi_bench::{backend_selection, emit, emit_json_unless_smoke, for_backends, RunParams};
+use rma::{BackendKind, CostModel};
 use workloads::recovery::RecoveryReport;
 use workloads::reshard::{run_reshard, ReshardScenario};
 
@@ -35,9 +35,20 @@ struct PointResult {
     report: RecoveryReport,
 }
 
-fn run_point(p: usize, q: usize, scale: u32, sessions: usize, ops: usize) -> PointResult {
-    let dir = workloads::scratch::ScratchDir::new(&format!("reshard-sweep-{p}-to-{q}"));
+fn run_point(
+    backend: BackendKind,
+    p: usize,
+    q: usize,
+    scale: u32,
+    sessions: usize,
+    ops: usize,
+) -> PointResult {
+    let dir = workloads::scratch::ScratchDir::new(&format!(
+        "reshard-sweep-{}-{p}-to-{q}",
+        backend.label()
+    ));
     let mut cfg = ReshardScenario::new(dir.path());
+    cfg.backend = Some(backend);
     cfg.ranks_before = p;
     cfg.ranks_after = q;
     cfg.scale = scale;
@@ -54,6 +65,15 @@ fn run_point(p: usize, q: usize, scale: u32, sessions: usize, ops: usize) -> Poi
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `reshard_sweep_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "reshard_sweep",
+        BackendKind::Wall => "reshard_sweep_wall",
+    };
     let smoke = std::env::args().any(|a| a == "--smoke");
     let params = RunParams::from_env();
     let sessions: usize = std::env::var("GDI_BENCH_RESHARD_SESSIONS")
@@ -86,6 +106,7 @@ fn main() {
     for &(p, q, scale) in &points {
         eprintln!("  [reshard_sweep] P={p} -> Q={q} s={scale} ...");
         let r = run_point(
+            backend,
             p,
             q,
             scale,
@@ -133,7 +154,10 @@ fn main() {
         ));
     }
 
-    let mut json = String::from("{\"bench\":\"reshard_sweep\",\"points\":[");
+    let mut json = format!(
+        "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"points\":[",
+        backend.label()
+    );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -156,8 +180,8 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    emit("reshard_sweep", &out);
-    emit_json_unless_smoke("reshard_sweep", &json, smoke);
+    emit(bench, &out);
+    emit_json_unless_smoke(bench, &json, smoke);
 
     // the CI guard: zero lost/stale committed writes across every
     // reshard, with the resharded server actually serving afterwards

@@ -13,9 +13,11 @@
 //! * `GDI_BENCH_SCALE` — graph scale (default 10)
 
 use gda::GdaDb;
-use gdi_bench::{emit, emit_json, oltp_sized_config, spec_for, RunParams};
+use gdi_bench::{
+    backend_selection, emit, emit_json, for_backends, oltp_sized_config, spec_for, RunParams,
+};
 use graphgen::LpgConfig;
-use rma::CostModel;
+use rma::{BackendKind, CostModel};
 use server::ServerOptions;
 use workloads::oltp::Mix;
 use workloads::traffic::{load_and_serve, ServeRun, TrafficConfig};
@@ -35,6 +37,7 @@ struct PointResult {
 }
 
 fn measure(
+    backend: BackendKind,
     nranks: usize,
     spec: &graphgen::GraphSpec,
     sessions: usize,
@@ -48,7 +51,7 @@ fn measure(
     // heap extra headroom beyond the per-rank OLTP sizing
     cfg.dht_heap_per_rank += (total_ops * 2).next_power_of_two();
     cfg.blocks_per_rank += (total_ops * 2).next_power_of_two();
-    let (db, fabric) = GdaDb::with_fabric("serve", cfg, nranks, CostModel::default());
+    let (db, fabric) = GdaDb::with_fabric_on("serve", cfg, nranks, CostModel::default(), backend);
     let tcfg = TrafficConfig {
         sessions,
         ops_per_session,
@@ -86,6 +89,15 @@ fn measure(
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `server_throughput_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "server_throughput",
+        BackendKind::Wall => "server_throughput_wall",
+    };
     let params = RunParams::from_env();
     let nranks: usize = std::env::var("GDI_BENCH_SERVER_RANKS")
         .ok()
@@ -110,7 +122,15 @@ fn main() {
             (ServerOptions::unbatched(), "per-request"),
         ] {
             eprintln!("  [server_throughput] S={sessions} mode={mode} ...");
-            let r = measure(nranks, &spec, sessions, ops_per_session, opts, mode);
+            let r = measure(
+                backend,
+                nranks,
+                &spec,
+                sessions,
+                ops_per_session,
+                opts,
+                mode,
+            );
             eprintln!(
                 "  [server_throughput] S={sessions} mode={mode}: {:.4} sim MQ/s, \
                  {:.1} wall kops/s, p99 {:.0} µs, {:.2}% aborted, mean batch {:.1}",
@@ -154,26 +174,30 @@ fn main() {
             r.mean_batch
         ));
     }
-    // headline: grouped vs per-request speedup per session count
-    for &sessions in &session_counts {
-        let g = results
-            .iter()
-            .find(|r| r.sessions == sessions && r.mode == "grouped")
-            .unwrap();
-        let u = results
-            .iter()
-            .find(|r| r.sessions == sessions && r.mode == "per-request")
-            .unwrap();
-        out.push_str(&format!(
-            "S={sessions}: grouped commit serves {:.2}x the per-request sim throughput\n",
-            g.sim_mqps / u.sim_mqps.max(1e-12)
-        ));
+    // headline: grouped vs per-request speedup per session count (a
+    // simulated-clock ratio; meaningless when the sim clock is off)
+    if backend == BackendKind::Sim {
+        for &sessions in &session_counts {
+            let g = results
+                .iter()
+                .find(|r| r.sessions == sessions && r.mode == "grouped")
+                .unwrap();
+            let u = results
+                .iter()
+                .find(|r| r.sessions == sessions && r.mode == "per-request")
+                .unwrap();
+            out.push_str(&format!(
+                "S={sessions}: grouped commit serves {:.2}x the per-request sim throughput\n",
+                g.sim_mqps / u.sim_mqps.max(1e-12)
+            ));
+        }
     }
 
     // machine-readable summary
     let mut json = format!(
-        "{{\"bench\":\"server_throughput\",\"nranks\":{nranks},\
+        "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"nranks\":{nranks},\
          \"scale\":{},\"mix\":\"{}\",\"points\":[",
+        backend.label(),
         params.base_scale,
         Mix::WRITE_INTENSIVE.name
     );
@@ -200,6 +224,6 @@ fn main() {
         ));
     }
     json.push_str("]}");
-    emit("server_throughput", &out);
-    emit_json("server_throughput", &json);
+    emit(bench, &out);
+    emit_json(bench, &json);
 }

@@ -4,7 +4,9 @@
 //! is filled from this reproduction's largest verified (simulated)
 //! configuration, so re-running after bigger experiments updates it.
 
-use gdi_bench::{emit, emit_json, gda_oltp, spec_for, RunParams};
+use gdi_bench::{
+    backend_selection, emit, emit_json, for_backends, gda_oltp_on, spec_for, BackendKind, RunParams,
+};
 use graphgen::LpgConfig;
 use workloads::oltp::Mix;
 
@@ -18,12 +20,27 @@ struct Row {
 }
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `tab1_comparison_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "tab1_comparison",
+        BackendKind::Wall => "tab1_comparison_wall",
+    };
     let params = RunParams::from_env();
     // measure our largest point so the row reports verified numbers
     let nranks = *params.ranks.iter().max().unwrap_or(&4);
     let scale = params.weak_scale(nranks);
     let spec = spec_for(scale, params.seed, LpgConfig::default());
-    let (mqps, _) = gda_oltp(nranks, &spec, &Mix::READ_MOSTLY, params.ops_per_rank);
+    let (mqps, _) = gda_oltp_on(
+        backend,
+        nranks,
+        &spec,
+        &Mix::READ_MOSTLY,
+        params.ops_per_rank,
+    );
 
     let rows = vec![
         Row {
@@ -108,7 +125,10 @@ fn main() {
         },
         Row {
             system: "This repro (measured)",
-            rdma: "simulated",
+            rdma: match backend {
+                BackendKind::Sim => "simulated",
+                BackendKind::Wall => "shared-mem (wall)",
+            },
             prog: "yes",
             port: "yes",
             workloads: "OLTP+OLAP+OLSP+BULK",
@@ -132,12 +152,13 @@ fn main() {
     }
     out.push_str("\nTheoretical performance analysis (Th.? column): see gda::analysis --\n");
     out.push_str(&gda::analysis::render_markdown());
-    emit("tab1_comparison", &out);
+    emit(bench, &out);
     emit_json(
-        "tab1_comparison",
+        bench,
         &format!(
-            "{{\"bench\":\"tab1_comparison\",\"measured\":{{\"nranks\":{nranks},\
+            "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"measured\":{{\"nranks\":{nranks},\
              \"scale\":{scale},\"edges\":{},\"read_mostly_mqps\":{mqps:.6}}}}}",
+            backend.label(),
             spec.n_edges()
         ),
     );

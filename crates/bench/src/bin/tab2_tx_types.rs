@@ -9,11 +9,20 @@
 use gda::GdaDb;
 use gdi::tx::WorkloadClass;
 use gdi::{AccessMode, AppVertexId};
-use gdi_bench::{emit, emit_json, spec_for, RunParams};
+use gdi_bench::{backend_selection, emit, emit_json, for_backends, spec_for, RunParams};
 use graphgen::{load_into, sized_config, LpgConfig};
-use rma::CostModel;
+use rma::{BackendKind, CostModel};
 
 fn main() {
+    // `--backend sim|wall|both`: wall runs land under `tab2_tx_types_wall`
+    for_backends(&backend_selection(), run_on);
+}
+
+fn run_on(backend: BackendKind) {
+    let bench = match backend {
+        BackendKind::Sim => "tab2_tx_types",
+        BackendKind::Wall => "tab2_tx_types_wall",
+    };
     let params = RunParams::from_env();
     let mut out = String::from("### Table 2 — workload classes and recommended GDI mechanisms\n");
     out.push_str(&format!(
@@ -33,7 +42,7 @@ fn main() {
     let nranks = *params.ranks.iter().max().unwrap_or(&4);
     let spec = spec_for(params.base_scale.min(12), params.seed, LpgConfig::default());
     let cfg = sized_config(&spec, nranks);
-    let (db, fabric) = GdaDb::with_fabric("t2", cfg, nranks, CostModel::default());
+    let (db, fabric) = GdaDb::with_fabric_on("t2", cfg, nranks, CostModel::default(), backend);
     let times = fabric.run(|ctx| {
         let eng = db.attach(ctx);
         eng.init_collective();
@@ -78,13 +87,14 @@ fn main() {
         nranks,
         local / coll
     ));
-    emit("tab2_tx_types", &out);
+    emit(bench, &out);
     emit_json(
-        "tab2_tx_types",
+        bench,
         &format!(
-            "{{\"bench\":\"tab2_tx_types\",\"nranks\":{nranks},\"scale\":{},\
+            "{{\"bench\":\"{bench}\",\"backend\":\"{}\",\"nranks\":{nranks},\"scale\":{},\
              \"per_vertex_local_s\":{local:.9},\"collective_s\":{coll:.9},\
              \"speedup\":{:.3}}}",
+            backend.label(),
             spec.scale,
             local / coll
         ),

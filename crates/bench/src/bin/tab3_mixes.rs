@@ -8,6 +8,10 @@ use rand::SeedableRng;
 use workloads::oltp::{Mix, OpKind};
 
 fn main() {
+    // accepts `--backend` for sweep-driver uniformity, but this table is
+    // clock-independent (no fabric runs): the output is identical under
+    // the simulated and the wall backend, so it is emitted once
+    let _ = gdi_bench::backend_selection();
     let mut out = String::from("### Table 3 — OLTP workload mixes\n");
     let mixes = Mix::table3();
     out.push_str(&format!("{:<22}", "operation"));

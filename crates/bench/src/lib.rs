@@ -24,6 +24,8 @@ use rma::{CostModel, RankCtx};
 use workloads::analytics::build_view;
 use workloads::oltp::{Mix, OltpConfig, OltpResult};
 
+pub use rma::{BackendKind, BACKEND_ENV};
+
 /// Sweep parameters, from the environment.
 #[derive(Debug, Clone)]
 pub struct RunParams {
@@ -183,6 +185,86 @@ pub fn emit_json_unless_smoke(name: &str, json: &str, smoke: bool) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Backend selection (`--backend sim|wall|both`)
+// ---------------------------------------------------------------------
+
+/// Backends a harness run sweeps, from the `--backend sim|wall|both`
+/// command-line flag (also accepted as `--backend=X`). Without the flag
+/// the run follows the process default (`GDI_FABRIC_BACKEND`, else
+/// simulated) — the committed-baseline behavior.
+pub fn backend_selection() -> Vec<BackendKind> {
+    backend_selection_from(std::env::args().skip(1))
+}
+
+fn backend_selection_from(args: impl Iterator<Item = String>) -> Vec<BackendKind> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let value = if let Some(v) = a.strip_prefix("--backend=") {
+            Some(v.to_string())
+        } else if a == "--backend" {
+            args.next()
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            return match v.trim().to_ascii_lowercase().as_str() {
+                "both" => vec![BackendKind::Sim, BackendKind::Wall],
+                other => vec![other
+                    .parse()
+                    .unwrap_or_else(|e: String| panic!("--backend: {e}"))],
+            };
+        }
+    }
+    vec![BackendKind::from_env()]
+}
+
+/// Command-line arguments (after the binary name) with the
+/// `--backend ...` flag removed — for harnesses that read positional
+/// modes via `args().nth(1)`.
+pub fn args_without_backend() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a.starts_with("--backend=") {
+            continue;
+        }
+        if a == "--backend" {
+            args.next();
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+/// Run `f` once per selected backend with `GDI_FABRIC_BACKEND` set
+/// accordingly, so every fabric the closure builds (without an explicit
+/// pin) runs on that backend. The previous value is restored afterwards.
+/// Call from a harness `main` before spawning threads.
+pub fn for_backends(selection: &[BackendKind], mut f: impl FnMut(BackendKind)) {
+    let saved = std::env::var_os(BACKEND_ENV);
+    for &backend in selection {
+        std::env::set_var(BACKEND_ENV, backend.label());
+        f(backend);
+    }
+    match saved {
+        Some(v) => std::env::set_var(BACKEND_ENV, v),
+        None => std::env::remove_var(BACKEND_ENV),
+    }
+}
+
+/// Label a series with its backend: simulated names stay exactly as
+/// committed in `results/BENCH_*.json`; wall-clock series get a `/wall`
+/// suffix so nondeterministic hardware timings are never confused with
+/// the LogGP baseline.
+pub fn label_series(mut series: Series, backend: BackendKind) -> Series {
+    if backend == BackendKind::Wall {
+        series.name.push_str("/wall");
+    }
+    series
+}
+
 /// Build a graph spec for a sweep point.
 pub fn spec_for(scale: u32, seed: u64, lpg: LpgConfig) -> GraphSpec {
     GraphSpec {
@@ -247,9 +329,21 @@ pub fn sweep_runtime(
 // ---------------------------------------------------------------------
 
 /// Run a GDA OLTP mix: returns `(throughput MQ/s, failure fraction)`.
+/// Runs on the process-default backend; see [`gda_oltp_on`] to pin one.
 pub fn gda_oltp(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> (f64, f64) {
+    gda_oltp_on(BackendKind::from_env(), nranks, spec, mix, ops)
+}
+
+/// [`gda_oltp`] pinned to an explicit fabric backend.
+pub fn gda_oltp_on(
+    backend: BackendKind,
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    ops: usize,
+) -> (f64, f64) {
     let cfg = oltp_sized_config(spec, nranks, ops);
-    let (db, fabric) = GdaDb::with_fabric("bench", cfg, nranks, CostModel::default());
+    let (db, fabric) = GdaDb::with_fabric_on("bench", cfg, nranks, CostModel::default(), backend);
     let results = fabric.run(|ctx| {
         let eng = db.attach(ctx);
         eng.init_collective();
@@ -285,8 +379,19 @@ pub fn gda_oltp_detailed(
     mix: &Mix,
     ops: usize,
 ) -> Vec<OltpResult> {
+    gda_oltp_detailed_on(BackendKind::from_env(), nranks, spec, mix, ops)
+}
+
+/// [`gda_oltp_detailed`] pinned to an explicit fabric backend.
+pub fn gda_oltp_detailed_on(
+    backend: BackendKind,
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    ops: usize,
+) -> Vec<OltpResult> {
     let cfg = oltp_sized_config(spec, nranks, ops);
-    let (db, fabric) = GdaDb::with_fabric("bench", cfg, nranks, CostModel::default());
+    let (db, fabric) = GdaDb::with_fabric_on("bench", cfg, nranks, CostModel::default(), backend);
     fabric.run(|ctx| {
         let eng = db.attach(ctx);
         eng.init_collective();
@@ -358,8 +463,9 @@ pub enum ViewMode {
     Scan,
 }
 
-/// Run one GDA OLAP/OLSP workload; returns the simulated runtime in
-/// seconds (max over ranks, measured between two barriers).
+/// Run one GDA OLAP/OLSP workload; returns the active-clock runtime in
+/// seconds (max over ranks, measured between two barriers — simulated
+/// on the LogGP backend, real elapsed on the wall backend).
 pub fn gda_olap(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
     gda_olap_with(nranks, spec, algo, ViewMode::Tx)
 }
@@ -371,6 +477,17 @@ pub fn gda_olap_scan(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
 
 /// [`gda_olap`] with an explicit view builder.
 pub fn gda_olap_with(nranks: usize, spec: &GraphSpec, algo: OlapAlgo, mode: ViewMode) -> f64 {
+    gda_olap_on(BackendKind::from_env(), nranks, spec, algo, mode)
+}
+
+/// [`gda_olap_with`] pinned to an explicit fabric backend.
+pub fn gda_olap_on(
+    backend: BackendKind,
+    nranks: usize,
+    spec: &GraphSpec,
+    algo: OlapAlgo,
+    mode: ViewMode,
+) -> f64 {
     let mut cfg = sized_config(spec, nranks);
     if let OlapAlgo::Gnn { k, .. } = algo {
         // feature vectors dominate storage
@@ -378,7 +495,7 @@ pub fn gda_olap_with(nranks: usize, spec: &GraphSpec, algo: OlapAlgo, mode: View
             (spec.n_vertices() as usize / nranks + 1) * (k * 8 / (cfg.block_size - 8) + 2);
         cfg.blocks_per_rank = (cfg.blocks_per_rank + fv_blocks).next_power_of_two();
     }
-    let (db, fabric) = GdaDb::with_fabric("olap", cfg, nranks, CostModel::default());
+    let (db, fabric) = GdaDb::with_fabric_on("olap", cfg, nranks, CostModel::default(), backend);
     let times = fabric.run(|ctx| {
         let eng = db.attach(ctx);
         eng.init_collective();
@@ -509,9 +626,21 @@ pub fn rich_lpg() -> LpgConfig {
 
 /// JanusGraph-like OLTP: `(MQ/s, failure fraction)`.
 pub fn janus_oltp(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> (f64, f64) {
+    janus_oltp_on(BackendKind::from_env(), nranks, spec, mix, ops)
+}
+
+/// [`janus_oltp`] pinned to an explicit fabric backend.
+pub fn janus_oltp_on(
+    backend: BackendKind,
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    ops: usize,
+) -> (f64, f64) {
     let store = Arc::new(baselines::JanusStore::new(nranks));
     let fabric = rma::FabricBuilder::new(nranks)
         .cost(CostModel::default())
+        .backend(backend)
         .build();
     let s = store.clone();
     let results = fabric.run(move |ctx| {
@@ -565,9 +694,21 @@ pub fn janus_oltp_detailed(
 /// Neo4j-like OLTP: `(MQ/s, failure fraction)`. `nranks` are clients; the
 /// store is always one server.
 pub fn neo4j_oltp(nranks: usize, spec: &GraphSpec, mix: &Mix, ops: usize) -> (f64, f64) {
+    neo4j_oltp_on(BackendKind::from_env(), nranks, spec, mix, ops)
+}
+
+/// [`neo4j_oltp`] pinned to an explicit fabric backend.
+pub fn neo4j_oltp_on(
+    backend: BackendKind,
+    nranks: usize,
+    spec: &GraphSpec,
+    mix: &Mix,
+    ops: usize,
+) -> (f64, f64) {
     let store = Arc::new(baselines::Neo4jStore::default());
     let fabric = rma::FabricBuilder::new(nranks)
         .cost(CostModel::default())
+        .backend(backend)
         .build();
     let s = store.clone();
     let results = fabric.run(move |ctx| {
@@ -615,10 +756,16 @@ pub fn neo4j_oltp_detailed(
     })
 }
 
-/// Graph500 reference BFS runtime in simulated seconds.
+/// Graph500 reference BFS runtime in active-clock seconds.
 pub fn graph500_bfs(nranks: usize, spec: &GraphSpec) -> f64 {
+    graph500_bfs_on(BackendKind::from_env(), nranks, spec)
+}
+
+/// [`graph500_bfs`] pinned to an explicit fabric backend.
+pub fn graph500_bfs_on(backend: BackendKind, nranks: usize, spec: &GraphSpec) -> f64 {
     let fabric = rma::FabricBuilder::new(nranks)
         .cost(CostModel::default())
+        .backend(backend)
         .build();
     let times = fabric.run(|ctx| {
         let csr = baselines::build_csr(ctx, spec);
@@ -631,11 +778,17 @@ pub fn graph500_bfs(nranks: usize, spec: &GraphSpec) -> f64 {
     times.into_iter().fold(0.0, f64::max)
 }
 
-/// Neo4j server-side OLAP runtime in simulated seconds.
+/// Neo4j server-side OLAP runtime in active-clock seconds.
 pub fn neo4j_olap(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
+    neo4j_olap_on(BackendKind::from_env(), nranks, spec, algo)
+}
+
+/// [`neo4j_olap`] pinned to an explicit fabric backend.
+pub fn neo4j_olap_on(backend: BackendKind, nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
     let store = Arc::new(baselines::Neo4jStore::default());
     let fabric = rma::FabricBuilder::new(nranks)
         .cost(CostModel::default())
+        .backend(backend)
         .build();
     let s = store.clone();
     let times = fabric.run(move |ctx| {
@@ -663,6 +816,28 @@ pub fn neo4j_olap(nranks: usize, spec: &GraphSpec, algo: OlapAlgo) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backend_flag_parsing() {
+        let sel = |args: &[&str]| backend_selection_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(sel(&["--smoke"]), vec![BackendKind::from_env()]);
+        assert_eq!(sel(&["--backend", "sim"]), vec![BackendKind::Sim]);
+        assert_eq!(sel(&["--backend=wall"]), vec![BackendKind::Wall]);
+        assert_eq!(
+            sel(&["--smoke", "--backend", "both"]),
+            vec![BackendKind::Sim, BackendKind::Wall]
+        );
+    }
+
+    #[test]
+    fn wall_series_get_suffixed() {
+        let s = Series {
+            name: "GDA".into(),
+            points: vec![],
+        };
+        assert_eq!(label_series(s.clone(), BackendKind::Sim).name, "GDA");
+        assert_eq!(label_series(s, BackendKind::Wall).name, "GDA/wall");
+    }
 
     #[test]
     fn params_env_defaults() {

@@ -10,7 +10,7 @@
 //! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i*; then the commit-stamp counter (persistence) and the topology-epoch word (OLAP scan views) |
 //! | **index**  | DHT: word 0 = tagged heap free head; word 1 = epoch word (`delete:32 \| insert:32`); buckets; 3-word heap entries |
 
-use rma::{CostModel, Fabric, FabricBuilder, WinId};
+use rma::{BackendKind, CostModel, Fabric, FabricBuilder, WinId};
 
 /// Window id of the data window.
 pub const WIN_DATA: WinId = WinId(0);
@@ -148,16 +148,28 @@ impl GdaConfig {
         (2 + self.dht_buckets_per_rank + 3 * (self.dht_heap_per_rank + 1)) * 8
     }
 
-    /// Build a fabric with the four GDA windows registered.
+    /// Build a fabric with the four GDA windows registered. The execution
+    /// backend follows the process default (`GDI_FABRIC_BACKEND`, else
+    /// simulated); use [`GdaConfig::build_fabric_on`] to pin one.
     pub fn build_fabric(&self, nranks: usize, cost: CostModel) -> Fabric {
         self.validate();
+        self.fabric_builder(nranks, cost).build()
+    }
+
+    /// Like [`GdaConfig::build_fabric`] but pinned to an explicit fabric
+    /// execution backend, ignoring `GDI_FABRIC_BACKEND`.
+    pub fn build_fabric_on(&self, nranks: usize, cost: CostModel, backend: BackendKind) -> Fabric {
+        self.validate();
+        self.fabric_builder(nranks, cost).backend(backend).build()
+    }
+
+    fn fabric_builder(&self, nranks: usize, cost: CostModel) -> FabricBuilder {
         FabricBuilder::new(nranks)
             .cost(cost)
             .window(self.data_bytes())
             .window(self.usage_bytes())
             .window(self.system_bytes())
             .window(self.index_bytes())
-            .build()
     }
 }
 

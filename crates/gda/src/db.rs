@@ -120,6 +120,8 @@ impl GdaDb {
     }
 
     /// Convenience: create the database together with a matching fabric.
+    /// The fabric's execution backend follows the process default
+    /// (`GDI_FABRIC_BACKEND`, else simulated).
     pub fn with_fabric(
         name: &str,
         cfg: GdaConfig,
@@ -128,6 +130,20 @@ impl GdaDb {
     ) -> (Arc<GdaDb>, Fabric) {
         let db = Self::new(name, cfg, nranks);
         let fabric = cfg.build_fabric(nranks, cost);
+        (db, fabric)
+    }
+
+    /// Like [`GdaDb::with_fabric`] but pinned to an explicit fabric
+    /// execution backend, ignoring `GDI_FABRIC_BACKEND`.
+    pub fn with_fabric_on(
+        name: &str,
+        cfg: GdaConfig,
+        nranks: usize,
+        cost: CostModel,
+        backend: rma::BackendKind,
+    ) -> (Arc<GdaDb>, Fabric) {
+        let db = Self::new(name, cfg, nranks);
+        let fabric = cfg.build_fabric_on(nranks, cost, backend);
         (db, fabric)
     }
 
@@ -627,8 +643,10 @@ mod tests {
         });
     }
 
+    // the fabric resumes the original payload of a panicking rank, so
+    // the attach assertion's own message is what reaches the caller
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "fabric size does not match database layout")]
     fn attach_wrong_fabric_size_panics() {
         let cfg = GdaConfig::tiny();
         let db = GdaDb::new("x", cfg, 4);

@@ -449,10 +449,15 @@ mod tests {
                     let (bytes, blocks) = got.as_ref().expect("chain fetch");
                     assert_eq!((bytes, blocks), (&want.0, &want.1));
                 }
-                assert!(
-                    t_bat < t_seq,
-                    "pipelined fetch {t_bat} !< sequential {t_seq}"
-                );
+                // a LogGP-model relation: at wall scale both loops are
+                // nanoseconds of shared-memory reads and the ordering
+                // is scheduler noise
+                if ctx.backend() == rma::BackendKind::Sim {
+                    assert!(
+                        t_bat < t_seq,
+                        "pipelined fetch {t_bat} !< sequential {t_seq}"
+                    );
+                }
                 // a never-written block fails alone, not the whole batch
                 let free = bm.acquire(1).unwrap();
                 let mixed = read_chains(ctx, &cfg, &[primaries[0], free, primaries[2]]);

@@ -412,6 +412,10 @@ pub struct PersistOptions {
     /// tests and benches model the device cost through the LogGP clock
     /// instead of paying host fsyncs.
     pub sync: bool,
+    /// Fabric execution backend for the fabric [`recover`] builds:
+    /// `None` (default) follows the process default
+    /// (`GDI_FABRIC_BACKEND`, else simulated), `Some(_)` pins one.
+    pub backend: Option<rma::BackendKind>,
 }
 
 impl PersistOptions {
@@ -420,7 +424,14 @@ impl PersistOptions {
         Self {
             dir: dir.into(),
             sync: false,
+            backend: None,
         }
+    }
+
+    /// Pin the fabric execution backend used by [`recover`].
+    pub fn backend(mut self, backend: rma::BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
     }
 }
 
@@ -1803,6 +1814,7 @@ pub fn recover_with_topology(
         ));
     }
 
+    let backend = opts.backend;
     let store = PersistStore::new(opts, live_ranks, current);
 
     // elastic path: read the P snapshot shards + logs and build the
@@ -1857,7 +1869,10 @@ pub fn recover_with_topology(
     let indexes = IndexShared::from_parts(live_ranks, manifest.index_defs, manifest.index_next_id);
     let db = GdaDb::restore(&manifest.name, cfg, live_ranks, meta, indexes);
     db.set_persistence(store);
-    let fabric = db.cfg.build_fabric(live_ranks, cost);
+    let fabric = match backend {
+        Some(backend) => db.cfg.build_fabric_on(live_ranks, cost, backend),
+        None => db.cfg.build_fabric(live_ranks, cost),
+    };
     let plan = Arc::new(RecoveryPlan {
         snapshot_id: current,
         restored: (0..live_ranks).map(|_| AtomicBool::new(false)).collect(),

@@ -59,16 +59,18 @@ impl<'a> RankCtx<'a> {
         let out = f(&views);
         self.shared.barrier.wait();
         *self.shared.boards[me].lock() = None;
-        self.clock.set_ns(max_clock + cost_ns);
+        self.clock.reconcile(max_clock + cost_ns);
         self.stats.record_collective(coll_bytes);
         out
     }
 
-    /// Synchronize all ranks (and their simulated clocks).
+    /// Synchronize all ranks (and, on the sim backend, their simulated
+    /// clocks — wall clocks synchronize themselves through the real
+    /// barrier wait).
     pub fn barrier(&self) {
         let max = self.clock_sync();
         self.clock
-            .set_ns(max + self.cost_model().barrier(self.nranks()));
+            .reconcile(max + self.cost_model().barrier(self.nranks()));
         self.stats.record_collective(0);
     }
 
@@ -345,7 +347,12 @@ mod tests {
 
     #[test]
     fn collectives_reconcile_clocks() {
-        let f = fabric(4);
+        // sim-semantics test: pinned to the sim backend (the wall clock
+        // cannot be charged forward)
+        let f = crate::FabricBuilder::new(4)
+            .cost(CostModel::default())
+            .backend(crate::BackendKind::Sim)
+            .build();
         f.run(|ctx| {
             if ctx.rank() == 2 {
                 ctx.charge_ns(1_000_000.0); // one rank is "slow"

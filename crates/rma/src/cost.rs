@@ -206,6 +206,137 @@ impl SimClock {
     }
 }
 
+/// Golden pin of the LogGP charge for every op class under the default
+/// (Aries-calibrated) model. These are **hard-coded** numbers, not
+/// re-derived from the formulas: if any committed `results/BENCH_*.json`
+/// simulated curve is to stay comparable across PRs, a change that moves
+/// one of these values must be deliberate and must re-baseline the bench
+/// results. The CI smoke jobs assert this module ran.
+#[cfg(test)]
+mod cost_pin {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    fn pin(actual: f64, golden: f64, what: &str) {
+        assert!(
+            (actual - golden).abs() < EPS,
+            "{what}: charge moved from pinned {golden} ns to {actual} ns — \
+             simulated baselines are no longer comparable"
+        );
+    }
+
+    #[test]
+    fn model_charges_are_pinned() {
+        let m = CostModel::default();
+        pin(m.transfer(0, 0, 64), 12.0, "local transfer, 64 B");
+        pin(m.transfer(0, 1, 64), 1_556.4, "remote transfer, 64 B");
+        pin(m.transfer(0, 1, 8), 1_550.8, "remote transfer, 8 B");
+        pin(m.atomic(0, 0), 6.0, "local atomic");
+        pin(m.atomic(0, 1), 1_900.0, "remote atomic");
+        pin(m.flush(0, 0), 1.5, "local flush");
+        pin(m.flush(0, 1), 1_550.0, "remote flush");
+        pin(m.barrier(8), 5_100.0, "barrier, P=8");
+        pin(m.reduce_like(8, 8), 5_102.6, "reduce-like, P=8, 8 B");
+        pin(m.allgather(8, 8), 5_105.6, "allgather, P=8, 8 B");
+        pin(
+            m.alltoallv(3, 100, 200),
+            2_580.0,
+            "alltoallv, 3 peers, 100/200 B",
+        );
+        pin(m.drain(10), 120.0, "service-queue drain, 10 requests");
+        pin(m.log_write(1024), 3_012.0, "redo-log append, 1 KiB");
+    }
+
+    #[test]
+    fn default_constants_are_pinned() {
+        let m = CostModel::default();
+        pin(m.local_word_ns, 1.5, "local_word_ns");
+        pin(m.cpu_op_ns, 1.0, "cpu_op_ns");
+        pin(m.o_ns, 150.0, "o_ns");
+        pin(m.l_ns, 1_400.0, "l_ns");
+        pin(m.g_ns_per_byte, 0.1, "g_ns_per_byte");
+        pin(m.atomic_ns, 350.0, "atomic_ns");
+        pin(m.poll_ns, 80.0, "poll_ns");
+        pin(m.log_o_ns, 2_500.0, "log_o_ns");
+        pin(m.log_g_ns_per_byte, 0.5, "log_g_ns_per_byte");
+    }
+
+    /// Pin what the *fabric* charges per op class end-to-end (the model
+    /// routed through `RankCtx`), on an explicitly Sim-pinned fabric so
+    /// the test also passes under `GDI_FABRIC_BACKEND=wall`.
+    #[test]
+    fn fabric_charge_deltas_are_pinned() {
+        use crate::{BackendKind, FabricBuilder, WinId};
+        let fabric = FabricBuilder::new(2)
+            .backend(BackendKind::Sim)
+            .window(1 << 10)
+            .build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            if ctx.rank() != 0 {
+                return;
+            }
+            let delta = |t0: &mut f64| {
+                let now = ctx.now_ns();
+                let d = now - *t0;
+                *t0 = now;
+                d
+            };
+            let mut t = ctx.now_ns();
+
+            ctx.get_u64(w, 0, 0);
+            pin(delta(&mut t), 1.5, "fabric local GET (8 B)");
+            ctx.get_u64(w, 1, 0);
+            pin(delta(&mut t), 1_550.8, "fabric remote GET (8 B)");
+            ctx.put_u64(w, 1, 0, 7);
+            pin(delta(&mut t), 1_550.8, "fabric remote PUT (8 B)");
+            let mut buf = [0u8; 64];
+            ctx.get_bytes(w, 1, 0, &mut buf);
+            pin(delta(&mut t), 1_556.4, "fabric remote GET (64 B)");
+
+            ctx.aget_u64(w, 0, 0);
+            pin(delta(&mut t), 6.0, "fabric local AGET");
+            ctx.aget_u64(w, 1, 0);
+            pin(delta(&mut t), 1_900.0, "fabric remote AGET");
+            ctx.aput_u64(w, 1, 0, 1);
+            pin(delta(&mut t), 1_900.0, "fabric remote APUT");
+            ctx.cas_u64(w, 1, 0, 1, 2);
+            pin(delta(&mut t), 1_900.0, "fabric remote CAS");
+            ctx.fadd_u64(w, 1, 0, 1);
+            pin(delta(&mut t), 1_900.0, "fabric remote FADD");
+
+            ctx.flush(1);
+            pin(delta(&mut t), 1_550.0, "fabric remote flush");
+
+            // nb-batch: each transfer defers its latency term (L = 1400);
+            // the close charges the max deferred latency once plus one
+            // coalesced flush per distinct target flushed inside the batch
+            ctx.begin_nb_batch();
+            for i in 0..3 {
+                ctx.put_u64(w, 1, i, i as u64);
+            }
+            ctx.flush(1); // deferred to the close
+            pin(
+                delta(&mut t),
+                3.0 * 150.8,
+                "fabric nb-batched PUTs (3 × 8 B)",
+            );
+            ctx.end_nb_batch();
+            pin(
+                delta(&mut t),
+                1_400.0 + 1_550.0,
+                "fabric nb-batch close (deferred L + coalesced flush)",
+            );
+
+            ctx.record_log_write(1024);
+            pin(delta(&mut t), 3_012.0, "fabric redo-log append (1 KiB)");
+            ctx.charge_cpu(5);
+            pin(delta(&mut t), 5.0, "fabric 5 CPU ops");
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

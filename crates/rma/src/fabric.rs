@@ -5,6 +5,11 @@
 //! one instance of every registered window and reaches other ranks' windows
 //! exclusively through the one-sided operations on [`RankCtx`] — there is no
 //! shared-state backdoor, mirroring the discipline of MPI RMA / RDMA verbs.
+//!
+//! Time is priced by a pluggable backend ([`crate::BackendKind`]): the
+//! LogGP simulator (deterministic, the committed-bench baseline) or real
+//! wall-clock shared-memory execution (see [`crate::backend`]). The
+//! operations themselves are identical either way.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,8 +17,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::backend::{BackendKind, FabricTime};
 use crate::barrier::PoisonBarrier;
-use crate::cost::{CostModel, SimClock};
+use crate::cost::CostModel;
 use crate::stats::{CommStats, RankReport};
 use crate::window::Window;
 
@@ -24,6 +30,7 @@ pub struct WinId(pub usize);
 pub(crate) struct Shared {
     pub nranks: usize,
     pub cost: CostModel,
+    pub backend: BackendKind,
     /// `windows[rank][win]`
     pub windows: Vec<Vec<Window>>,
     /// Published simulated clocks (f64 bits), one slot per rank.
@@ -38,6 +45,7 @@ pub struct FabricBuilder {
     nranks: usize,
     window_bytes: Vec<usize>,
     cost: CostModel,
+    backend: Option<BackendKind>,
 }
 
 impl FabricBuilder {
@@ -49,6 +57,7 @@ impl FabricBuilder {
             nranks,
             window_bytes: Vec::new(),
             cost: CostModel::default(),
+            backend: None,
         }
     }
 
@@ -65,7 +74,18 @@ impl FabricBuilder {
         self
     }
 
+    /// Pin the execution backend explicitly. Without this call the
+    /// backend comes from the `GDI_FABRIC_BACKEND` environment variable
+    /// (falling back to [`BackendKind::Sim`]) — tests that assert exact
+    /// simulated charges pin [`BackendKind::Sim`] here so they stay
+    /// green under a `wall` environment override.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     pub fn build(self) -> Fabric {
+        let backend = self.backend.unwrap_or_else(BackendKind::from_env);
         let windows = (0..self.nranks)
             .map(|_| self.window_bytes.iter().map(|&b| Window::new(b)).collect())
             .collect();
@@ -75,6 +95,7 @@ impl FabricBuilder {
             shared: Arc::new(Shared {
                 nranks: self.nranks,
                 cost: self.cost,
+                backend,
                 windows,
                 clocks,
                 boards,
@@ -102,16 +123,28 @@ impl Fabric {
         self.shared.cost
     }
 
+    /// The execution backend this fabric prices operations with.
+    pub fn backend(&self) -> BackendKind {
+        self.shared.backend
+    }
+
     /// Execute `f` once per rank, concurrently, and return the per-rank
-    /// results in rank order. Communication statistics and final simulated
-    /// clocks are captured and retrievable via [`Fabric::last_reports`].
+    /// results in rank order. Communication statistics and final clocks
+    /// (simulated and wall) are captured and retrievable via
+    /// [`Fabric::last_reports`].
     pub fn run<F, R>(&self, f: F) -> Vec<R>
     where
         F: Fn(&RankCtx) -> R + Sync,
         R: Send,
     {
         let shared = &self.shared;
+        let epoch = std::time::Instant::now();
         let mut out: Vec<Option<(R, RankReport)>> = (0..shared.nranks).map(|_| None).collect();
+        // The payload of the first rank that panicked with a *real*
+        // failure (not the poison-barrier collapse of a peer); resumed on
+        // the harness thread so the test failure names the original
+        // assertion instead of a generic join error.
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(shared.nranks);
             for rank in 0..shared.nranks {
@@ -120,7 +153,7 @@ impl Fabric {
                     let ctx = RankCtx {
                         rank,
                         shared,
-                        clock: SimClock::new(),
+                        clock: FabricTime::new(shared.backend, epoch),
                         stats: CommStats::new(),
                         nb_depth: std::cell::Cell::new((0, 0.0)),
                         nb_flushes: std::cell::RefCell::new(vec![false; shared.nranks]),
@@ -137,14 +170,32 @@ impl Fabric {
                         }
                     };
                     let mut report = ctx.stats.snapshot();
-                    report.sim_time_ns = ctx.clock.now_ns();
+                    report.sim_time_ns = ctx.clock.sim_ns();
+                    report.wall_time_ns = ctx.clock.wall_ns();
                     (r, report)
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                out[rank] = Some(h.join().expect("rank thread panicked"));
+                match h.join() {
+                    Ok(v) => out[rank] = Some(v),
+                    Err(payload) => match first_panic.as_ref() {
+                        // Keep the lowest-rank *original* failure: a
+                        // poison-barrier collapse only stands in while no
+                        // real payload has been seen.
+                        None => first_panic = Some(payload),
+                        Some(cur)
+                            if is_poison_collapse(&**cur) && !is_poison_collapse(&*payload) =>
+                        {
+                            first_panic = Some(payload)
+                        }
+                        Some(_) => {}
+                    },
+                }
             }
         });
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
         let mut reports = Vec::with_capacity(shared.nranks);
         let mut results = Vec::with_capacity(shared.nranks);
         for slot in out {
@@ -156,13 +207,31 @@ impl Fabric {
         results
     }
 
-    /// Reports (comm statistics + final sim clock) of the most recent
+    /// Reports (comm statistics + final clocks) of the most recent
     /// [`Fabric::run`], in rank order.
     pub fn last_reports(&self) -> Vec<RankReport> {
         self.last_reports.lock().clone()
     }
 
-    /// Maximum simulated time over all ranks of the last run, in seconds.
+    /// Maximum time over all ranks of the last run, in seconds, measured
+    /// on the fabric's active backend: simulated seconds on
+    /// [`BackendKind::Sim`], real elapsed seconds on [`BackendKind::Wall`].
+    pub fn last_time_s(&self) -> f64 {
+        let pick: fn(&RankReport) -> f64 = match self.shared.backend {
+            BackendKind::Sim => |r| r.sim_time_ns,
+            BackendKind::Wall => |r| r.wall_time_ns,
+        };
+        self.last_reports
+            .lock()
+            .iter()
+            .map(pick)
+            .fold(0.0, f64::max)
+            / 1e9
+    }
+
+    /// Maximum *simulated* time over all ranks of the last run, in
+    /// seconds (0 on a wall-backend run — nothing is ever charged).
+    /// Prefer [`Fabric::last_time_s`], which follows the active backend.
     pub fn last_sim_time_s(&self) -> f64 {
         self.last_reports
             .lock()
@@ -173,12 +242,25 @@ impl Fabric {
     }
 }
 
+/// Is this panic payload the generic poison-barrier collapse of a peer
+/// (as opposed to the original failure that caused the poisoning)?
+fn is_poison_collapse(payload: &(dyn Any + Send)) -> bool {
+    let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        *s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        return false;
+    };
+    msg.contains("fabric barrier poisoned")
+}
+
 /// Per-rank execution context: the handle through which a rank performs all
 /// fabric operations. Not `Send`/`Sync`: it lives on its rank's thread.
 pub struct RankCtx<'a> {
     rank: usize,
     pub(crate) shared: &'a Shared,
-    pub(crate) clock: SimClock,
+    pub(crate) clock: FabricTime,
     pub(crate) stats: CommStats,
     /// Non-blocking batch state `(depth, max deferred latency)`: while the
     /// depth is non-zero, data-transfer operations charge only their
@@ -216,20 +298,41 @@ impl<'a> RankCtx<'a> {
         &self.shared.cost
     }
 
-    /// Current simulated time of this rank in nanoseconds.
+    /// The execution backend pricing this rank's operations.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.clock.backend()
+    }
+
+    /// Current time of this rank in nanoseconds on the active backend:
+    /// simulated ns under [`BackendKind::Sim`], real elapsed ns since the
+    /// start of [`Fabric::run`] under [`BackendKind::Wall`]. Deltas of
+    /// this value are the timing source of every bench harness, so the
+    /// same measurement code prices either backend.
     #[inline]
     pub fn now_ns(&self) -> f64 {
         self.clock.now_ns()
     }
 
+    /// Real elapsed nanoseconds since the start of this [`Fabric::run`]
+    /// (meaningful on both backends; on `Sim` it measures the simulator
+    /// itself).
+    #[inline]
+    pub fn wall_ns(&self) -> f64 {
+        self.clock.wall_ns()
+    }
+
     /// Accrue local compute cost of `n` abstract CPU operations (hashing,
-    /// filtering, arithmetic): used by workloads to model query-local work.
+    /// filtering, arithmetic): used by workloads to model query-local
+    /// work. On the wall backend the charge is a no-op — the compute
+    /// already spent real time.
     #[inline]
     pub fn charge_cpu(&self, n: u64) {
         self.clock.advance(self.shared.cost.cpu_op_ns * n as f64);
     }
 
-    /// Accrue an explicit amount of simulated nanoseconds.
+    /// Accrue an explicit amount of simulated nanoseconds (no-op on the
+    /// wall backend).
     #[inline]
     pub fn charge_ns(&self, ns: f64) {
         self.clock.advance(ns);
@@ -329,7 +432,8 @@ impl<'a> RankCtx<'a> {
     /// Communication statistics snapshot of this rank (so far).
     pub fn stats_snapshot(&self) -> RankReport {
         let mut r = self.stats.snapshot();
-        r.sim_time_ns = self.clock.now_ns();
+        r.sim_time_ns = self.clock.sim_ns();
+        r.wall_time_ns = self.clock.wall_ns();
         r
     }
 
@@ -577,7 +681,10 @@ mod tests {
 
     #[test]
     fn sim_time_and_stats_are_reported() {
-        let fabric = FabricBuilder::new(2).window(64).build();
+        let fabric = FabricBuilder::new(2)
+            .backend(BackendKind::Sim)
+            .window(64)
+            .build();
         let w = WinId(0);
         fabric.run(|ctx| {
             ctx.put_u64(w, 1 - ctx.rank(), 0, 1);
@@ -611,7 +718,10 @@ mod tests {
 
     #[test]
     fn log_write_charges_and_counts() {
-        let fabric = FabricBuilder::new(1).window(64).build();
+        let fabric = FabricBuilder::new(1)
+            .backend(BackendKind::Sim)
+            .window(64)
+            .build();
         fabric.run(|ctx| {
             let t0 = ctx.now_ns();
             ctx.record_log_write(1024);
@@ -642,6 +752,147 @@ mod tests {
     fn zero_ranks_rejected() {
         let _ = FabricBuilder::new(0);
     }
+
+    #[test]
+    fn rank_panic_payload_survives_to_harness() {
+        // a rank assertion must surface with its original message, not
+        // the generic join error or a peer's poison-barrier collapse
+        let fabric = FabricBuilder::new(4).window(64).build();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fabric.run(|ctx| {
+                if ctx.rank() == 2 {
+                    panic!("deliberate-rank-failure-6377");
+                }
+                // peers park in a collective and collapse via the poison
+                ctx.barrier();
+            });
+        }))
+        .expect_err("run must propagate the rank panic");
+        assert!(
+            !is_poison_collapse(&*err),
+            "harness must not see the poison collapse as the failure"
+        );
+        let msg = err
+            .downcast_ref::<&'static str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("deliberate-rank-failure-6377"),
+            "original assertion message lost: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn rank_panic_on_rank_zero_also_survives() {
+        // rank 0 joins first; its payload must win over later collapses
+        let fabric = FabricBuilder::new(2).window(64).build();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fabric.run(|ctx| {
+                if ctx.rank() == 0 {
+                    panic!("rank-zero-blew-up");
+                }
+                ctx.barrier();
+            });
+        }))
+        .expect_err("run must propagate the rank panic");
+        let msg = err
+            .downcast_ref::<&'static str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("rank-zero-blew-up"), "got {msg:?}");
+    }
+}
+
+#[cfg(test)]
+mod wall_tests {
+    use super::*;
+
+    fn wall_fabric(n: usize, window: usize) -> Fabric {
+        FabricBuilder::new(n)
+            .backend(BackendKind::Wall)
+            .window(window)
+            .build()
+    }
+
+    #[test]
+    fn wall_ops_are_correct_and_counted() {
+        // same one-sided semantics, same op counters — only the clock
+        // differs
+        let fabric = wall_fabric(4, 256);
+        assert_eq!(fabric.backend(), BackendKind::Wall);
+        let w = WinId(0);
+        let ok = fabric.run(|ctx| {
+            assert_eq!(ctx.backend(), BackendKind::Wall);
+            ctx.put_u64(w, ctx.rank(), 0, 1000 + ctx.rank() as u64);
+            ctx.barrier();
+            let peer = (ctx.rank() + 1) % ctx.nranks();
+            let v = ctx.get_u64(w, peer, 0);
+            ctx.fadd_u64(w, 0, 1, 1);
+            ctx.flush(peer);
+            ctx.barrier();
+            v == 1000 + peer as u64 && ctx.aget_u64(w, 0, 1) == 4
+        });
+        assert!(ok.iter().all(|&b| b));
+        for r in fabric.last_reports() {
+            assert_eq!(r.flushes, 1);
+            assert_eq!(r.sim_time_ns, 0.0, "wall backend must not charge sim time");
+            assert!(r.wall_time_ns > 0.0, "wall time must be measured");
+        }
+        assert!(fabric.last_time_s() > 0.0);
+        assert_eq!(fabric.last_sim_time_s(), 0.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_uncharged() {
+        let fabric = wall_fabric(1, 1024);
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            let t0 = ctx.now_ns();
+            ctx.charge_ns(1e15); // a petasecond of "cost": must be a no-op
+            ctx.charge_cpu(u64::MAX / 2);
+            ctx.record_log_write(1 << 20);
+            for i in 0..64 {
+                ctx.put_u64(w, 0, i, i as u64);
+            }
+            let t1 = ctx.now_ns();
+            assert!(t1 >= t0, "wall clock must be monotone");
+            assert!(
+                t1 - t0 < 1e12,
+                "cost charges leaked into the wall clock: {} ns",
+                t1 - t0
+            );
+        });
+        let r = fabric.last_reports()[0];
+        assert_eq!(r.log_appends, 1, "stats hooks keep counting on wall");
+        assert_eq!(r.log_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn wall_nb_batch_and_collectives_work() {
+        // nb-batch bookkeeping and collectives must run (and count)
+        // identically even though nothing is charged
+        let fabric = wall_fabric(3, 4096);
+        let w = WinId(0);
+        let sums = fabric.run(|ctx| {
+            ctx.begin_nb_batch();
+            for i in 0..8 {
+                ctx.put_u64(w, (ctx.rank() + 1) % ctx.nranks(), i, ctx.rank() as u64);
+            }
+            ctx.flush((ctx.rank() + 1) % ctx.nranks());
+            ctx.end_nb_batch();
+            ctx.quiesce();
+            ctx.allreduce_sum_u64(ctx.rank() as u64)
+        });
+        assert_eq!(sums, vec![3, 3, 3]);
+        for r in fabric.last_reports() {
+            assert_eq!(r.quiesces, 1);
+            assert!(r.collectives >= 1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -652,7 +903,10 @@ mod nb_tests {
     fn nb_batch_overlaps_latency() {
         // sequential: N puts pay N latencies; batched: one latency
         let w = WinId(0);
-        let fabric = FabricBuilder::new(2).window(4096).build();
+        let fabric = FabricBuilder::new(2)
+            .backend(BackendKind::Sim)
+            .window(4096)
+            .build();
         let times = fabric.run(|ctx| {
             if ctx.rank() != 0 {
                 return (0.0, 0.0);

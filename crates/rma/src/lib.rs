@@ -14,7 +14,14 @@
 //! * a LogGP-style network **cost model**: every operation accrues simulated
 //!   time on the issuing rank's clock, so scaling experiments can sweep the
 //!   simulated machine size while the actual execution runs on however many
-//!   cores the host has.
+//!   cores the host has;
+//! * two execution **backends** behind the same `RankCtx` surface (see
+//!   [`backend`]): [`BackendKind::Sim`] prices operations on the LogGP
+//!   virtual clock (deterministic, the committed-bench baseline), while
+//!   [`BackendKind::Wall`] executes the identical memory operations and
+//!   reads a real monotonic clock (cost charges are no-ops) — selected
+//!   with [`FabricBuilder::backend`] or the `GDI_FABRIC_BACKEND`
+//!   environment variable.
 //!
 //! Ranks are OS threads and windows are arrays of [`AtomicU64`]; remote
 //! accesses are genuinely concurrent, so lock-free algorithms built on top
@@ -44,6 +51,7 @@
 //!
 //! [`AtomicU64`]: std::sync::atomic::AtomicU64
 
+pub mod backend;
 pub mod barrier;
 pub mod collectives;
 pub mod cost;
@@ -51,6 +59,7 @@ pub mod fabric;
 pub mod stats;
 pub mod window;
 
+pub use backend::{BackendKind, BACKEND_ENV};
 pub use barrier::PoisonBarrier;
 pub use cost::{CostModel, SimClock};
 pub use fabric::{Fabric, FabricBuilder, RankCtx, WinId};

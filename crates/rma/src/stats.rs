@@ -215,6 +215,7 @@ impl CommStats {
             query_expands: self.query_expands.get(),
             query_bytes: self.query_bytes.get(),
             sim_time_ns: 0.0,
+            wall_time_ns: 0.0,
         }
     }
 }
@@ -270,8 +271,14 @@ pub struct RankReport {
     pub query_expands: u64,
     /// Bytes routed through query stage-level exchanges by this rank.
     pub query_bytes: u64,
-    /// Final simulated time of the rank in nanoseconds.
+    /// Final simulated time of the rank in nanoseconds (0 on a
+    /// wall-backend run — the wall backend never charges the sim clock).
     pub sim_time_ns: f64,
+    /// Final real elapsed time of the rank in nanoseconds, measured from
+    /// the start of the enclosing `Fabric::run`. Filled on both backends
+    /// (on `Sim` it prices the simulator itself); the authoritative
+    /// runtime of a wall-backend run.
+    pub wall_time_ns: f64,
 }
 
 impl RankReport {
@@ -316,6 +323,7 @@ impl RankReport {
         self.query_expands += other.query_expands;
         self.query_bytes += other.query_bytes;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
+        self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
     }
 }
 

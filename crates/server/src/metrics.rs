@@ -192,6 +192,10 @@ pub struct ServerMetrics {
     /// Crash-recovery stats, when this server was booted via
     /// [`crate::GdiServer::recover`].
     pub recovery: Option<RecoverySummary>,
+    /// Fabric execution backend the serve loops ran on (`Sim` = LogGP
+    /// virtual time, `Wall` = real clock). `None` until the first serve
+    /// loop starts.
+    pub backend: Option<rma::BackendKind>,
 }
 
 impl ServerMetrics {

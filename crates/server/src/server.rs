@@ -139,6 +139,9 @@ struct ServerInner {
     /// collectively before their first drain.
     recovery: Mutex<Option<Arc<RecoveryPlan>>>,
     recovery_stats: Mutex<Vec<Option<RankRecovery>>>,
+    /// Which fabric backend the serve loops run on (recorded by the
+    /// first [`GdiServer::serve_rank`] from its rank context).
+    backend: Mutex<Option<rma::BackendKind>>,
 }
 
 /// Per-rank summary returned by [`GdiServer::serve_rank`].
@@ -151,8 +154,12 @@ pub struct ServeSummary {
     pub batches: u64,
     /// Collective OLAP jobs participated in.
     pub olap_jobs: u64,
-    /// Simulated nanoseconds this rank spent serving.
+    /// Nanoseconds this rank spent serving on the fabric's active clock:
+    /// simulated ns on the LogGP backend, real elapsed ns on the
+    /// wall-clock backend (see [`ServeSummary::backend`]).
     pub sim_serve_ns: f64,
+    /// Fabric execution backend this rank served on.
+    pub backend: rma::BackendKind,
 }
 
 /// The multi-session service front-end over one [`GdaDb`].
@@ -184,6 +191,7 @@ impl GdiServer {
             checkpoints: AtomicU64::new(0),
             recovery: Mutex::new(None),
             recovery_stats: Mutex::new((0..nranks).map(|_| None).collect()),
+            backend: Mutex::new(None),
             db,
         }))
     }
@@ -452,6 +460,7 @@ impl GdiServer {
         };
         let eng = inner.db.attach(ctx);
         let rank = ctx.rank();
+        *inner.backend.lock() = Some(ctx.backend());
         let trace = std::env::var_os("GDI_SERVER_TRACE").is_some();
         // crash recovery: restore this rank (collective — every serve
         // loop of a recovered server enters here) before serving
@@ -537,6 +546,7 @@ impl GdiServer {
             batches,
             olap_jobs: olap_served,
             sim_serve_ns: ctx.now_ns() - sim_t0,
+            backend: ctx.backend(),
         }
     }
 
@@ -586,6 +596,7 @@ impl GdiServer {
             wall_elapsed_s: inner.started.elapsed().as_secs_f64(),
             checkpoints: inner.checkpoints.load(Ordering::Relaxed),
             recovery,
+            backend: *inner.backend.lock(),
         }
     }
 }

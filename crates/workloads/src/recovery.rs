@@ -60,6 +60,10 @@ pub struct RecoveryScenario {
     /// after verification (post-restart throughput measurement; 0 =
     /// skip).
     pub post_ops: usize,
+    /// Fabric execution backend for both the original and the recovered
+    /// server: `None` follows the process default (`GDI_FABRIC_BACKEND`,
+    /// else simulated), `Some(_)` pins one.
+    pub backend: Option<rma::BackendKind>,
 }
 
 impl RecoveryScenario {
@@ -78,6 +82,7 @@ impl RecoveryScenario {
             base_sample: 16,
             restart_ranks: None,
             post_ops: 0,
+            backend: None,
         }
     }
 }
@@ -341,7 +346,10 @@ pub fn run_kill_restart(cfg: &RecoveryScenario) -> RecoveryReport {
         let db: Arc<GdaDb> = GdaDb::new("recovery", gcfg, cfg.nranks);
         db.enable_persistence(PersistOptions::new(&cfg.dir))
             .expect("fresh persistence dir");
-        let fabric = gcfg.build_fabric(cfg.nranks, cfg.cost);
+        let fabric = match cfg.backend {
+            Some(b) => gcfg.build_fabric_on(cfg.nranks, cfg.cost, b),
+            None => gcfg.build_fabric(cfg.nranks, cfg.cost),
+        };
         let metas = fabric.run(|ctx| {
             let eng = db.attach(ctx);
             eng.init_collective();
@@ -404,13 +412,11 @@ pub fn run_kill_restart(cfg: &RecoveryScenario) -> RecoveryReport {
     // ---- phase 2: recover from disk (same topology or elastic) and
     // verify ------------------------------------------------------------
     let restart_t0 = std::time::Instant::now();
-    let (srv, fabric) = GdiServer::recover_with_ranks(
-        PersistOptions::new(&cfg.dir),
-        cfg.cost,
-        cfg.server.clone(),
-        cfg.restart_ranks,
-    )
-    .expect("recover from persistence dir");
+    let mut ropts = PersistOptions::new(&cfg.dir);
+    ropts.backend = cfg.backend;
+    let (srv, fabric) =
+        GdiServer::recover_with_ranks(ropts, cfg.cost, cfg.server.clone(), cfg.restart_ranks)
+            .expect("recover from persistence dir");
     let mut mismatches: Vec<String> = Vec::new();
     let mut checks = 0u64;
     let mut recovery = None;

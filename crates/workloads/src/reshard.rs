@@ -45,6 +45,9 @@ pub struct ReshardScenario {
     pub server: ServerOptions,
     /// Fabric cost model.
     pub cost: CostModel,
+    /// Execution backend for both fabrics (`None` = process default,
+    /// i.e. `GDI_FABRIC_BACKEND` or the simulated clock).
+    pub backend: Option<rma::BackendKind>,
 }
 
 impl ReshardScenario {
@@ -62,6 +65,7 @@ impl ReshardScenario {
             dir: dir.into(),
             server: ServerOptions::default(),
             cost: CostModel::default(),
+            backend: None,
         }
     }
 }
@@ -79,6 +83,7 @@ pub fn run_reshard(cfg: &ReshardScenario) -> RecoveryReport {
     inner.seed = cfg.seed;
     inner.server = cfg.server.clone();
     inner.cost = cfg.cost;
+    inner.backend = cfg.backend;
     inner.restart_ranks = Some(cfg.ranks_after);
     run_kill_restart(&inner)
 }

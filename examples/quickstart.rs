@@ -129,7 +129,12 @@ fn main() {
         ctx.barrier();
     });
     println!(
-        "quickstart OK — simulated time {:.3} ms",
-        fabric.last_sim_time_s() * 1e3
+        "quickstart OK — {} time {:.3} ms",
+        if fabric.backend() == rma::BackendKind::Sim {
+            "simulated"
+        } else {
+            "wall"
+        },
+        fabric.last_time_s() * 1e3
     );
 }
