@@ -492,7 +492,7 @@ pub fn gda_olap_on(
     if let OlapAlgo::Gnn { k, .. } = algo {
         // feature vectors dominate storage
         let fv_blocks =
-            (spec.n_vertices() as usize / nranks + 1) * (k * 8 / (cfg.block_size - 8) + 2);
+            (spec.n_vertices() as usize / nranks + 1) * (k * 8 / (cfg.block_size - 16) + 2);
         cfg.blocks_per_rank = (cfg.blocks_per_rank + fv_blocks).next_power_of_two();
     }
     let (db, fabric) = GdaDb::with_fabric_on("olap", cfg, nranks, CostModel::default(), backend);

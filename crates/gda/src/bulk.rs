@@ -186,7 +186,16 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
         }
 
         // ---- phase 5: write holders + index postings ---------------------
-        for (app, (primary, h)) in &local {
+        // under MVCC (or persistence) every published holder needs a
+        // nonzero owner-rank version stamp: validated snapshot reads
+        // reject a zero seqlock stamp, and replay orders by version.
+        // Bulk-loaded holders keep commit_epoch 0 — visible to every
+        // snapshot, like any pre-MVCC world state.
+        let stamp_holders = self.cfg().mvcc || self.persist_enabled();
+        for (app, (primary, h)) in &mut local {
+            if stamp_holders {
+                h.version = self.next_version_stamp(*primary);
+            }
             let mut blocks = vec![*primary];
             hio::write_chain(self.ctx(), &self.bm, &h.encode(), &mut blocks)?;
             self.indexes()

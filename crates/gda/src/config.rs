@@ -7,7 +7,7 @@
 //! |---|---|
 //! | **data**   | the BGDL block pool: `blocks_per_rank` fixed-size blocks |
 //! | **usage**  | the free-list links: word *i* = next free block after *i* |
-//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i*; then the commit-stamp counter (persistence) and the topology-epoch word (OLAP scan views) |
+//! | **system** | word 0 = tagged free-list head; word *i* = RW lock of block *i*; then the commit-stamp counter (persistence), the topology-epoch word (OLAP scan views), the commit-epoch counter + read-epoch watermark (rank 0, MVCC) and the per-rank min-active-snapshot word |
 //! | **index**  | DHT: word 0 = tagged heap free head; word 1 = epoch word (`delete:32 \| insert:32`); buckets; 3-word heap entries |
 
 use rma::{BackendKind, CostModel, Fabric, FabricBuilder, WinId};
@@ -43,6 +43,17 @@ pub struct GdaConfig {
     pub translation_cache: bool,
     /// Maximum resident entries of the translation cache (per rank).
     pub translation_cache_capacity: usize,
+    /// Enable MVCC snapshot-isolation reads: read-only transactions pin
+    /// the global read-epoch watermark at `begin` and read lock-free
+    /// validated version chains — they never take locks, never abort,
+    /// and never block writers. Writers keep the locking path (write-
+    /// write conflict detection only) and archive the overwritten
+    /// version at commit. Disable to fall back to the 2PL read path
+    /// (the pre-MVCC behavior, kept as the bench comparison axis).
+    pub mvcc: bool,
+    /// Maximum archived versions kept per object before commit-time
+    /// truncation frees archives older than the snapshot floor.
+    pub mvcc_chain_limit: usize,
 }
 
 impl Default for GdaConfig {
@@ -55,6 +66,8 @@ impl Default for GdaConfig {
             max_lock_retries: 48,
             translation_cache: true,
             translation_cache_capacity: 8192,
+            mvcc: true,
+            mvcc_chain_limit: 4,
         }
     }
 }
@@ -70,6 +83,8 @@ impl GdaConfig {
             max_lock_retries: 48,
             translation_cache: true,
             translation_cache_capacity: 128,
+            mvcc: true,
+            mvcc_chain_limit: 4,
         }
     }
 
@@ -78,10 +93,12 @@ impl GdaConfig {
     /// vertex.
     pub fn sized_for(vertices: usize, edges: usize, payload_hint: usize) -> Self {
         let mut cfg = Self::default();
-        let per_vertex = 64 + payload_hint + 8;
+        let per_vertex = 80 + payload_hint + 8;
         let edge_bytes = edges * crate::holder::EDGE_RECORD_BYTES * 2;
         let bytes = vertices * per_vertex + edge_bytes;
-        let blocks = (bytes / (cfg.block_size - 8)).max(64) * 2 + vertices * 2;
+        // ×3 (not ×2) headroom: version-chain archives hold the previous
+        // version of every overwritten holder until truncation
+        let blocks = (bytes / (cfg.block_size - 16)).max(64) * 3 + vertices * 2;
         cfg.blocks_per_rank = blocks.next_power_of_two();
         cfg.dht_buckets_per_rank = (vertices.max(16)).next_power_of_two();
         cfg.dht_heap_per_rank = (vertices.max(16) * 2).next_power_of_two();
@@ -116,9 +133,11 @@ impl GdaConfig {
     }
 
     /// Bytes of the system window (head word + one lock word per block +
-    /// the commit-stamp counter word + the topology-epoch word).
+    /// the commit-stamp counter word + the topology-epoch word + the
+    /// commit-epoch counter + the read-epoch watermark + the per-rank
+    /// min-active-snapshot word + the per-rank watermark shadow).
     pub fn system_bytes(&self) -> usize {
-        (self.blocks_per_rank + 3) * 8
+        (self.blocks_per_rank + 7) * 8
     }
 
     /// System-window word index of the per-rank **commit-stamp
@@ -140,6 +159,48 @@ impl GdaConfig {
     /// topology word is unchanged.
     pub fn topo_word(&self) -> usize {
         self.blocks_per_rank + 2
+    }
+
+    /// System-window word index of the **commit-epoch counter** (live on
+    /// rank 0 only): every local read-write commit under
+    /// [`GdaConfig::mvcc`] `fadd`s it to allocate its commit epoch `e`.
+    /// Collective (bulk-load) transactions allocate no epoch — their
+    /// holders stay at epoch 0, visible to every snapshot.
+    pub fn epoch_counter_word(&self) -> usize {
+        self.blocks_per_rank + 3
+    }
+
+    /// System-window word index of the global **read-epoch watermark**
+    /// (live on rank 0 only): the highest commit epoch whose writes —
+    /// and those of *all* lower epochs — are fully flushed. Commits
+    /// publish their epoch in order (spin until `W == e-1`, then CAS),
+    /// so a snapshot pinned at `s = W` observes the exact committed
+    /// state as of epoch `s`.
+    pub fn watermark_word(&self) -> usize {
+        self.blocks_per_rank + 4
+    }
+
+    /// System-window word index of this rank's **min-active-snapshot**
+    /// word: the smallest snapshot epoch any live read-only transaction
+    /// on the rank has pinned. `u64::MAX` = none active; `0` = a pin is
+    /// in progress (registration marker — truncation skips the round).
+    /// The chain truncator takes the minimum over all ranks (and the
+    /// watermark) as the version-retention floor.
+    pub fn snap_word(&self) -> usize {
+        self.blocks_per_rank + 5
+    }
+
+    /// System-window word index of this rank's **watermark shadow**: a
+    /// rank-local replica of the global read-epoch watermark. The
+    /// in-order publication section refreshes every rank's shadow
+    /// *before* the authoritative CAS on rank 0, so at any instant
+    /// `shadow ≥ W` on every rank — which lets a snapshot pin read its
+    /// local shadow (one local atomic instead of a remote round trip)
+    /// and still pin an epoch no truncation floor can have passed.
+    /// Writers pay `P` shadow stores per commit; pins are free of
+    /// network latency — the right trade for read-mostly traffic.
+    pub fn wmark_shadow_word(&self) -> usize {
+        self.blocks_per_rank + 6
     }
 
     /// Bytes of the index window (tagged heap head + epoch word + buckets
@@ -188,9 +249,13 @@ mod tests {
         let c = GdaConfig::tiny();
         assert_eq!(c.data_bytes(), 257 * 128);
         assert_eq!(c.usage_bytes(), 257 * 8);
-        assert_eq!(c.system_bytes(), 259 * 8);
+        assert_eq!(c.system_bytes(), 263 * 8);
         assert_eq!(c.stamp_word(), 257);
         assert_eq!(c.topo_word(), 258);
+        assert_eq!(c.epoch_counter_word(), 259);
+        assert_eq!(c.watermark_word(), 260);
+        assert_eq!(c.snap_word(), 261);
+        assert_eq!(c.wmark_shadow_word(), 262);
         assert_eq!(c.index_bytes(), (2 + 64 + 3 * 257) * 8);
     }
 

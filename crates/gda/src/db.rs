@@ -11,7 +11,7 @@
 //! metadata routines, index routines, and [`GdaRank::begin`] /
 //! [`GdaRank::begin_collective`] to start transactions.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -173,6 +173,8 @@ impl GdaDb {
             persist: self.persistence(),
             meta_snap: RefCell::new(self.meta.snapshot()),
             scan_cache: RefCell::new(None),
+            snaps: RefCell::new(Vec::new()),
+            last_epoch: Cell::new(0),
         }
     }
 }
@@ -191,12 +193,31 @@ pub struct GdaRank<'d, 'c, 'f> {
     /// [`GdaRank::olap_view`]): revalidated per job against the
     /// topology-epoch words it was stamped with.
     scan_cache: RefCell<Option<Rc<crate::scan::CsrView>>>,
+    /// Snapshot epochs pinned by live read-only transactions on this
+    /// rank (a multiset — the minimum is published to the rank's
+    /// min-active-snapshot system word for the chain truncator).
+    snaps: RefCell<Vec<u64>>,
+    /// Commit epoch of the last read-write transaction this handle
+    /// committed (0 before any — the SI differential harness keys its
+    /// oracle on this).
+    last_epoch: Cell<u64>,
 }
 
 impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     /// Collective: initialize the storage substrate (block free lists and
     /// DHT heaps). Must be called by all ranks before any transaction.
     pub fn init_collective(&self) {
+        // publish "no active snapshot" before the block-manager barrier
+        // so no rank can observe a stale 0 (= pin-in-flight marker) once
+        // transactions start
+        self.ctx.aput_u64(
+            crate::config::WIN_SYSTEM,
+            self.rank(),
+            self.db.cfg.snap_word(),
+            u64::MAX,
+        );
+        self.snaps.borrow_mut().clear();
+        self.last_epoch.set(0);
         self.bm.init_collective();
         self.dht.init_collective();
         self.tcache.clear();
@@ -411,6 +432,148 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     /// Shared index state (used by transactions at commit).
     pub(crate) fn indexes(&self) -> &IndexShared {
         &self.db.indexes
+    }
+
+    // ---- MVCC snapshots (see `crate::tx`) --------------------------------
+
+    /// Atomically read the global **read-epoch watermark** (one `aget`
+    /// of rank 0's system window): the highest commit epoch whose
+    /// writes — and those of all lower epochs — are fully flushed.
+    pub fn read_watermark(&self) -> u64 {
+        self.ctx
+            .aget_u64(crate::config::WIN_SYSTEM, 0, self.cfg().watermark_word())
+    }
+
+    /// Allocate this commit's epoch: one `fadd` on rank 0's
+    /// commit-epoch counter. Every allocated epoch **must** be published
+    /// via [`GdaRank::publish_watermark`] — even when the commit fails —
+    /// or the in-order publication chain wedges behind the gap.
+    pub(crate) fn alloc_commit_epoch(&self) -> u64 {
+        self.ctx.fadd_u64(
+            crate::config::WIN_SYSTEM,
+            0,
+            self.cfg().epoch_counter_word(),
+            1,
+        ) + 1
+    }
+
+    /// Publish commit epoch `e`: spin until the watermark reaches
+    /// `e - 1`, then CAS it to `e`. In-order publication is what makes
+    /// a pinned snapshot `s = W` mean "the committed state as of epoch
+    /// `s`, exactly" — an epoch never becomes visible before every
+    /// lower epoch is flushed.
+    pub(crate) fn publish_watermark(&self, e: u64) {
+        let word = self.cfg().watermark_word();
+        let shadow = self.cfg().wmark_shadow_word();
+        loop {
+            let cur = self.ctx.aget_u64(crate::config::WIN_SYSTEM, 0, word);
+            if cur >= e {
+                return;
+            }
+            if cur == e - 1 {
+                // refresh every rank's watermark shadow *first*: epoch
+                // `e` has exactly one publisher and it alone owns the
+                // `W == e-1` slot, so shadow stores are serialized
+                // (monotone) and `shadow ≥ W` holds on every rank at
+                // every instant — the invariant that lets pins read
+                // their local shadow instead of rank 0's word
+                for r in 0..self.nranks() {
+                    self.ctx.aput_u64(crate::config::WIN_SYSTEM, r, shadow, e);
+                }
+                if self
+                    .ctx
+                    .cas_u64(crate::config::WIN_SYSTEM, 0, word, e - 1, e)
+                    == e - 1
+                {
+                    self.ctx.record_watermark_advance();
+                    return;
+                }
+            }
+            // the predecessor epoch's publisher may be descheduled (the
+            // host can be oversubscribed); yield so it can finish rather
+            // than charge-spinning remote agets against its timeslice
+            std::thread::yield_now();
+        }
+    }
+
+    /// Pin a snapshot epoch for a read-only transaction: write the `0`
+    /// registration marker to this rank's min-active-snapshot word
+    /// (flushed — a concurrent truncator that sees it skips its round),
+    /// read this rank's **watermark shadow**, account the pin in the
+    /// rank-local multiset and publish the new minimum. Returns the
+    /// pinned epoch.
+    ///
+    /// The shadow read is the entire latency story of a pin: it is one
+    /// *local* atomic, so beginning a read-only transaction costs no
+    /// network round trip at all. Safety: the shadow is refreshed before
+    /// the authoritative watermark advances (`shadow ≥ W` always), and
+    /// every truncation floor is bounded by a `W` read *before* the
+    /// truncator scanned our snap word — so the pinned epoch can never
+    /// lie below a floor that already freed versions.
+    pub(crate) fn pin_snapshot(&self) -> u64 {
+        let word = self.cfg().snap_word();
+        let me = self.rank();
+        self.ctx.aput_u64(crate::config::WIN_SYSTEM, me, word, 0);
+        self.ctx.flush(me);
+        let s = self.ctx.aget_u64(
+            crate::config::WIN_SYSTEM,
+            me,
+            self.cfg().wmark_shadow_word(),
+        );
+        let mut snaps = self.snaps.borrow_mut();
+        snaps.push(s);
+        let min = snaps.iter().copied().min().expect("just pushed");
+        self.ctx.aput_u64(crate::config::WIN_SYSTEM, me, word, min);
+        self.ctx.record_snapshot_pin();
+        s
+    }
+
+    /// Drop a pinned snapshot at transaction end and republish the
+    /// rank's minimum (`u64::MAX` when no reader remains active).
+    pub(crate) fn unpin_snapshot(&self, s: u64) {
+        let mut snaps = self.snaps.borrow_mut();
+        if let Some(pos) = snaps.iter().position(|&x| x == s) {
+            snaps.swap_remove(pos);
+        }
+        let min = snaps.iter().copied().min().unwrap_or(u64::MAX);
+        self.ctx.aput_u64(
+            crate::config::WIN_SYSTEM,
+            self.rank(),
+            self.cfg().snap_word(),
+            min,
+        );
+    }
+
+    /// The version-retention **floor**: archived versions whose commit
+    /// epoch lies strictly below it can never be needed by any current
+    /// or future snapshot. Reads the watermark *first*, then every
+    /// rank's min-active-snapshot word; `None` means a pin registration
+    /// was mid-flight somewhere (its epoch unknowable) — the caller
+    /// skips truncation this round.
+    pub(crate) fn snapshot_floor(&self) -> Option<u64> {
+        let mut floor = self.read_watermark();
+        let word = self.cfg().snap_word();
+        for r in 0..self.nranks() {
+            let m = self.ctx.aget_u64(crate::config::WIN_SYSTEM, r, word);
+            if m == 0 {
+                return None;
+            }
+            if m != u64::MAX {
+                floor = floor.min(m);
+            }
+        }
+        Some(floor)
+    }
+
+    /// Commit epoch of the last read-write transaction this engine
+    /// handle committed (0 before any). The SI differential harness
+    /// keys its sequential oracle on this.
+    pub fn last_commit_epoch(&self) -> u64 {
+        self.last_epoch.get()
+    }
+
+    pub(crate) fn set_last_commit_epoch(&self, e: u64) {
+        self.last_epoch.set(e);
     }
 
     // ---- transactions ------------------------------------------------------

@@ -11,12 +11,19 @@
 //! ### Serialized layout
 //!
 //! ```text
-//! header  (32 B): total_len:u32 | num_edges:u32 | entries_bytes:u32 |
-//!                 flags:u32 | app_id:u64 | version:u64
+//! header  (48 B): total_len:u32 | num_edges:u32 | entries_bytes:u32 |
+//!                 flags:u32 | app_id:u64 | version:u64 |
+//!                 commit_epoch:u64 | prev:u64
 //! edges   (24 B each): target:u64 | edge_holder:u64 | label:u32 |
 //!                 dir:u8 | eflags:u8 | pad:u16
 //! entries (8 B header + padded data): id:u32 | len:u32 | data…pad8
 //! ```
+//!
+//! `commit_epoch` is the global commit epoch the version became visible
+//! at (0 = bulk-loaded / pre-MVCC, visible to every snapshot). `prev`
+//! is the raw `DPtr` of the archived previous version's chain head
+//! (NULL if none) — the MVCC version chain snapshot reads walk. Flag
+//! bits 16..24 carry the archive-chain depth (see [`Holder::depth`]).
 //!
 //! Entry ids follow §5.4.3: `ENTRY_LABEL` (2) tags a label entry whose data
 //! is the label integer id; ids `>= FIRST_PTYPE_ID` are property entries of
@@ -29,9 +36,17 @@ use crate::dptr::DPtr;
 /// Bytes of one serialized edge record.
 pub const EDGE_RECORD_BYTES: usize = 24;
 /// Bytes of the serialized holder header.
-pub const HEADER_BYTES: usize = 32;
+pub const HEADER_BYTES: usize = 48;
 /// Holder flag: this holder describes a (heavyweight) edge, not a vertex.
 pub const FLAG_EDGE_HOLDER: u32 = 1;
+/// Byte offset of the `commit_epoch` field within a serialized holder
+/// (persistence reads it straight out of redo-record bytes to re-derive
+/// the watermark after a crash).
+pub const COMMIT_EPOCH_OFFSET: usize = 32;
+/// Mask of the archive-chain **depth** packed into flag bits 16..24.
+pub(crate) const DEPTH_MASK: u32 = 0xFF << 16;
+/// Flag bits that may legitimately be set on a serialized holder.
+const KNOWN_FLAGS: u32 = FLAG_EDGE_HOLDER | DEPTH_MASK;
 
 /// A lightweight edge record stored inside a vertex holder (§5.4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,8 +164,19 @@ pub struct Holder {
     pub app_id: u64,
     /// Is this an edge holder?
     pub is_edge: bool,
-    /// Version counter, bumped on every write-back (diagnostics).
+    /// Version counter, bumped on every write-back. Under MVCC this is
+    /// the rank-unique commit stamp also written into every block's
+    /// stamp word (the torn-read seqlock validator, see `crate::hio`).
     pub version: u64,
+    /// Global commit epoch this version became visible at (0 =
+    /// bulk-loaded / pre-MVCC: visible to every snapshot).
+    pub commit_epoch: u64,
+    /// Raw `DPtr` of the archived previous version's chain head, or
+    /// `DPtr::NULL` if none survives. Archives are immutable; dangling
+    /// pointers below the truncation floor are never followed.
+    pub prev: u64,
+    /// Archive-chain depth behind this version (saturating at 255).
+    pub depth: u8,
     /// Lightweight edge records (vertices) or the two endpoints (edges).
     pub edges: Vec<EdgeRecord>,
     /// Label and property entries.
@@ -318,10 +344,12 @@ impl Holder {
         out.extend_from_slice(&(total as u32).to_le_bytes());
         out.extend_from_slice(&(self.edges.len() as u32).to_le_bytes());
         out.extend_from_slice(&(entries_bytes as u32).to_le_bytes());
-        let flags = if self.is_edge { FLAG_EDGE_HOLDER } else { 0 };
+        let flags = if self.is_edge { FLAG_EDGE_HOLDER } else { 0 } | ((self.depth as u32) << 16);
         out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&self.app_id.to_le_bytes());
         out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.commit_epoch.to_le_bytes());
+        out.extend_from_slice(&self.prev.to_le_bytes());
         for e in &self.edges {
             e.encode(&mut out);
         }
@@ -362,7 +390,7 @@ impl Holder {
         let num_edges = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
         let entries_bytes = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
         let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-        if flags & !FLAG_EDGE_HOLDER != 0 {
+        if flags & !KNOWN_FLAGS != 0 {
             return None;
         }
         if HEADER_BYTES + num_edges * EDGE_RECORD_BYTES + entries_bytes != total {
@@ -370,6 +398,8 @@ impl Holder {
         }
         let app_id = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
         let version = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let commit_epoch = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        let prev = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
         let mut edges = Vec::with_capacity(num_edges);
         let mut off = HEADER_BYTES;
         for _ in 0..num_edges {
@@ -398,6 +428,9 @@ impl Holder {
             app_id,
             is_edge: flags & FLAG_EDGE_HOLDER != 0,
             version,
+            commit_epoch,
+            prev,
+            depth: ((flags & DEPTH_MASK) >> 16) as u8,
             edges,
             entries,
         })
@@ -537,5 +570,30 @@ mod tests {
         let mut h = sample();
         h.version = 9000;
         assert_eq!(Holder::decode(&h.encode()).version, 9000);
+    }
+
+    #[test]
+    fn mvcc_fields_survive_roundtrip() {
+        let mut h = sample();
+        h.commit_epoch = 77;
+        h.prev = DPtr::new(1, 4096).raw();
+        h.depth = 3;
+        let bytes = h.encode();
+        assert_eq!(
+            u64::from_le_bytes(
+                bytes[COMMIT_EPOCH_OFFSET..COMMIT_EPOCH_OFFSET + 8]
+                    .try_into()
+                    .unwrap()
+            ),
+            77,
+            "commit_epoch must sit at the fixed header offset"
+        );
+        let d = Holder::decode(&bytes);
+        assert_eq!(d, h);
+        assert_eq!(d.depth, 3);
+        // an unknown flag bit outside FLAG_EDGE_HOLDER | depth is corrupt
+        let mut bad = bytes.clone();
+        bad[15] |= 0x80; // flags bit 31
+        assert!(Holder::try_decode(&bad).is_none());
     }
 }

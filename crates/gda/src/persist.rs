@@ -116,7 +116,13 @@ const MANIFEST_MAGIC: &[u8; 8] = b"GDAMANI\x01";
 /// v3: the system window grew by one word (the per-rank topology-epoch
 /// counter backing OLAP scan views), so every snapshot's window image
 /// lengths changed.
-const FORMAT_VERSION: u32 = 3;
+/// v4: MVCC snapshot isolation — the block format gained a per-block
+/// version-stamp word (`[next:8][stamp:8][payload]`), the holder header
+/// grew to 48 bytes (commit epoch + archived-version pointer), the
+/// system window gained three words (commit-epoch counter, read-epoch
+/// watermark, min-active-snapshot), and the manifest's config encoding
+/// gained the `mvcc`/`mvcc_chain_limit` fields.
+const FORMAT_VERSION: u32 = 4;
 
 // ---------------------------------------------------------------------
 // binary encoding helpers
@@ -846,6 +852,8 @@ fn encode_cfg(enc: &mut Enc, cfg: &GdaConfig) {
     enc.u64(cfg.max_lock_retries as u64);
     enc.u8(cfg.translation_cache as u8);
     enc.u64(cfg.translation_cache_capacity as u64);
+    enc.u8(cfg.mvcc as u8);
+    enc.u64(cfg.mvcc_chain_limit as u64);
 }
 
 fn decode_cfg(dec: &mut Dec) -> GdiResult<GdaConfig> {
@@ -857,6 +865,8 @@ fn decode_cfg(dec: &mut Dec) -> GdiResult<GdaConfig> {
         max_lock_retries: dec.u64()? as usize,
         translation_cache: dec.u8()? != 0,
         translation_cache_capacity: dec.u64()? as usize,
+        mvcc: dec.u8()? != 0,
+        mvcc_chain_limit: dec.u64()? as usize,
     })
 }
 
@@ -1575,6 +1585,54 @@ impl RecoveryPlan {
         if cur < global_max {
             ctx.aput_u64(crate::config::WIN_SYSTEM, me, stamp_word, global_max);
         }
+        // MVCC: re-derive the read-epoch watermark. Commits log before
+        // they publish, so replayed upserts can carry commit epochs
+        // above the restored watermark word (and at genesis the word
+        // restarts at zero) — yet replay materializes only the latest
+        // version of each object, no archives, so every replayed epoch
+        // must sit at or below the watermark for snapshot readers to
+        // resolve it without a chain walk. The epoch counter resumes at
+        // the watermark: no commit was mid-flight (the crash ended them
+        // all), so no allocated-but-unpublished epoch can be pending.
+        let my_epoch_max = records
+            .iter()
+            .map(|r| match r {
+                RedoRecord::Upsert { bytes, .. } => holder_commit_epoch(bytes),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let epoch_max = ctx.allreduce_max_u64(my_epoch_max);
+        if me == 0 {
+            let w_word = eng.cfg().watermark_word();
+            let w = ctx
+                .aget_u64(crate::config::WIN_SYSTEM, 0, w_word)
+                .max(epoch_max);
+            ctx.aput_u64(crate::config::WIN_SYSTEM, 0, w_word, w);
+            let c_word = eng.cfg().epoch_counter_word();
+            if ctx.aget_u64(crate::config::WIN_SYSTEM, 0, c_word) < w {
+                ctx.aput_u64(crate::config::WIN_SYSTEM, 0, c_word, w);
+            }
+        }
+        // replicate the re-derived watermark into every rank's local
+        // shadow word (pins read the shadow — it must be at least `W`
+        // before any post-recovery reader pins)
+        ctx.barrier();
+        let w_now = ctx.aget_u64(crate::config::WIN_SYSTEM, 0, eng.cfg().watermark_word());
+        ctx.aput_u64(
+            crate::config::WIN_SYSTEM,
+            me,
+            eng.cfg().wmark_shadow_word(),
+            w_now,
+        );
+        // no reader survives a crash: clear any restored min-active-
+        // snapshot registration
+        ctx.aput_u64(
+            crate::config::WIN_SYSTEM,
+            me,
+            eng.cfg().snap_word(),
+            u64::MAX,
+        );
         // same discipline for the topology-epoch word: jump past both
         // the restored value and anything observed pre-restore, so no
         // pre-crash view stamp can ever match again (replayed topology
@@ -1601,6 +1659,35 @@ impl RecoveryPlan {
     }
 }
 
+/// Commit epoch carried by an encoded holder image (0 when too short).
+fn holder_commit_epoch(bytes: &[u8]) -> u64 {
+    use crate::holder::COMMIT_EPOCH_OFFSET;
+    bytes
+        .get(COMMIT_EPOCH_OFFSET..COMMIT_EPOCH_OFFSET + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .unwrap_or(0)
+}
+
+/// Strip version-chain state from a replayed holder image: the archives
+/// its `prev` pointed at were never logged, so replaying the pointer
+/// would dangle into space that may be free or reused. Commit epoch
+/// (and the version stamp) are preserved — the recovered watermark is
+/// raised to cover every replayed epoch, so snapshot readers never need
+/// the missing chain. In-image archives of an overwritten occupant are
+/// deliberately left allocated-but-unreachable rather than freed:
+/// distinguishing them from reused blocks mid-replay is not worth the
+/// corruption risk, and the leak is bounded by the chain limit.
+fn sanitize_replayed_holder(bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.len() >= crate::holder::HEADER_BYTES {
+        let mut flags = u32::from_le_bytes(out[12..16].try_into().unwrap());
+        flags &= !crate::holder::DEPTH_MASK;
+        out[12..16].copy_from_slice(&flags.to_le_bytes());
+        out[40..48].fill(0); // prev
+    }
+    out
+}
+
 /// Apply one redo record against the restored state. `seq` is the
 /// record's position in its log (the same-log ordering authority).
 /// Returns whether it was applied (`false` = skipped as stale).
@@ -1622,6 +1709,7 @@ fn apply_record(
             bytes,
         } => {
             let dp = DPtr::from_raw(*primary);
+            let bytes = &sanitize_replayed_holder(bytes);
             // a record at or before its object's tombstoned delete must
             // never resurrect the object: "later than the delete" is a
             // later position in the same log, or a newer version from

@@ -565,6 +565,13 @@ pub(crate) fn restore_rank_resharded(
             true
         });
         out.errors += broken;
+        // re-materialized holders start a fresh epoch-0 world: the old
+        // incarnation's version chain lives in snapshot address space
+        // (unresolvable here) and the new fabric's watermark restarts
+        // at zero, so every object must be visible to every snapshot
+        h.commit_epoch = 0;
+        h.prev = 0;
+        h.depth = 0;
         let bytes = h.encode();
         let new_primary = DPtr::from_raw(remap[&obj.old_primary]);
         let mut blocks = vec![new_primary];

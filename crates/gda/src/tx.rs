@@ -51,6 +51,11 @@ struct CachedObj {
     /// (`gda::scan`). Property/label-only writes leave it false, so a
     /// GNN layer's feature updates never force a view rebuild.
     topo: bool,
+    /// The holder bytes exactly as fetched (pre-image). Captured only by
+    /// MVCC-eligible writers: a dirty object's pre-image is archived
+    /// onto its version chain at commit, so pinned snapshots keep
+    /// reading the overwritten version.
+    orig: Option<Vec<u8>>,
 }
 
 /// A GDI transaction executing on one rank.
@@ -66,12 +71,26 @@ pub struct Transaction<'r, 'd, 'c, 'f> {
     /// block write latencies overlap (the engine half of the service
     /// layer's group commit; see [`crate::db::GdaRank::begin_grouped`]).
     grouped: Cell<bool>,
+    /// MVCC: the snapshot epoch pinned at `begin` (local read-only
+    /// transactions under `cfg.mvcc`). A pinned transaction takes no
+    /// locks and reads validated version chains at this epoch — it can
+    /// neither abort on conflict nor block a writer.
+    snap: Cell<Option<u64>>,
     cache: RefCell<FxHashMap<u64, CachedObj>>,
 }
 
 impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     pub(crate) fn new(eng: &'r GdaRank<'d, 'c, 'f>, kind: TxKind, mode: AccessMode) -> Self {
         eng.refresh_meta();
+        // snapshot-pinning is the default read path: every local
+        // read-only transaction under `cfg.mvcc` pins the watermark at
+        // begin. (Collective read-only transactions already run the
+        // paper's no-concurrent-writer fast path and skip both.)
+        let snap = if eng.cfg().mvcc && kind == TxKind::Local && mode == AccessMode::ReadOnly {
+            Some(eng.pin_snapshot())
+        } else {
+            None
+        };
         Self {
             eng,
             kind,
@@ -80,7 +99,29 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             epoch: eng.meta_epoch(),
             used_meta: Cell::new(false),
             grouped: Cell::new(false),
+            snap: Cell::new(snap),
             cache: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// The snapshot epoch this transaction pinned at `begin`, if it is
+    /// a snapshot (MVCC) reader.
+    pub fn snapshot_epoch(&self) -> Option<u64> {
+        self.snap.get()
+    }
+
+    /// Is this transaction an MVCC-eligible writer — one whose commit
+    /// allocates an epoch and archives overwritten versions? (Collective
+    /// transactions stay at epoch 0: bulk loads are visible to every
+    /// snapshot and assume no concurrent readers.)
+    fn mvcc_writer(&self) -> bool {
+        self.eng.cfg().mvcc && self.kind == TxKind::Local && self.mode != AccessMode::ReadOnly
+    }
+
+    /// Drop the pinned snapshot (transaction close; idempotent).
+    fn unpin(&self) {
+        if let Some(s) = self.snap.take() {
+            self.eng.unpin_snapshot(s);
         }
     }
 
@@ -145,18 +186,54 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
 
     /// Lock kind needed on first touch.
     fn entry_lock(&self, write: bool) -> Option<LockKind> {
+        // A pinned snapshot reader never locks: it reads validated
+        // version chains at its epoch instead (see `snapshot_fetch`).
+        if self.snap.get().is_some() {
+            return None;
+        }
         match (self.kind, self.mode) {
             // Collective read-only transactions skip locking entirely: the
             // paper's optimized read path ("read-only transactions that can
             // assume that no participating process modifies the data").
             (TxKind::Collective, AccessMode::ReadOnly) => None,
             (_, AccessMode::ReadOnly) => Some(LockKind::Read),
-            _ => Some(if write {
-                LockKind::Write
-            } else {
-                LockKind::Read
-            }),
+            _ if write => Some(LockKind::Write),
+            // Under MVCC, writer conflicts are write-write only: a local
+            // read-write transaction reads lock-free (validated seqlock
+            // copies of the committed version) and only its first *write*
+            // touch of an object takes the write lock — so two
+            // transactions with overlapping read sets but disjoint write
+            // sets both commit (snapshot isolation admits write skew).
+            _ if self.kind == TxKind::Local && self.eng.cfg().mvcc => None,
+            _ => Some(LockKind::Read),
         }
+    }
+
+    /// Snapshot read of `id` at pinned epoch `snap`: a validated
+    /// (seqlock) copy of the current version, then — when that version
+    /// committed after the snapshot — a walk down the archived `prev`
+    /// chain to the newest version with `commit_epoch ≤ snap`. Never
+    /// takes a lock, never aborts on conflict; an object with no
+    /// version at the snapshot (created later) is simply `NotFound`.
+    fn snapshot_fetch(&self, id: DPtr, snap: u64) -> GdiResult<Holder> {
+        let (bytes, _stamp) = hio::read_chain_validated(self.eng.ctx, self.eng.cfg(), id)?;
+        let mut holder =
+            Holder::try_decode(&bytes).ok_or(GdiError::NotFound("object (stale internal id)"))?;
+        while holder.commit_epoch > snap {
+            if holder.prev == 0 {
+                return Err(GdiError::NotFound("object (no version at snapshot)"));
+            }
+            let prev = DPtr::from_raw(holder.prev);
+            // archives are immutable while reachable (truncation frees
+            // only below the snapshot floor ≤ our pinned epoch), so a
+            // plain chain read suffices — validation still guards the
+            // free/reuse race of a concurrently deleted object
+            let (bytes, _stamp) = hio::read_chain_validated(self.eng.ctx, self.eng.cfg(), prev)?;
+            holder = Holder::try_decode(&bytes)
+                .ok_or(GdiError::NotFound("object (stale internal id)"))?;
+        }
+        self.eng.ctx().record_snapshot_read();
+        Ok(holder)
     }
 
     /// Ensure `id` is cached with at least the requested access. Fetches
@@ -197,11 +274,93 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                         return Err(e);
                     }
                 }
+            } else if write && obj.lock.is_none() && !obj.created && self.snap.get().is_none() {
+                // MVCC writer's lock-free first-touch read turning into a
+                // write intent: take the write lock *now* (write-write
+                // conflict detection), then refetch — the lockless copy
+                // may be stale and carries no block list or pre-image
+                if let Err(e) = self.eng.lm.acquire_write(id) {
+                    drop(cache);
+                    if abort_on_critical {
+                        return self.fail(e);
+                    }
+                    return Err(e);
+                }
+                let refetched = hio::read_chain(self.eng.ctx, self.eng.cfg(), id).and_then(
+                    |(bytes, blocks)| {
+                        Holder::try_decode(&bytes)
+                            .map(|h| (h, blocks, bytes))
+                            .ok_or(GdiError::NotFound("object (stale internal id)"))
+                    },
+                );
+                match refetched {
+                    Ok((holder, blocks, bytes)) => {
+                        obj.holder = holder;
+                        obj.blocks = blocks;
+                        obj.orig = Some(bytes);
+                        obj.lock = Some(LockKind::Write);
+                    }
+                    Err(e) => {
+                        // concurrently deleted under our nose: release and
+                        // surface — nothing to write
+                        self.eng.lm.release(id, LockKind::Write);
+                        drop(cache);
+                        if abort_on_critical {
+                            return self.fail(e);
+                        }
+                        return Err(e);
+                    }
+                }
             }
             return Ok(());
         }
         drop(cache);
+        // pinned snapshot readers bypass locking and the in-place read
+        // entirely: a validated version-chain read at the pinned epoch
+        if let Some(snap) = self.snap.get() {
+            let holder = self.snapshot_fetch(id, snap)?;
+            self.cache.borrow_mut().insert(
+                id.raw(),
+                CachedObj {
+                    holder,
+                    // block list deliberately empty: a snapshot reader
+                    // never writes back or frees anything
+                    blocks: Vec::new(),
+                    lock: None,
+                    dirty: false,
+                    created: false,
+                    deleted: false,
+                    topo: false,
+                    orig: None,
+                },
+            );
+            return Ok(());
+        }
         let lock = self.entry_lock(write);
+        // MVCC writer's lock-free read: no lock is held, so a plain chain
+        // read could tear against a concurrent 3-phase overwrite — use
+        // the validated seqlock copy of the committed version instead.
+        // Blocks and pre-image stay empty; a later write touch upgrades
+        // via the refetch path above.
+        if lock.is_none() && !write && self.mvcc_writer() {
+            let (bytes, _stamp) = hio::read_chain_validated(self.eng.ctx, self.eng.cfg(), id)?;
+            let holder = Holder::try_decode(&bytes)
+                .ok_or(GdiError::NotFound("object (stale internal id)"))?;
+            self.cache.borrow_mut().insert(
+                id.raw(),
+                CachedObj {
+                    holder,
+                    blocks: Vec::new(),
+                    lock: None,
+                    dirty: false,
+                    created: false,
+                    deleted: false,
+                    topo: false,
+                    orig: None,
+                },
+            );
+            return Ok(());
+        }
         if let Some(kind) = lock {
             let res = match kind {
                 LockKind::Read => self.eng.lm.acquire_read(id),
@@ -214,13 +373,14 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 return Err(e);
             }
         }
+        let keep_orig = self.mvcc_writer();
         let fetched =
             hio::read_chain(self.eng.ctx, self.eng.cfg(), id).and_then(|(bytes, blocks)| {
                 Holder::try_decode(&bytes)
-                    .map(|h| (h, blocks))
+                    .map(|h| (h, blocks, bytes))
                     .ok_or(GdiError::NotFound("object (stale internal id)"))
             });
-        let (holder, blocks) = match fetched {
+        let (holder, blocks, bytes) = match fetched {
             Ok(x) => x,
             Err(e) => {
                 if let Some(kind) = lock {
@@ -239,6 +399,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 created: false,
                 deleted: false,
                 topo: false,
+                orig: keep_orig.then_some(bytes),
             },
         );
         Ok(())
@@ -266,6 +427,60 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         if want.is_empty() {
             return Ok(());
         }
+        // snapshot readers and MVCC writers read lock-free: one pipelined
+        // validated batch over all candidates' current versions
+        // (`hio::read_chains_validated`), then — for pinned readers only —
+        // a per-object archive walk for the rare candidate whose current
+        // version postdates the snapshot
+        if self.snap.get().is_some() || self.mvcc_writer() {
+            let snap = self.snap.get();
+            let fetched = hio::read_chains_validated(self.eng.ctx, self.eng.cfg(), &want);
+            let mut first_err = None;
+            for (&id, res) in want.iter().zip(fetched) {
+                let resolved = res
+                    .and_then(|(bytes, _stamp)| {
+                        Holder::try_decode(&bytes)
+                            .ok_or(GdiError::NotFound("object (stale internal id)"))
+                    })
+                    .and_then(|holder| match snap {
+                        Some(s) if holder.commit_epoch > s => self.snapshot_fetch(id, s),
+                        _ => {
+                            if snap.is_some() {
+                                self.eng.ctx().record_snapshot_read();
+                            }
+                            Ok(holder)
+                        }
+                    });
+                match resolved {
+                    Ok(holder) => {
+                        self.cache.borrow_mut().insert(
+                            id.raw(),
+                            CachedObj {
+                                holder,
+                                // lock-free read entries: no block list, no
+                                // lock, no pre-image (a write touch upgrades
+                                // via the refetch path in `ensure_cached`)
+                                blocks: Vec::new(),
+                                lock: None,
+                                dirty: false,
+                                created: false,
+                                deleted: false,
+                                topo: false,
+                                orig: None,
+                            },
+                        );
+                    }
+                    // keep the error of the *first* failing candidate (what
+                    // the sequential path would have surfaced)
+                    Err(e) if first_err.is_none() => first_err = Some(e),
+                    Err(_) => {}
+                }
+            }
+            return match first_err {
+                None => Ok(()),
+                Some(e) => Err(e),
+            };
+        }
         let lock = self.entry_lock(false);
         if let Some(kind) = lock {
             for (i, &id) in want.iter().enumerate() {
@@ -281,17 +496,18 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 }
             }
         }
+        let keep_orig = self.mvcc_writer();
         let fetched = hio::read_chains(self.eng.ctx, self.eng.cfg(), &want);
         let mut first_err = None;
         let mut cache = self.cache.borrow_mut();
         for (&id, res) in want.iter().zip(fetched) {
             let decoded = res.and_then(|(bytes, blocks)| {
                 Holder::try_decode(&bytes)
-                    .map(|h| (h, blocks))
+                    .map(|h| (h, blocks, bytes))
                     .ok_or(GdiError::NotFound("object (stale internal id)"))
             });
             match decoded {
-                Ok((holder, blocks)) => {
+                Ok((holder, blocks, bytes)) => {
                     cache.insert(
                         id.raw(),
                         CachedObj {
@@ -302,6 +518,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                             created: false,
                             deleted: false,
                             topo: false,
+                            orig: keep_orig.then_some(bytes),
                         },
                     );
                 }
@@ -455,6 +672,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 created: true,
                 deleted: false,
                 topo: true,
+                orig: None,
             },
         );
         Ok(primary)
@@ -950,6 +1168,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 created: true,
                 deleted: false,
                 topo: true,
+                orig: None,
             },
         );
         self.update_edge_records(e, rec, |r| r.edge_holder = primary)?;
@@ -1020,6 +1239,106 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     }
 
     // ------------------------------------------------------------------
+    // MVCC version-chain maintenance (commit-path helpers)
+    // ------------------------------------------------------------------
+
+    /// Write a pre-image (`bytes` exactly as fetched, still carrying its
+    /// version, commit epoch and `prev`) to fresh blocks on `id`'s rank:
+    /// the version-chain archive of one overwritten holder. Single-phase
+    /// — the archive is unreachable until the committing writer
+    /// publishes the new version's `prev` pointing at it.
+    fn archive_version(&self, id: DPtr, bytes: &[u8]) -> GdiResult<DPtr> {
+        let primary = self.eng.bm.acquire(id.rank())?;
+        let mut blocks = vec![primary];
+        match hio::write_chain(self.eng.ctx, &self.eng.bm, bytes, &mut blocks) {
+            Ok(()) => Ok(primary),
+            Err(e) => {
+                hio::free_chain(&self.eng.bm, &blocks);
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncate an archive chain below the snapshot `floor`: walking
+    /// newest → oldest from `head`, keep every version with
+    /// `commit_epoch > floor` **plus the first with epoch ≤ floor** (the
+    /// version every snapshot ≥ floor resolves to), free the strictly
+    /// older rest. The last kept archive's `prev` is left dangling —
+    /// harmless, since no reader with a live pin ever walks past the
+    /// first version at or below its (≥ floor) snapshot. Returns the
+    /// number of archives kept. Caller holds the object's write lock,
+    /// so the chain cannot change underneath.
+    ///
+    /// `live` bounds the walk to the holder's recorded archive depth:
+    /// a *previous* truncation of this chain left the last kept
+    /// archive's `prev` dangling into freed (possibly reused) space,
+    /// so walking by pointers alone can double-free or cycle. The
+    /// depth is exactly the number of live archives, so the walk must
+    /// stop there.
+    fn truncate_chain(&self, head: u64, floor: u64, live: usize) -> usize {
+        let mut kept = 0usize;
+        let mut freed = 0u64;
+        let mut cut = false;
+        let mut cur = head;
+        let mut seen = 0usize;
+        while cur != 0 && seen < live {
+            seen += 1;
+            let dp = DPtr::from_raw(cur);
+            let Ok((bytes, blocks)) = hio::read_chain(self.eng.ctx, self.eng.cfg(), dp) else {
+                break;
+            };
+            let Some(h) = Holder::try_decode(&bytes) else {
+                break;
+            };
+            if cut {
+                hio::free_chain(&self.eng.bm, &blocks);
+                freed += 1;
+            } else {
+                kept += 1;
+                if h.commit_epoch <= floor {
+                    cut = true;
+                }
+            }
+            cur = h.prev;
+        }
+        if freed > 0 {
+            self.eng.ctx().record_chain_truncation(freed);
+        }
+        kept
+    }
+
+    /// Free an entire archive chain (delete path — the object itself is
+    /// going away, so no snapshot resolution below it remains possible;
+    /// a pinned reader racing this already accepts `NotFound`, the
+    /// documented non-versioned-delete scope). Returns archives freed.
+    ///
+    /// `live` bounds the walk to the holder's recorded depth for the
+    /// same reason as [`Self::truncate_chain`]: the tail `prev` of a
+    /// previously truncated chain dangles into freed space.
+    fn free_archives(&self, head: u64, live: usize) -> u64 {
+        let mut freed = 0u64;
+        let mut cur = head;
+        let mut seen = 0usize;
+        while cur != 0 && seen < live {
+            seen += 1;
+            let dp = DPtr::from_raw(cur);
+            let Ok((bytes, blocks)) = hio::read_chain(self.eng.ctx, self.eng.cfg(), dp) else {
+                break;
+            };
+            let Some(h) = Holder::try_decode(&bytes) else {
+                break;
+            };
+            hio::free_chain(&self.eng.bm, &blocks);
+            freed += 1;
+            cur = h.prev;
+        }
+        if freed > 0 {
+            self.eng.ctx().record_chain_truncation(freed);
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------------
     // commit / abort (§5.6)
     // ------------------------------------------------------------------
 
@@ -1045,6 +1364,23 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
             }
         }
         let mut cache = self.cache.borrow_mut();
+        let mvcc = self.eng.cfg().mvcc;
+        // MVCC: one commit epoch for the whole (possibly grouped)
+        // transaction, allocated only when there is something to
+        // publish. Every allocated epoch is published at the end of
+        // this function — even on a failed commit — because watermark
+        // publication is strictly in epoch order and a silent gap would
+        // wedge every later commit.
+        let epoch =
+            if self.mvcc_writer() && cache.values().any(|o| o.dirty || o.created || o.deleted) {
+                Some(self.eng.alloc_commit_epoch())
+            } else {
+                None
+            };
+        // snapshot floor for commit-time chain truncation, computed at
+        // most once per commit and only when some chain hits its limit
+        // (`None` inside = a pin was mid-registration; skip this round)
+        let mut floor: Option<Option<u64>> = None;
         let mut touched: FxHashSet<usize> = FxHashSet::default();
         // ranks whose *topology* this commit changed (membership or edge
         // lists): their topology-epoch word is bumped after the
@@ -1097,6 +1433,9 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                     }
                 }
                 hio::free_chain(&self.eng.bm, &obj.blocks);
+                if mvcc && !obj.created && obj.holder.prev != 0 {
+                    self.free_archives(obj.holder.prev, obj.holder.depth as usize);
+                }
                 if logging && !obj.created {
                     // the logged version also caps the owner's stamp
                     // counter: a recreate of this app id must stamp
@@ -1124,7 +1463,12 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 // counter must be raised along with the written version,
                 // or a later incarnation of this app id could stamp
                 // *below* it and lose to its tombstone at replay.
-                obj.holder.version = if logging {
+                // under MVCC every write takes an owner-rank stamp too:
+                // version doubles as the seqlock publication stamp, so
+                // it must be unique per rank across objects and
+                // incarnations (a reused block must never revalidate
+                // under a stale stamp)
+                obj.holder.version = if logging || mvcc {
                     let stamp = self.eng.next_version_stamp(id);
                     let want = obj.holder.version + 1;
                     if want > stamp {
@@ -1136,11 +1480,58 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 } else {
                     obj.holder.version + 1
                 };
+                if let Some(e) = epoch {
+                    if obj.created {
+                        obj.holder.prev = 0;
+                        obj.holder.depth = 0;
+                    } else {
+                        // bound the chain before it grows: when the new
+                        // archive would push the depth past the limit,
+                        // free every version no snapshot can still read
+                        if obj.holder.depth as usize + 1 > self.eng.cfg().mvcc_chain_limit
+                            && obj.holder.prev != 0
+                        {
+                            let f = *floor.get_or_insert_with(|| self.eng.snapshot_floor());
+                            if let Some(f) = f {
+                                let kept = self.truncate_chain(
+                                    obj.holder.prev,
+                                    f,
+                                    obj.holder.depth as usize,
+                                );
+                                obj.holder.depth = kept.min(u8::MAX as usize) as u8;
+                            }
+                        }
+                        let pre = obj
+                            .orig
+                            .as_deref()
+                            .expect("MVCC writer cached a pre-existing object without pre-image");
+                        match self.archive_version(id, pre) {
+                            Ok(head) => {
+                                obj.holder.prev = head.raw();
+                                obj.holder.depth = obj.holder.depth.saturating_add(1);
+                                self.eng.ctx().record_version_archive();
+                            }
+                            Err(e) => {
+                                result = Err(e);
+                                continue;
+                            }
+                        }
+                    }
+                    obj.holder.commit_epoch = e;
+                }
                 obj.holder.compact_edges();
                 let bytes = obj.holder.encode();
-                if let Err(e) =
+                // pre-existing objects are republished with the 3-phase
+                // seqlock overwrite so concurrent validated snapshot
+                // reads can never assemble a torn mix of versions;
+                // created objects are unreachable until the DHT insert
+                // below and write single-phase
+                let write_res = if mvcc && !obj.created {
+                    hio::overwrite_chain(self.eng.ctx, &self.eng.bm, &bytes, &mut obj.blocks)
+                } else {
                     hio::write_chain(self.eng.ctx, &self.eng.bm, &bytes, &mut obj.blocks)
-                {
+                };
+                if let Err(e) = write_res {
                     result = Err(e);
                     if obj.created && !wrote_any {
                         // nothing persisted references this object yet
@@ -1200,6 +1591,16 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         // one redo append per commit: a grouped commit logs the whole
         // group in one frame, amortizing the device overhead
         self.eng.log_commit(redo);
+        // MVCC epoch publication: strictly in epoch order (spin until
+        // the watermark reaches e-1, then CAS), and unconditional —
+        // a failed commit publishes too, or every later epoch would
+        // spin forever behind the gap. Runs *after* the redo append:
+        // log-before-publish keeps a fuzzy checkpoint's recovered
+        // watermark consistent with the images it restores.
+        if let Some(e) = epoch {
+            self.eng.publish_watermark(e);
+            self.eng.set_last_commit_epoch(e);
+        }
         // release all locks (end of phase two)
         for (&raw, obj) in cache.iter() {
             if let Some(kind) = obj.lock {
@@ -1208,6 +1609,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         }
         cache.clear();
         drop(cache);
+        self.unpin();
         self.status.set(TxStatus::Committed);
         if self.kind == TxKind::Collective {
             self.eng.ctx().barrier();
@@ -1235,6 +1637,7 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         }
         cache.clear();
         drop(cache);
+        self.unpin();
         self.status.set(TxStatus::Aborted);
     }
 }

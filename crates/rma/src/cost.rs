@@ -335,6 +335,46 @@ mod cost_pin {
             pin(delta(&mut t), 5.0, "fabric 5 CPU ops");
         });
     }
+
+    /// The MVCC read-epoch watermark protocol (`gda::db`) in fabric
+    /// charges, pinned from a non-root rank's perspective:
+    ///
+    /// * a **snapshot pin** is 0-marker `aput` + local flush + shadow
+    ///   `aget`, all rank-local — zero network round trips;
+    /// * a **watermark advance** is one shadow `aput` per rank (one
+    ///   local, P−1 remote) plus the in-order CAS on rank 0's word.
+    #[test]
+    fn watermark_op_charges_are_pinned() {
+        use crate::{BackendKind, FabricBuilder, WinId};
+        let fabric = FabricBuilder::new(2)
+            .backend(BackendKind::Sim)
+            .window(1 << 10)
+            .build();
+        let w = WinId(0);
+        fabric.run(|ctx| {
+            if ctx.rank() != 1 {
+                return;
+            }
+            let t0 = ctx.now_ns();
+            ctx.aput_u64(w, 1, 0, 0); // 0-marker into the own snap word
+            ctx.flush(1);
+            ctx.aget_u64(w, 1, 1); // pinned epoch from the local shadow
+            pin(
+                ctx.now_ns() - t0,
+                6.0 + 1.5 + 6.0,
+                "watermark snapshot pin (all rank-local)",
+            );
+            let t1 = ctx.now_ns();
+            ctx.aput_u64(w, 0, 1, 7); // shadow on rank 0 (remote)
+            ctx.aput_u64(w, 1, 1, 7); // shadow on self (local)
+            ctx.cas_u64(w, 0, 0, 6, 7); // in-order CAS W: e-1 -> e
+            pin(
+                ctx.now_ns() - t1,
+                1_900.0 + 6.0 + 1_900.0,
+                "watermark advance (P=2, from the non-root rank)",
+            );
+        });
+    }
 }
 
 #[cfg(test)]

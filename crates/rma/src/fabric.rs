@@ -414,6 +414,38 @@ impl<'a> RankCtx<'a> {
         self.stats.record_query_stage(rows, expanded, bytes);
     }
 
+    /// Record one snapshot pin (a read-only transaction registered its
+    /// snapshot epoch — the MVCC read path). Pure accounting: the pin's
+    /// marker put / watermark get were already charged as fabric ops.
+    pub fn record_snapshot_pin(&self) {
+        self.stats.record_snapshot_pin();
+    }
+
+    /// Record one lock-free snapshot object read served off a validated
+    /// version chain.
+    pub fn record_snapshot_read(&self) {
+        self.stats.record_snapshot_read();
+    }
+
+    /// Record one read-epoch watermark advance (the committing writer's
+    /// in-order `CAS e-1 → e`). Pure accounting — the CAS itself was
+    /// charged as an ordinary atomic.
+    pub fn record_watermark_advance(&self) {
+        self.stats.record_watermark_advance();
+    }
+
+    /// Record one holder version archived onto its version chain by a
+    /// committing writer.
+    pub fn record_version_archive(&self) {
+        self.stats.record_version_archive();
+    }
+
+    /// Record `versions` archived versions freed by one commit-time
+    /// chain truncation below the snapshot floor.
+    pub fn record_chain_truncation(&self, versions: u64) {
+        self.stats.record_chain_truncation(versions);
+    }
+
     /// Quiesce the fabric: flush every peer, then synchronize all ranks
     /// (a barrier on the reconciled clock). After every rank returns,
     /// no one-sided operation issued before the quiesce is outstanding

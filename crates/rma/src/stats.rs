@@ -37,6 +37,11 @@ pub struct CommStats {
     query_rows: Cell<u64>,
     query_expands: Cell<u64>,
     query_bytes: Cell<u64>,
+    snapshot_pins: Cell<u64>,
+    snapshot_reads: Cell<u64>,
+    watermark_advances: Cell<u64>,
+    version_archives: Cell<u64>,
+    chain_truncations: Cell<u64>,
 }
 
 impl CommStats {
@@ -177,6 +182,43 @@ impl CommStats {
         self.query_bytes.set(self.query_bytes.get() + bytes);
     }
 
+    /// Record one snapshot pin: a read-only transaction registered a
+    /// snapshot epoch at `begin` (MVCC read path of the `gda` crate).
+    #[inline]
+    pub fn record_snapshot_pin(&self) {
+        self.snapshot_pins.set(self.snapshot_pins.get() + 1);
+    }
+
+    /// Record one lock-free snapshot object read served off a validated
+    /// version chain (possibly after walking archived versions).
+    #[inline]
+    pub fn record_snapshot_read(&self) {
+        self.snapshot_reads.set(self.snapshot_reads.get() + 1);
+    }
+
+    /// Record one read-epoch watermark advance published by a commit
+    /// (the in-order `CAS e-1 → e` on rank 0's watermark word).
+    #[inline]
+    pub fn record_watermark_advance(&self) {
+        self.watermark_advances
+            .set(self.watermark_advances.get() + 1);
+    }
+
+    /// Record one overwritten holder version archived onto its object's
+    /// version chain by a committing writer.
+    #[inline]
+    pub fn record_version_archive(&self) {
+        self.version_archives.set(self.version_archives.get() + 1);
+    }
+
+    /// Record archived versions freed by one commit-time chain
+    /// truncation below the snapshot floor.
+    #[inline]
+    pub fn record_chain_truncation(&self, versions: u64) {
+        self.chain_truncations
+            .set(self.chain_truncations.get() + versions);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -214,6 +256,11 @@ impl CommStats {
             query_rows: self.query_rows.get(),
             query_expands: self.query_expands.get(),
             query_bytes: self.query_bytes.get(),
+            snapshot_pins: self.snapshot_pins.get(),
+            snapshot_reads: self.snapshot_reads.get(),
+            watermark_advances: self.watermark_advances.get(),
+            version_archives: self.version_archives.get(),
+            chain_truncations: self.chain_truncations.get(),
             sim_time_ns: 0.0,
             wall_time_ns: 0.0,
         }
@@ -271,6 +318,16 @@ pub struct RankReport {
     pub query_expands: u64,
     /// Bytes routed through query stage-level exchanges by this rank.
     pub query_bytes: u64,
+    /// Snapshot epochs pinned by read-only transactions (MVCC path).
+    pub snapshot_pins: u64,
+    /// Lock-free snapshot object reads served off version chains.
+    pub snapshot_reads: u64,
+    /// Read-epoch watermark advances published by commits on this rank.
+    pub watermark_advances: u64,
+    /// Overwritten holder versions archived onto version chains.
+    pub version_archives: u64,
+    /// Archived versions freed by commit-time chain truncation.
+    pub chain_truncations: u64,
     /// Final simulated time of the rank in nanoseconds (0 on a
     /// wall-backend run — the wall backend never charges the sim clock).
     pub sim_time_ns: f64,
@@ -322,6 +379,11 @@ impl RankReport {
         self.query_rows += other.query_rows;
         self.query_expands += other.query_expands;
         self.query_bytes += other.query_bytes;
+        self.snapshot_pins += other.snapshot_pins;
+        self.snapshot_reads += other.snapshot_reads;
+        self.watermark_advances += other.watermark_advances;
+        self.version_archives += other.version_archives;
+        self.chain_truncations += other.chain_truncations;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
         self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
     }

@@ -54,5 +54,6 @@ pub mod server;
 pub use metrics::{LatencyHist, RankMetrics, RecoverySummary, ServerMetrics};
 pub use request::{Op, OpOutcome, OpReply, Ticket};
 pub use server::{
-    AdmissionPolicy, GdiServer, OlapJobFn, ServeSummary, ServerOptions, Session, SubmitError,
+    AdmissionPolicy, GdiServer, OlapJobFn, RoutePolicy, ServeSummary, ServerOptions, Session,
+    SubmitError,
 };

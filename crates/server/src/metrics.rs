@@ -301,6 +301,36 @@ impl ServerMetrics {
         self.fabric_sum(|f| f.query_bytes)
     }
 
+    /// Snapshot epochs pinned by read-only transactions over all
+    /// serving ranks (MVCC snapshot-isolation read path).
+    pub fn snapshot_pins(&self) -> u64 {
+        self.fabric_sum(|f| f.snapshot_pins)
+    }
+
+    /// Objects resolved through the lock-free validated snapshot read
+    /// path (including version-chain walks) over all serving ranks.
+    pub fn snapshot_reads(&self) -> u64 {
+        self.fabric_sum(|f| f.snapshot_reads)
+    }
+
+    /// Read-epoch watermark advances performed by committing writers
+    /// over all serving ranks.
+    pub fn watermark_advances(&self) -> u64 {
+        self.fabric_sum(|f| f.watermark_advances)
+    }
+
+    /// Pre-images archived onto version chains by committing writers
+    /// over all serving ranks.
+    pub fn version_archives(&self) -> u64 {
+        self.fabric_sum(|f| f.version_archives)
+    }
+
+    /// Archived versions freed by chain truncation below the snapshot
+    /// floor over all serving ranks.
+    pub fn chain_truncations(&self) -> u64 {
+        self.fabric_sum(|f| f.chain_truncations)
+    }
+
     /// Translation-cache hit fraction (0 when the cache was never probed).
     pub fn cache_hit_fraction(&self) -> f64 {
         gda::CacheStats {

@@ -56,6 +56,11 @@ impl Default for TrafficConfig {
 pub struct SessionReport {
     pub committed: u64,
     pub aborted: u64,
+    /// Committed ops that were pure reads (Table-3 read kinds).
+    pub read_committed: u64,
+    /// Aborted ops that were pure reads — zero under the MVCC snapshot
+    /// path, whose read transactions never take locks and never abort.
+    pub read_aborted: u64,
     /// Commit-uncertain outcomes (failed group commit under resource
     /// exhaustion; see `server::OpOutcome::Indeterminate`).
     pub indeterminate: u64,
@@ -80,6 +85,14 @@ impl TrafficReport {
 
     pub fn aborted(&self) -> u64 {
         self.per_session.iter().map(|s| s.aborted).sum()
+    }
+
+    pub fn read_committed(&self) -> u64 {
+        self.per_session.iter().map(|s| s.read_committed).sum()
+    }
+
+    pub fn read_aborted(&self) -> u64 {
+        self.per_session.iter().map(|s| s.read_aborted).sum()
     }
 
     pub fn indeterminate(&self) -> u64 {
@@ -217,15 +230,16 @@ pub fn run_traffic(
             let mix = cfg.mix;
             handles.push(scope.spawn(move || {
                 let session = server.session();
-                let mut round: Vec<(usize, Ticket)> = Vec::new();
+                let mut round: Vec<(usize, bool, Ticket)> = Vec::new();
                 for _ in 0..cfg.ops_per_session {
                     round.clear();
                     for (i, st) in states_chunk.iter_mut().enumerate() {
                         let kind = mix.sample(&mut st.rng);
                         let op =
                             build_op(kind, &mut st.rng, n, meta, &mut st.next_new, &mut st.added);
+                        let is_read = op.is_read();
                         match session.submit(op) {
-                            Ok(t) => round.push((i, t)),
+                            Ok(t) => round.push((i, is_read, t)),
                             Err(
                                 SubmitError::Overloaded { .. }
                                 | SubmitError::Paused
@@ -235,12 +249,22 @@ pub fn run_traffic(
                             }
                         }
                     }
-                    for (i, ticket) in round.drain(..) {
+                    for (i, is_read, ticket) in round.drain(..) {
                         let st = &mut states_chunk[i];
                         st.report.acks += 1;
                         match ticket.wait() {
-                            OpOutcome::Committed(_) => st.report.committed += 1,
-                            OpOutcome::Aborted(_) => st.report.aborted += 1,
+                            OpOutcome::Committed(_) => {
+                                st.report.committed += 1;
+                                if is_read {
+                                    st.report.read_committed += 1;
+                                }
+                            }
+                            OpOutcome::Aborted(_) => {
+                                st.report.aborted += 1;
+                                if is_read {
+                                    st.report.read_aborted += 1;
+                                }
+                            }
                             OpOutcome::Indeterminate(_) => st.report.indeterminate += 1,
                         }
                     }
