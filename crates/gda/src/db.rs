@@ -263,11 +263,29 @@ impl<'d, 'c, 'f> GdaRank<'d, 'c, 'f> {
     }
 
     /// Collective: take a durable checkpoint (quiesce, snapshot every
-    /// rank's windows + index postings, publish, rotate the redo logs).
-    /// Every rank must call this together; returns the published
-    /// checkpoint id. See [`crate::persist`] for the protocol.
+    /// rank's dirty chunks or full windows + index postings, publish,
+    /// truncate the redo logs). Every rank must call this together;
+    /// returns the published checkpoint id. Writes a delta chained to
+    /// the last full snapshot when churn is low — see
+    /// [`crate::persist`] for the protocol and the rebase policy.
     pub fn checkpoint(&self) -> GdiResult<u64> {
         crate::persist::checkpoint_rank(self)
+    }
+
+    /// Collective: like [`GdaRank::checkpoint`] but always writes a
+    /// full snapshot (a *rebase*), resetting the delta chain to one
+    /// file and letting the previous chain be garbage-collected.
+    pub fn checkpoint_full(&self) -> GdiResult<u64> {
+        crate::persist::checkpoint_rank_full(self)
+    }
+
+    /// Collective: run one background-maintenance pass (MVCC version
+    /// vacuum below the global read watermark, holder-chain
+    /// compaction, free-list vacuum, checksum verification of the
+    /// published snapshot chain). Every rank must call this together.
+    /// See [`crate::maint`].
+    pub fn maintenance(&self) -> GdiResult<crate::maint::MaintenanceReport> {
+        crate::maint::maintenance_rank(self)
     }
 
     /// Take the next **commit stamp** from the owner rank of `id`'s

@@ -45,6 +45,15 @@ pub const FLAG_EDGE_HOLDER: u32 = 1;
 pub const COMMIT_EPOCH_OFFSET: usize = 32;
 /// Mask of the archive-chain **depth** packed into flag bits 16..24.
 pub(crate) const DEPTH_MASK: u32 = 0xFF << 16;
+/// Byte offset of the `prev` (archived version chain head) field within
+/// a serialized holder — patched **in place** by chain truncation and
+/// the maintenance vacuum (one aligned word write) to seal a truncated
+/// chain, so no later walk follows a freed link.
+pub(crate) const PREV_OFFSET: usize = 40;
+/// Byte offset of the word holding `entries_bytes` (low half) and the
+/// flags+depth word (high half) within a serialized holder — the word
+/// the maintenance vacuum rewrites to patch the archive depth in place.
+pub(crate) const FLAGS_WORD_OFFSET: usize = 24;
 /// Flag bits that may legitimately be set on a serialized holder.
 const KNOWN_FLAGS: u32 = FLAG_EDGE_HOLDER | DEPTH_MASK;
 

@@ -31,9 +31,13 @@
 //! * [`bulk`] — collective bulk ingestion;
 //! * [`db`] — database objects, multi-database registry, the per-rank
 //!   engine handle;
-//! * [`persist`] — durability: collective checkpoints, per-rank redo
-//!   logs, crash recovery (snapshot + replay), elastic resharded
-//!   recovery (restore a `P`-rank snapshot onto `Q` ranks);
+//! * [`persist`] — durability: collective full **and incremental
+//!   (delta)** checkpoints driven by dirty-chunk tracking, per-rank
+//!   redo logs, crash recovery (snapshot chain + replay), elastic
+//!   resharded recovery (restore a `P`-rank snapshot onto `Q` ranks);
+//! * [`maint`] — collective background maintenance: MVCC version
+//!   vacuum below the snapshot floor, free-list vacuum, holder-chain
+//!   compaction, checksum verification of the published snapshot chain;
 //! * [`rankmap`] — the canonical rank-ownership math and the
 //!   snapshot-rank → live-rank map resharding is built on;
 //! * [`scan`] — the zero-transaction OLAP scan layer: epoch-validated
@@ -90,6 +94,7 @@ pub mod hio;
 pub mod holder;
 pub mod index;
 pub mod locks;
+pub mod maint;
 pub mod meta;
 pub mod persist;
 pub mod rankmap;
@@ -103,6 +108,7 @@ pub use config::GdaConfig;
 pub use db::{DbRegistry, GdaDb, GdaRank};
 pub use dptr::{DPtr, EdgeUid};
 pub use index::{IndexDef, IndexId, Posting};
+pub use maint::MaintenanceReport;
 pub use meta::{LabelDef, PTypeDef};
 pub use persist::{
     CheckpointReport, PersistOptions, PersistStore, RankRecovery, RecoveryPlan, RedoRecord,

@@ -28,16 +28,32 @@
 //!
 //! A checkpoint is crash-safe at every step: rank files and the
 //! manifest are written to `ckpt-<id>/` under temporary names and
-//! renamed, every rank's redo writer rotates to the new segment — and
-//! the rotations are *voted on* — before rank 0 atomically replaces the
-//! `CURRENT` pointer, and the previous snapshot/segment pair is kept
-//! until the *next* checkpoint succeeds. That ordering means no unwind
-//! path ever has to move `CURRENT` back: it only ever advances to a
-//! snapshot all ranks have fully committed to.
+//! renamed — all *voted on* — before rank 0 atomically replaces the
+//! `CURRENT` pointer. Only after a successful publish does each rank
+//! truncate its redo log; truncation failure is non-fatal because every
+//! log frame carries the checkpoint generation it was appended under,
+//! so replay (and delta-patching scan views) skip frames from before
+//! the published snapshot. That ordering means no unwind path ever has
+//! to move `CURRENT` back: it only ever advances to a snapshot all
+//! ranks have fully committed to.
 //! A failed checkpoint (any rank; detected with an abort-vote
-//! allreduce, like a collective commit) deletes its partial directory
-//! and leaves the previous snapshot — and the serving database —
-//! untouched.
+//! allreduce, like a collective commit) deletes its partial directory,
+//! re-marks the dirty chunks it drained, and leaves the previous
+//! snapshot — and the serving database — untouched.
+//!
+//! ## Incremental (delta) checkpoints
+//!
+//! Durability cost is proportional to *churn*, not database size: the
+//! fabric tracks which chunks of each window were written since the
+//! last checkpoint ([`rma::DirtyMap`], one chunk = one block), and a
+//! checkpoint ordinarily writes only those chunks as a **delta** file
+//! chained onto the last **full** snapshot. The manifest records the
+//! chain (`full base, delta, delta, …`); recovery folds the chain in
+//! order before replaying the redo tails. A checkpoint *rebases* to a
+//! full snapshot when the chain is empty or too long, when a rank's
+//! dirty fraction makes a delta pointless, or on explicit request
+//! ([`GdaRank::checkpoint_full`]). Garbage collection never removes a
+//! checkpoint directory still referenced by the current chain.
 //!
 //! ## Replay semantics
 //!
@@ -122,7 +138,22 @@ const MANIFEST_MAGIC: &[u8; 8] = b"GDAMANI\x01";
 /// system window gained three words (commit-epoch counter, read-epoch
 /// watermark, min-active-snapshot), and the manifest's config encoding
 /// gained the `mvcc`/`mvcc_chain_limit` fields.
-const FORMAT_VERSION: u32 = 4;
+/// v5: incremental checkpoints — snapshot files gained a kind byte
+/// (full = 0, delta = 1) with delta files carrying the base id and
+/// chunked window patches, the manifest gained the delta-chain list,
+/// redo segments moved to constant per-rank names truncated at
+/// publish, and every log frame gained the checkpoint generation it
+/// was appended under.
+const FORMAT_VERSION: u32 = 5;
+
+/// Snapshot-kind byte: a self-contained full image.
+const SNAP_FULL: u8 = 0;
+/// Snapshot-kind byte: a delta patch over the previous chain member.
+const SNAP_DELTA: u8 = 1;
+
+/// A delta chain longer than this rebases to a full snapshot (bounds
+/// recovery work and keeps gc able to reclaim old bases).
+const DELTA_CHAIN_CAP: usize = 8;
 
 // ---------------------------------------------------------------------
 // binary encoding helpers
@@ -350,9 +381,16 @@ impl RedoRecord {
 }
 
 /// Frame a batch of records (one committed transaction) for the log:
-/// `[payload_len u32][fnv1a u64][payload]`.
-fn encode_frame(records: &[RedoRecord]) -> Vec<u8> {
+/// `[payload_len u32][fnv1a u64][payload]`, where the payload starts
+/// with the checkpoint generation the frame was appended under. Redo
+/// files keep their name across checkpoints (truncation at publish),
+/// so the generation is what lets replay — and the scan layer's
+/// delta-patching — reject frames that predate the published snapshot
+/// when a truncation failed or the process crashed between publish and
+/// truncate.
+fn encode_frame(records: &[RedoRecord], generation: u64) -> Vec<u8> {
     let mut payload = Enc::default();
+    payload.u64(generation);
     payload.u32(records.len() as u32);
     for r in records {
         r.encode(&mut payload);
@@ -365,9 +403,12 @@ fn encode_frame(records: &[RedoRecord]) -> Vec<u8> {
 }
 
 /// Parse a log file's bytes into records, stopping at the first torn or
-/// corrupt frame. Returns the records and the byte length of the valid
-/// prefix (the caller truncates the file there before appending again).
-fn parse_log(bytes: &[u8]) -> (Vec<RedoRecord>, usize) {
+/// corrupt frame. Frames stamped with a generation below `min_gen`
+/// parse but contribute no records: they describe commits already
+/// captured by the snapshot being replayed onto. Returns the records
+/// and the byte length of the valid prefix (the caller truncates the
+/// file there before appending again).
+fn parse_log(bytes: &[u8], min_gen: u64) -> (Vec<RedoRecord>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos + 12 <= bytes.len() {
@@ -382,6 +423,7 @@ fn parse_log(bytes: &[u8]) -> (Vec<RedoRecord>, usize) {
             break; // corrupt frame
         }
         let mut dec = Dec::new(payload);
+        let Ok(generation) = dec.u64() else { break };
         let Ok(count) = dec.u32() else { break };
         let mut frame = Vec::with_capacity(count as usize);
         let mut ok = true;
@@ -397,7 +439,9 @@ fn parse_log(bytes: &[u8]) -> (Vec<RedoRecord>, usize) {
         if !ok {
             break;
         }
-        records.extend(frame);
+        if generation >= min_gen {
+            records.extend(frame);
+        }
         pos = start + len;
     }
     (records, pos)
@@ -446,8 +490,14 @@ impl PersistOptions {
 pub struct CheckpointReport {
     /// The published checkpoint id.
     pub id: u64,
+    /// Was this a full snapshot (`true`) or a delta chained onto the
+    /// previous chain member (`false`)?
+    pub full: bool,
     /// Snapshot bytes written by each rank.
     pub per_rank_bytes: Vec<u64>,
+    /// Dirty chunks shipped by each rank (0 for a full snapshot —
+    /// every chunk shipped implicitly).
+    pub per_rank_chunks: Vec<u64>,
     /// Simulated seconds the checkpoint stalled commits (quiesce entry
     /// to publish, max over ranks).
     pub sim_stall_s: f64,
@@ -462,11 +512,16 @@ pub struct CheckpointReport {
 pub struct PersistStore {
     opts: PersistOptions,
     current: AtomicU64,
+    /// The published delta chain, full base first, ending at `current`
+    /// (empty at genesis). Everything in here is live recovery state:
+    /// gc must not touch it.
+    chain: Mutex<Vec<u64>>,
     writers: Vec<Mutex<Option<File>>>,
     log_errors: AtomicU64,
     unlogged_mutations: AtomicU64,
     fail_next_checkpoints: AtomicU64,
-    fail_next_rotations: AtomicU64,
+    fail_next_truncates: AtomicU64,
+    fail_next_gcs: AtomicU64,
     fail_next_reshards: AtomicU64,
     last_checkpoint: Mutex<Option<CheckpointReport>>,
 }
@@ -481,15 +536,17 @@ impl std::fmt::Debug for PersistStore {
 }
 
 impl PersistStore {
-    fn new(opts: PersistOptions, nranks: usize, current: u64) -> Arc<Self> {
+    fn new(opts: PersistOptions, nranks: usize, current: u64, chain: Vec<u64>) -> Arc<Self> {
         Arc::new(Self {
             opts,
             current: AtomicU64::new(current),
+            chain: Mutex::new(chain),
             writers: (0..nranks).map(|_| Mutex::new(None)).collect(),
             log_errors: AtomicU64::new(0),
             unlogged_mutations: AtomicU64::new(0),
             fail_next_checkpoints: AtomicU64::new(0),
-            fail_next_rotations: AtomicU64::new(0),
+            fail_next_truncates: AtomicU64::new(0),
+            fail_next_gcs: AtomicU64::new(0),
             fail_next_reshards: AtomicU64::new(0),
             last_checkpoint: Mutex::new(None),
         })
@@ -505,6 +562,13 @@ impl PersistStore {
     /// log segment).
     pub fn current(&self) -> u64 {
         self.current.load(Ordering::Acquire)
+    }
+
+    /// The published snapshot chain: the full base first, every delta
+    /// after it in order, ending at [`PersistStore::current`]. Empty at
+    /// genesis. Recovery folds exactly these files.
+    pub fn chain(&self) -> Vec<u64> {
+        self.chain.lock().clone()
     }
 
     /// Redo-log appends that failed with an I/O error (the in-memory
@@ -546,17 +610,30 @@ impl PersistStore {
             .is_ok()
     }
 
-    /// Failure injection (tests): make the next `n` redo-log rotations
-    /// on a *non-zero* rank fail — the peer-failure scenario late in
-    /// the checkpoint collective, after every snapshot file is already
-    /// on disk. The unwind must leave `CURRENT` naming the previous
-    /// (complete) snapshot, never the one being deleted.
-    pub fn inject_rotate_failures(&self, n: u64) {
-        self.fail_next_rotations.store(n, Ordering::SeqCst);
+    /// Failure injection (tests): make the next `n` redo-log
+    /// truncations on a *non-zero* rank fail — the peer-failure
+    /// scenario *after* `CURRENT` has already been published.
+    /// Truncation failure must be non-fatal: the stale frames carry an
+    /// older checkpoint generation and replay skips them.
+    pub fn inject_truncate_failures(&self, n: u64) {
+        self.fail_next_truncates.store(n, Ordering::SeqCst);
     }
 
-    fn take_injected_rotate_failure(&self) -> bool {
-        self.fail_next_rotations
+    fn take_injected_truncate_failure(&self) -> bool {
+        self.fail_next_truncates
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Failure injection (tests): make the next `n` garbage-collection
+    /// passes fail before removing anything. gc runs post-publish and
+    /// must be non-fatal — a later checkpoint's gc catches up.
+    pub fn inject_gc_failures(&self, n: u64) {
+        self.fail_next_gcs.store(n, Ordering::SeqCst);
+    }
+
+    fn take_injected_gc_failure(&self) -> bool {
+        self.fail_next_gcs
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
             .is_ok()
     }
@@ -586,10 +663,8 @@ impl PersistStore {
         self.ckpt_dir(id).exists()
     }
 
-    fn log_path(&self, segment: u64, rank: usize) -> PathBuf {
-        self.opts
-            .dir
-            .join(format!("redo-{segment}-rank-{rank}.log"))
+    fn log_path(&self, rank: usize) -> PathBuf {
+        self.opts.dir.join(format!("redo-rank-{rank}.log"))
     }
 
     fn current_path(&self) -> PathBuf {
@@ -601,7 +676,7 @@ impl PersistStore {
     pub(crate) fn append(&self, rank: usize, records: &[RedoRecord]) -> GdiResult<usize> {
         let mut guard = self.writers[rank].lock();
         if guard.is_none() {
-            let path = self.log_path(self.current(), rank);
+            let path = self.log_path(rank);
             let f = OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -614,7 +689,7 @@ impl PersistStore {
             }
             *guard = Some(f);
         }
-        let frame = encode_frame(records);
+        let frame = encode_frame(records, self.current());
         let f = guard.as_mut().unwrap();
         f.write_all(&frame).map_err(|e| io_err("append redo", e))?;
         if self.opts.sync {
@@ -627,36 +702,41 @@ impl PersistStore {
         self.log_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Position mark of `rank`'s redo log in the current segment:
-    /// `(segment id, byte length)`. A scan view records one mark per
-    /// rank at build time; [`PersistStore::read_log_tail`] later
-    /// replays exactly the records appended after the mark — the
-    /// delta-patch source of `gda::scan`. Marks are only meaningful
-    /// while no append is in flight (the quiescent-OLAP contract).
+    /// Position mark of `rank`'s redo log: `(checkpoint generation,
+    /// byte length)`. A scan view records one mark per rank at build
+    /// time; [`PersistStore::read_log_tail`] later replays exactly the
+    /// records appended after the mark — the delta-patch source of
+    /// `gda::scan`. The generation is load-bearing: the redo file keeps
+    /// its name across checkpoints (truncation at publish), so a
+    /// length-only mark taken before a checkpoint could silently
+    /// address unrelated post-truncation bytes once commits regrow the
+    /// file past the recorded length. Marks are only meaningful while
+    /// no append is in flight (the quiescent-OLAP contract).
     pub fn log_mark(&self, rank: usize) -> (u64, u64) {
-        let seg = self.current();
-        let len = fs::metadata(self.log_path(seg, rank))
+        let generation = self.current();
+        let len = fs::metadata(self.log_path(rank))
             .map(|m| m.len())
             .unwrap_or(0);
-        (seg, len)
+        (generation, len)
     }
 
     /// Records appended to `rank`'s redo log after `mark`
     /// ([`PersistStore::log_mark`]). Returns `None` when the mark is no
-    /// longer addressable — the segment rotated (a checkpoint ran) or
-    /// the file shrank — in which case the caller must fall back to a
-    /// full rebuild.
+    /// longer addressable — a checkpoint published since the mark was
+    /// taken (the log was truncated, or is about to be inconsistent
+    /// with the mark's length), or the file shrank — in which case the
+    /// caller must fall back to a full rebuild.
     pub fn read_log_tail(&self, rank: usize, mark: (u64, u64)) -> Option<Vec<RedoRecord>> {
         use std::io::{Read, Seek, SeekFrom};
-        let (seg, pos) = mark;
-        if seg != self.current() {
+        let (generation, pos) = mark;
+        if generation != self.current() {
             return None;
         }
         // seek to the mark and read only the tail: a delta patch must
-        // cost O(delta), not O(total segment since the last checkpoint)
-        let mut f = match File::open(self.log_path(seg, rank)) {
+        // cost O(delta), not O(total log since the last checkpoint)
+        let mut f = match File::open(self.log_path(rank)) {
             Ok(f) => f,
-            // a segment that never received an append has no file; an
+            // a log that never received an append has no file; an
             // empty tail is only valid if the mark said "empty" too
             Err(_) if pos == 0 => return Some(Vec::new()),
             Err(_) => return None,
@@ -668,42 +748,36 @@ impl PersistStore {
         f.seek(SeekFrom::Start(pos)).ok()?;
         let mut bytes = Vec::with_capacity((len - pos) as usize);
         f.read_to_end(&mut bytes).ok()?;
-        let (records, _) = parse_log(&bytes);
+        // frames below the mark's generation are stale leftovers of a
+        // failed truncation — already in the snapshot, not a delta
+        let (records, _) = parse_log(&bytes, generation);
         Some(records)
     }
 
-    /// Swing `rank`'s writer to the segment of checkpoint `id`
-    /// (truncating any stale file of that name from an earlier failed
-    /// attempt).
-    fn rotate_log(&self, rank: usize, id: u64) -> GdiResult<()> {
-        if rank != 0 && self.take_injected_rotate_failure() {
-            return Err(GdiError::Io("injected rotation failure".into()));
+    /// Truncate `rank`'s redo log after a successful publish: every
+    /// frame in it describes a commit the just-published chain already
+    /// captures. Failure is non-fatal for the checkpoint — stale frames
+    /// carry an older generation and are skipped at replay — so the
+    /// caller only reports it.
+    fn truncate_log(&self, rank: usize) -> GdiResult<()> {
+        if rank != 0 && self.take_injected_truncate_failure() {
+            return Err(GdiError::Io("injected truncate failure".into()));
         }
-        let f = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(self.log_path(id, rank))
-            .map_err(|e| io_err("rotate redo segment", e))?;
-        if self.opts.sync {
-            sync_dir(&self.opts.dir)?;
+        let mut guard = self.writers[rank].lock();
+        // drop the append handle first: the next append reopens the
+        // (now empty) file
+        *guard = None;
+        match OpenOptions::new().write(true).open(self.log_path(rank)) {
+            Ok(f) => {
+                f.set_len(0).map_err(|e| io_err("truncate redo log", e))?;
+                if self.opts.sync {
+                    f.sync_all().map_err(|e| io_err("sync redo log", e))?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err("truncate redo log", e)),
         }
-        *self.writers[rank].lock() = Some(f);
         Ok(())
-    }
-
-    /// Re-open `rank`'s writer on the old segment after a failed
-    /// rotation/publish (nothing was committed in between: the fabric
-    /// is quiesced for the whole collective).
-    fn unrotate_log(&self, rank: usize, old: u64) {
-        match OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.log_path(old, rank))
-        {
-            Ok(f) => *self.writers[rank].lock() = Some(f),
-            Err(_) => *self.writers[rank].lock() = None,
-        }
     }
 
     fn publish_current(&self, id: u64) -> GdiResult<()> {
@@ -724,30 +798,29 @@ impl PersistStore {
         Ok(())
     }
 
-    /// Delete snapshots and redo segments older than `id - 1` (the
-    /// previous pair is kept so a failed *next* checkpoint can never
-    /// strand the database without a recovery point).
+    /// Delete checkpoint directories that are no longer needed for
+    /// recovery. A directory is kept if it belongs to the current
+    /// published chain (a delta's base must outlive every delta
+    /// stacked on it — deleting it would strand the whole chain) or if
+    /// it is the immediately preceding checkpoint (so a failed *next*
+    /// checkpoint can never strand the database without a recovery
+    /// point). Entirely non-fatal: every step is best-effort, and a
+    /// later checkpoint's gc catches up on anything left behind.
     fn gc(&self, id: u64) {
+        if self.take_injected_gc_failure() {
+            return; // simulated I/O failure: remove nothing
+        }
+        let keep: FxHashSet<u64> = self.chain.lock().iter().copied().collect();
         let Ok(entries) = fs::read_dir(&self.opts.dir) else {
             return;
         };
         for e in entries.flatten() {
             let name = e.file_name();
             let Some(name) = name.to_str() else { continue };
-            let stale = |n: u64| n + 1 < id;
             if let Some(rest) = name.strip_prefix("ckpt-") {
-                if rest.parse::<u64>().map(stale).unwrap_or(false) {
+                let Ok(n) = rest.parse::<u64>() else { continue };
+                if n + 1 < id && !keep.contains(&n) {
                     let _ = fs::remove_dir_all(e.path());
-                }
-            } else if let Some(rest) = name.strip_prefix("redo-") {
-                if rest
-                    .split('-')
-                    .next()
-                    .and_then(|s| s.parse::<u64>().ok())
-                    .map(stale)
-                    .unwrap_or(false)
-                {
-                    let _ = fs::remove_file(e.path());
                 }
             }
         }
@@ -877,6 +950,11 @@ struct Manifest {
     name: String,
     nranks: usize,
     cfg: GdaConfig,
+    /// The snapshot chain ending at `id`: the full base first, then
+    /// every delta in order. Empty only for the genesis manifest (id
+    /// 0, no snapshot). Recovery folds exactly these files and gc must
+    /// keep them all.
+    chain: Vec<u64>,
     meta: MetaParts,
     index_defs: Vec<IndexDef>,
     index_next_id: u32,
@@ -889,6 +967,10 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
     e.u64(m.id);
     e.str(&m.name);
     e.u32(m.nranks as u32);
+    e.u32(m.chain.len() as u32);
+    for c in &m.chain {
+        e.u64(*c);
+    }
     encode_cfg(&mut e, &m.cfg);
     e.u64(m.meta.epoch);
     e.u32(m.meta.next_label);
@@ -946,6 +1028,14 @@ fn decode_manifest(bytes: &[u8]) -> GdiResult<Manifest> {
     let id = d.u64()?;
     let name = d.str()?;
     let nranks = d.u32()? as usize;
+    let nchain = d.u32()?;
+    let mut chain = Vec::with_capacity(nchain as usize);
+    for _ in 0..nchain {
+        chain.push(d.u64()?);
+    }
+    if chain.last().copied().unwrap_or(id) != id {
+        return Err(GdiError::Io("manifest chain does not end at id".into()));
+    }
     let cfg = decode_cfg(&mut d)?;
     let epoch = d.u64()?;
     let next_label = d.u32()?;
@@ -997,6 +1087,7 @@ fn decode_manifest(bytes: &[u8]) -> GdiResult<Manifest> {
         name,
         nranks,
         cfg,
+        chain,
         meta: MetaParts {
             labels,
             ptypes,
@@ -1009,13 +1100,14 @@ fn decode_manifest(bytes: &[u8]) -> GdiResult<Manifest> {
     })
 }
 
-fn manifest_from_db(db: &GdaDb, id: u64) -> Manifest {
+fn manifest_from_db(db: &GdaDb, id: u64, chain: Vec<u64>) -> Manifest {
     let (index_defs, index_next_id) = db.indexes_shared().export_defs();
     Manifest {
         id,
         name: db.name.clone(),
         nranks: db.nranks(),
         cfg: db.cfg,
+        chain,
         meta: db.meta_store().export_parts(),
         index_defs,
         index_next_id,
@@ -1056,13 +1148,13 @@ fn write_atomically(path: &Path, bytes: &[u8], sync: bool) -> GdiResult<()> {
 /// already contains a `CURRENT` (use [`recover`] for that).
 pub(crate) fn create_store(db: &GdaDb, opts: PersistOptions) -> GdiResult<Arc<PersistStore>> {
     fs::create_dir_all(&opts.dir).map_err(|e| io_err("create persistence dir", e))?;
-    let store = PersistStore::new(opts, db.nranks(), 0);
+    let store = PersistStore::new(opts, db.nranks(), 0, Vec::new());
     if store.current_path().exists() {
         return Err(GdiError::AlreadyExists("persistence directory"));
     }
     let dir0 = store.ckpt_dir(0);
     fs::create_dir_all(&dir0).map_err(|e| io_err("create genesis dir", e))?;
-    let manifest = encode_manifest(&manifest_from_db(db, 0));
+    let manifest = encode_manifest(&manifest_from_db(db, 0, Vec::new()));
     write_atomically(&dir0.join("manifest.bin"), &manifest, store.opts.sync)?;
     store.publish_current(0)?;
     Ok(store)
@@ -1074,7 +1166,25 @@ pub(crate) fn create_store(db: &GdaDb, opts: PersistOptions) -> GdiResult<Arc<Pe
 
 const ALL_WINDOWS: [WinId; 4] = [WIN_DATA, WIN_USAGE, WIN_SYSTEM, WIN_INDEX];
 
-fn write_rank_snapshot(eng: &GdaRank, store: &PersistStore, id: u64, dir: &Path) -> GdiResult<u64> {
+/// What a delta checkpoint ships for one rank: the chain member it
+/// patches and the drained dirty bitmaps (one per window, in
+/// [`ALL_WINDOWS`] order — the fabric tracks windows in `WinId` order,
+/// which matches).
+struct DeltaSpec<'a> {
+    base: u64,
+    bitmaps: &'a [Vec<u64>],
+}
+
+/// Write one rank's snapshot file — a self-contained full image, or
+/// (with `delta`) only the chunks whose dirty bits are set. Returns
+/// `(file bytes, chunks shipped)`; a full image reports 0 chunks.
+fn write_rank_snapshot(
+    eng: &GdaRank,
+    store: &PersistStore,
+    id: u64,
+    dir: &Path,
+    delta: Option<&DeltaSpec<'_>>,
+) -> GdiResult<(u64, u64)> {
     let ctx = eng.ctx();
     let me = eng.rank();
     if me == 0 && store.take_injected_failure() {
@@ -1087,11 +1197,41 @@ fn write_rank_snapshot(eng: &GdaRank, store: &PersistStore, id: u64, dir: &Path)
     e.u32(me as u32);
     e.u32(eng.nranks() as u32);
     encode_cfg(&mut e, eng.cfg());
-    for win in ALL_WINDOWS {
-        let len = ctx.win_len_bytes(win);
-        let mut buf = vec![0u8; len];
-        ctx.get_bytes(win, me, 0, &mut buf);
-        encode_sparse(&mut e, &buf);
+    let mut shipped = 0u64;
+    match delta {
+        None => {
+            e.u8(SNAP_FULL);
+            for win in ALL_WINDOWS {
+                let len = ctx.win_len_bytes(win);
+                let mut buf = vec![0u8; len];
+                ctx.get_bytes(win, me, 0, &mut buf);
+                encode_sparse(&mut e, &buf);
+            }
+        }
+        Some(d) => {
+            let chunk = ctx.dirty_chunk_bytes();
+            e.u8(SNAP_DELTA);
+            e.u64(d.base);
+            e.u32(chunk as u32);
+            for win in ALL_WINDOWS {
+                let len = ctx.win_len_bytes(win);
+                let chunks: Vec<usize> = rma::dirty::set_chunks(&d.bitmaps[win.0])
+                    .into_iter()
+                    .filter(|c| c * chunk < len)
+                    .collect();
+                e.u64(len as u64);
+                e.u32(chunks.len() as u32);
+                for c in chunks {
+                    let off = c * chunk;
+                    let n = chunk.min(len - off);
+                    let mut buf = vec![0u8; n];
+                    ctx.get_bytes(win, me, off, &mut buf);
+                    e.u32(c as u32);
+                    e.bytes(&buf);
+                    shipped += 1;
+                }
+            }
+        }
     }
     let postings = eng.indexes().export_rank(me);
     e.u32(postings.len() as u32);
@@ -1113,7 +1253,7 @@ fn write_rank_snapshot(eng: &GdaRank, store: &PersistStore, id: u64, dir: &Path)
         &e.buf,
         store.opts.sync,
     )?;
-    Ok(e.buf.len() as u64)
+    Ok((e.buf.len() as u64, shipped))
 }
 
 /// One rank's decoded snapshot file: the four window images (in
@@ -1126,18 +1266,33 @@ pub(crate) struct RankSnapshot {
     pub(crate) bytes: u64,
 }
 
-/// Read and validate snapshot shard `rank` of checkpoint `id` against
-/// `layout` (the config the shard was written under) — no live fabric
-/// needed. Both the same-topology restore (`layout` = the recovered
-/// database's config) and the resharded restore (`layout` = the
-/// manifest's config) go through here.
-pub(crate) fn read_rank_snapshot_file(
+/// One window's delta patches: the window's byte length and the
+/// `(chunk index, chunk bytes)` list.
+type WindowPatches = (usize, Vec<(usize, Vec<u8>)>);
+
+/// One decoded snapshot file, before chain folding: either a full
+/// window image or a delta patch over the previous chain member.
+enum SnapPiece {
+    Full(RankSnapshot),
+    Delta {
+        base: u64,
+        /// Per window, in [`ALL_WINDOWS`] order.
+        patches: Vec<WindowPatches>,
+        postings: Vec<(IndexId, Vec<Posting>)>,
+        bytes: u64,
+    },
+}
+
+/// Read and validate one snapshot file of checkpoint `id`, shard
+/// `rank`, against `layout` (the config the shard was written under) —
+/// no live fabric needed.
+fn read_snapshot_piece(
     store: &PersistStore,
     id: u64,
     rank: usize,
     layout: &GdaConfig,
     nranks: usize,
-) -> GdiResult<RankSnapshot> {
+) -> GdiResult<SnapPiece> {
     let path = store.ckpt_dir(id).join(format!("rank-{rank}.snap"));
     let bytes = fs::read(&path).map_err(|e| io_err("read rank snapshot", e))?;
     if bytes.len() < 16 {
@@ -1165,9 +1320,40 @@ pub(crate) fn read_rank_snapshot_file(
     {
         return Err(GdiError::Io("snapshot layout does not match config".into()));
     }
-    let mut windows = Vec::with_capacity(ALL_WINDOWS.len());
-    for _ in ALL_WINDOWS {
-        windows.push(decode_sparse(&mut d)?);
+    let kind = d.u8()?;
+    let mut windows = Vec::new();
+    let mut delta = None;
+    match kind {
+        SNAP_FULL => {
+            for _ in ALL_WINDOWS {
+                windows.push(decode_sparse(&mut d)?);
+            }
+        }
+        SNAP_DELTA => {
+            let base = d.u64()?;
+            let chunk = d.u32()? as usize;
+            if chunk < 8 {
+                return Err(GdiError::Io("bad delta chunk size".into()));
+            }
+            let mut patches = Vec::with_capacity(ALL_WINDOWS.len());
+            for _ in ALL_WINDOWS {
+                let win_len = d.u64()? as usize;
+                let n = d.u32()? as usize;
+                let mut ps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let c = d.u32()? as usize;
+                    let data = d.bytes()?;
+                    let off = c * chunk;
+                    if off >= win_len || off + data.len() > win_len {
+                        return Err(GdiError::Io("delta chunk out of window bounds".into()));
+                    }
+                    ps.push((off, data));
+                }
+                patches.push((win_len, ps));
+            }
+            delta = Some((base, patches));
+        }
+        _ => return Err(GdiError::Io("unknown snapshot kind".into())),
     }
     let nix = d.u32()?;
     let mut postings = Vec::with_capacity(nix as usize);
@@ -1182,19 +1368,122 @@ pub(crate) fn read_rank_snapshot_file(
         }
         postings.push((ix, ps));
     }
-    Ok(RankSnapshot {
-        windows,
-        postings,
-        bytes: bytes.len() as u64,
+    Ok(match delta {
+        None => SnapPiece::Full(RankSnapshot {
+            windows,
+            postings,
+            bytes: bytes.len() as u64,
+        }),
+        Some((base, patches)) => SnapPiece::Delta {
+            base,
+            patches,
+            postings,
+            bytes: bytes.len() as u64,
+        },
     })
 }
 
-/// The collective checkpoint body behind [`GdaRank::checkpoint`].
+/// Fold the published snapshot chain into one logical rank image: the
+/// full base restores every window verbatim, each delta overlays its
+/// dirty chunks in chain order, and the *last* file's postings win
+/// (every file carries the rank's full posting set). Both the
+/// same-topology restore and the resharded restore go through here.
+pub(crate) fn read_rank_snapshot_chain(
+    store: &PersistStore,
+    chain: &[u64],
+    rank: usize,
+    layout: &GdaConfig,
+    nranks: usize,
+) -> GdiResult<RankSnapshot> {
+    let Some((&base_id, deltas)) = chain.split_first() else {
+        return Err(GdiError::Io("empty snapshot chain".into()));
+    };
+    let SnapPiece::Full(mut snap) = read_snapshot_piece(store, base_id, rank, layout, nranks)?
+    else {
+        return Err(GdiError::Io(
+            "snapshot chain base is not a full image".into(),
+        ));
+    };
+    let mut prev = base_id;
+    for &id in deltas {
+        let SnapPiece::Delta {
+            base,
+            patches,
+            postings,
+            bytes,
+        } = read_snapshot_piece(store, id, rank, layout, nranks)?
+        else {
+            return Err(GdiError::Io("snapshot chain member is not a delta".into()));
+        };
+        if base != prev {
+            return Err(GdiError::Io("delta does not chain onto predecessor".into()));
+        }
+        for (win, (win_len, ps)) in snap.windows.iter_mut().zip(&patches) {
+            if win.len() != *win_len {
+                return Err(GdiError::Io("delta window size mismatch".into()));
+            }
+            for (off, data) in ps {
+                win[*off..*off + data.len()].copy_from_slice(data);
+            }
+        }
+        snap.postings = postings;
+        snap.bytes += bytes;
+        prev = id;
+    }
+    Ok(snap)
+}
+
+/// Re-read and checksum-validate every file of the published snapshot
+/// chain that belongs to `rank` (plus the manifest, on rank 0): the
+/// online scrub behind the maintenance verifier pass. Returns `(bytes
+/// verified, errors found)` — an unreadable file counts as one error.
+pub(crate) fn verify_rank_chain(store: &PersistStore, rank: usize) -> (u64, u64) {
+    let mut bytes = 0u64;
+    let mut errors = 0u64;
+    let chain = store.chain();
+    let mut check = |path: PathBuf, magic: &[u8; 8]| match fs::read(&path) {
+        Ok(b) => {
+            let ok = b.len() >= 16
+                && b.starts_with(magic)
+                && fnv1a(&b[..b.len() - 8])
+                    == u64::from_le_bytes(b[b.len() - 8..].try_into().unwrap());
+            bytes += b.len() as u64;
+            if !ok {
+                errors += 1;
+            }
+        }
+        Err(_) => errors += 1,
+    };
+    for id in &chain {
+        check(
+            store.ckpt_dir(*id).join(format!("rank-{rank}.snap")),
+            SNAP_MAGIC,
+        );
+        if rank == 0 {
+            check(store.ckpt_dir(*id).join("manifest.bin"), MANIFEST_MAGIC);
+        }
+    }
+    (bytes, errors)
+}
+
+/// The collective checkpoint body behind [`GdaRank::checkpoint`]:
+/// delta when the chain and churn allow it, full otherwise.
 pub(crate) fn checkpoint_rank(eng: &GdaRank) -> GdiResult<u64> {
+    checkpoint_rank_inner(eng, false)
+}
+
+/// The collective body behind [`GdaRank::checkpoint_full`]: force a
+/// full rebase regardless of chain length or churn.
+pub(crate) fn checkpoint_rank_full(eng: &GdaRank) -> GdiResult<u64> {
+    checkpoint_rank_inner(eng, true)
+}
+
+fn checkpoint_rank_inner(eng: &GdaRank, force_full: bool) -> GdiResult<u64> {
     let store = eng
         .persistence()
         .ok_or(GdiError::InvalidArgument("persistence not enabled"))?;
     let ctx = eng.ctx();
+    let me = ctx.rank();
     let wall0 = Instant::now();
     ctx.quiesce();
     let sim0 = ctx.now_ns();
@@ -1202,8 +1491,46 @@ pub(crate) fn checkpoint_rank(eng: &GdaRank) -> GdiResult<u64> {
     let id = old + 1;
     let dir = store.ckpt_dir(id);
 
+    // Drain this rank's dirty map first: a delta ships exactly these
+    // chunks, a full image supersedes them, and every unwind path
+    // re-marks them so an aborted attempt loses no information.
+    let drained = ctx.take_dirty(me);
+
+    // Decide full vs delta collectively. A full rebase is forced when
+    // the chain is empty (genesis, or right after one), has hit the
+    // length cap (bounds recovery-time folding and lets gc reclaim old
+    // bases), or any rank dirtied enough of its windows that a delta
+    // stops paying for itself (≥ half the chunks; recovery restores
+    // mark everything, so the first post-recovery checkpoint naturally
+    // rebases).
+    let chain = store.chain();
+    let my_dirty = rma::dirty::dirty_chunks(&drained);
+    let chunk = ctx.dirty_chunk_bytes();
+    let total_chunks: u64 = ALL_WINDOWS
+        .iter()
+        .map(|w| ctx.win_len_bytes(*w).div_ceil(chunk) as u64)
+        .sum();
+    let want_full = force_full
+        || chain.is_empty()
+        || chain.len() >= DELTA_CHAIN_CAP
+        || my_dirty.saturating_mul(2) >= total_chunks;
+    let full = ctx.allreduce_any(want_full);
+    let delta_spec = if full {
+        None
+    } else {
+        Some(DeltaSpec {
+            base: *chain.last().unwrap(),
+            bitmaps: &drained,
+        })
+    };
+    let chain_after: Vec<u64> = if full {
+        vec![id]
+    } else {
+        chain.iter().copied().chain([id]).collect()
+    };
+
     // rank 0 creates the directory; everyone votes on the outcome
-    let dir_err = if ctx.rank() == 0 {
+    let dir_err = if me == 0 {
         fs::create_dir_all(&dir)
             .map_err(|e| io_err("create checkpoint dir", e))
             .err()
@@ -1211,20 +1538,22 @@ pub(crate) fn checkpoint_rank(eng: &GdaRank) -> GdiResult<u64> {
         None
     };
     if ctx.allreduce_any(dir_err.is_some()) {
+        ctx.remark_dirty(me, &drained);
         return Err(dir_err.unwrap_or_else(|| GdiError::Io("checkpoint dir failed".into())));
     }
 
     // every rank writes its snapshot file; manifest on rank 0
-    let mut res = write_rank_snapshot(eng, &store, id, &dir);
-    if res.is_ok() && ctx.rank() == 0 {
-        let manifest = encode_manifest(&manifest_from_db(eng.db(), id));
+    let mut res = write_rank_snapshot(eng, &store, id, &dir, delta_spec.as_ref());
+    if res.is_ok() && me == 0 {
+        let manifest = encode_manifest(&manifest_from_db(eng.db(), id, chain_after.clone()));
         if let Err(e) = write_atomically(&dir.join("manifest.bin"), &manifest, store.opts.sync) {
             res = Err(e);
         }
     }
     if ctx.allreduce_any(res.is_err()) {
+        ctx.remark_dirty(me, &drained);
         ctx.barrier();
-        if ctx.rank() == 0 {
+        if me == 0 {
             let _ = fs::remove_dir_all(&dir);
         }
         ctx.barrier();
@@ -1232,30 +1561,22 @@ pub(crate) fn checkpoint_rank(eng: &GdaRank) -> GdiResult<u64> {
             .err()
             .unwrap_or_else(|| GdiError::Io("checkpoint failed on a peer rank".into())));
     }
-    let bytes = *res.as_ref().unwrap();
+    let (bytes, shipped) = *res.as_ref().unwrap();
 
-    // rotate the redo writers to the new segment, vote on the rotations,
-    // and only then let rank 0 publish. Publishing *after* the rotate
-    // vote means a peer rank's failed rotation can never leave CURRENT
-    // naming a snapshot the unwind is about to delete; a failed publish
-    // itself is atomic (tmp file + rename), so CURRENT still names the
-    // old snapshot in every unwind path. The fabric is quiesced for the
-    // whole collective, so unwinding loses no commits.
-    let rot = store.rotate_log(ctx.rank(), id);
-    let rot_failed = ctx.allreduce_any(rot.is_err());
-    let publish = if rot_failed {
-        rot
-    } else if ctx.rank() == 0 {
+    // Rank 0 atomically swings `CURRENT`; everyone votes on the
+    // outcome. A failed publish is atomic (tmp file + rename), so
+    // CURRENT still names the old snapshot in every unwind path. The
+    // fabric is quiesced for the whole collective, so unwinding loses
+    // no commits.
+    let publish = if me == 0 {
         store.publish_current(id)
     } else {
         Ok(())
     };
-    if rot_failed || ctx.allreduce_any(publish.is_err()) {
-        store.unrotate_log(ctx.rank(), old);
+    if ctx.allreduce_any(publish.is_err()) {
+        ctx.remark_dirty(me, &drained);
         ctx.barrier();
-        // each rank removes its own abandoned segment; rank 0 the dir
-        let _ = fs::remove_file(store.log_path(id, ctx.rank()));
-        if ctx.rank() == 0 {
+        if me == 0 {
             let _ = fs::remove_dir_all(&dir);
         }
         ctx.barrier();
@@ -1264,14 +1585,28 @@ pub(crate) fn checkpoint_rank(eng: &GdaRank) -> GdiResult<u64> {
             .unwrap_or_else(|| GdiError::Io("checkpoint publish failed on a peer".into())));
     }
     store.current.store(id, Ordering::Release);
+    *store.chain.lock() = chain_after;
+    if !full {
+        ctx.record_delta_checkpoint(shipped);
+    }
+    // Post-publish: every frame in the redo log describes a commit the
+    // published chain captures, so truncate it. Failure is non-fatal —
+    // the stale frames carry generation ≤ `old` and both replay and
+    // scan-view patching skip them (`parse_log` / `log_mark`).
+    if let Err(e) = store.truncate_log(me) {
+        eprintln!("gda: redo truncation failed on rank {me} (non-fatal): {e}");
+    }
     ctx.barrier();
     let per_rank_bytes = ctx.allgather(bytes);
+    let per_rank_chunks = ctx.allgather(shipped);
     let stall_ns = ctx.allreduce_max_f64(ctx.now_ns() - sim0);
-    if ctx.rank() == 0 {
+    if me == 0 {
         store.gc(id);
         *store.last_checkpoint.lock() = Some(CheckpointReport {
             id,
+            full,
             per_rank_bytes,
+            per_rank_chunks,
             sim_stall_s: stall_ns / 1e9,
             wall_s: wall0.elapsed().as_secs_f64(),
         });
@@ -1437,7 +1772,7 @@ impl RecoveryPlan {
         let snap_read: GdiResult<Option<RankSnapshot>> = if self.snapshot_id == 0 {
             Ok(None)
         } else {
-            read_rank_snapshot_file(&store, self.snapshot_id, me, eng.cfg(), eng.nranks()).and_then(
+            read_rank_snapshot_chain(&store, &store.chain(), me, eng.cfg(), eng.nranks()).and_then(
                 |snap| {
                     for (win, bytes) in ALL_WINDOWS.iter().zip(&snap.windows) {
                         if bytes.len() != ctx.win_len_bytes(*win) {
@@ -1448,9 +1783,9 @@ impl RecoveryPlan {
                 },
             )
         };
-        // only a genuinely absent redo segment counts as an empty tail;
+        // only a genuinely absent redo log counts as an empty tail;
         // any other I/O error must surface, not silently drop commits
-        let log_path = store.log_path(self.snapshot_id, me);
+        let log_path = store.log_path(me);
         let log_read = match fs::read(&log_path) {
             Ok(b) => Ok(b),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
@@ -1479,8 +1814,13 @@ impl RecoveryPlan {
         }
 
         // ---- parse the redo tail, truncate any torn frame -----------
+        // Frames stamped below the snapshot id are leftovers of a crash
+        // between publish and truncation (or a failed truncation):
+        // their commits are already in the restored chain, and
+        // re-applying a pre-snapshot *delete* against post-snapshot
+        // state would free blocks the free list already owns.
         let log_bytes = log_read.unwrap();
-        let (records, valid_len) = parse_log(&log_bytes);
+        let (records, valid_len) = parse_log(&log_bytes, self.snapshot_id);
         if valid_len < log_bytes.len() {
             if let Ok(f) = OpenOptions::new().write(true).open(&log_path) {
                 let _ = f.set_len(valid_len as u64);
@@ -1652,7 +1992,11 @@ impl RecoveryPlan {
         out.wall_restore_s = wall0.elapsed().as_secs_f64();
 
         // ---- fresh checkpoint: the next crash replays from here -----
-        out.final_checkpoint = eng.checkpoint().ok();
+        // Always a full rebase: a delta would chain this (possibly
+        // resharded — different rank count!) state onto the pre-crash
+        // chain, and the reshard path rebuilds windows logically, so
+        // its dirty map does not cover everything the old base lacks.
+        out.final_checkpoint = eng.checkpoint_full().ok();
 
         self.stats.lock()[me] = Some(out.clone());
         Ok(out)
@@ -1903,7 +2247,7 @@ pub fn recover_with_topology(
     }
 
     let backend = opts.backend;
-    let store = PersistStore::new(opts, live_ranks, current);
+    let store = PersistStore::new(opts, live_ranks, current, manifest.chain.clone());
 
     // elastic path: read the P snapshot shards + logs and build the
     // redistribution plan (same topology skips straight to the
@@ -1919,23 +2263,28 @@ pub fn recover_with_topology(
                 snap_bytes.push(0);
                 continue;
             }
-            let snap =
-                read_rank_snapshot_file(&store, current, rank, &manifest.cfg, snapshot_ranks)?;
+            let snap = read_rank_snapshot_chain(
+                &store,
+                &manifest.chain,
+                rank,
+                &manifest.cfg,
+                snapshot_ranks,
+            )?;
             snap_bytes.push(snap.bytes);
             snapshots.push(Some(snap));
         }
         let mut logs: Vec<Vec<RedoRecord>> = Vec::with_capacity(snapshot_ranks);
         let mut log_bytes = Vec::with_capacity(snapshot_ranks);
         for rank in 0..snapshot_ranks {
-            // the P-topology segments are read-only here (no
-            // truncation): they must stay intact for a fallback
-            // same-topology recovery should the reshard abort
-            let bytes = match fs::read(store.log_path(current, rank)) {
+            // the P-topology logs are read-only here (no truncation):
+            // they must stay intact for a fallback same-topology
+            // recovery should the reshard abort
+            let bytes = match fs::read(store.log_path(rank)) {
                 Ok(b) => b,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
                 Err(e) => return Err(io_err("read redo segment", e)),
             };
-            let (records, valid_len) = parse_log(&bytes);
+            let (records, valid_len) = parse_log(&bytes, current);
             log_bytes.push(valid_len as u64);
             logs.push(records);
         }
@@ -2017,21 +2366,29 @@ pub(crate) mod tests {
                 version: 11,
             },
         ];
-        let mut log = encode_frame(&records[..1]);
-        log.extend_from_slice(&encode_frame(&records[1..]));
+        let mut log = encode_frame(&records[..1], 3);
+        log.extend_from_slice(&encode_frame(&records[1..], 4));
         let full_len = log.len();
-        let (parsed, len) = parse_log(&log);
+        let (parsed, len) = parse_log(&log, 0);
         assert_eq!(parsed, records);
         assert_eq!(len, full_len);
         // torn tail: drop the final byte — the last frame is ignored
-        let (parsed, len) = parse_log(&log[..full_len - 1]);
+        let (parsed, len) = parse_log(&log[..full_len - 1], 0);
         assert_eq!(parsed, records[..1]);
         assert!(len < full_len);
         // corrupt checksum: flip a payload byte of frame 2
         let mut bad = log.clone();
         *bad.last_mut().unwrap() ^= 0xFF;
-        let (parsed, _) = parse_log(&bad);
+        let (parsed, _) = parse_log(&bad, 0);
         assert_eq!(parsed, records[..1]);
+        // generation filter: frames below min_gen parse (their bytes
+        // count toward the valid prefix) but contribute no records
+        let (parsed, len) = parse_log(&log, 4);
+        assert_eq!(parsed, records[1..]);
+        assert_eq!(len, full_len);
+        let (parsed, len) = parse_log(&log, 5);
+        assert!(parsed.is_empty());
+        assert_eq!(len, full_len);
     }
 
     #[test]
@@ -2076,12 +2433,13 @@ pub(crate) mod tests {
         db.indexes
             .create("people", vec![LabelId(1)], vec![])
             .unwrap();
-        let m = manifest_from_db(&db, 5);
+        let m = manifest_from_db(&db, 5, vec![3, 4, 5]);
         let bytes = encode_manifest(&m);
         let back = decode_manifest(&bytes).unwrap();
         assert_eq!(back.id, 5);
         assert_eq!(back.name, "mani");
         assert_eq!(back.nranks, 4);
+        assert_eq!(back.chain, vec![3, 4, 5]);
         assert_eq!(back.meta, db.meta.export_parts());
         assert_eq!(back.index_defs, db.indexes.export_defs().0);
         // corruption is detected
@@ -3066,18 +3424,20 @@ pub(crate) mod tests {
         });
     }
 
-    /// Regression: when a *peer* rank's log rotation fails late in the
-    /// checkpoint collective (every snapshot file already on disk),
-    /// the unwind deletes the new snapshot directory — so `CURRENT`
-    /// must still name the previous snapshot, post-failure commits must
-    /// keep appending to the previous segment, and recovery from that
-    /// state must see every committed write.
+    /// Regression: a *peer* rank's redo-log truncation failing after
+    /// `CURRENT` has been published must be non-fatal — the checkpoint
+    /// still succeeds — and the stale frames it leaves behind (a
+    /// create *and delete* of app 40, both already captured by the
+    /// snapshot) must be skipped at replay via their generation stamp.
+    /// Without the stamp, replaying the stale delete against the new
+    /// snapshot double-frees blocks the free list already owns, which
+    /// the end-of-test pool accounting catches.
     #[test]
-    fn failed_peer_rotation_keeps_previous_snapshot_current() {
-        let td = TestDir::new("failrotate");
+    fn failed_peer_truncation_is_nonfatal_and_stale_frames_are_skipped() {
+        let td = TestDir::new("failtrunc");
         let cfg = GdaConfig::tiny();
         {
-            let (db, fabric) = GdaDb::with_fabric("fr", cfg, 2, CostModel::zero());
+            let (db, fabric) = GdaDb::with_fabric("ft", cfg, 2, CostModel::zero());
             let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
             fabric.run(|ctx| {
                 let eng = db.attach(ctx);
@@ -3091,22 +3451,33 @@ pub(crate) mod tests {
                 }
                 ctx.barrier();
                 assert_eq!(eng.checkpoint().unwrap(), 1);
-                // a commit in checkpoint 1's redo tail
-                if ctx.rank() == 0 {
+                // rank 1's log: create and delete app 40 — both of
+                // these land in checkpoint 2's snapshot, so replaying
+                // them *against* it is the double-free hazard
+                if ctx.rank() == 1 {
                     let tx = eng.begin(AccessMode::ReadWrite);
                     tx.create_vertex(AppVertexId(40)).unwrap();
                     tx.commit().unwrap();
-                    store.inject_rotate_failures(1);
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    let v = tx.translate_vertex_id(AppVertexId(40)).unwrap();
+                    tx.delete_vertex(v).unwrap();
+                    tx.commit().unwrap();
+                    store.inject_truncate_failures(1);
                 }
                 ctx.barrier();
-                assert!(eng.checkpoint().is_err(), "peer rotation failure surfaces");
-                assert_eq!(store.current(), 1);
-                assert!(!store.ckpt_dir_exists(2));
-                // the on-disk pointer still names the surviving snapshot
+                // truncation fails on rank 1, yet the checkpoint stands
+                assert_eq!(eng.checkpoint().unwrap(), 2);
+                assert_eq!(store.current(), 2);
+                assert!(store.ckpt_dir_exists(2));
                 let cur = fs::read_to_string(td.0.join("CURRENT")).unwrap();
-                assert_eq!(cur.trim(), "1", "CURRENT must not dangle at ckpt-2");
-                // commits after the failed checkpoint stay durable
-                if ctx.rank() == 0 {
+                assert_eq!(cur.trim(), "2");
+                // rank 1's log still holds the stale generation-1 frames
+                if ctx.rank() == 1 {
+                    assert!(
+                        fs::metadata(td.0.join("redo-rank-1.log")).unwrap().len() > 0,
+                        "the failed truncation must leave the stale frames"
+                    );
+                    // and new commits append *after* them, generation 2
                     let tx = eng.begin(AccessMode::ReadWrite);
                     tx.create_vertex(AppVertexId(50)).unwrap();
                     tx.commit().unwrap();
@@ -3115,16 +3486,198 @@ pub(crate) mod tests {
             });
         }
         let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
-        assert_eq!(plan.snapshot_id(), 1);
+        assert_eq!(plan.snapshot_id(), 2);
         fabric.run(|ctx| {
             let eng = db.attach(ctx);
             let rec = plan.restore_rank(&eng).unwrap();
             assert_eq!(rec.errors, 0, "{rec:?}");
             let tx = eng.begin(AccessMode::ReadOnly);
-            for i in [0u64, 1, 2, 3, 40, 50] {
+            for i in [0u64, 1, 2, 3, 50] {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            assert!(
+                tx.translate_vertex_id(AppVertexId(40)).is_err(),
+                "the stale frames must not resurrect app 40"
+            );
+            tx.commit().unwrap();
+            ctx.barrier();
+            // pool accounting: deleting everything drains both pools
+            // back to full — a replayed stale delete corrupts this
+            if ctx.rank() == 0 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in [0u64, 1, 2, 3, 50] {
+                    let v = tx.translate_vertex_id(AppVertexId(i)).unwrap();
+                    tx.delete_vertex(v).unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            ctx.barrier();
+            assert_eq!(eng.bm.count_free(0), eng.cfg().blocks_per_rank);
+            assert_eq!(eng.bm.count_free(1), eng.cfg().blocks_per_rank);
+            ctx.barrier();
+        });
+    }
+
+    /// Regression (stale-mark patching): a `log_mark` taken before a
+    /// checkpoint must not be usable afterwards. The redo file keeps
+    /// its name and is truncated at publish, so once post-checkpoint
+    /// commits regrow the file past the marked length, a length-only
+    /// mark would silently read unrelated bytes (typically mid-frame →
+    /// an empty "delta") instead of forcing the rebuild.
+    #[test]
+    fn log_mark_from_previous_generation_forces_rebuild() {
+        let td = TestDir::new("stalemark");
+        let cfg = GdaConfig::tiny();
+        let (db, fabric) = GdaDb::with_fabric("sm", cfg, 1, CostModel::zero());
+        let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let tx = eng.begin(AccessMode::ReadWrite);
+            tx.create_vertex(AppVertexId(1)).unwrap();
+            tx.commit().unwrap();
+            let mark = store.log_mark(0);
+            // sanity: the tail after the mark is addressable pre-ckpt
+            let tx = eng.begin(AccessMode::ReadWrite);
+            tx.create_vertex(AppVertexId(2)).unwrap();
+            tx.commit().unwrap();
+            assert!(!store.read_log_tail(0, mark).unwrap().is_empty());
+            // a checkpoint truncates the log and bumps the generation
+            eng.checkpoint().unwrap();
+            // regrow the file well past the marked length
+            for i in 10..30u64 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(i)).unwrap();
+                tx.commit().unwrap();
+            }
+            let len_now = fs::metadata(td.0.join("redo-rank-0.log")).unwrap().len();
+            assert!(len_now > mark.1, "the file must have regrown past the mark");
+            assert!(
+                store.read_log_tail(0, mark).is_none(),
+                "a pre-checkpoint mark must force a rebuild, not patch"
+            );
+            // a fresh mark patches normally again
+            let mark2 = store.log_mark(0);
+            let tx = eng.begin(AccessMode::ReadWrite);
+            tx.create_vertex(AppVertexId(90)).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(store.read_log_tail(0, mark2).unwrap().len(), 1);
+        });
+    }
+
+    /// Delta checkpoints chain onto the full base, shrink with churn
+    /// rather than database size, survive recovery — and gc must keep
+    /// every chain member alive (the old `id - 1` rule would delete
+    /// the base right out from under the deltas).
+    #[test]
+    fn delta_chain_recovers_and_gc_keeps_base() {
+        let td = TestDir::new("deltachain");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("dc", cfg, 1, CostModel::zero());
+            let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in 0..40u64 {
+                    tx.create_vertex(AppVertexId(i)).unwrap();
+                }
+                tx.commit().unwrap();
+                // first checkpoint: full (chain was empty)
+                assert_eq!(eng.checkpoint().unwrap(), 1);
+                let full = store.last_checkpoint().unwrap();
+                assert!(full.full);
+                assert_eq!(store.chain(), vec![1]);
+                // small churn → delta, much smaller than the full image
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(100)).unwrap();
+                tx.commit().unwrap();
+                assert_eq!(eng.checkpoint().unwrap(), 2);
+                let delta = store.last_checkpoint().unwrap();
+                assert!(!delta.full, "small churn must produce a delta");
+                assert!(delta.per_rank_chunks.iter().sum::<u64>() > 0);
+                assert!(
+                    delta.per_rank_bytes.iter().sum::<u64>()
+                        < full.per_rank_bytes.iter().sum::<u64>() / 2,
+                    "delta {delta:?} vs full {full:?}"
+                );
+                // second delta: the old `n + 1 < id` gc rule would now
+                // delete ckpt-1 — the chain's base
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(101)).unwrap();
+                tx.commit().unwrap();
+                assert_eq!(eng.checkpoint().unwrap(), 3);
+                assert_eq!(store.chain(), vec![1, 2, 3]);
+                assert!(
+                    store.ckpt_dir_exists(1),
+                    "gc must never remove a delta chain's base"
+                );
+                // a redo tail on top of the chain
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(102)).unwrap();
+                tx.commit().unwrap();
+            });
+        }
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        assert_eq!(plan.snapshot_id(), 3);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0, "{rec:?}");
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in (0..40u64).chain([100, 101, 102]) {
                 tx.translate_vertex_id(AppVertexId(i)).unwrap();
             }
             tx.commit().unwrap();
+        });
+    }
+
+    /// A full rebase resets the chain, and gc of the *new* chain
+    /// reclaims the previous chain's files — while an injected gc
+    /// failure is non-fatal and a later gc catches up.
+    #[test]
+    fn rebase_resets_chain_and_gc_failure_is_nonfatal() {
+        let td = TestDir::new("rebase");
+        let cfg = GdaConfig::tiny();
+        let (db, fabric) = GdaDb::with_fabric("rb", cfg, 1, CostModel::zero());
+        let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let tx = eng.begin(AccessMode::ReadWrite);
+            for i in 0..20u64 {
+                tx.create_vertex(AppVertexId(i)).unwrap();
+            }
+            tx.commit().unwrap();
+            assert_eq!(eng.checkpoint().unwrap(), 1); // full
+            let tx = eng.begin(AccessMode::ReadWrite);
+            tx.create_vertex(AppVertexId(100)).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(eng.checkpoint().unwrap(), 2); // delta on 1
+            assert_eq!(store.chain(), vec![1, 2]);
+            // forced rebase with gc injected to fail: the checkpoint
+            // must still succeed and leave the stale chain on disk
+            store.inject_gc_failures(1);
+            let tx = eng.begin(AccessMode::ReadWrite);
+            tx.create_vertex(AppVertexId(101)).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(eng.checkpoint_full().unwrap(), 3);
+            assert!(store.last_checkpoint().unwrap().full);
+            assert_eq!(store.chain(), vec![3]);
+            assert!(store.ckpt_dir_exists(1), "failed gc removes nothing");
+            assert!(store.ckpt_dir_exists(2));
+            // the next checkpoint's gc catches up: only the live chain
+            // and its immediate predecessor survive
+            let tx = eng.begin(AccessMode::ReadWrite);
+            tx.create_vertex(AppVertexId(102)).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(eng.checkpoint().unwrap(), 4); // delta on 3
+            assert_eq!(store.chain(), vec![3, 4]);
+            assert!(!store.ckpt_dir_exists(1), "caught up");
+            assert!(!store.ckpt_dir_exists(2));
+            assert!(store.ckpt_dir_exists(3));
+            assert!(store.ckpt_dir_exists(4));
         });
     }
 }

@@ -625,6 +625,9 @@ pub(crate) fn restore_rank_resharded(
     // and post-reshard commits would be stranded on a topology the
     // pointer does not describe. A failure is therefore a recovery
     // failure (checkpoint errors are already collective).
-    out.final_checkpoint = Some(eng.checkpoint()?);
+    // Always a full rebase: a delta here would chain the Q-topology
+    // windows onto the P-topology chain, which no later recovery could
+    // read (the shard identity — rank count — changed underneath it).
+    out.final_checkpoint = Some(eng.checkpoint_full()?);
     Ok(out)
 }

@@ -219,18 +219,30 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
         let (bytes, _stamp) = hio::read_chain_validated(self.eng.ctx, self.eng.cfg(), id)?;
         let mut holder =
             Holder::try_decode(&bytes).ok_or(GdiError::NotFound("object (stale internal id)"))?;
+        // The walk is bounded by the live holder's recorded archive
+        // depth and requires strictly decreasing commit epochs of the
+        // same object: a `prev` that reaches freed (possibly reused)
+        // space — a truncated tail, or a vacuum racing this read — must
+        // read as *chain end*, never decode as a stranger's bytes.
+        let mut steps = holder.depth as usize;
         while holder.commit_epoch > snap {
-            if holder.prev == 0 {
+            if holder.prev == 0 || steps == 0 {
                 return Err(GdiError::NotFound("object (no version at snapshot)"));
             }
+            steps -= 1;
             let prev = DPtr::from_raw(holder.prev);
-            // archives are immutable while reachable (truncation frees
-            // only below the snapshot floor ≤ our pinned epoch), so a
-            // plain chain read suffices — validation still guards the
-            // free/reuse race of a concurrently deleted object
-            let (bytes, _stamp) = hio::read_chain_validated(self.eng.ctx, self.eng.cfg(), prev)?;
-            holder = Holder::try_decode(&bytes)
-                .ok_or(GdiError::NotFound("object (stale internal id)"))?;
+            // archives reachable from a pinned snapshot are immutable
+            // (truncation and vacuum free only below the snapshot floor
+            // ≤ our pinned epoch); any validated-read failure therefore
+            // means the link left the live chain — chain end, not error
+            let Some(next) = hio::read_chain_validated(self.eng.ctx, self.eng.cfg(), prev)
+                .ok()
+                .and_then(|(bytes, _stamp)| Holder::try_decode(&bytes))
+                .filter(|h| h.commit_epoch < holder.commit_epoch && h.app_id == holder.app_id)
+            else {
+                return Err(GdiError::NotFound("object (no version at snapshot)"));
+            };
+            holder = next;
         }
         self.eng.ctx().record_snapshot_read();
         Ok(holder)
@@ -1263,24 +1275,28 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
     /// newest → oldest from `head`, keep every version with
     /// `commit_epoch > floor` **plus the first with epoch ≤ floor** (the
     /// version every snapshot ≥ floor resolves to), free the strictly
-    /// older rest. The last kept archive's `prev` is left dangling —
-    /// harmless, since no reader with a live pin ever walks past the
-    /// first version at or below its (≥ floor) snapshot. Returns the
-    /// number of archives kept. Caller holds the object's write lock,
-    /// so the chain cannot change underneath.
+    /// older rest — then **seal the cut**: the last kept archive's
+    /// `prev` still names the first freed block, so it is zeroed in
+    /// place (one aligned word write into the archive's primary block;
+    /// archives never change otherwise, so no reader can tear on it).
+    /// An unsealed cut is a dangling pointer into freed — eventually
+    /// reused — space, and every later walk of this chain (a pinned
+    /// reader, the maintenance vacuum, the delete path's
+    /// [`Self::free_archives`]) would need to *guess* where the chain
+    /// ends. Returns the number of archives kept. Caller holds the
+    /// object's write lock, so the chain cannot change underneath.
     ///
-    /// `live` bounds the walk to the holder's recorded archive depth:
-    /// a *previous* truncation of this chain left the last kept
-    /// archive's `prev` dangling into freed (possibly reused) space,
-    /// so walking by pointers alone can double-free or cycle. The
-    /// depth is exactly the number of live archives, so the walk must
-    /// stop there.
+    /// `live` bounds the walk to the holder's recorded archive depth,
+    /// defence in depth against a chain whose seal never made it to the
+    /// window (a crash between the frees and the word write): walking
+    /// by pointers alone could double-free or cycle.
     fn truncate_chain(&self, head: u64, floor: u64, live: usize) -> usize {
         let mut kept = 0usize;
         let mut freed = 0u64;
         let mut cut = false;
         let mut cur = head;
         let mut seen = 0usize;
+        let mut tail: Option<DPtr> = None;
         while cur != 0 && seen < live {
             seen += 1;
             let dp = DPtr::from_raw(cur);
@@ -1297,11 +1313,15 @@ impl<'r, 'd, 'c, 'f> Transaction<'r, 'd, 'c, 'f> {
                 kept += 1;
                 if h.commit_epoch <= floor {
                     cut = true;
+                    tail = Some(dp);
                 }
             }
             cur = h.prev;
         }
         if freed > 0 {
+            if let Some(dp) = tail {
+                crate::maint::seal_chain_tail(self.eng.ctx, dp);
+            }
             self.eng.ctx().record_chain_truncation(freed);
         }
         kept

@@ -1,0 +1,315 @@
+//! Differential oracle for incremental-checkpoint recovery: a churn
+//! workload executed against a persistent database — with full and
+//! delta checkpoints, maintenance vacuums and a redo tail interleaved —
+//! then crashed and recovered must read back exactly the state the
+//! uninterrupted execution produced (tracked by an in-test model),
+//! across rank counts P ∈ {1, 2, 4} and property-tested churn mixes.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gda::blocks::BlockManager;
+use gda::{GdaConfig, GdaDb, PersistOptions};
+use gdi::{AccessMode, AppVertexId, Datatype, EntityType, Multiplicity, PropertyValue, SizeType};
+use proptest::prelude::*;
+use rma::CostModel;
+
+/// A unique, self-cleaning persistence directory for one run.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gda-delta-oracle-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TestDir(dir)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Enough headroom for the model's live vertices plus their (bounded)
+/// MVCC archive chains at P = 1.
+fn churn_cfg() -> GdaConfig {
+    GdaConfig {
+        blocks_per_rank: 512,
+        ..GdaConfig::tiny()
+    }
+}
+
+/// One generated mutation, interpreted against the model: inserts pick
+/// a fresh id, updates/deletes pick an existing one (falling back to
+/// insert when the model is empty).
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    Insert,
+    Update(u16),
+    Delete(u16),
+}
+
+fn decode_churn(code: u8, sel: u16, mix: usize) -> Churn {
+    // three mixes: insert-heavy, update-heavy, delete-heavy
+    let (ins, upd) = match mix {
+        0 => (140u8, 230u8),
+        1 => (60, 220),
+        _ => (80, 160),
+    };
+    if code < ins {
+        Churn::Insert
+    } else if code < upd {
+        Churn::Update(sel)
+    } else {
+        Churn::Delete(sel)
+    }
+}
+
+/// Run `ops` as one-commit-per-op churn on rank 0 of a fresh persistent
+/// `p`-rank database, checkpointing every `ckpt_every` ops on all ranks
+/// and running a collective maintenance pass every `2 * ckpt_every`
+/// ops. Returns the model the surviving state must equal: app id → the
+/// last committed property value, plus every id that was deleted.
+fn run_and_crash(
+    dir: &TestDir,
+    p: usize,
+    ops: &[(u8, u16)],
+    mix: usize,
+    ckpt_every: usize,
+) -> (BTreeMap<u64, u64>, Vec<u64>) {
+    let cfg = churn_cfg();
+    let (db, fabric) = GdaDb::with_fabric("oracle", cfg, p, CostModel::zero());
+    db.enable_persistence(PersistOptions::new(&dir.0)).unwrap();
+    let mut out = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        eng.init_collective();
+        if ctx.rank() == 0 {
+            eng.create_ptype(
+                "val",
+                Datatype::Uint64,
+                EntityType::Vertex,
+                Multiplicity::Single,
+                SizeType::Fixed,
+                1,
+            )
+            .unwrap();
+        }
+        ctx.barrier();
+        eng.refresh_meta();
+        let val = eng.meta().ptype_from_name("val").unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut deleted: Vec<u64> = Vec::new();
+        let mut next_id = 1u64;
+        for (i, &(code, sel)) in ops.iter().enumerate() {
+            // every rank walks the same schedule so the collective
+            // checkpoint/maintenance points line up; only rank 0 mutates
+            if ctx.rank() == 0 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                let mut op = decode_churn(code, sel, mix);
+                if model.is_empty() && !matches!(op, Churn::Insert) {
+                    op = Churn::Insert;
+                }
+                match op {
+                    Churn::Insert => {
+                        let id = next_id;
+                        next_id += 1;
+                        let v = tx.create_vertex(AppVertexId(id)).unwrap();
+                        tx.add_property(v, val, &PropertyValue::U64(i as u64))
+                            .unwrap();
+                        model.insert(id, i as u64);
+                    }
+                    Churn::Update(s) => {
+                        let id = *model.keys().nth(s as usize % model.len()).unwrap();
+                        let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+                        tx.update_property(v, val, &PropertyValue::U64(i as u64))
+                            .unwrap();
+                        model.insert(id, i as u64);
+                    }
+                    Churn::Delete(s) => {
+                        let id = *model.keys().nth(s as usize % model.len()).unwrap();
+                        let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+                        tx.delete_vertex(v).unwrap();
+                        model.remove(&id);
+                        deleted.push(id);
+                    }
+                }
+                tx.commit().unwrap();
+            }
+            if (i + 1) % ckpt_every == 0 {
+                ctx.barrier();
+                eng.checkpoint().unwrap();
+            }
+            if (i + 1) % (2 * ckpt_every) == 0 {
+                ctx.barrier();
+                eng.maintenance().unwrap();
+            }
+        }
+        ctx.barrier();
+        (model, deleted)
+    });
+    // rank 0 built the authoritative model; dropping db + fabric here
+    // without a final checkpoint is the crash (the tail ops since the
+    // last checkpoint live only in the redo logs)
+    out.swap_remove(0)
+}
+
+/// Recover the crashed store and compare every surviving and deleted id
+/// against the model.
+fn recover_and_check(dir: &TestDir, model: &BTreeMap<u64, u64>, deleted: &[u64]) {
+    let (db, fabric, plan) =
+        gda::persist::recover(PersistOptions::new(&dir.0), CostModel::zero()).unwrap();
+    let model = model.clone();
+    let deleted = deleted.to_vec();
+    fabric.run(move |ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0, "replay errors: {rec:?}");
+        ctx.barrier();
+        if ctx.rank() == 0 {
+            let val = eng.meta().ptype_from_name("val").unwrap();
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for (&id, &want) in &model {
+                let v = tx
+                    .translate_vertex_id(AppVertexId(id))
+                    .unwrap_or_else(|e| panic!("live vertex {id} lost: {e}"));
+                assert_eq!(
+                    tx.property(v, val).unwrap(),
+                    Some(PropertyValue::U64(want)),
+                    "vertex {id} diverged from the uninterrupted execution"
+                );
+            }
+            for &id in &deleted {
+                assert!(
+                    tx.translate_vertex_id(AppVertexId(id)).is_err(),
+                    "deleted vertex {id} resurrected"
+                );
+            }
+            tx.commit().unwrap();
+        }
+        ctx.barrier();
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn delta_chain_recovery_matches_uninterrupted_execution(
+        ops in prop::collection::vec((any::<u8>(), any::<u16>()), 40..80),
+        mix in 0usize..3,
+        ckpt_every in 5usize..14,
+    ) {
+        for p in [1usize, 2, 4] {
+            let dir = TestDir::new(&format!("p{p}"));
+            let (model, deleted) = run_and_crash(&dir, p, &ops, mix, ckpt_every);
+            recover_and_check(&dir, &model, &deleted);
+        }
+    }
+}
+
+/// Vacuum-then-recover round trip: archives reclaimed by the
+/// maintenance vacuum must not resurrect through a checkpoint/recovery
+/// cycle — recovered state reads the latest values only, and deleting
+/// everything returns the whole pool (no vacuumed block comes back
+/// allocated).
+#[test]
+fn vacuumed_archives_do_not_resurrect_through_recovery() {
+    let dir = TestDir::new("vac-rt");
+    let cfg = churn_cfg();
+    {
+        let (db, fabric) = GdaDb::with_fabric("vac", cfg, 1, CostModel::zero());
+        db.enable_persistence(PersistOptions::new(&dir.0)).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let val = eng
+                .create_ptype(
+                    "val",
+                    Datatype::Uint64,
+                    EntityType::Vertex,
+                    Multiplicity::Single,
+                    SizeType::Fixed,
+                    1,
+                )
+                .unwrap();
+            let tx = eng.begin(AccessMode::ReadWrite);
+            for id in 1..=8u64 {
+                let v = tx.create_vertex(AppVertexId(id)).unwrap();
+                tx.add_property(v, val, &PropertyValue::U64(id)).unwrap();
+            }
+            tx.commit().unwrap();
+            eng.checkpoint().unwrap();
+            // pile archives onto the first four chains, then vacuum them
+            for round in 0..3u64 {
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for id in 1..=4u64 {
+                    let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+                    tx.update_property(v, val, &PropertyValue::U64(100 * round + id))
+                        .unwrap();
+                }
+                tx.commit().unwrap();
+            }
+            let rep = eng.maintenance().unwrap();
+            assert!(rep.vacuumed_versions >= 1, "{rep:?}");
+            // final values, vacuumed again so the published checkpoint
+            // contains no archive blocks, then publish
+            let tx = eng.begin(AccessMode::ReadWrite);
+            for id in 1..=4u64 {
+                let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+                tx.update_property(v, val, &PropertyValue::U64(1000 + id))
+                    .unwrap();
+            }
+            tx.commit().unwrap();
+            eng.maintenance().unwrap();
+            eng.checkpoint().unwrap();
+            // redo tail past the publish: inserts only (no archives)
+            let tx = eng.begin(AccessMode::ReadWrite);
+            for id in 9..=10u64 {
+                let v = tx.create_vertex(AppVertexId(id)).unwrap();
+                tx.add_property(v, val, &PropertyValue::U64(id)).unwrap();
+            }
+            tx.commit().unwrap();
+        });
+        // crash
+    }
+    let (db, fabric, plan) =
+        gda::persist::recover(PersistOptions::new(&dir.0), CostModel::zero()).unwrap();
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0);
+        let val = eng.meta().ptype_from_name("val").unwrap();
+        let tx = eng.begin(AccessMode::ReadOnly);
+        for id in 1..=4u64 {
+            let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+            assert_eq!(
+                tx.property(v, val).unwrap(),
+                Some(PropertyValue::U64(1000 + id)),
+                "vertex {id} must read its latest value, not a vacuumed one"
+            );
+        }
+        for id in 5..=10u64 {
+            let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+            assert_eq!(tx.property(v, val).unwrap(), Some(PropertyValue::U64(id)));
+        }
+        tx.commit().unwrap();
+        // delete everything: if a vacuumed archive had resurrected as an
+        // allocated block, the pool would come up short
+        let tx = eng.begin(AccessMode::ReadWrite);
+        for id in 1..=10u64 {
+            let v = tx.translate_vertex_id(AppVertexId(id)).unwrap();
+            tx.delete_vertex(v).unwrap();
+        }
+        tx.commit().unwrap();
+        eng.maintenance().unwrap();
+        let bm = BlockManager::new(ctx, churn_cfg());
+        assert_eq!(bm.count_free(0), churn_cfg().blocks_per_rank);
+    });
+}

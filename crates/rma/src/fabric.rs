@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 use crate::backend::{BackendKind, FabricTime};
 use crate::barrier::PoisonBarrier;
 use crate::cost::CostModel;
+use crate::dirty::DirtyMap;
 use crate::stats::{CommStats, RankReport};
 use crate::window::Window;
 
@@ -38,6 +39,9 @@ pub(crate) struct Shared {
     /// Collective exchange board, one slot per rank.
     pub boards: Vec<Mutex<Option<Arc<dyn Any + Send + Sync>>>>,
     pub barrier: PoisonBarrier,
+    /// Dirty-chunk bitmaps fed by every one-sided write (the delta-
+    /// checkpoint capture layer; see [`crate::dirty`]).
+    pub dirty: DirtyMap,
 }
 
 /// Builder for a [`Fabric`].
@@ -46,6 +50,7 @@ pub struct FabricBuilder {
     window_bytes: Vec<usize>,
     cost: CostModel,
     backend: Option<BackendKind>,
+    dirty_chunk: usize,
 }
 
 impl FabricBuilder {
@@ -58,6 +63,7 @@ impl FabricBuilder {
             window_bytes: Vec::new(),
             cost: CostModel::default(),
             backend: None,
+            dirty_chunk: crate::dirty::DEFAULT_CHUNK_BYTES,
         }
     }
 
@@ -84,6 +90,16 @@ impl FabricBuilder {
         self
     }
 
+    /// Granularity (bytes) of the dirty-chunk write tracking (defaults
+    /// to [`crate::dirty::DEFAULT_CHUNK_BYTES`]). Engines align it with
+    /// their storage unit — GDA passes its block size, so one dirty bit
+    /// is one block.
+    pub fn dirty_chunk(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 8, "dirty chunk must cover at least a word");
+        self.dirty_chunk = bytes;
+        self
+    }
+
     pub fn build(self) -> Fabric {
         let backend = self.backend.unwrap_or_else(BackendKind::from_env);
         let windows = (0..self.nranks)
@@ -91,6 +107,7 @@ impl FabricBuilder {
             .collect();
         let clocks = (0..self.nranks).map(|_| AtomicU64::new(0)).collect();
         let boards = (0..self.nranks).map(|_| Mutex::new(None)).collect();
+        let dirty = DirtyMap::new(self.nranks, &self.window_bytes, self.dirty_chunk);
         Fabric {
             shared: Arc::new(Shared {
                 nranks: self.nranks,
@@ -100,6 +117,7 @@ impl FabricBuilder {
                 clocks,
                 boards,
                 barrier: PoisonBarrier::new(self.nranks),
+                dirty,
             }),
             last_reports: Mutex::new(Vec::new()),
         }
@@ -446,6 +464,60 @@ impl<'a> RankCtx<'a> {
         self.stats.record_chain_truncation(versions);
     }
 
+    /// Record one completed collective maintenance pass on this rank
+    /// (vacuum + compaction + free-list rebuild + verify; see
+    /// `gda::maint`).
+    pub fn record_maintenance_pass(&self) {
+        self.stats.record_maintenance_pass();
+    }
+
+    /// Record `versions` archived versions freed by the background MVCC
+    /// vacuum (distinct from commit-path truncation).
+    pub fn record_vacuum(&self, versions: u64) {
+        self.stats.record_vacuum(versions);
+    }
+
+    /// Record one holder chain rewritten contiguously by the
+    /// maintenance compactor (`blocks` continuation blocks relocated).
+    pub fn record_compaction(&self, blocks: u64) {
+        self.stats.record_compaction(blocks);
+    }
+
+    /// Record `bytes` of published snapshot-chain data re-read and
+    /// checksum-verified by the online verifier, of which `errors`
+    /// files failed verification.
+    pub fn record_verify(&self, bytes: u64, errors: u64) {
+        self.stats.record_verify(bytes, errors);
+    }
+
+    /// Record one delta (incremental) checkpoint image written by this
+    /// rank, covering `chunks` dirty chunks.
+    pub fn record_delta_checkpoint(&self, chunks: u64) {
+        self.stats.record_delta_checkpoint(chunks);
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty-chunk tracking (delta-checkpoint capture; see `crate::dirty`)
+    // ------------------------------------------------------------------
+
+    /// Granularity (bytes) of the fabric's dirty-chunk tracking.
+    pub fn dirty_chunk_bytes(&self) -> usize {
+        self.shared.dirty.chunk_bytes()
+    }
+
+    /// Drain and clear the dirty bitmaps of `rank`'s windows (one raw
+    /// bitmap per window, in window order). Call only while the fabric
+    /// is quiesced — concurrent writers could land in either epoch.
+    pub fn take_dirty(&self, rank: usize) -> Vec<Vec<u64>> {
+        self.shared.dirty.take(rank)
+    }
+
+    /// OR previously taken bitmaps back into `rank`'s dirty map (the
+    /// unwind path of an aborted checkpoint).
+    pub fn remark_dirty(&self, rank: usize, bitmaps: &[Vec<u64>]) {
+        self.shared.dirty.remark(rank, bitmaps)
+    }
+
     /// Quiesce the fabric: flush every peer, then synchronize all ranks
     /// (a barrier on the reconciled clock). After every rank returns,
     /// no one-sided operation issued before the quiesce is outstanding
@@ -547,6 +619,7 @@ impl<'a> RankCtx<'a> {
     pub fn put_bytes(&self, win: WinId, target: usize, off: usize, src: &[u8]) {
         self.charge_transfer(target, src.len());
         self.stats.record_put(target != self.rank, src.len());
+        self.shared.dirty.mark(win, target, off, src.len());
         self.win(win, target).write_bytes(off, src);
     }
 
@@ -561,6 +634,7 @@ impl<'a> RankCtx<'a> {
     pub fn put_u64(&self, win: WinId, target: usize, word: usize, v: u64) {
         self.charge_transfer(target, 8);
         self.stats.record_put(target != self.rank, 8);
+        self.shared.dirty.mark(win, target, word * 8, 8);
         self.win(win, target).store(word, v)
     }
 
@@ -577,6 +651,7 @@ impl<'a> RankCtx<'a> {
         self.clock
             .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
+        self.shared.dirty.mark(win, target, word * 8, 8);
         self.win(win, target).store(word, v)
     }
 
@@ -587,6 +662,10 @@ impl<'a> RankCtx<'a> {
         self.clock
             .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
+        // conservatively dirty even when the CAS loses — cheaper than
+        // branching on the outcome, and a false positive only re-ships
+        // one chunk
+        self.shared.dirty.mark(win, target, word * 8, 8);
         self.win(win, target).cas(word, compare, new)
     }
 
@@ -595,6 +674,7 @@ impl<'a> RankCtx<'a> {
         self.clock
             .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
+        self.shared.dirty.mark(win, target, word * 8, 8);
         self.win(win, target).fadd(word, delta)
     }
 
@@ -603,6 +683,7 @@ impl<'a> RankCtx<'a> {
         self.clock
             .advance(self.shared.cost.atomic(self.rank, target));
         self.stats.record_atomic(target != self.rank);
+        self.shared.dirty.mark(win, target, word * 8, 8);
         self.win(win, target).fsub(word, delta)
     }
 

@@ -55,6 +55,7 @@ pub mod backend;
 pub mod barrier;
 pub mod collectives;
 pub mod cost;
+pub mod dirty;
 pub mod fabric;
 pub mod stats;
 pub mod window;
@@ -62,6 +63,7 @@ pub mod window;
 pub use backend::{BackendKind, BACKEND_ENV};
 pub use barrier::PoisonBarrier;
 pub use cost::{CostModel, SimClock};
+pub use dirty::DirtyMap;
 pub use fabric::{Fabric, FabricBuilder, RankCtx, WinId};
 pub use stats::{CommStats, RankReport};
 pub use window::Window;

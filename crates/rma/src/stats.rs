@@ -42,6 +42,14 @@ pub struct CommStats {
     watermark_advances: Cell<u64>,
     version_archives: Cell<u64>,
     chain_truncations: Cell<u64>,
+    maintenance_passes: Cell<u64>,
+    vacuumed_versions: Cell<u64>,
+    compacted_chains: Cell<u64>,
+    compacted_blocks: Cell<u64>,
+    verified_bytes: Cell<u64>,
+    verify_errors: Cell<u64>,
+    delta_checkpoints: Cell<u64>,
+    delta_chunks: Cell<u64>,
 }
 
 impl CommStats {
@@ -219,6 +227,47 @@ impl CommStats {
             .set(self.chain_truncations.get() + versions);
     }
 
+    /// Record one completed collective maintenance pass on this rank
+    /// (the background vacuum/compaction/verify cycle of `gda::maint`).
+    #[inline]
+    pub fn record_maintenance_pass(&self) {
+        self.maintenance_passes
+            .set(self.maintenance_passes.get() + 1);
+    }
+
+    /// Record archived versions freed by the background MVCC vacuum
+    /// (distinct from commit-path truncation).
+    #[inline]
+    pub fn record_vacuum(&self, versions: u64) {
+        self.vacuumed_versions
+            .set(self.vacuumed_versions.get() + versions);
+    }
+
+    /// Record one holder chain rewritten contiguously by the
+    /// maintenance compactor (`blocks` continuation blocks relocated).
+    #[inline]
+    pub fn record_compaction(&self, blocks: u64) {
+        self.compacted_chains.set(self.compacted_chains.get() + 1);
+        self.compacted_blocks
+            .set(self.compacted_blocks.get() + blocks);
+    }
+
+    /// Record `bytes` of published snapshot-chain data re-read by the
+    /// online checksum verifier, `errors` of whose files failed.
+    #[inline]
+    pub fn record_verify(&self, bytes: u64, errors: u64) {
+        self.verified_bytes.set(self.verified_bytes.get() + bytes);
+        self.verify_errors.set(self.verify_errors.get() + errors);
+    }
+
+    /// Record one delta (incremental) checkpoint image written by this
+    /// rank, covering `chunks` dirty chunks.
+    #[inline]
+    pub fn record_delta_checkpoint(&self, chunks: u64) {
+        self.delta_checkpoints.set(self.delta_checkpoints.get() + 1);
+        self.delta_chunks.set(self.delta_chunks.get() + chunks);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -261,6 +310,14 @@ impl CommStats {
             watermark_advances: self.watermark_advances.get(),
             version_archives: self.version_archives.get(),
             chain_truncations: self.chain_truncations.get(),
+            maintenance_passes: self.maintenance_passes.get(),
+            vacuumed_versions: self.vacuumed_versions.get(),
+            compacted_chains: self.compacted_chains.get(),
+            compacted_blocks: self.compacted_blocks.get(),
+            verified_bytes: self.verified_bytes.get(),
+            verify_errors: self.verify_errors.get(),
+            delta_checkpoints: self.delta_checkpoints.get(),
+            delta_chunks: self.delta_chunks.get(),
             sim_time_ns: 0.0,
             wall_time_ns: 0.0,
         }
@@ -328,6 +385,23 @@ pub struct RankReport {
     pub version_archives: u64,
     /// Archived versions freed by commit-time chain truncation.
     pub chain_truncations: u64,
+    /// Collective maintenance passes this rank completed (vacuum +
+    /// compaction + free-list rebuild + verify; `gda::maint`).
+    pub maintenance_passes: u64,
+    /// Archived versions freed by the background MVCC vacuum.
+    pub vacuumed_versions: u64,
+    /// Holder chains rewritten contiguously by the compactor.
+    pub compacted_chains: u64,
+    /// Continuation blocks relocated by chain compaction.
+    pub compacted_blocks: u64,
+    /// Bytes of published snapshot-chain data checksum-verified online.
+    pub verified_bytes: u64,
+    /// Snapshot-chain files that failed online verification.
+    pub verify_errors: u64,
+    /// Delta (incremental) checkpoint images written by this rank.
+    pub delta_checkpoints: u64,
+    /// Dirty chunks shipped by those delta images.
+    pub delta_chunks: u64,
     /// Final simulated time of the rank in nanoseconds (0 on a
     /// wall-backend run — the wall backend never charges the sim clock).
     pub sim_time_ns: f64,
@@ -384,6 +458,14 @@ impl RankReport {
         self.watermark_advances += other.watermark_advances;
         self.version_archives += other.version_archives;
         self.chain_truncations += other.chain_truncations;
+        self.maintenance_passes += other.maintenance_passes;
+        self.vacuumed_versions += other.vacuumed_versions;
+        self.compacted_chains += other.compacted_chains;
+        self.compacted_blocks += other.compacted_blocks;
+        self.verified_bytes += other.verified_bytes;
+        self.verify_errors += other.verify_errors;
+        self.delta_checkpoints += other.delta_checkpoints;
+        self.delta_chunks += other.delta_chunks;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
         self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
     }

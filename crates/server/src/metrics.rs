@@ -189,6 +189,10 @@ pub struct ServerMetrics {
     pub wall_elapsed_s: f64,
     /// Successful collective checkpoints triggered through the server.
     pub checkpoints: u64,
+    /// Collective maintenance passes submitted through the server
+    /// (explicit [`crate::GdiServer::maintenance`] calls plus passes
+    /// scheduled by `ServerOptions::maintenance_interval`).
+    pub maintenance_runs: u64,
     /// Crash-recovery stats, when this server was booted via
     /// [`crate::GdiServer::recover`].
     pub recovery: Option<RecoverySummary>,
@@ -329,6 +333,53 @@ impl ServerMetrics {
     /// floor over all serving ranks.
     pub fn chain_truncations(&self) -> u64 {
         self.fabric_sum(|f| f.chain_truncations)
+    }
+
+    /// Engine-level maintenance passes over all serving ranks (each
+    /// collective pass counts once per rank).
+    pub fn maintenance_passes(&self) -> u64 {
+        self.fabric_sum(|f| f.maintenance_passes)
+    }
+
+    /// Archived MVCC versions reclaimed by the maintenance vacuum over
+    /// all serving ranks.
+    pub fn vacuumed_versions(&self) -> u64 {
+        self.fabric_sum(|f| f.vacuumed_versions)
+    }
+
+    /// Holder chains repacked by maintenance compaction over all
+    /// serving ranks.
+    pub fn compacted_chains(&self) -> u64 {
+        self.fabric_sum(|f| f.compacted_chains)
+    }
+
+    /// Continuation blocks moved by maintenance compaction over all
+    /// serving ranks.
+    pub fn compacted_blocks(&self) -> u64 {
+        self.fabric_sum(|f| f.compacted_blocks)
+    }
+
+    /// Snapshot-chain bytes checksum-verified by maintenance over all
+    /// serving ranks.
+    pub fn verified_bytes(&self) -> u64 {
+        self.fabric_sum(|f| f.verified_bytes)
+    }
+
+    /// Checksum/readability errors the snapshot verifier flagged over
+    /// all serving ranks (should be zero on a healthy store).
+    pub fn verify_errors(&self) -> u64 {
+        self.fabric_sum(|f| f.verify_errors)
+    }
+
+    /// Incremental (delta) checkpoints published over all serving ranks
+    /// (each collective delta checkpoint counts once per rank).
+    pub fn delta_checkpoints(&self) -> u64 {
+        self.fabric_sum(|f| f.delta_checkpoints)
+    }
+
+    /// Dirty chunks written by delta checkpoints over all serving ranks.
+    pub fn delta_chunks(&self) -> u64 {
+        self.fabric_sum(|f| f.delta_chunks)
     }
 
     /// Translation-cache hit fraction (0 when the cache was never probed).

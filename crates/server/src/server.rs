@@ -47,6 +47,15 @@ pub struct ServerOptions {
     pub poll_interval: Duration,
     /// Which serving rank a session's ops land on.
     pub route: RoutePolicy,
+    /// Background maintenance cadence: `Some(n)` makes rank 0's serve
+    /// loop submit a collective [`GdaRank::maintenance`] pass after
+    /// every `n` drain cycles it executes (MVCC vacuum below the
+    /// snapshot floor, free-list vacuum, chain compaction, snapshot
+    /// checksum verification). Passes ride the OLAP rendezvous, so they
+    /// run between batches when no transaction is in flight. `None`
+    /// (the default) leaves maintenance to explicit
+    /// [`GdiServer::maintenance`] calls.
+    pub maintenance_interval: Option<u64>,
 }
 
 /// Which serving rank executes a submitted op.
@@ -76,6 +85,7 @@ impl Default for ServerOptions {
             admission: AdmissionPolicy::Block,
             poll_interval: Duration::from_micros(200),
             route: RoutePolicy::Owner,
+            maintenance_interval: None,
         }
     }
 }
@@ -155,6 +165,10 @@ struct ServerInner {
     pause_cv: Condvar,
     /// Successful collective checkpoints triggered through this server.
     checkpoints: AtomicU64,
+    /// Collective maintenance passes submitted through this server
+    /// (explicit [`GdiServer::maintenance`] calls plus scheduled passes
+    /// from [`ServerOptions::maintenance_interval`]).
+    maintenance_runs: AtomicU64,
     /// Pending (or completed) crash-recovery plan; serve loops run it
     /// collectively before their first drain.
     recovery: Mutex<Option<Arc<RecoveryPlan>>>,
@@ -216,6 +230,7 @@ impl GdiServer {
             paused: Mutex::new(0),
             pause_cv: Condvar::new(),
             checkpoints: AtomicU64::new(0),
+            maintenance_runs: AtomicU64::new(0),
             recovery: Mutex::new(None),
             recovery_stats: Mutex::new((0..nranks).map(|_| None).collect()),
             backend: Mutex::new(None),
@@ -369,6 +384,53 @@ impl GdiServer {
             }
             OpOutcome::Committed(_) => Err(GdiError::Io("checkpoint failed; see rank logs".into())),
             _ => Err(GdiError::Io("checkpoint job did not complete".into())),
+        }
+    }
+
+    /// Run one collective background-maintenance pass while serving:
+    /// pauses admission, rendezvouses every serving rank through the
+    /// collective-job machinery (each runs [`GdaRank::maintenance`] —
+    /// MVCC version vacuum below the snapshot floor, free-list vacuum,
+    /// holder-chain compaction, snapshot checksum verification), resumes
+    /// admission and returns the aggregated report. The pass runs at
+    /// the OLAP rendezvous point, where no serve-loop transaction is in
+    /// flight — the quiescence the maintenance passes require.
+    pub fn maintenance(&self) -> GdiResult<gda::MaintenanceReport> {
+        // report slot lives outside ServerInner so the job closure
+        // (stored inside ServerInner) never creates an Arc cycle
+        let slot: Arc<Mutex<Option<gda::MaintenanceReport>>> = Arc::new(Mutex::new(None));
+        let sink = slot.clone();
+        self.pause_admission();
+        let submitted = self.submit_olap(move |eng| match eng.maintenance() {
+            Ok(report) => {
+                // identical on every rank (the report is allreduce-summed)
+                *sink.lock() = Some(report);
+                1.0
+            }
+            Err(e) => {
+                eprintln!("[server] maintenance failed on rank {}: {e}", eng.rank());
+                0.0
+            }
+        });
+        let outcome = match submitted {
+            Ok(ticket) => ticket.wait(),
+            Err(_) => {
+                self.resume_admission();
+                return Err(GdiError::Io("server is shutting down".into()));
+            }
+        };
+        self.resume_admission();
+        match outcome {
+            OpOutcome::Committed(OpReply::Scalar(v)) if v > 0.5 => {
+                self.0.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+                slot.lock()
+                    .take()
+                    .ok_or(GdiError::Io("maintenance report missing".into()))
+            }
+            OpOutcome::Committed(_) => {
+                Err(GdiError::Io("maintenance failed; see rank logs".into()))
+            }
+            _ => Err(GdiError::Io("maintenance job did not complete".into())),
         }
     }
 
@@ -567,6 +629,29 @@ impl GdiServer {
             );
             read_timing.read_ns += t.read_ns;
             read_timing.read_ops += t.read_ops;
+            // background maintenance cadence: rank 0 enqueues a
+            // collective pass every n of its drain cycles; it executes
+            // at the next OLAP rendezvous, where no serve-loop
+            // transaction is in flight (the quiescence the passes need)
+            if rank == 0 {
+                if let Some(n) = inner.opts.maintenance_interval {
+                    if n > 0 && batches.is_multiple_of(n) {
+                        let ok = self.submit_olap(|eng| match eng.maintenance() {
+                            Ok(_) => 1.0,
+                            Err(e) => {
+                                eprintln!(
+                                    "[server] scheduled maintenance failed on rank {}: {e}",
+                                    eng.rank()
+                                );
+                                0.0
+                            }
+                        });
+                        if ok.is_ok() {
+                            inner.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
         }
         if trace {
             eprintln!("[serve r{rank}] exiting after {executed} ops / {batches} batches");
@@ -630,6 +715,7 @@ impl GdiServer {
             per_rank,
             wall_elapsed_s: inner.started.elapsed().as_secs_f64(),
             checkpoints: inner.checkpoints.load(Ordering::Relaxed),
+            maintenance_runs: inner.maintenance_runs.load(Ordering::Relaxed),
             recovery,
             backend: *inner.backend.lock(),
         }

@@ -23,6 +23,10 @@
 //! * [`recovery`] — the crash/restart axis: tracked traffic with a
 //!   mid-stream collective checkpoint, a kill, a recovery from disk,
 //!   and read-your-committed-writes verification across the restart;
+//! * [`maintenance`] — the churn-proportional durability axis: rounds
+//!   of update-heavy traffic, each closed by a delta checkpoint and a
+//!   collective maintenance pass (MVCC vacuum, compaction, snapshot
+//!   verification), killed and recovered from the full+delta chain;
 //! * [`reshard`] — the elastic axis: the same kill-and-restart, but the
 //!   recovered server boots a **different rank count** (scale-out and
 //!   scale-in across the restart), forcing the full redistribution
@@ -35,6 +39,7 @@ pub mod bi2;
 pub mod gnn;
 pub mod latency;
 pub mod locality;
+pub mod maintenance;
 pub mod olsp;
 pub mod oltp;
 pub mod queries;
