@@ -224,6 +224,28 @@ impl GdaConfig {
         self.fabric_builder(nranks, cost).backend(backend).build()
     }
 
+    /// Like [`GdaConfig::build_fabric`] with an optional backend pin and
+    /// an optional shared fault-injection plane (see [`crate::faults`]):
+    /// the shape [`crate::persist::recover`] uses so the fabric it boots
+    /// probes the same registry as the persistence store.
+    pub fn build_fabric_shared(
+        &self,
+        nranks: usize,
+        cost: CostModel,
+        backend: Option<BackendKind>,
+        faults: Option<std::sync::Arc<rma::FaultPlane>>,
+    ) -> Fabric {
+        self.validate();
+        let mut b = self.fabric_builder(nranks, cost);
+        if let Some(backend) = backend {
+            b = b.backend(backend);
+        }
+        if let Some(plane) = faults {
+            b = b.faults(plane);
+        }
+        b.build()
+    }
+
     fn fabric_builder(&self, nranks: usize, cost: CostModel) -> FabricBuilder {
         // one dirty-tracking chunk = one BGDL block: a delta checkpoint
         // ships exactly the blocks commits touched since the last one

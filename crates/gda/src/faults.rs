@@ -1,0 +1,90 @@
+//! The engine's fault-point catalog over the shared fault plane.
+//!
+//! The registry itself lives in [`rma::faults`] (so the fabric's
+//! quiesce/collective paths and the persistence layer probe one plane);
+//! this module names every storage-side fault point the engine fires and
+//! re-exports the plane types. Arm faults through
+//! [`PersistStore::fault_plane`] (or build a shared plane and hand it to
+//! both [`crate::persist::PersistOptions::faults`] and
+//! [`rma::FabricBuilder::faults`]):
+//!
+//! ```no_run
+//! use gda::faults::{self, FaultMode};
+//! # let store: std::sync::Arc<gda::persist::PersistStore> = unimplemented!();
+//! // next snapshot write on any rank fails once
+//! store.fault_plane().arm(faults::SNAP_WRITE, FaultMode::Error);
+//! // the 3rd redo append on rank 1 persists only 10 bytes, then "crashes"
+//! store
+//!     .fault_plane()
+//!     .arm_at(faults::REDO_APPEND, Some(1), 2, 1, FaultMode::TornWrite(10));
+//! ```
+//!
+//! Every point sits at an I/O boundary whose failure the recovery path
+//! must tolerate; `tests/tests/chaos.rs` walks this catalog crash point by
+//! crash point and proves recovered state ≡ uninterrupted state.
+//!
+//! [`PersistStore::fault_plane`]: crate::persist::PersistStore::fault_plane
+
+pub use rma::faults::points::{FABRIC_COLLECTIVE, FABRIC_QUIESCE};
+pub use rma::faults::{flip_bit, FaultMode, FaultPlane, PERSISTENT};
+
+/// Writing one rank's snapshot piece (full or delta image, tmp file +
+/// rename). Supports [`FaultMode::Error`] and [`FaultMode::TornWrite`];
+/// a voted failure aborts the whole checkpoint and unwinds.
+pub const SNAP_WRITE: &str = "snap.write";
+
+/// Writing the checkpoint manifest (rank 0, after all pieces landed).
+pub const MANIFEST_WRITE: &str = "manifest.write";
+
+/// Appending one redo-log frame on the commit path. `Error` models a
+/// failed `write(2)` (the store rolls the file back to the pre-append
+/// length and reports the lost commit); [`FaultMode::TornWrite`] models a
+/// crash mid-append — the partial frame stays on disk and recovery must
+/// truncate it at the last checksum-valid boundary.
+pub const REDO_APPEND: &str = "redo.append";
+
+/// Rotating (truncating) one rank's redo log after a published
+/// checkpoint. Non-fatal by design: a stale log tail is skipped at
+/// replay because its frames carry a superseded generation.
+pub const REDO_ROTATE: &str = "redo.rotate";
+
+/// Publishing the `CURRENT` pointer (tmp write + atomic rename) — the
+/// checkpoint commit point. A failure here aborts the checkpoint with
+/// the previous snapshot chain still intact and every log replayable.
+pub const CURRENT_RENAME: &str = "current.rename";
+
+/// Pruning superseded snapshot directories after a publish (rank 0,
+/// best-effort; a failure leaves garbage directories, never data loss).
+pub const SNAP_PRUNE: &str = "snap.prune";
+
+/// Reading one rank's snapshot piece during recovery. `Error` models an
+/// unreadable file; [`FaultMode::BitFlip`] corrupts the returned bytes so
+/// the piece checksum must catch it.
+pub const SNAP_READ: &str = "snap.read";
+
+/// Reading the manifest/CURRENT chain during recovery.
+pub const MANIFEST_READ: &str = "manifest.read";
+
+/// Reading one rank's redo log during recovery ([`FaultMode::BitFlip`]
+/// corrupts a frame so checksum validation must truncate there).
+pub const REDO_READ: &str = "redo.read";
+
+/// One rank's phase-3 materialization slice of an elastic reshard; a
+/// voted failure aborts the reshard with the previous topology
+/// recoverable.
+pub const RESHARD_REDISTRIBUTE: &str = "reshard.redistribute";
+
+/// The storage-side fault points in catalog order (fabric points not
+/// included): the grid the chaos harness and `chaos_sweep` iterate.
+pub const CATALOG: &[&str] = &[
+    SNAP_WRITE,
+    MANIFEST_WRITE,
+    REDO_APPEND,
+    REDO_ROTATE,
+    CURRENT_RENAME,
+    SNAP_PRUNE,
+    SNAP_READ,
+    MANIFEST_READ,
+    REDO_READ,
+    RESHARD_REDISTRIBUTE,
+];

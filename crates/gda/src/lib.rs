@@ -90,6 +90,7 @@ pub mod config;
 pub mod db;
 pub mod dht;
 pub mod dptr;
+pub mod faults;
 pub mod hio;
 pub mod holder;
 pub mod index;

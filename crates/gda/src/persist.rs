@@ -116,6 +116,7 @@ use rma::{CostModel, Fabric, WinId};
 use crate::config::{GdaConfig, WIN_DATA, WIN_INDEX, WIN_SYSTEM, WIN_USAGE};
 use crate::db::{GdaDb, GdaRank};
 use crate::dptr::DPtr;
+use crate::faults::{self, FaultMode, FaultPlane};
 use crate::hio;
 use crate::holder::Holder;
 use crate::index::{IndexDef, IndexId, IndexShared, Posting};
@@ -466,6 +467,11 @@ pub struct PersistOptions {
     /// `None` (default) follows the process default
     /// (`GDI_FABRIC_BACKEND`, else simulated), `Some(_)` pins one.
     pub backend: Option<rma::BackendKind>,
+    /// Fault-injection plane probed at every persistence I/O boundary
+    /// (see [`crate::faults`] for the point catalog). `None` (default)
+    /// creates a private, empty plane; harnesses pass a shared one so
+    /// the same registry covers the store and the fabric.
+    pub faults: Option<Arc<FaultPlane>>,
 }
 
 impl PersistOptions {
@@ -475,12 +481,20 @@ impl PersistOptions {
             dir: dir.into(),
             sync: false,
             backend: None,
+            faults: None,
         }
     }
 
     /// Pin the fabric execution backend used by [`recover`].
     pub fn backend(mut self, backend: rma::BackendKind) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Share a fault-injection plane with the store (and, through
+    /// [`recover`], with the fabric it builds).
+    pub fn faults(mut self, plane: Arc<FaultPlane>) -> Self {
+        self.faults = Some(plane);
         self
     }
 }
@@ -519,10 +533,7 @@ pub struct PersistStore {
     writers: Vec<Mutex<Option<File>>>,
     log_errors: AtomicU64,
     unlogged_mutations: AtomicU64,
-    fail_next_checkpoints: AtomicU64,
-    fail_next_truncates: AtomicU64,
-    fail_next_gcs: AtomicU64,
-    fail_next_reshards: AtomicU64,
+    faults: Arc<FaultPlane>,
     last_checkpoint: Mutex<Option<CheckpointReport>>,
 }
 
@@ -537,6 +548,7 @@ impl std::fmt::Debug for PersistStore {
 
 impl PersistStore {
     fn new(opts: PersistOptions, nranks: usize, current: u64, chain: Vec<u64>) -> Arc<Self> {
+        let faults = opts.faults.clone().unwrap_or_default();
         Arc::new(Self {
             opts,
             current: AtomicU64::new(current),
@@ -544,10 +556,7 @@ impl PersistStore {
             writers: (0..nranks).map(|_| Mutex::new(None)).collect(),
             log_errors: AtomicU64::new(0),
             unlogged_mutations: AtomicU64::new(0),
-            fail_next_checkpoints: AtomicU64::new(0),
-            fail_next_truncates: AtomicU64::new(0),
-            fail_next_gcs: AtomicU64::new(0),
-            fail_next_reshards: AtomicU64::new(0),
+            faults,
             last_checkpoint: Mutex::new(None),
         })
     }
@@ -596,61 +605,26 @@ impl PersistStore {
         self.last_checkpoint.lock().clone()
     }
 
-    /// Failure injection (tests): make the next `n` collective
-    /// checkpoints fail while writing rank 0's snapshot — the
-    /// disk-exhaustion scenario. A failed checkpoint must leave the
-    /// previous snapshot and the serving database fully usable.
-    pub fn inject_checkpoint_failures(&self, n: u64) {
-        self.fail_next_checkpoints.store(n, Ordering::SeqCst);
+    /// The fault-injection plane this store probes at every persistence
+    /// I/O boundary (the catalog lives in [`crate::faults`]). Arm faults
+    /// here to simulate failing disks, torn writes and read corruption;
+    /// the plane is shared with the fabric when the store was created
+    /// through [`PersistOptions::faults`] + [`rma::FabricBuilder::faults`].
+    pub fn fault_plane(&self) -> &Arc<FaultPlane> {
+        &self.faults
     }
 
-    fn take_injected_failure(&self) -> bool {
-        self.fail_next_checkpoints
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok()
-    }
-
-    /// Failure injection (tests): make the next `n` redo-log
-    /// truncations on a *non-zero* rank fail — the peer-failure
-    /// scenario *after* `CURRENT` has already been published.
-    /// Truncation failure must be non-fatal: the stale frames carry an
-    /// older checkpoint generation and replay skips them.
-    pub fn inject_truncate_failures(&self, n: u64) {
-        self.fail_next_truncates.store(n, Ordering::SeqCst);
-    }
-
-    fn take_injected_truncate_failure(&self) -> bool {
-        self.fail_next_truncates
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok()
-    }
-
-    /// Failure injection (tests): make the next `n` garbage-collection
-    /// passes fail before removing anything. gc runs post-publish and
-    /// must be non-fatal — a later checkpoint's gc catches up.
-    pub fn inject_gc_failures(&self, n: u64) {
-        self.fail_next_gcs.store(n, Ordering::SeqCst);
-    }
-
-    fn take_injected_gc_failure(&self) -> bool {
-        self.fail_next_gcs
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok()
-    }
-
-    /// Failure injection (tests): make the next `n` resharded restores
-    /// fail on a *non-zero* receiving rank mid-redistribution. The
-    /// failure must be voted collectively, leave `CURRENT` at the
-    /// previous (`P`-topology) snapshot, and keep a same-topology
-    /// recovery of that snapshot fully working.
-    pub fn inject_reshard_failures(&self, n: u64) {
-        self.fail_next_reshards.store(n, Ordering::SeqCst);
-    }
-
-    pub(crate) fn take_injected_reshard_failure(&self) -> bool {
-        self.fail_next_reshards
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok()
+    /// Probe `point` for `rank`. An armed [`FaultMode::Latency`] sleeps
+    /// here and lets the operation proceed (the device stalled but
+    /// worked); every other mode is returned for the caller to apply.
+    pub(crate) fn probe_fault(&self, point: &str, rank: usize) -> Option<FaultMode> {
+        match self.faults.check(point, rank)? {
+            FaultMode::Latency(ns) => {
+                std::thread::sleep(std::time::Duration::from_nanos(ns));
+                None
+            }
+            mode => Some(mode),
+        }
     }
 
     fn ckpt_dir(&self, id: u64) -> PathBuf {
@@ -691,7 +665,27 @@ impl PersistStore {
         }
         let frame = encode_frame(records, self.current());
         let f = guard.as_mut().unwrap();
-        f.write_all(&frame).map_err(|e| io_err("append redo", e))?;
+        match self.probe_fault(faults::REDO_APPEND, rank) {
+            Some(FaultMode::TornWrite(k)) => {
+                // crash mid-append: the first `k` bytes land and stay —
+                // recovery must truncate at the last checksum-valid frame
+                let _ = f.write_all(&frame[..k.min(frame.len())]);
+                let _ = f.sync_data();
+                return Err(GdiError::Io("injected torn redo append".into()));
+            }
+            Some(_) => return Err(GdiError::Io("injected redo append failure".into())),
+            None => {}
+        }
+        let pre_len = f.metadata().map(|m| m.len()).unwrap_or(0);
+        if let Err(e) = f.write_all(&frame) {
+            // A short write would leave a torn frame mid-log, and since
+            // replay stops at the first invalid frame it would also orphan
+            // every frame appended after it. Roll the file back to the
+            // pre-append length so a *reported* failure loses only this
+            // commit's durability, never the log's integrity.
+            let _ = f.set_len(pre_len);
+            return Err(io_err("append redo", e));
+        }
         if self.opts.sync {
             f.sync_data().map_err(|e| io_err("sync redo", e))?;
         }
@@ -760,8 +754,8 @@ impl PersistStore {
     /// carry an older generation and are skipped at replay — so the
     /// caller only reports it.
     fn truncate_log(&self, rank: usize) -> GdiResult<()> {
-        if rank != 0 && self.take_injected_truncate_failure() {
-            return Err(GdiError::Io("injected truncate failure".into()));
+        if self.probe_fault(faults::REDO_ROTATE, rank).is_some() {
+            return Err(GdiError::Io("injected redo rotate failure".into()));
         }
         let mut guard = self.writers[rank].lock();
         // drop the append handle first: the next append reopens the
@@ -783,6 +777,11 @@ impl PersistStore {
     fn publish_current(&self, id: u64) -> GdiResult<()> {
         let tmp = self.opts.dir.join("CURRENT.tmp");
         fs::write(&tmp, format!("{id}\n")).map_err(|e| io_err("write CURRENT.tmp", e))?;
+        if self.probe_fault(faults::CURRENT_RENAME, 0).is_some() {
+            // crash between tmp write and rename: CURRENT still names
+            // the previous chain, the orphan tmp file is harmless
+            return Err(GdiError::Io("injected CURRENT publish failure".into()));
+        }
         if self.opts.sync {
             File::open(&tmp)
                 .and_then(|f| f.sync_all())
@@ -807,7 +806,7 @@ impl PersistStore {
     /// point). Entirely non-fatal: every step is best-effort, and a
     /// later checkpoint's gc catches up on anything left behind.
     fn gc(&self, id: u64) {
-        if self.take_injected_gc_failure() {
+        if self.probe_fault(faults::SNAP_PRUNE, 0).is_some() {
             return; // simulated I/O failure: remove nothing
         }
         let keep: FxHashSet<u64> = self.chain.lock().iter().copied().collect();
@@ -1187,7 +1186,8 @@ fn write_rank_snapshot(
 ) -> GdiResult<(u64, u64)> {
     let ctx = eng.ctx();
     let me = eng.rank();
-    if me == 0 && store.take_injected_failure() {
+    let injected = store.probe_fault(faults::SNAP_WRITE, me);
+    if matches!(injected, Some(FaultMode::Error)) {
         return Err(GdiError::Io("injected checkpoint failure".into()));
     }
     let mut e = Enc::default();
@@ -1248,11 +1248,14 @@ fn write_rank_snapshot(
     // charge the device write to the simulated clock (sequential append
     // bandwidth, same device model as the redo log)
     ctx.charge_ns(ctx.cost_model().log_write(e.buf.len()));
-    write_atomically(
-        &dir.join(format!("rank-{me}.snap")),
-        &e.buf,
-        store.opts.sync,
-    )?;
+    let path = dir.join(format!("rank-{me}.snap"));
+    if let Some(FaultMode::TornWrite(k)) = injected {
+        // crash mid-write: the tmp file keeps its partial bytes, the
+        // rename never happens, and the checkpoint aborts collectively
+        let _ = fs::write(path.with_extension("tmp"), &e.buf[..k.min(e.buf.len())]);
+        return Err(GdiError::Io("injected torn snapshot write".into()));
+    }
+    write_atomically(&path, &e.buf, store.opts.sync)?;
     Ok((e.buf.len() as u64, shipped))
 }
 
@@ -1294,7 +1297,12 @@ fn read_snapshot_piece(
     nranks: usize,
 ) -> GdiResult<SnapPiece> {
     let path = store.ckpt_dir(id).join(format!("rank-{rank}.snap"));
-    let bytes = fs::read(&path).map_err(|e| io_err("read rank snapshot", e))?;
+    let mut bytes = fs::read(&path).map_err(|e| io_err("read rank snapshot", e))?;
+    match store.probe_fault(faults::SNAP_READ, rank) {
+        Some(FaultMode::BitFlip(k)) => faults::flip_bit(&mut bytes, k),
+        Some(_) => return Err(GdiError::Io("injected snapshot read failure".into())),
+        None => {}
+    }
     if bytes.len() < 16 {
         return Err(GdiError::Io("rank snapshot too short".into()));
     }
@@ -1545,9 +1553,14 @@ fn checkpoint_rank_inner(eng: &GdaRank, force_full: bool) -> GdiResult<u64> {
     // every rank writes its snapshot file; manifest on rank 0
     let mut res = write_rank_snapshot(eng, &store, id, &dir, delta_spec.as_ref());
     if res.is_ok() && me == 0 {
-        let manifest = encode_manifest(&manifest_from_db(eng.db(), id, chain_after.clone()));
-        if let Err(e) = write_atomically(&dir.join("manifest.bin"), &manifest, store.opts.sync) {
-            res = Err(e);
+        if store.probe_fault(faults::MANIFEST_WRITE, me).is_some() {
+            res = Err(GdiError::Io("injected manifest write failure".into()));
+        } else {
+            let manifest = encode_manifest(&manifest_from_db(eng.db(), id, chain_after.clone()));
+            if let Err(e) = write_atomically(&dir.join("manifest.bin"), &manifest, store.opts.sync)
+            {
+                res = Err(e);
+            }
         }
     }
     if ctx.allreduce_any(res.is_err()) {
@@ -1790,6 +1803,16 @@ impl RecoveryPlan {
             Ok(b) => Ok(b),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
             Err(e) => Err(io_err("read redo segment", e)),
+        };
+        let log_read = match (log_read, store.probe_fault(faults::REDO_READ, me)) {
+            (Ok(mut b), Some(FaultMode::BitFlip(k))) => {
+                // silent media corruption: the frame checksum must catch
+                // it and replay truncates at the last valid frame
+                faults::flip_bit(&mut b, k);
+                Ok(b)
+            }
+            (Ok(_), Some(_)) => Err(GdiError::Io("injected redo read failure".into())),
+            (r, _) => r,
         };
         let my_err = snap_read.is_err() || log_read.is_err();
         if ctx.allreduce_any(my_err) {
@@ -2233,8 +2256,16 @@ pub fn recover_with_topology(
         .parse::<u64>()
         .map_err(|_| GdiError::Io("corrupt CURRENT pointer".into()))?;
     let manifest_path = opts.dir.join(format!("ckpt-{current}/manifest.bin"));
-    let manifest =
-        decode_manifest(&fs::read(&manifest_path).map_err(|e| io_err("read manifest", e))?)?;
+    let mut manifest_bytes = fs::read(&manifest_path).map_err(|e| io_err("read manifest", e))?;
+    if let Some(plane) = &opts.faults {
+        match plane.check(faults::MANIFEST_READ, 0) {
+            Some(FaultMode::BitFlip(k)) => faults::flip_bit(&mut manifest_bytes, k),
+            Some(FaultMode::Latency(ns)) => std::thread::sleep(std::time::Duration::from_nanos(ns)),
+            Some(_) => return Err(GdiError::Io("injected manifest read failure".into())),
+            None => {}
+        }
+    }
+    let manifest = decode_manifest(&manifest_bytes)?;
     if manifest.id != current {
         return Err(GdiError::Io("manifest id does not match CURRENT".into()));
     }
@@ -2305,11 +2336,13 @@ pub fn recover_with_topology(
     let meta = MetaStore::from_parts(manifest.meta);
     let indexes = IndexShared::from_parts(live_ranks, manifest.index_defs, manifest.index_next_id);
     let db = GdaDb::restore(&manifest.name, cfg, live_ranks, meta, indexes);
+    let faults_plane = store.fault_plane().clone();
     db.set_persistence(store);
-    let fabric = match backend {
-        Some(backend) => db.cfg.build_fabric_on(live_ranks, cost, backend),
-        None => db.cfg.build_fabric(live_ranks, cost),
-    };
+    // the booted fabric shares the store's fault plane, so one arming
+    // call covers fabric latency points and persistence I/O points
+    let fabric = db
+        .cfg
+        .build_fabric_shared(live_ranks, cost, backend, Some(faults_plane));
     let plan = Arc::new(RecoveryPlan {
         snapshot_id: current,
         restored: (0..live_ranks).map(|_| AtomicBool::new(false)).collect(),
@@ -2748,7 +2781,13 @@ pub(crate) mod tests {
                 }
                 ctx.barrier();
                 assert_eq!(eng.checkpoint().unwrap(), 1);
-                store.inject_checkpoint_failures(1);
+                // one arming call (not one per rank thread): the fault
+                // is scoped to rank 0's snapshot write and fires once
+                if ctx.rank() == 0 {
+                    store
+                        .fault_plane()
+                        .arm_at(faults::SNAP_WRITE, Some(0), 0, 1, FaultMode::Error);
+                }
                 let err = eng.checkpoint();
                 assert!(err.is_err(), "injected failure must surface");
                 // the failed attempt left no partial snapshot behind
@@ -2773,6 +2812,163 @@ pub(crate) mod tests {
             let tx = eng.begin(AccessMode::ReadOnly);
             for i in [0u64, 1, 2, 3, 50] {
                 tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            tx.commit().unwrap();
+        });
+    }
+
+    /// A torn final frame (crash mid-append) must not poison the log:
+    /// recovery truncates at the last checksum-valid frame, keeps every
+    /// earlier commit, and never surfaces an I/O error.
+    #[test]
+    fn torn_redo_tail_truncates_and_recovers() {
+        let td = TestDir::new("torntail");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("tt", cfg, 1, CostModel::zero());
+            let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in 0..4u64 {
+                    tx.create_vertex(AppVertexId(i)).unwrap();
+                }
+                tx.commit().unwrap();
+                // crash mid-append: only 10 bytes of the next frame land
+                store
+                    .fault_plane()
+                    .arm(faults::REDO_APPEND, FaultMode::TornWrite(10));
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(50)).unwrap();
+                tx.commit().unwrap(); // in-memory commit stands
+                assert_eq!(store.log_errors(), 1, "lost durability is counted");
+            });
+        }
+        let torn_len = fs::metadata(td.0.join("redo-rank-0.log")).unwrap().len();
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0);
+            assert!(
+                rec.log_bytes < torn_len,
+                "the torn bytes must be truncated, not parsed: {} !< {torn_len}",
+                rec.log_bytes
+            );
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in 0..4u64 {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            // the torn commit was never durable
+            assert!(tx.translate_vertex_id(AppVertexId(50)).is_err());
+            tx.commit().unwrap();
+        });
+    }
+
+    /// An append that *fails* (device error, no crash) must leave the
+    /// log well-formed: commits after the failed one land and stay
+    /// recoverable — a partial frame may never orphan later frames.
+    #[test]
+    fn failed_append_keeps_later_frames_recoverable() {
+        let td = TestDir::new("failapp");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("fa", cfg, 1, CostModel::zero());
+            let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                let tx = eng.begin(AccessMode::ReadWrite);
+                for i in 0..4u64 {
+                    tx.create_vertex(AppVertexId(i)).unwrap();
+                }
+                tx.commit().unwrap();
+                store
+                    .fault_plane()
+                    .arm(faults::REDO_APPEND, FaultMode::Error);
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(50)).unwrap();
+                tx.commit().unwrap(); // durability lost, commit serves on
+                assert_eq!(store.log_errors(), 1);
+                // the log keeps appending cleanly after the error
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(60)).unwrap();
+                tx.commit().unwrap();
+                assert_eq!(store.log_errors(), 1);
+            });
+        }
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0);
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in [0u64, 1, 2, 3, 60] {
+                tx.translate_vertex_id(AppVertexId(i)).unwrap();
+            }
+            assert!(
+                tx.translate_vertex_id(AppVertexId(50)).is_err(),
+                "the failed append's commit was never durable"
+            );
+            tx.commit().unwrap();
+        });
+    }
+
+    /// A checkpoint that crashes at the `CURRENT` swing — after every
+    /// rank wrote its snapshot piece, before publication — must leave
+    /// every rank's log tail replayable against the *previous* snapshot.
+    #[test]
+    fn failed_publish_leaves_all_log_tails_replayable() {
+        let td = TestDir::new("failpub");
+        let cfg = GdaConfig::tiny();
+        {
+            let (db, fabric) = GdaDb::with_fabric("fp", cfg, 2, CostModel::zero());
+            let store = db.enable_persistence(PersistOptions::new(&td.0)).unwrap();
+            fabric.run(|ctx| {
+                let eng = db.attach(ctx);
+                eng.init_collective();
+                if ctx.rank() == 0 {
+                    let tx = eng.begin(AccessMode::ReadWrite);
+                    for i in 0..4u64 {
+                        tx.create_vertex(AppVertexId(i)).unwrap();
+                    }
+                    tx.commit().unwrap();
+                }
+                ctx.barrier();
+                assert_eq!(eng.checkpoint().unwrap(), 1);
+                // post-checkpoint commits on *both* ranks: until the next
+                // publish they live only in the per-rank redo tails
+                let tx = eng.begin(AccessMode::ReadWrite);
+                tx.create_vertex(AppVertexId(100 + ctx.rank() as u64))
+                    .unwrap();
+                tx.commit().unwrap();
+                if ctx.rank() == 0 {
+                    store
+                        .fault_plane()
+                        .arm(faults::CURRENT_RENAME, FaultMode::Error);
+                }
+                ctx.barrier();
+                assert!(eng.checkpoint().is_err(), "publish crash must abort");
+                // nothing rotated: every rank's tail still holds its commits
+                let log = td.0.join(format!("redo-rank-{}.log", ctx.rank()));
+                assert!(fs::metadata(&log).unwrap().len() > 0);
+                assert_eq!(store.current(), 1);
+                assert!(!store.ckpt_dir_exists(2), "aborted attempt unwinds");
+            });
+        }
+        let cur = fs::read_to_string(td.0.join("CURRENT")).unwrap();
+        assert_eq!(cur.trim(), "1", "CURRENT still names the old snapshot");
+        let (db, fabric, plan) = recover(PersistOptions::new(&td.0), CostModel::zero()).unwrap();
+        assert_eq!(plan.snapshot_id(), 1);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            let rec = plan.restore_rank(&eng).unwrap();
+            assert_eq!(rec.errors, 0);
+            let tx = eng.begin(AccessMode::ReadOnly);
+            for i in [0u64, 1, 2, 3, 100, 101] {
+                tx.translate_vertex_id(AppVertexId(i))
+                    .unwrap_or_else(|e| panic!("vertex {i} lost: {e}"));
             }
             tx.commit().unwrap();
         });
@@ -3353,7 +3549,13 @@ pub(crate) mod tests {
             let (db, fabric, plan) =
                 recover_with_topology(PersistOptions::new(&td.0), CostModel::zero(), Some(4))
                     .unwrap();
-            db.persistence().unwrap().inject_reshard_failures(1);
+            db.persistence().unwrap().fault_plane().arm_at(
+                faults::RESHARD_REDISTRIBUTE,
+                Some(1),
+                0,
+                1,
+                FaultMode::Error,
+            );
             let results = fabric.run(|ctx| {
                 let eng = db.attach(ctx);
                 plan.restore_rank(&eng).err()
@@ -3462,7 +3664,13 @@ pub(crate) mod tests {
                     let v = tx.translate_vertex_id(AppVertexId(40)).unwrap();
                     tx.delete_vertex(v).unwrap();
                     tx.commit().unwrap();
-                    store.inject_truncate_failures(1);
+                    store.fault_plane().arm_at(
+                        faults::REDO_ROTATE,
+                        Some(1),
+                        0,
+                        1,
+                        FaultMode::Error,
+                    );
                 }
                 ctx.barrier();
                 // truncation fails on rank 1, yet the checkpoint stands
@@ -3658,7 +3866,9 @@ pub(crate) mod tests {
             assert_eq!(store.chain(), vec![1, 2]);
             // forced rebase with gc injected to fail: the checkpoint
             // must still succeed and leave the stale chain on disk
-            store.inject_gc_failures(1);
+            store
+                .fault_plane()
+                .arm(faults::SNAP_PRUNE, FaultMode::Error);
             let tx = eng.begin(AccessMode::ReadWrite);
             tx.create_vertex(AppVertexId(101)).unwrap();
             tx.commit().unwrap();

@@ -528,9 +528,12 @@ pub(crate) fn restore_rank_resharded(
         if obj.new_rank != me {
             continue;
         }
-        // failure injection (tests): a receiving rank errors mid-
-        // redistribution; the vote below aborts the reshard everywhere
-        if me != 0 && store.take_injected_reshard_failure() {
+        // fault point: a receiving rank errors mid-redistribution; the
+        // vote below aborts the reshard everywhere
+        if store
+            .probe_fault(crate::faults::RESHARD_REDISTRIBUTE, me)
+            .is_some()
+        {
             my_err = Some(GdiError::Io("injected reshard failure".into()));
             break;
         }

@@ -247,7 +247,15 @@ fn failed_checkpoint_under_oom_keeps_serving_and_recovers() {
             ctx.barrier();
             // a good checkpoint, then a failing one (disk exhaustion)
             assert_eq!(eng.checkpoint().unwrap(), 1);
-            store.inject_checkpoint_failures(1);
+            if ctx.rank() == 0 {
+                store.fault_plane().arm_at(
+                    gda::faults::SNAP_WRITE,
+                    Some(0),
+                    0,
+                    1,
+                    gda::faults::FaultMode::Error,
+                );
+            }
             assert!(eng.checkpoint().is_err(), "injected failure surfaces");
             // the failed attempt left no partial state: CURRENT still
             // points at the good snapshot, no half-written directory

@@ -68,6 +68,7 @@ impl<'a> RankCtx<'a> {
     /// clocks — wall clocks synchronize themselves through the real
     /// barrier wait).
     pub fn barrier(&self) {
+        self.probe_fault(crate::faults::points::FABRIC_COLLECTIVE);
         let max = self.clock_sync();
         self.clock
             .reconcile(max + self.cost_model().barrier(self.nranks()));

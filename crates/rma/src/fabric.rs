@@ -21,6 +21,7 @@ use crate::backend::{BackendKind, FabricTime};
 use crate::barrier::PoisonBarrier;
 use crate::cost::CostModel;
 use crate::dirty::DirtyMap;
+use crate::faults::{FaultMode, FaultPlane};
 use crate::stats::{CommStats, RankReport};
 use crate::window::Window;
 
@@ -42,6 +43,9 @@ pub(crate) struct Shared {
     /// Dirty-chunk bitmaps fed by every one-sided write (the delta-
     /// checkpoint capture layer; see [`crate::dirty`]).
     pub dirty: DirtyMap,
+    /// Fault-injection registry probed at the quiesce/collective paths
+    /// (and shared with storage layers above; see [`crate::faults`]).
+    pub faults: Arc<FaultPlane>,
 }
 
 /// Builder for a [`Fabric`].
@@ -51,6 +55,7 @@ pub struct FabricBuilder {
     cost: CostModel,
     backend: Option<BackendKind>,
     dirty_chunk: usize,
+    faults: Option<Arc<FaultPlane>>,
 }
 
 impl FabricBuilder {
@@ -64,6 +69,7 @@ impl FabricBuilder {
             cost: CostModel::default(),
             backend: None,
             dirty_chunk: crate::dirty::DEFAULT_CHUNK_BYTES,
+            faults: None,
         }
     }
 
@@ -100,6 +106,15 @@ impl FabricBuilder {
         self
     }
 
+    /// Share a fault-injection plane with this fabric (defaults to a
+    /// fresh, empty plane). Harnesses pass the same [`FaultPlane`] to the
+    /// fabric and to the storage layer so one registry covers fabric
+    /// latency points and persistence I/O points alike.
+    pub fn faults(mut self, plane: Arc<FaultPlane>) -> Self {
+        self.faults = Some(plane);
+        self
+    }
+
     pub fn build(self) -> Fabric {
         let backend = self.backend.unwrap_or_else(BackendKind::from_env);
         let windows = (0..self.nranks)
@@ -118,6 +133,7 @@ impl FabricBuilder {
                 boards,
                 barrier: PoisonBarrier::new(self.nranks),
                 dirty,
+                faults: self.faults.unwrap_or_default(),
             }),
             last_reports: Mutex::new(Vec::new()),
         }
@@ -529,8 +545,33 @@ impl<'a> RankCtx<'a> {
                 self.flush(target);
             }
         }
+        self.probe_fault(crate::faults::points::FABRIC_QUIESCE);
         self.stats.record_quiesce();
         self.barrier();
+    }
+
+    /// The fault-injection plane shared by this fabric (see
+    /// [`crate::faults`]); storage layers stacked on the fabric probe the
+    /// same registry so one arming call covers the whole I/O path.
+    pub fn fault_plane(&self) -> &Arc<FaultPlane> {
+        &self.shared.faults
+    }
+
+    /// Probe the fault plane at a fabric fault point. Fabric paths have no
+    /// error channel, so [`FaultMode::Latency`] is the meaningful mode
+    /// here — it charges the simulated clock (sim backend) or sleeps (wall
+    /// backend); other modes just count as a hit.
+    pub(crate) fn probe_fault(&self, point: &str) {
+        let Some(mode) = self.shared.faults.check(point, self.rank) else {
+            return;
+        };
+        self.stats.record_fault_injection();
+        if let FaultMode::Latency(ns) = mode {
+            match self.backend() {
+                BackendKind::Sim => self.clock.advance(ns as f64),
+                BackendKind::Wall => std::thread::sleep(std::time::Duration::from_nanos(ns)),
+            }
+        }
     }
 
     /// Communication statistics snapshot of this rank (so far).

@@ -1,0 +1,317 @@
+//! Deterministic fault-injection plane shared by the fabric and the storage
+//! layers built on top of it.
+//!
+//! A [`FaultPlane`] is a registry of *armed* faults keyed by a named fault
+//! point (a free-form `&str` such as `"snap.write"` or `"fabric.quiesce"`).
+//! Code that performs a fallible side effect probes the plane at its fault
+//! point; if a matching armed fault has skipped past its `skip` budget and
+//! still has shots remaining, the probe returns the [`FaultMode`] to apply
+//! and the caller simulates the corresponding failure (return an error, tear
+//! a write at byte `k`, flip a bit on read, or sleep/charge latency).
+//!
+//! The plane is deliberately *deterministic*: every fault fires after an
+//! exact number of prior hits on its point, so crash-point torture harnesses
+//! can enumerate or sample positions reproducibly from a seed that lives in
+//! the harness, not here. The un-armed fast path is a single relaxed atomic
+//! load, so leaving a plane threaded through production code is free.
+//!
+//! ```
+//! use rma::faults::{FaultMode, FaultPlane};
+//!
+//! let plane = FaultPlane::new();
+//! assert!(plane.check("redo.append", 0).is_none());
+//! plane.arm("redo.append", FaultMode::Error);
+//! assert_eq!(plane.check("redo.append", 0), Some(FaultMode::Error));
+//! assert!(plane.check("redo.append", 0).is_none()); // one-shot consumed
+//! assert_eq!(plane.fired(), 1);
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What an armed fault does to the I/O operation it intercepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails outright with an I/O error, leaving no partial
+    /// state behind (the caller rolls back as it would for a real error).
+    Error,
+    /// A write persists only its first `k` bytes and then reports failure,
+    /// simulating a crash mid-`write(2)` — the partial bytes stay on disk.
+    TornWrite(usize),
+    /// A read succeeds but the returned buffer has bit `k % (len * 8)`
+    /// flipped, simulating silent media corruption caught by checksums.
+    BitFlip(usize),
+    /// The operation succeeds after an injected delay of this many
+    /// nanoseconds (charged to the virtual clock under the sim backend,
+    /// slept under the wall backend).
+    Latency(u64),
+}
+
+/// A single armed fault: point pattern, optional rank scope, a skip budget
+/// counting hits that pass through unharmed, and a remaining-shot budget.
+struct Armed {
+    point: String,
+    rank: Option<usize>,
+    skip: AtomicU64,
+    remaining: AtomicU64,
+    mode: FaultMode,
+}
+
+/// Shared registry of named fault points.
+///
+/// Cheap to probe when nothing is armed, clone-free to share (wrap in
+/// [`Arc`]); arming and disarming are test/harness-side operations and take
+/// a mutex. See the [module docs](self) for the probe/arm contract.
+#[derive(Default)]
+pub struct FaultPlane {
+    /// Number of entries in `armed` that may still fire. Fast-path gate:
+    /// when zero, `check` returns `None` without locking.
+    armed_count: AtomicU64,
+    armed: Mutex<Vec<Armed>>,
+    probes: AtomicU64,
+    fired_total: AtomicU64,
+    fired_by_point: Mutex<HashMap<String, u64>>,
+}
+
+impl std::fmt::Debug for FaultPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlane")
+            .field("armed", &self.armed_count.load(Ordering::Relaxed))
+            .field("probes", &self.probes.load(Ordering::Relaxed))
+            .field("fired", &self.fired_total.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Sentinel for [`FaultPlane::arm_at`]'s `count`: the fault never exhausts.
+pub const PERSISTENT: u64 = u64::MAX;
+
+impl FaultPlane {
+    /// Create an empty plane with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty plane already wrapped in an [`Arc`], the shape every
+    /// consumer (fabric builder, persist options) accepts.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arm a one-shot fault on `point` for every rank: the next probe of
+    /// that point fires `mode` once.
+    pub fn arm(&self, point: &str, mode: FaultMode) {
+        self.arm_at(point, None, 0, 1, mode);
+    }
+
+    /// Arm a fault with full control.
+    ///
+    /// * `point` — fault-point name; `"*"` matches every point.
+    /// * `rank` — only probes from this rank fire (`None` = any rank).
+    /// * `skip` — number of matching probes that pass unharmed before the
+    ///   fault starts firing (this is how a crash-point harness walks an
+    ///   I/O sequence position by position).
+    /// * `count` — number of times the fault fires before exhausting; use
+    ///   [`PERSISTENT`] for a fault that never exhausts (an erroring disk).
+    /// * `mode` — what happens when it fires.
+    pub fn arm_at(&self, point: &str, rank: Option<usize>, skip: u64, count: u64, mode: FaultMode) {
+        if count == 0 {
+            return;
+        }
+        let mut armed = self.armed.lock();
+        armed.push(Armed {
+            point: point.to_string(),
+            rank,
+            skip: AtomicU64::new(skip),
+            remaining: AtomicU64::new(count),
+            mode,
+        });
+        self.armed_count
+            .store(armed.len() as u64, Ordering::Release);
+    }
+
+    /// Remove every armed fault (fired-counter history is kept).
+    pub fn disarm_all(&self) {
+        let mut armed = self.armed.lock();
+        armed.clear();
+        self.armed_count.store(0, Ordering::Release);
+    }
+
+    /// Probe a fault point from `rank`. Returns the mode to apply if an
+    /// armed fault fires, consuming one shot; `None` means proceed normally.
+    pub fn check(&self, point: &str, rank: usize) -> Option<FaultMode> {
+        if self.armed_count.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let mut armed = self.armed.lock();
+        let mut hit = None;
+        for a in armed.iter() {
+            if a.point != "*" && a.point != point {
+                continue;
+            }
+            if a.rank.is_some_and(|r| r != rank) {
+                continue;
+            }
+            // Matching probe: burn the skip budget first.
+            if a.skip
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+            {
+                continue;
+            }
+            if a.remaining.load(Ordering::SeqCst) == u64::MAX {
+                hit = Some(a.mode);
+                break;
+            }
+            if a.remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok()
+            {
+                hit = Some(a.mode);
+                break;
+            }
+        }
+        // Drop exhausted entries so the fast path re-opens.
+        armed.retain(|a| a.remaining.load(Ordering::SeqCst) > 0);
+        self.armed_count
+            .store(armed.len() as u64, Ordering::Release);
+        drop(armed);
+        if let Some(mode) = hit {
+            self.fired_total.fetch_add(1, Ordering::Relaxed);
+            *self
+                .fired_by_point
+                .lock()
+                .entry(point.to_string())
+                .or_insert(0) += 1;
+            return Some(mode);
+        }
+        None
+    }
+
+    /// Total number of faults that have fired since creation.
+    pub fn fired(&self) -> u64 {
+        self.fired_total.load(Ordering::Relaxed)
+    }
+
+    /// Number of times faults fired at `point`.
+    pub fn fired_at(&self, point: &str) -> u64 {
+        self.fired_by_point.lock().get(point).copied().unwrap_or(0)
+    }
+
+    /// Total number of probes observed while at least one fault was armed.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// True if any fault is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed_count.load(Ordering::Acquire) != 0
+    }
+}
+
+/// Names of the fault points owned by the fabric itself. Storage layers
+/// stacked on the fabric define their own catalogs (see `gda::faults`)
+/// and share the same [`FaultPlane`] registry.
+pub mod points {
+    /// Fired by every rank inside [`RankCtx::quiesce`] after its flush
+    /// sweep, before the drain barrier — the entry gate of every
+    /// collective checkpoint.
+    ///
+    /// [`RankCtx::quiesce`]: crate::RankCtx::quiesce
+    pub const FABRIC_QUIESCE: &str = "fabric.quiesce";
+    /// Fired by every rank entering a collective (barrier, reduction,
+    /// gather); models a slow rank straggling into the collective.
+    pub const FABRIC_COLLECTIVE: &str = "fabric.collective";
+}
+
+/// Apply [`FaultMode::BitFlip`] to a freshly read buffer: flip bit
+/// `k % (len * 8)`. Empty buffers are returned untouched.
+pub fn flip_bit(bytes: &mut [u8], k: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = k % (bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plane_is_silent() {
+        let p = FaultPlane::new();
+        for _ in 0..10 {
+            assert!(p.check("x", 0).is_none());
+        }
+        assert_eq!(p.probes(), 0);
+        assert_eq!(p.fired(), 0);
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let p = FaultPlane::new();
+        p.arm("a", FaultMode::Error);
+        assert!(p.check("b", 0).is_none());
+        assert_eq!(p.check("a", 3), Some(FaultMode::Error));
+        assert!(p.check("a", 3).is_none());
+        assert_eq!(p.fired_at("a"), 1);
+        assert!(!p.is_armed());
+    }
+
+    #[test]
+    fn skip_budget_counts_matching_probes() {
+        let p = FaultPlane::new();
+        p.arm_at("a", None, 2, 1, FaultMode::TornWrite(7));
+        assert!(p.check("a", 0).is_none());
+        assert!(p.check("other", 0).is_none()); // non-matching: no skip burn
+        assert!(p.check("a", 0).is_none());
+        assert_eq!(p.check("a", 0), Some(FaultMode::TornWrite(7)));
+        assert!(p.check("a", 0).is_none());
+    }
+
+    #[test]
+    fn rank_scoping() {
+        let p = FaultPlane::new();
+        p.arm_at("a", Some(1), 0, 1, FaultMode::Error);
+        assert!(p.check("a", 0).is_none());
+        assert_eq!(p.check("a", 1), Some(FaultMode::Error));
+    }
+
+    #[test]
+    fn persistent_fault_never_exhausts() {
+        let p = FaultPlane::new();
+        p.arm_at("a", None, 0, PERSISTENT, FaultMode::Error);
+        for _ in 0..100 {
+            assert_eq!(p.check("a", 0), Some(FaultMode::Error));
+        }
+        assert!(p.is_armed());
+        p.disarm_all();
+        assert!(p.check("a", 0).is_none());
+        assert_eq!(p.fired(), 100);
+    }
+
+    #[test]
+    fn wildcard_matches_all_points() {
+        let p = FaultPlane::new();
+        p.arm_at("*", None, 1, 1, FaultMode::Error);
+        assert!(p.check("a", 0).is_none());
+        assert_eq!(p.check("b", 0), Some(FaultMode::Error));
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_bit() {
+        let mut b = vec![0u8; 4];
+        flip_bit(&mut b, 9);
+        assert_eq!(b, vec![0, 2, 0, 0]);
+        flip_bit(&mut b, 9);
+        assert_eq!(b, vec![0; 4]);
+        flip_bit(&mut b, 33); // wraps modulo 32
+        assert_eq!(b, vec![2, 0, 0, 0]);
+        let mut empty: Vec<u8> = vec![];
+        flip_bit(&mut empty, 5);
+    }
+}

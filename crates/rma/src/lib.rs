@@ -57,6 +57,7 @@ pub mod collectives;
 pub mod cost;
 pub mod dirty;
 pub mod fabric;
+pub mod faults;
 pub mod stats;
 pub mod window;
 
@@ -65,6 +66,7 @@ pub use barrier::PoisonBarrier;
 pub use cost::{CostModel, SimClock};
 pub use dirty::DirtyMap;
 pub use fabric::{Fabric, FabricBuilder, RankCtx, WinId};
+pub use faults::{FaultMode, FaultPlane};
 pub use stats::{CommStats, RankReport};
 pub use window::Window;
 

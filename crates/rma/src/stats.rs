@@ -50,6 +50,7 @@ pub struct CommStats {
     verify_errors: Cell<u64>,
     delta_checkpoints: Cell<u64>,
     delta_chunks: Cell<u64>,
+    fault_injections: Cell<u64>,
 }
 
 impl CommStats {
@@ -268,6 +269,14 @@ impl CommStats {
         self.delta_chunks.set(self.delta_chunks.get() + chunks);
     }
 
+    /// Record one fault fired against this rank by the fault plane
+    /// (`crate::faults`) — an injected error, torn write, bit flip or
+    /// latency hit observed at a fabric or storage fault point.
+    #[inline]
+    pub fn record_fault_injection(&self) {
+        self.fault_injections.set(self.fault_injections.get() + 1);
+    }
+
     #[inline]
     pub fn record_collective(&self, bytes: usize) {
         self.collectives.set(self.collectives.get() + 1);
@@ -318,6 +327,7 @@ impl CommStats {
             verify_errors: self.verify_errors.get(),
             delta_checkpoints: self.delta_checkpoints.get(),
             delta_chunks: self.delta_chunks.get(),
+            fault_injections: self.fault_injections.get(),
             sim_time_ns: 0.0,
             wall_time_ns: 0.0,
         }
@@ -402,6 +412,9 @@ pub struct RankReport {
     pub delta_checkpoints: u64,
     /// Dirty chunks shipped by those delta images.
     pub delta_chunks: u64,
+    /// Faults fired against this rank by the fault plane (injected
+    /// errors, torn writes, bit flips, latency hits).
+    pub fault_injections: u64,
     /// Final simulated time of the rank in nanoseconds (0 on a
     /// wall-backend run — the wall backend never charges the sim clock).
     pub sim_time_ns: f64,
@@ -466,6 +479,7 @@ impl RankReport {
         self.verify_errors += other.verify_errors;
         self.delta_checkpoints += other.delta_checkpoints;
         self.delta_chunks += other.delta_chunks;
+        self.fault_injections += other.fault_injections;
         self.sim_time_ns = self.sim_time_ns.max(other.sim_time_ns);
         self.wall_time_ns = self.wall_time_ns.max(other.wall_time_ns);
     }

@@ -29,14 +29,24 @@
 //!   `AddVertex` ops (the one commit-time error a front-end can provoke)
 //!   out of the group.
 
+use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use gda::{DPtr, GdaRank, Transaction};
 use gdi::{AccessMode, EdgeOrientation, GdiError, TxStatus};
+use parking_lot::Mutex;
 use rustc_hash::FxHashSet;
 
 use crate::metrics::RankCounters;
 use crate::request::{Op, OpOutcome, OpReply, Request};
+use crate::server::{DedupWindow, ServerOptions};
+
+/// Shared per-rank execution context: outcome counters plus the
+/// server-wide idempotency window committed outcomes are recorded into.
+struct BatchCtx<'a> {
+    counters: &'a RankCounters,
+    dedup: &'a Mutex<DedupWindow>,
+}
 
 /// Apply one op inside an open transaction (unbatched path: ordinary
 /// abort-on-critical-error semantics).
@@ -201,8 +211,13 @@ fn run_individual(eng: &GdaRank, req: &Request) -> OpOutcome {
     }
 }
 
-fn fulfill(counters: &RankCounters, req: &Request, outcome: OpOutcome, grouped: bool, t0: Instant) {
-    counters.complete(outcome.is_committed(), grouped, t0);
+fn fulfill(bc: &BatchCtx, req: &Request, outcome: OpOutcome, grouped: bool, t0: Instant) {
+    // record decided-and-applied outcomes for the token's retries;
+    // aborts stay absent (no effects — a retry may honestly re-execute)
+    if let (Some(token), true) = (req.token, outcome.is_committed()) {
+        bc.dedup.lock().record(token, outcome.clone());
+    }
+    bc.counters.complete(outcome.is_committed(), grouped, t0);
     req.ticket.fulfill(outcome);
 }
 
@@ -221,14 +236,40 @@ pub(crate) fn execute_batch(
     eng: &GdaRank,
     counters: &RankCounters,
     batch: Vec<Request>,
-    group_commit: bool,
-    write_group: usize,
+    opts: &ServerOptions,
+    dedup: &Mutex<DedupWindow>,
 ) -> ReadTiming {
-    let pin = batch.len() >= eng.nranks();
+    let bc = BatchCtx { counters, dedup };
+    // triage before execution: requests that outlived the per-op
+    // deadline are shed (provably unexecuted, safe to retry); tokened
+    // requests whose outcome is already decided in the dedup window are
+    // answered from it (a retry after a lost ack) — never re-applied
+    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
+    for req in batch {
+        if let Some(d) = opts.deadline {
+            if req.submitted.elapsed() > d {
+                counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                req.ticket.fulfill(OpOutcome::DeadlineExceeded);
+                continue;
+            }
+        }
+        if let Some(token) = req.token {
+            if let Some(prev) = dedup.lock().get(token) {
+                counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                req.ticket.fulfill(prev);
+                continue;
+            }
+        }
+        live.push(req);
+    }
+    if live.is_empty() {
+        return ReadTiming::default();
+    }
+    let pin = live.len() >= eng.nranks();
     if pin {
         eng.cache_begin_cycle();
     }
-    let timing = execute_batch_inner(eng, counters, batch, group_commit, write_group);
+    let timing = execute_batch_inner(eng, &bc, live, opts.group_commit, opts.write_group);
     if pin {
         eng.cache_end_cycle();
     }
@@ -255,7 +296,7 @@ impl ReadTiming {
 
 fn execute_batch_inner(
     eng: &GdaRank,
-    counters: &RankCounters,
+    bc: &BatchCtx,
     batch: Vec<Request>,
     group_commit: bool,
     write_group: usize,
@@ -265,7 +306,7 @@ fn execute_batch_inner(
         for req in &batch {
             let t0 = eng.ctx().now_ns();
             let out = run_individual(eng, req);
-            fulfill(counters, req, out, false, req.submitted);
+            fulfill(bc, req, out, false, req.submitted);
             if req.op.is_read() {
                 timing.add(eng.ctx().now_ns() - t0, 1);
             }
@@ -307,7 +348,7 @@ fn execute_batch_inner(
                 // a critical error (read-lock conflict) killed the shared
                 // transaction; the remaining reads fall back individually
                 let out = run_individual(eng, req);
-                fulfill(counters, req, out, false, req.submitted);
+                fulfill(bc, req, out, false, req.submitted);
                 continue;
             }
             match apply_op(&tx, &req.op) {
@@ -321,19 +362,19 @@ fn execute_batch_inner(
                     // give it the same individual retry the reads behind
                     // it will get
                     let out = run_individual(eng, req);
-                    fulfill(counters, req, out, false, req.submitted);
+                    fulfill(bc, req, out, false, req.submitted);
                 }
             }
         }
         let validated = tx.status() != TxStatus::Active || tx.commit().is_ok();
         for (req, outcome) in buffered {
             if validated || !outcome.is_committed() {
-                fulfill(counters, req, outcome, true, req.submitted);
+                fulfill(bc, req, outcome, true, req.submitted);
             } else {
                 // stale-metadata commit failure: reads are effect-free,
                 // so re-run against a fresh snapshot
                 let out = run_individual(eng, req);
-                fulfill(counters, req, out, false, req.submitted);
+                fulfill(bc, req, out, false, req.submitted);
             }
         }
         timing.add(eng.ctx().now_ns() - read_t0, reads.len() as u64);
@@ -345,27 +386,27 @@ fn execute_batch_inner(
     // whatever the drain returned; `write_group == 1` degenerates to the
     // per-request path inside execute_write_group
     for chunk in writes.chunks(write_group.max(1)) {
-        execute_write_group(eng, counters, chunk);
+        execute_write_group(eng, bc, chunk);
     }
 
     // ---- deduplicated creates, after the groups made theirs visible ---
     for req in &solo {
         let out = run_individual(eng, req);
-        fulfill(counters, req, out, false, req.submitted);
+        fulfill(bc, req, out, false, req.submitted);
     }
     timing
 }
 
 /// One write group: a single grouped transaction, one commit, outcomes
 /// fanned back per session (see the module docs for the discipline).
-fn execute_write_group(eng: &GdaRank, counters: &RankCounters, writes: &[&Request]) {
+fn execute_write_group(eng: &GdaRank, bc: &BatchCtx, writes: &[&Request]) {
     if writes.is_empty() {
         return;
     }
     if writes.len() == 1 {
         let req = writes[0];
         let out = run_individual(eng, req);
-        fulfill(counters, req, out, false, req.submitted);
+        fulfill(bc, req, out, false, req.submitted);
         return;
     }
     let tx = eng.begin_grouped(AccessMode::ReadWrite);
@@ -378,7 +419,7 @@ fn execute_write_group(eng: &GdaRank, counters: &RankCounters, writes: &[&Reques
             }
             Ok(GroupApply::Skip(e)) if tx.status() == TxStatus::Active => {
                 // clean conflict: this op aborts, the group lives on
-                fulfill(counters, req, OpOutcome::Aborted(e), true, req.submitted);
+                fulfill(bc, req, OpOutcome::Aborted(e), true, req.submitted);
             }
             // the shared transaction was poisoned (engine-level abort)
             _ => {
@@ -391,13 +432,7 @@ fn execute_write_group(eng: &GdaRank, counters: &RankCounters, writes: &[&Reques
         None => match tx.commit() {
             Ok(()) => {
                 for (req, reply) in done {
-                    fulfill(
-                        counters,
-                        req,
-                        OpOutcome::Committed(reply),
-                        true,
-                        req.submitted,
-                    );
+                    fulfill(bc, req, OpOutcome::Committed(reply), true, req.submitted);
                 }
             }
             Err(e) => match failed_commit_outcome(e) {
@@ -407,14 +442,14 @@ fn execute_write_group(eng: &GdaRank, counters: &RankCounters, writes: &[&Reques
                     // honest individual re-run
                     for (req, _) in done {
                         let out = run_individual(eng, req);
-                        fulfill(counters, req, out, false, req.submitted);
+                        fulfill(bc, req, out, false, req.submitted);
                     }
                 }
                 uncertain => {
                     // partial persistence is possible and re-running
                     // could double-apply: report commit-uncertain
                     for (req, _) in done {
-                        fulfill(counters, req, uncertain.clone(), true, req.submitted);
+                        fulfill(bc, req, uncertain.clone(), true, req.submitted);
                     }
                 }
             },
@@ -426,11 +461,11 @@ fn execute_write_group(eng: &GdaRank, counters: &RankCounters, writes: &[&Reques
             tx.abort();
             for (req, _) in done {
                 let out = run_individual(eng, req);
-                fulfill(counters, req, out, false, req.submitted);
+                fulfill(bc, req, out, false, req.submitted);
             }
             for req in &writes[i..] {
                 let out = run_individual(eng, req);
-                fulfill(counters, req, out, false, req.submitted);
+                fulfill(bc, req, out, false, req.submitted);
             }
         }
     }

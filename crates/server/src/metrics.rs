@@ -98,6 +98,13 @@ pub(crate) struct RankCounters {
     pub batches: AtomicU64,
     pub grouped_ops: AtomicU64,
     pub fallback_ops: AtomicU64,
+    /// Requests shed at drain time because they outlived the configured
+    /// per-op deadline (resolved [`crate::OpOutcome::DeadlineExceeded`],
+    /// never executed).
+    pub deadline_misses: AtomicU64,
+    /// Requests answered from the idempotency dedup window instead of
+    /// re-executing (a retried token whose outcome was already decided).
+    pub dedup_hits: AtomicU64,
     pub latency: Mutex<LatencyHist>,
 }
 
@@ -132,6 +139,12 @@ pub struct RankMetrics {
     pub grouped_ops: u64,
     /// Ops that went through the one-transaction-per-request fallback.
     pub fallback_ops: u64,
+    /// Requests shed unexecuted because they outlived the per-op
+    /// deadline ([`crate::ServerOptions::deadline`]).
+    pub deadline_misses: u64,
+    /// Requests answered from the idempotency dedup window without
+    /// re-execution.
+    pub dedup_hits: u64,
     pub queue_depth: usize,
     /// Client-observed **wall-clock** latency (submit → ack), including
     /// queueing and host scheduling. This is the serving-path SLO view;
@@ -196,6 +209,20 @@ pub struct ServerMetrics {
     /// Crash-recovery stats, when this server was booted via
     /// [`crate::GdiServer::recover`].
     pub recovery: Option<RecoverySummary>,
+    /// Is the server currently in degraded read-only mode (entered on a
+    /// failed checkpoint or observed store write errors; exits on the
+    /// next successful checkpoint)?
+    pub degraded: bool,
+    /// Times the server *entered* degraded read-only mode.
+    pub degraded_entries: u64,
+    /// Write submissions rejected with [`crate::SubmitError::ReadOnly`]
+    /// while degraded.
+    pub write_rejects: u64,
+    /// Retries performed by [`crate::Session::execute_idempotent`].
+    pub retries: u64,
+    /// Storage-side fault injections fired on the shared fault plane
+    /// (see `gda::faults`); 0 when persistence is off or no fault armed.
+    pub fault_hits: u64,
     /// Fabric execution backend the serve loops ran on (`Sim` = LogGP
     /// virtual time, `Wall` = real clock). `None` until the first serve
     /// loop starts.
@@ -224,6 +251,16 @@ impl ServerMetrics {
         }
     }
 
+    /// Deadline-shed requests over all ranks.
+    pub fn deadline_misses(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.deadline_misses).sum()
+    }
+
+    /// Idempotency dedup-window hits over all ranks.
+    pub fn dedup_hits(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.dedup_hits).sum()
+    }
+
     /// Merged latency histogram over all ranks.
     pub fn latency(&self) -> LatencyHist {
         let mut h = LatencyHist::new();
@@ -249,6 +286,12 @@ impl ServerMetrics {
             .iter()
             .filter_map(|r| r.fabric.as_ref().map(&field))
             .sum()
+    }
+
+    /// Fabric-side fault injections fired (quiesce/collective points of
+    /// the shared fault plane) over all serving ranks.
+    pub fn fabric_fault_injections(&self) -> u64 {
+        self.fabric_sum(|f| f.fault_injections)
     }
 
     /// Translation-cache hits over all serving ranks.

@@ -105,6 +105,10 @@ pub enum OpOutcome {
     /// may not be applied. The distributed-systems "commit uncertain"
     /// answer — clients must not blindly retry non-idempotent ops.
     Indeterminate(GdiError),
+    /// The op spent longer than [`crate::ServerOptions::deadline`] queued
+    /// and was shed *before execution*: provably zero effects, always
+    /// safe to retry (see [`crate::Session::execute_idempotent`]).
+    DeadlineExceeded,
 }
 
 impl OpOutcome {
@@ -168,6 +172,10 @@ pub(crate) struct Request {
     pub op: Op,
     pub ticket: Arc<TicketInner>,
     pub submitted: Instant,
+    /// Client-supplied idempotency token: the serving rank consults the
+    /// dedup window before executing and records the committed outcome
+    /// after, so a retried token never double-applies.
+    pub token: Option<u64>,
 }
 
 /// No lost acks, ever: a request dropped before execution (a panicking

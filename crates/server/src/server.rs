@@ -56,6 +56,15 @@ pub struct ServerOptions {
     /// (the default) leaves maintenance to explicit
     /// [`GdiServer::maintenance`] calls.
     pub maintenance_interval: Option<u64>,
+    /// Per-op service deadline: a request still queued `deadline` after
+    /// submission is shed at drain time with
+    /// [`OpOutcome::DeadlineExceeded`] instead of executing (bounded
+    /// staleness under overload or injected stalls). `None` (default)
+    /// never sheds.
+    pub deadline: Option<Duration>,
+    /// Capacity of the idempotency dedup window (token → decided
+    /// outcome, FIFO-evicted). Bounds the memory a retry storm can pin.
+    pub dedup_window: usize,
 }
 
 /// Which serving rank executes a submitted op.
@@ -86,6 +95,8 @@ impl Default for ServerOptions {
             poll_interval: Duration::from_micros(200),
             route: RoutePolicy::Owner,
             maintenance_interval: None,
+            deadline: None,
+            dedup_window: 1024,
         }
     }
 }
@@ -117,6 +128,11 @@ pub enum SubmitError {
     Paused,
     /// The server no longer accepts requests.
     ShuttingDown,
+    /// The server is in **degraded read-only mode** (a checkpoint failed
+    /// or the persistence store reported write errors): reads keep
+    /// serving, writes are rejected until the next successful
+    /// [`GdiServer::checkpoint`] proves durability is back.
+    ReadOnly,
 }
 
 /// A collective OLAP job: every rank runs the closure against its engine
@@ -139,6 +155,41 @@ impl Drop for OlapPending {
     fn drop(&mut self) {
         self.ticket
             .fulfill_if_pending(OpOutcome::Aborted(gdi::GdiError::TransactionClosed));
+    }
+}
+
+/// Bounded token → decided-outcome map (FIFO eviction). Only *decided*
+/// outcomes are recorded — committed ops so a retry never double-applies;
+/// aborted, indeterminate and deadline-shed attempts stay absent so a
+/// retry may honestly re-execute.
+pub(crate) struct DedupWindow {
+    capacity: usize,
+    map: rustc_hash::FxHashMap<u64, OpOutcome>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl DedupWindow {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: rustc_hash::FxHashMap::default(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn get(&self, token: u64) -> Option<OpOutcome> {
+        self.map.get(&token).cloned()
+    }
+
+    pub(crate) fn record(&mut self, token: u64, outcome: OpOutcome) {
+        if self.map.insert(token, outcome).is_none() {
+            self.order.push_back(token);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
     }
 }
 
@@ -176,6 +227,22 @@ struct ServerInner {
     /// Which fabric backend the serve loops run on (recorded by the
     /// first [`GdiServer::serve_rank`] from its rank context).
     backend: Mutex<Option<rma::BackendKind>>,
+    /// Degraded read-only mode gate: set on a failed checkpoint or on
+    /// observed store write errors, cleared by the next successful
+    /// checkpoint. While set, write submissions are rejected with
+    /// [`SubmitError::ReadOnly`]; reads serve normally.
+    degraded: AtomicBool,
+    /// Times the server transitioned *into* degraded mode.
+    degraded_entries: AtomicU64,
+    /// Write submissions rejected while degraded.
+    write_rejects: AtomicU64,
+    /// Retries performed by [`Session::execute_idempotent`].
+    retries: AtomicU64,
+    /// Store redo-log error count at the last health observation (the
+    /// serve loop enters degraded mode when it grows).
+    last_log_errors: AtomicU64,
+    /// Idempotency window shared by all serving ranks.
+    dedup: Mutex<DedupWindow>,
 }
 
 /// Per-rank summary returned by [`GdiServer::serve_rank`].
@@ -234,6 +301,12 @@ impl GdiServer {
             recovery: Mutex::new(None),
             recovery_stats: Mutex::new((0..nranks).map(|_| None).collect()),
             backend: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+            degraded_entries: AtomicU64::new(0),
+            write_rejects: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            last_log_errors: AtomicU64::new(0),
+            dedup: Mutex::new(DedupWindow::new(opts.dedup_window)),
             db,
         }))
     }
@@ -348,6 +421,44 @@ impl GdiServer {
         *self.0.paused.lock() > 0
     }
 
+    /// Is the server in degraded read-only mode (failed checkpoint or
+    /// observed store write errors; exits on the next successful
+    /// [`GdiServer::checkpoint`])?
+    pub fn degraded(&self) -> bool {
+        self.0.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Flip into degraded read-only mode (idempotent; counts only the
+    /// transition). Reads keep serving; writes are rejected with
+    /// [`SubmitError::ReadOnly`] until a checkpoint succeeds.
+    fn enter_degraded(&self, why: &str) {
+        if !self.0.degraded.swap(true, Ordering::SeqCst) {
+            self.0.degraded_entries.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[server] entering degraded read-only mode: {why}");
+        }
+    }
+
+    /// Leave degraded mode after a successful checkpoint.
+    fn exit_degraded(&self) {
+        if self.0.degraded.swap(false, Ordering::SeqCst) {
+            eprintln!("[server] checkpoint succeeded; leaving degraded read-only mode");
+        }
+    }
+
+    /// Serve-loop health probe: new redo-log write errors on the
+    /// persistence store (commits whose durability was lost, see
+    /// `gda::persist::PersistStore::log_errors`) degrade the server to
+    /// read-only until a checkpoint captures the lost tail.
+    fn observe_store_health(&self) {
+        if let Some(store) = self.0.db.persistence() {
+            let errs = store.log_errors();
+            let prev = self.0.last_log_errors.swap(errs, Ordering::Relaxed);
+            if errs > prev {
+                self.enter_degraded("redo-log append errors observed");
+            }
+        }
+    }
+
     /// Trigger a durable collective checkpoint while serving: pauses
     /// admission, rendezvouses every serving rank through the
     /// collective-job machinery (each runs [`GdaRank::checkpoint`]),
@@ -378,11 +489,20 @@ impl GdiServer {
         match outcome {
             OpOutcome::Committed(OpReply::Scalar(v)) if v > 0.5 => {
                 self.0.checkpoints.fetch_add(1, Ordering::Relaxed);
+                // durability is proven again: the published snapshot
+                // covers everything a lost redo tail failed to log
+                self.0
+                    .last_log_errors
+                    .store(store.log_errors(), Ordering::Relaxed);
+                self.exit_degraded();
                 store
                     .last_checkpoint()
                     .ok_or(GdiError::Io("checkpoint report missing".into()))
             }
-            OpOutcome::Committed(_) => Err(GdiError::Io("checkpoint failed; see rank logs".into())),
+            OpOutcome::Committed(_) => {
+                self.enter_degraded("collective checkpoint failed");
+                Err(GdiError::Io("checkpoint failed; see rank logs".into()))
+            }
             _ => Err(GdiError::Io("checkpoint job did not complete".into())),
         }
     }
@@ -435,8 +555,23 @@ impl GdiServer {
     }
 
     pub(crate) fn submit_from(&self, op: Op, session: u64) -> Result<Ticket, SubmitError> {
+        self.submit_with_token(op, session, None)
+    }
+
+    pub(crate) fn submit_with_token(
+        &self,
+        op: Op,
+        session: u64,
+        token: Option<u64>,
+    ) -> Result<Ticket, SubmitError> {
         if !self.0.accepting.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
+        }
+        // degraded read-only mode: writes are rejected with a typed
+        // error the client can distinguish from overload; reads pass
+        if !op.is_read() && self.0.degraded.load(Ordering::SeqCst) {
+            self.0.write_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ReadOnly);
         }
         {
             let mut paused = self.0.paused.lock();
@@ -465,6 +600,7 @@ impl GdiServer {
             op,
             ticket: ticket.clone(),
             submitted: Instant::now(),
+            token,
         };
         self.0.counters[rank]
             .submitted
@@ -607,6 +743,11 @@ impl GdiServer {
             }
             let (batch, closed) =
                 inner.queues[rank].drain_wait(inner.opts.max_batch, inner.opts.poll_interval);
+            // rank 0 doubles as the health observer: store write errors
+            // degrade the server to read-only until a checkpoint succeeds
+            if rank == 0 {
+                self.observe_store_health();
+            }
             if batch.is_empty() {
                 if closed && olap_served == inner.olap_submitted.load(Ordering::SeqCst) {
                     break;
@@ -624,8 +765,8 @@ impl GdiServer {
                 &eng,
                 &inner.counters[rank],
                 batch,
-                inner.opts.group_commit,
-                inner.opts.write_group,
+                &inner.opts,
+                &inner.dedup,
             );
             read_timing.read_ns += t.read_ns;
             read_timing.read_ops += t.read_ops;
@@ -687,6 +828,8 @@ impl GdiServer {
                 batches: c.batches.load(Ordering::Relaxed),
                 grouped_ops: c.grouped_ops.load(Ordering::Relaxed),
                 fallback_ops: c.fallback_ops.load(Ordering::Relaxed),
+                deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+                dedup_hits: c.dedup_hits.load(Ordering::Relaxed),
                 queue_depth: inner.queues[rank].len(),
                 latency: c.latency.lock().clone(),
                 fabric: reports[rank],
@@ -718,6 +861,15 @@ impl GdiServer {
             maintenance_runs: inner.maintenance_runs.load(Ordering::Relaxed),
             recovery,
             backend: *inner.backend.lock(),
+            degraded: inner.degraded.load(Ordering::SeqCst),
+            degraded_entries: inner.degraded_entries.load(Ordering::Relaxed),
+            write_rejects: inner.write_rejects.load(Ordering::Relaxed),
+            retries: inner.retries.load(Ordering::Relaxed),
+            fault_hits: inner
+                .db
+                .persistence()
+                .map(|s| s.fault_plane().fired())
+                .unwrap_or(0),
         }
     }
 }
@@ -743,5 +895,69 @@ impl Session {
     /// Submit and wait (one closed-loop op).
     pub fn execute(&self, op: Op) -> Result<OpOutcome, SubmitError> {
         self.submit(op).map(|t| t.wait())
+    }
+
+    /// Submit with a client-supplied **idempotency token** and bounded
+    /// retries. The serving rank consults the server's dedup window
+    /// before executing a tokened op and records its committed outcome
+    /// after, so resubmitting the same token never double-applies: a
+    /// retry whose earlier attempt actually committed gets the recorded
+    /// outcome back instead of re-executing.
+    ///
+    /// Undecided outcomes are retried up to `max_retries` times:
+    /// [`OpOutcome::DeadlineExceeded`] (shed before execution — always
+    /// safe), [`OpOutcome::Indeterminate`] (the retry re-executes; if it
+    /// decides, the decision is recorded for any further retry), and
+    /// transient admission failures ([`SubmitError::Overloaded`] /
+    /// [`SubmitError::Paused`]). Decided outcomes (commit or abort)
+    /// return immediately. The last undecided outcome is returned when
+    /// the retry budget runs out.
+    pub fn execute_idempotent(
+        &self,
+        op: Op,
+        token: u64,
+        max_retries: usize,
+    ) -> Result<OpOutcome, SubmitError> {
+        let mut last: Option<OpOutcome> = None;
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                self.server.0.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self
+                .server
+                .submit_with_token(op.clone(), self.id, Some(token))
+            {
+                Ok(t) => match t.wait() {
+                    out @ (OpOutcome::Committed(_) | OpOutcome::Aborted(_)) => return Ok(out),
+                    // undecided: retry; a decided earlier attempt is
+                    // resolved by the serving rank's dedup-window check
+                    out => last = Some(out),
+                },
+                // transient admission failures are worth the retry budget
+                Err(SubmitError::Overloaded { .. } | SubmitError::Paused)
+                    if attempt < max_retries => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(last.expect("at least one attempt ran"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_window_records_and_evicts_fifo() {
+        let mut w = DedupWindow::new(2);
+        assert!(w.get(1).is_none());
+        w.record(1, OpOutcome::Committed(OpReply::Unit));
+        w.record(2, OpOutcome::Committed(OpReply::Count(3)));
+        assert_eq!(w.get(1), Some(OpOutcome::Committed(OpReply::Unit)));
+        // re-recording an existing token must not double-enter the queue
+        w.record(1, OpOutcome::Committed(OpReply::Unit));
+        w.record(3, OpOutcome::Committed(OpReply::Unit));
+        assert!(w.get(1).is_none(), "oldest token evicted");
+        assert!(w.get(2).is_some() && w.get(3).is_some());
     }
 }

@@ -27,6 +27,10 @@
 //!   of update-heavy traffic, each closed by a delta checkpoint and a
 //!   collective maintenance pass (MVCC vacuum, compaction, snapshot
 //!   verification), killed and recovered from the full+delta chain;
+//! * [`chaos`] — the fault-injection axis: live traffic through a
+//!   persistent storage fault on the shared fault plane, graceful
+//!   degradation to read-only, repair, kill, and recovery with an MTTR
+//!   measurement;
 //! * [`reshard`] — the elastic axis: the same kill-and-restart, but the
 //!   recovered server boots a **different rank count** (scale-out and
 //!   scale-in across the restart), forcing the full redistribution
@@ -36,6 +40,7 @@
 
 pub mod analytics;
 pub mod bi2;
+pub mod chaos;
 pub mod gnn;
 pub mod latency;
 pub mod locality;

@@ -195,7 +195,8 @@ impl Tracker {
                     _ => {}
                 }
             }
-            OpOutcome::Aborted(_) => self.aborted += 1,
+            // shed before execution: provably no effects, same as abort
+            OpOutcome::Aborted(_) | OpOutcome::DeadlineExceeded => self.aborted += 1,
             OpOutcome::Indeterminate(_) => {
                 self.indeterminate += 1;
                 // commit-uncertain: drop every touched vertex from

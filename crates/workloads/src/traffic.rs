@@ -66,6 +66,9 @@ pub struct SessionReport {
     pub indeterminate: u64,
     /// Submissions shed by admission control.
     pub rejected: u64,
+    /// Requests shed unexecuted after outliving the per-op deadline
+    /// (`server::OpOutcome::DeadlineExceeded`; zero without a deadline).
+    pub deadline_exceeded: u64,
     /// Outcomes received (must equal accepted submissions: no lost acks).
     pub acks: u64,
 }
@@ -101,6 +104,10 @@ impl TrafficReport {
 
     pub fn rejected(&self) -> u64 {
         self.per_session.iter().map(|s| s.rejected).sum()
+    }
+
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.per_session.iter().map(|s| s.deadline_exceeded).sum()
     }
 
     pub fn acks(&self) -> u64 {
@@ -243,7 +250,8 @@ pub fn run_traffic(
                             Err(
                                 SubmitError::Overloaded { .. }
                                 | SubmitError::Paused
-                                | SubmitError::ShuttingDown,
+                                | SubmitError::ShuttingDown
+                                | SubmitError::ReadOnly,
                             ) => {
                                 st.report.rejected += 1;
                             }
@@ -266,6 +274,7 @@ pub fn run_traffic(
                                 }
                             }
                             OpOutcome::Indeterminate(_) => st.report.indeterminate += 1,
+                            OpOutcome::DeadlineExceeded => st.report.deadline_exceeded += 1,
                         }
                     }
                 }

@@ -1,6 +1,8 @@
 //! Integration test package (see the `tests/` directory for the
 //! cross-crate suites: paper claims, end-to-end pipeline,
-//! property-based, server sessions, recovery).
+//! property-based, server sessions, recovery, chaos).
+
+pub mod harness;
 
 /// Compiles and runs the README's code examples as doctests, so the
 /// quick-start can never drift from the actual API (CI runs

@@ -1,0 +1,206 @@
+//! Crash-point torture tests over the fault plane (`gda::faults`).
+//!
+//! The differential oracle: for an arbitrary scripted workload run
+//! through a **checkpoint → delta checkpoint → maintenance** sequence
+//! with ONE injected fault at an arbitrary storage crash point (snapshot
+//! write, manifest write, `CURRENT` publish, log rotate, prune — torn or
+//! erroring, any rank, any occurrence), the state read back after crash
+//! recovery must equal the uninterrupted reference run exactly. Every
+//! fault on these paths is survivable by construction: a voted abort
+//! unwinds the attempt and the redo tails stay replayable.
+//!
+//! Plus a deterministic torn-redo-tail case at the integration level:
+//! a crash mid-append leaves a half-written frame whose checksum fails;
+//! recovery must truncate it and keep every earlier commit.
+//!
+//! Runs under both fabric backends (CI sets `GDI_FABRIC_BACKEND`) and
+//! scales down via `PROPTEST_CASES` for the smoke form.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gda::faults::{self, FaultMode};
+use gda::persist::{recover, PersistOptions};
+use gda::{GdaConfig, GdaDb};
+use gdi::{AccessMode, AppVertexId, PropertyValue};
+use gdi_tests::harness::{apply_ops, install_ptype, read_state, reference_state, ReadState, WlOp};
+use rma::CostModel;
+use workloads::scratch::ScratchDir;
+
+/// Storage crash points on the checkpoint/maintenance path. None of
+/// them may lose a committed write — the equality oracle below. (Read
+/// faults and `redo.append` are exercised by dedicated tests: they
+/// legitimately cost an *undurable* tail, so exact equality is the
+/// wrong oracle for them.)
+const CRASH_POINTS: &[&str] = &[
+    faults::SNAP_WRITE,
+    faults::MANIFEST_WRITE,
+    faults::CURRENT_RENAME,
+    faults::REDO_ROTATE,
+    faults::SNAP_PRUNE,
+];
+
+fn arb_op(ids: u64) -> impl Strategy<Value = WlOp> {
+    prop_oneof![
+        (0..ids).prop_map(WlOp::Create),
+        (0..ids).prop_map(WlOp::Create),
+        (0..ids, 0u64..1_000_000).prop_map(|(v, x)| WlOp::SetProp(v, x)),
+        (0..ids, 0..ids).prop_map(|(a, b)| WlOp::AddEdge(a, b)),
+        (0..ids).prop_map(WlOp::Delete),
+    ]
+}
+
+/// Interrupted run: the scripted ops interleaved with a full checkpoint,
+/// a delta checkpoint and a maintenance pass, with one fault armed at
+/// `(point, rank, skip)`; then a crash and recovery. Returns the
+/// recovered read state.
+#[allow(clippy::too_many_arguments)]
+fn tortured_state(
+    nranks: usize,
+    cfg: GdaConfig,
+    ops: &[WlOp],
+    cuts: (usize, usize),
+    ids: u64,
+    dir: &std::path::Path,
+    point: &str,
+    rank: Option<usize>,
+    skip: u64,
+    mode: FaultMode,
+) -> ReadState {
+    {
+        let (db, fabric) = GdaDb::with_fabric("chaos", cfg, nranks, CostModel::zero());
+        let store = db.enable_persistence(PersistOptions::new(dir)).unwrap();
+        store.fault_plane().arm_at(point, rank, skip, 1, mode);
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let ptype = install_ptype(&eng);
+            apply_ops(&eng, &ops[..cuts.0], ptype);
+            // any of these collective steps may be the crash point; a
+            // voted failure must unwind without losing committed work
+            let _ = eng.checkpoint();
+            apply_ops(&eng, &ops[cuts.0..cuts.1], ptype);
+            let _ = eng.checkpoint(); // dirty-chunk delta path
+            let _ = eng.maintenance(); // vacuum + verify + prune path
+            apply_ops(&eng, &ops[cuts.1..], ptype);
+        });
+        // drop: the crash (everything in memory is lost)
+    }
+    let (db, fabric, plan) = recover(PersistOptions::new(dir), CostModel::zero()).unwrap();
+    let db: Arc<GdaDb> = db;
+    let states = fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0, "replay errors: {rec:?}");
+        let ptype = eng.meta().ptype_from_name("val").unwrap();
+        read_state(&eng, ids, ptype)
+    });
+    states.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Zero divergence at sampled crash points, P ∈ {1, 2, 4}: the
+    /// recovered state equals the uninterrupted oracle no matter which
+    /// storage fault fired where in the checkpoint→delta→maintenance
+    /// sequence.
+    #[test]
+    fn crash_points_never_diverge_from_oracle(
+        ops in prop::collection::vec(arb_op(10), 1..22),
+        cut1_frac in 0.0f64..1.0,
+        cut2_frac in 0.0f64..1.0,
+        point_idx in 0usize..CRASH_POINTS.len(),
+        rank_pick in 0usize..6,
+        skip in 0u64..3,
+        torn in prop::bool::ANY,
+        p_pick in 0usize..3,
+    ) {
+        let ids = 10u64;
+        let nranks = [1usize, 2, 4][p_pick];
+        let (a, b) = (
+            (ops.len() as f64 * cut1_frac) as usize,
+            (ops.len() as f64 * cut2_frac) as usize,
+        );
+        let cuts = (a.min(b).min(ops.len()), a.max(b).min(ops.len()));
+        let point = CRASH_POINTS[point_idx];
+        // None = any rank; Some(r) scopes the fault to one rank
+        let rank = (rank_pick < nranks).then_some(rank_pick);
+        let mode = if torn && point == faults::SNAP_WRITE {
+            FaultMode::TornWrite(16)
+        } else {
+            FaultMode::Error
+        };
+        let cfg = GdaConfig::tiny();
+        let td = ScratchDir::new("chaos-prop");
+        let want = reference_state(nranks, cfg, &ops, ids);
+        let got = tortured_state(
+            nranks, cfg, &ops, cuts, ids, td.path(), point, rank, skip, mode,
+        );
+        prop_assert!(
+            got == want,
+            "recovered state diverged (point={point} rank={rank:?} skip={skip} \
+             mode={mode:?} cuts={cuts:?} of {} P={nranks}):\n got {got:?}\nwant {want:?}\n ops {ops:?}",
+            ops.len()
+        );
+    }
+}
+
+/// Deterministic torn-tail regression at the integration level: a crash
+/// mid-append leaves a half-written frame; the frame checksum must catch
+/// it, recovery truncates the tail and keeps every commit before it.
+#[test]
+fn torn_redo_tail_is_truncated_at_last_valid_frame() {
+    let td = ScratchDir::new("chaos-torn");
+    let cfg = GdaConfig::tiny();
+    {
+        let (db, fabric) = GdaDb::with_fabric("torn", cfg, 2, CostModel::zero());
+        let store = db
+            .enable_persistence(PersistOptions::new(td.path()))
+            .unwrap();
+        fabric.run(|ctx| {
+            let eng = db.attach(ctx);
+            eng.init_collective();
+            let ptype = install_ptype(&eng);
+            apply_ops(
+                &eng,
+                &[WlOp::Create(0), WlOp::Create(1), WlOp::AddEdge(0, 1)],
+                ptype,
+            );
+            eng.checkpoint().unwrap();
+            // the next append on rank 0 "crashes" after 10 bytes
+            if ctx.rank() == 0 {
+                store.fault_plane().arm_at(
+                    faults::REDO_APPEND,
+                    Some(0),
+                    0,
+                    1,
+                    FaultMode::TornWrite(10),
+                );
+            }
+            ctx.barrier();
+            // owner of id 2 is rank 0 on P=2: this commit's frame tears
+            apply_ops(&eng, &[WlOp::Create(2)], ptype);
+            ctx.barrier();
+        });
+        assert_eq!(store.log_errors(), 1, "torn append surfaced");
+    }
+    let (db, fabric, plan) = recover(PersistOptions::new(td.path()), CostModel::zero()).unwrap();
+    let db: Arc<GdaDb> = db;
+    fabric.run(|ctx| {
+        let eng = db.attach(ctx);
+        let rec = plan.restore_rank(&eng).unwrap();
+        assert_eq!(rec.errors, 0, "truncation, not replay errors: {rec:?}");
+        let ptype = eng.meta().ptype_from_name("val").unwrap();
+        let tx = eng.begin(AccessMode::ReadOnly);
+        // everything before the torn frame survives…
+        for v in [0u64, 1] {
+            let id = tx.translate_vertex_id(AppVertexId(v)).unwrap();
+            assert_eq!(tx.property(id, ptype).unwrap(), Some(PropertyValue::U64(v)));
+        }
+        // …the torn commit is gone (its durability was lost, honestly)
+        assert!(tx.translate_vertex_id(AppVertexId(2)).is_err());
+        tx.commit().unwrap();
+    });
+}

@@ -8,38 +8,17 @@
 //!   the fabric, `GdiServer::recover()`, and every previously committed
 //!   read returns identical results.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use gda::persist::{recover, PersistOptions};
 use gda::{GdaConfig, GdaDb};
-use gdi::{
-    AccessMode, AppVertexId, Datatype, EdgeOrientation, EntityType, Multiplicity, PropertyValue,
-    SizeType,
-};
+use gdi::{AccessMode, AppVertexId};
+use gdi_tests::harness::{apply_ops, install_ptype, read_state, reference_state, ReadState, WlOp};
 use rma::CostModel;
 use workloads::recovery::{run_kill_restart, RecoveryScenario};
 use workloads::scratch::ScratchDir;
-
-/// One logical operation of the generated workload. All ops routed by
-/// their first vertex id (the server discipline the replay assumes).
-#[derive(Debug, Clone, Copy)]
-enum WlOp {
-    Create(u64),
-    SetProp(u64, u64),
-    AddEdge(u64, u64),
-    Delete(u64),
-}
-
-impl WlOp {
-    fn routing(&self) -> u64 {
-        match self {
-            WlOp::Create(v) | WlOp::SetProp(v, _) | WlOp::Delete(v) | WlOp::AddEdge(v, _) => *v,
-        }
-    }
-}
 
 fn arb_op(ids: u64) -> impl Strategy<Value = WlOp> {
     prop_oneof![
@@ -49,110 +28,6 @@ fn arb_op(ids: u64) -> impl Strategy<Value = WlOp> {
         (0..ids, 0..ids).prop_map(|(a, b)| WlOp::AddEdge(a, b)),
         (0..ids).prop_map(WlOp::Delete),
     ]
-}
-
-/// The observable state of the whole database: per application id, the
-/// property value and the any-orientation edge count (`None` = id does
-/// not resolve).
-type ReadState = BTreeMap<u64, Option<(Option<u64>, usize)>>;
-
-/// Execute `ops` serially on `nranks` ranks — each op runs on the rank
-/// owning its routing vertex, with a barrier in between, so every run
-/// (interrupted or not) sees the identical serial history.
-fn apply_ops(eng: &gda::GdaRank, ops: &[WlOp], ptype: gdi::PTypeId) {
-    let me = eng.rank();
-    for op in ops {
-        if gda::dptr::owner_rank(AppVertexId(op.routing()), eng.nranks()) == me {
-            let tx = eng.begin(AccessMode::ReadWrite);
-            let r = (|| -> Result<(), gdi::GdiError> {
-                match *op {
-                    WlOp::Create(v) => {
-                        let id = tx.create_vertex(AppVertexId(v))?;
-                        tx.add_property(id, ptype, &PropertyValue::U64(v))?;
-                    }
-                    WlOp::SetProp(v, x) => {
-                        let id = tx.translate_vertex_id(AppVertexId(v))?;
-                        tx.update_property(id, ptype, &PropertyValue::U64(x))?;
-                    }
-                    WlOp::AddEdge(a, b) => {
-                        let ia = tx.translate_vertex_id(AppVertexId(a))?;
-                        let ib = tx.translate_vertex_id_fresh(AppVertexId(b))?;
-                        tx.add_edge(ia, ib, None, true)?;
-                    }
-                    WlOp::Delete(v) => {
-                        let id = tx.translate_vertex_id(AppVertexId(v))?;
-                        tx.delete_vertex(id)?;
-                    }
-                }
-                Ok(())
-            })();
-            match r {
-                Ok(()) => {
-                    let _ = tx.commit();
-                }
-                Err(_) => tx.abort(), // e.g. create of an existing id
-            }
-        }
-        eng.ctx().barrier();
-    }
-}
-
-/// Read back the full observable state (rank 0's view; any rank reads
-/// the same data one-sidedly).
-fn read_state(eng: &gda::GdaRank, ids: u64, ptype: gdi::PTypeId) -> ReadState {
-    let mut out = ReadState::new();
-    let tx = eng.begin(AccessMode::ReadOnly);
-    for v in 0..ids {
-        let entry = match tx.translate_vertex_id(AppVertexId(v)) {
-            Ok(id) => {
-                let prop = tx.property(id, ptype).unwrap().and_then(|p| match p {
-                    PropertyValue::U64(x) => Some(x),
-                    _ => None,
-                });
-                let edges = tx.edge_count(id, EdgeOrientation::Any).unwrap();
-                Some((prop, edges))
-            }
-            Err(_) => None,
-        };
-        out.insert(v, entry);
-    }
-    tx.commit().unwrap();
-    out
-}
-
-fn install_ptype(eng: &gda::GdaRank) -> gdi::PTypeId {
-    if eng.rank() == 0 {
-        let p = eng
-            .create_ptype(
-                "val",
-                Datatype::Uint64,
-                EntityType::Vertex,
-                Multiplicity::Single,
-                SizeType::Fixed,
-                1,
-            )
-            .unwrap();
-        eng.ctx().barrier();
-        p
-    } else {
-        eng.ctx().barrier();
-        eng.refresh_meta();
-        eng.meta().ptype_from_name("val").unwrap()
-    }
-}
-
-/// Uninterrupted reference run: all ops on one fabric, no persistence.
-fn reference_state(nranks: usize, cfg: GdaConfig, ops: &[WlOp], ids: u64) -> ReadState {
-    let (db, fabric) = GdaDb::with_fabric("ref", cfg, nranks, CostModel::zero());
-    let states = fabric.run(|ctx| {
-        let eng = db.attach(ctx);
-        eng.init_collective();
-        let ptype = install_ptype(&eng);
-        apply_ops(&eng, ops, ptype);
-        ctx.barrier();
-        read_state(&eng, ids, ptype)
-    });
-    states.into_iter().next().unwrap()
 }
 
 /// Interrupted run: ops up to `cut`, a collective checkpoint, the rest
@@ -275,7 +150,15 @@ fn recover_from_previous_snapshot_after_failed_checkpoint() {
                 tx.commit().unwrap();
             }
             ctx.barrier();
-            store.inject_checkpoint_failures(1);
+            if ctx.rank() == 0 {
+                store.fault_plane().arm_at(
+                    gda::faults::SNAP_WRITE,
+                    Some(0),
+                    0,
+                    1,
+                    gda::faults::FaultMode::Error,
+                );
+            }
             assert!(eng.checkpoint().is_err());
             // the tail keeps growing on the same segment after the
             // failed attempt

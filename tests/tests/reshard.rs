@@ -318,7 +318,13 @@ fn failed_reshard_attempt_is_retryable() {
         let (db, fabric, plan) =
             recover_with_topology(PersistOptions::new(dir.path()), CostModel::zero(), Some(4))
                 .unwrap();
-        db.persistence().unwrap().inject_reshard_failures(1);
+        db.persistence().unwrap().fault_plane().arm_at(
+            gda::faults::RESHARD_REDISTRIBUTE,
+            Some(1),
+            0,
+            1,
+            gda::faults::FaultMode::Error,
+        );
         let errs = fabric.run(|ctx| {
             let eng = db.attach(ctx);
             plan.restore_rank(&eng).err()
